@@ -1,0 +1,33 @@
+//! Figure 11 bench: regenerates the table, then times the full
+//! pipeline (compile + simulate + verify) on the headline loop.
+
+use criterion::{black_box, Criterion};
+use simdize::{DiffConfig, Simdizer};
+
+fn main() {
+    let rows = simdize_bench::figure_opd(&simdize_bench::figure_spec(), false, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_figure("Figure 11 — S1*L6 i32, reassoc OFF", &rows)
+    );
+
+    let (program, scheme) = simdize_bench::representative();
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("fig11/compile", |b| {
+        b.iter(|| {
+            Simdizer::new()
+                .scheme(scheme)
+                .compile(black_box(&program))
+                .unwrap()
+        })
+    });
+    c.bench_function("fig11/compile+run+verify", |b| {
+        b.iter(|| {
+            Simdizer::new()
+                .scheme(scheme)
+                .evaluate_with(black_box(&program), &DiffConfig::with_seed(1))
+                .unwrap()
+        })
+    });
+    c.final_summary();
+}

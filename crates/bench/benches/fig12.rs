@@ -1,0 +1,28 @@
+//! Figure 12 bench: the reassociation variant of Figure 11, timing the
+//! reassociation pass itself.
+
+use criterion::{black_box, Criterion};
+use simdize::{reassociate, VectorShape};
+
+fn main() {
+    let rows = simdize_bench::figure_opd(&simdize_bench::figure_spec(), true, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_figure("Figure 12 — S1*L6 i32, reassoc ON", &rows)
+    );
+
+    let (program, scheme) = simdize_bench::representative();
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("fig12/reassociate", |b| {
+        b.iter(|| reassociate(black_box(&program), VectorShape::V16))
+    });
+    c.bench_function("fig12/compile with reassoc", |b| {
+        b.iter(|| {
+            simdize::Simdizer::new()
+                .scheme(scheme.reassoc(true))
+                .compile(black_box(&program))
+                .unwrap()
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,108 @@
+//! Ablation E9: software alignment handling (aligned-only machine, the
+//! paper's scheme) versus hardware misaligned memory (SSE2-style
+//! `movdqu` at 2× per access). The paper's §2 footnote notes SSE2's
+//! misaligned accesses "incur additional overhead"; this bench
+//! quantifies the crossover as the fraction of misaligned references
+//! grows.
+
+use criterion::{black_box, Criterion};
+use simdize::{DiffConfig, ScalarType, Simdizer, Target, TripSpec, WorkloadSpec};
+
+fn main() {
+    println!("E9 — aligned-machine simdization vs hardware misaligned memory");
+    println!("(S1*L6 i32, 50 loops per point; opd, lower is better; movdqu cost 2)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "alignment bias", "paper/OPD", "movdqu/OPD", "winner"
+    );
+    for bias10 in [0, 3, 6, 10] {
+        let bias = bias10 as f64 / 10.0;
+        let spec = WorkloadSpec::new(1, 6)
+            .bias(bias)
+            .elem(ScalarType::I32)
+            .trip(TripSpec::Known(1000));
+        let loops = simdize_bench::suite(&spec, 50, 42);
+        let mean = |target: Target| {
+            let mut total = 0.0;
+            for (k, p) in loops.iter().enumerate() {
+                let r = Simdizer::new()
+                    .target(target)
+                    .evaluate_with(p, &DiffConfig::with_seed(k as u64))
+                    .unwrap();
+                assert!(r.verified);
+                total += r.opd;
+            }
+            total / loops.len() as f64
+        };
+        let aligned = mean(Target::Aligned);
+        let unaligned = mean(Target::Unaligned);
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>10}",
+            format!("b = {bias:.1}"),
+            aligned,
+            unaligned,
+            if aligned < unaligned {
+                "paper"
+            } else {
+                "movdqu"
+            }
+        );
+    }
+    println!();
+    println!("With mostly-aligned data (high bias) the alignment-handling scheme");
+    println!("wins because aligned streams need no shifts at all; with arbitrary");
+    println!("misalignment the comparison tracks the shift count per statement");
+    println!("against the constant 2x memory penalty.");
+
+    // Sweep the hardware penalty analytically: at what per-access cost
+    // does the misaligned-memory machine overtake the paper's scheme?
+    // (This is why post-Nehalem hardware made movdqu cheap: once the
+    // penalty approaches 1x, software alignment handling stops paying.)
+    println!("\ncrossover vs. hardware penalty (bias 0.0, S1*L6):");
+    println!("{:<10} {:>12} {:>10}", "penalty", "movdqu/OPD", "winner");
+    let spec = WorkloadSpec::new(1, 6)
+        .bias(0.0)
+        .elem(ScalarType::I32)
+        .trip(TripSpec::Known(1000));
+    let loops = simdize_bench::suite(&spec, 50, 42);
+    let mut aligned_total = 0.0;
+    let mut mem_per_datum = 0.0;
+    let mut base_total = 0.0;
+    for (k, p) in loops.iter().enumerate() {
+        let a = Simdizer::new()
+            .evaluate_with(p, &DiffConfig::with_seed(k as u64))
+            .unwrap();
+        aligned_total += a.opd;
+        let u = Simdizer::new()
+            .target(Target::Unaligned)
+            .evaluate_with(p, &DiffConfig::with_seed(k as u64))
+            .unwrap();
+        mem_per_datum += u.stats.unaligned_mem as f64 / u.data_produced as f64;
+        base_total += (u.stats.total() - 2 * u.stats.unaligned_mem) as f64 / u.data_produced as f64;
+    }
+    let n = loops.len() as f64;
+    let (aligned, mem, base) = (aligned_total / n, mem_per_datum / n, base_total / n);
+    for penalty in [1.0f64, 1.25, 1.5, 2.0, 3.0] {
+        let opd = base + penalty * mem;
+        println!(
+            "{:<10} {:>12.3} {:>10}",
+            format!("{penalty:.2}x"),
+            opd,
+            if aligned < opd { "paper" } else { "movdqu" }
+        );
+    }
+
+    let (program, _) = simdize_bench::representative();
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    for (name, target) in [("aligned", Target::Aligned), ("movdqu", Target::Unaligned)] {
+        c.bench_function(&format!("hardware/evaluate {name}"), |b| {
+            b.iter(|| {
+                Simdizer::new()
+                    .target(target)
+                    .evaluate_with(black_box(&program), &DiffConfig::with_seed(1))
+                    .unwrap()
+            })
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Ablation E7: shift counts per placement policy as the alignment
+//! bias sweeps from 0 (uniform random) to 1 (all references share one
+//! alignment) — the design-space behind Figure 11's middle components.
+
+use criterion::{black_box, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use simdize::{synthesize, Policy, ReorgGraph, TripSpec, VectorShape, WorkloadSpec};
+
+fn main() {
+    println!("E7 — mean shifts per statement, S1*L6, by policy and alignment bias");
+    println!(
+        "{:<6} {:>7} {:>7} {:>7} {:>9} {:>13}",
+        "bias", "zero", "eager", "lazy", "dominant", "lazy+reassoc"
+    );
+    for bias10 in [0, 3, 6, 10] {
+        let bias = bias10 as f64 / 10.0;
+        let spec = WorkloadSpec::new(1, 6)
+            .bias(bias)
+            .trip(TripSpec::Known(500));
+        let loops = simdize_bench::suite(&spec, 50, 77);
+        let mean = |f: &dyn Fn(&simdize::LoopProgram) -> usize| {
+            loops.iter().map(|p| f(p) as f64).sum::<f64>() / loops.len() as f64
+        };
+        let shifts = |p: &simdize::LoopProgram, policy: Policy, reassoc: bool| {
+            let p = if reassoc {
+                simdize::reassociate(p, VectorShape::V16)
+            } else {
+                p.clone()
+            };
+            ReorgGraph::build(&p, VectorShape::V16)
+                .unwrap()
+                .with_policy(policy)
+                .unwrap()
+                .shift_count()
+        };
+        println!(
+            "{:<6.1} {:>7.2} {:>7.2} {:>7.2} {:>9.2} {:>13.2}",
+            bias,
+            mean(&|p| shifts(p, Policy::Zero, false)),
+            mean(&|p| shifts(p, Policy::Eager, false)),
+            mean(&|p| shifts(p, Policy::Lazy, false)),
+            mean(&|p| shifts(p, Policy::Dominant, false)),
+            mean(&|p| shifts(p, Policy::Lazy, true)),
+        );
+    }
+
+    let spec = WorkloadSpec::new(1, 6).trip(TripSpec::Known(500));
+    let mut rng = StdRng::seed_from_u64(3);
+    let program = synthesize(&spec, &mut rng);
+    let graph = ReorgGraph::build(&program, VectorShape::V16).unwrap();
+    let mut c = Criterion::default().sample_size(50).configure_from_args();
+    c.bench_function("policies/dominant placement", |b| {
+        b.iter(|| black_box(&graph).with_policy(Policy::Dominant).unwrap())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,58 @@
+//! Ablation E8: the cost of not exploiting reuse — dynamic loads and
+//! total OPD for none / predictive commoning / software pipelining,
+//! with and without the copy-removing unroll (§4.5's closing remark).
+//! Also checks the never-load-twice guarantee numerically.
+
+use criterion::{black_box, Criterion};
+use simdize::{DiffConfig, ReuseMode, Simdizer};
+
+fn main() {
+    let (program, scheme) = simdize_bench::representative();
+    println!("E8 — reuse ablation on one S1*L6 loop (dominant-shift policy)");
+    println!(
+        "{:<22} {:>9} {:>8} {:>8} {:>8} {:>9}",
+        "scheme", "loads/it", "copies", "opd", "speedup", "max live"
+    );
+    for (label, reuse, unroll) in [
+        ("naive", ReuseMode::None, true),
+        ("pc, no unroll", ReuseMode::PredictiveCommoning, false),
+        ("pc + unroll", ReuseMode::PredictiveCommoning, true),
+        ("sp, no unroll", ReuseMode::SoftwarePipeline, false),
+        ("sp + unroll", ReuseMode::SoftwarePipeline, true),
+    ] {
+        let driver = Simdizer::new()
+            .policy(scheme.policy)
+            .reuse(reuse)
+            .unroll(unroll);
+        let report = driver
+            .evaluate_with(&program, &DiffConfig::with_seed(8))
+            .unwrap();
+        assert!(report.verified);
+        let compiled = driver.compile(&program).unwrap();
+        let iters = report.stats.steady_iterations.max(1);
+        println!(
+            "{:<22} {:>9.2} {:>8} {:>8.3} {:>7.2}x {:>6}/{}",
+            label,
+            report.stats.loads as f64 / iters as f64,
+            report.stats.copies,
+            report.opd,
+            report.speedup,
+            simdize::max_live_vregs(&compiled),
+            simdize::MACHINE_VREGS
+        );
+    }
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    for reuse in [ReuseMode::None, ReuseMode::SoftwarePipeline] {
+        c.bench_function(&format!("reuse/evaluate {reuse}"), |b| {
+            b.iter(|| {
+                Simdizer::new()
+                    .policy(scheme.policy)
+                    .reuse(reuse)
+                    .evaluate_with(black_box(&program), &DiffConfig::with_seed(8))
+                    .unwrap()
+            })
+        });
+    }
+    c.final_summary();
+}

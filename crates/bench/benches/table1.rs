@@ -1,0 +1,21 @@
+//! Table 1 bench: regenerates the 4-lane speedup table, then times the
+//! simulated execution (the dominant cost of the harness).
+
+use criterion::{black_box, Criterion};
+use simdize::{run_differential, DiffConfig, ScalarType, Simdizer};
+
+fn main() {
+    let rows = simdize_bench::speedup_table(&simdize_bench::TABLE_SHAPES, ScalarType::I32, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_table("Table 1 — 4 × i32 per register", &rows, 4)
+    );
+
+    let (program, scheme) = simdize_bench::representative();
+    let compiled = Simdizer::new().scheme(scheme).compile(&program).unwrap();
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("table1/simulate 1000-iteration loop", |b| {
+        b.iter(|| run_differential(black_box(&compiled), &DiffConfig::with_seed(1)).unwrap())
+    });
+    c.final_summary();
+}

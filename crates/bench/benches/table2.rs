@@ -1,0 +1,29 @@
+//! Table 2 bench: the 8-lane (i16) speedup table, timing the short-int
+//! pipeline.
+
+use criterion::{black_box, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use simdize::{synthesize, DiffConfig, ScalarType, Simdizer};
+
+fn main() {
+    let rows = simdize_bench::speedup_table(&simdize_bench::TABLE_SHAPES, ScalarType::I16, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_table("Table 2 — 8 × i16 per register", &rows, 8)
+    );
+
+    let spec = simdize_bench::figure_spec().elem(ScalarType::I16);
+    let mut rng = StdRng::seed_from_u64(2004);
+    let program = synthesize(&spec, &mut rng);
+    let (_, scheme) = simdize_bench::representative();
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("table2/compile+run+verify i16", |b| {
+        b.iter(|| {
+            Simdizer::new()
+                .scheme(scheme)
+                .evaluate_with(black_box(&program), &DiffConfig::with_seed(1))
+                .unwrap()
+        })
+    });
+    c.final_summary();
+}

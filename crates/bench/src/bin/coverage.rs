@@ -1,0 +1,55 @@
+//! The full §5.4 coverage sweep: >1000 synthesized loops at the paper's
+//! trip counts ([997, 1000]), every applicable scheme, every run
+//! verified byte-for-byte against the scalar oracle.
+//!
+//! Run with: `cargo run -p simdize-bench --bin coverage --release`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdize::{synthesize, DiffConfig, Scheme, Simdizer, TripSpec, WorkloadSpec};
+
+fn main() {
+    let mut loops = 0usize;
+    let mut runs = 0usize;
+    let mut seed = 0u64;
+    for s in 1..=4usize {
+        for l in 1..=8usize {
+            for runtime_align in [false, true] {
+                for rep in 0..16u64 {
+                    seed += 1;
+                    let mut meta = StdRng::seed_from_u64(seed * 131 + rep);
+                    let spec = WorkloadSpec::new(s, l)
+                        .bias(meta.gen_range(0.0..=1.0))
+                        .reuse(meta.gen_range(0.0..=1.0))
+                        .trip(TripSpec::KnownInRange(997, 1000))
+                        .runtime_align(runtime_align);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let program = synthesize(&spec, &mut rng);
+                    loops += 1;
+                    let schemes = if runtime_align {
+                        Scheme::runtime_contenders()
+                    } else {
+                        Scheme::contenders()
+                    };
+                    for scheme in schemes {
+                        let report = Simdizer::new()
+                            .scheme(scheme)
+                            .evaluate_with(&program, &DiffConfig::with_seed(seed))
+                            .unwrap_or_else(|e| {
+                                panic!("loop {seed} ({}) under {scheme}: {e}", spec.name())
+                            });
+                        assert!(report.verified);
+                        runs += 1;
+                    }
+                }
+            }
+            if loops.is_multiple_of(48) {
+                println!("  … {loops} loops, {runs} verified runs");
+            }
+        }
+    }
+    println!("coverage: {loops} loops simdized, {runs} simdized executions verified");
+    println!(
+        "(paper §5.4: \"our compiler simdized all the loops … and the results were verified\")"
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 11: OPD per scheme on the headline S1×L6 integer
+//! benchmark (bias 30%, reuse 30%), common offset reassociation OFF.
+//!
+//! Run with: `cargo run -p simdize-bench --bin fig11 --release`
+
+fn main() {
+    let rows = simdize_bench::figure_opd(&simdize_bench::figure_spec(), false, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_figure(
+            "Figure 11 — operations per datum, S1*L6 i32, bias 30%, reuse 30%, reassoc OFF",
+            &rows
+        )
+    );
+    println!("\npaper reference points: SEQ 12.0; best schemes 4.022-4.164 (LB 3.587);");
+    println!("schemes without reuse 5.372-10.182; runtime zero-shift 4.963 (LB 4.750).");
+}

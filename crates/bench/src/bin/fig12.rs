@@ -1,0 +1,17 @@
+//! Regenerates Figure 12: same experiment as Figure 11 with common
+//! offset reassociation ON.
+//!
+//! Run with: `cargo run -p simdize-bench --bin fig12 --release`
+
+fn main() {
+    let rows = simdize_bench::figure_opd(&simdize_bench::figure_spec(), true, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_figure(
+            "Figure 12 — operations per datum, S1*L6 i32, bias 30%, reuse 30%, reassoc ON",
+            &rows
+        )
+    );
+    println!("\npaper reference points: top-3 schemes improve to 3.823-3.963 from");
+    println!("4.022-4.164, with lazy/dominant reaching no shift overhead over LB.");
+}

@@ -1,0 +1,75 @@
+//! One-command reproduction of the paper's entire evaluation: prints
+//! Figures 11 and 12, Tables 1 and 2, and runs a compact coverage
+//! sweep, all with the default seed.
+//!
+//! Run with: `cargo run -p simdize-bench --bin repro --release`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simdize::{synthesize, DiffConfig, ScalarType, Scheme, Simdizer, TripSpec, WorkloadSpec};
+
+fn main() {
+    println!("reproducing Eichenberger, Wu & O'Brien, PLDI 2004\n");
+
+    let rows = simdize_bench::figure_opd(&simdize_bench::figure_spec(), false, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_figure(
+            "Figure 11 — operations per datum (S1*L6 i32, reassoc OFF)",
+            &rows
+        )
+    );
+    println!();
+    let rows = simdize_bench::figure_opd(&simdize_bench::figure_spec(), true, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_figure(
+            "Figure 12 — operations per datum (S1*L6 i32, reassoc ON)",
+            &rows
+        )
+    );
+    println!();
+
+    let rows = simdize_bench::speedup_table(&simdize_bench::TABLE_SHAPES, ScalarType::I32, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_table("Table 1 — 4 × i32 per register", &rows, 4)
+    );
+    println!();
+    let rows = simdize_bench::speedup_table(&simdize_bench::TABLE_SHAPES, ScalarType::I16, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_table("Table 2 — 8 × i16 per register", &rows, 8)
+    );
+    println!();
+
+    // Compact §5.4 coverage pass (the full sweep is `--bin coverage`).
+    let mut loops = 0usize;
+    let mut runs = 0usize;
+    for seed in 0..64u64 {
+        let mut meta = StdRng::seed_from_u64(seed * 7 + 1);
+        let spec = WorkloadSpec::new(meta.gen_range(1..=4), meta.gen_range(1..=8))
+            .bias(meta.gen_range(0.0..=1.0))
+            .reuse(meta.gen_range(0.0..=1.0))
+            .trip(TripSpec::KnownInRange(997, 1000))
+            .runtime_align(seed % 3 == 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = synthesize(&spec, &mut rng);
+        loops += 1;
+        let schemes = if spec.runtime_align {
+            Scheme::runtime_contenders()
+        } else {
+            Scheme::contenders()
+        };
+        for scheme in schemes {
+            let report = Simdizer::new()
+                .scheme(scheme)
+                .evaluate_with(&program, &DiffConfig::with_seed(seed))
+                .unwrap_or_else(|e| panic!("loop {seed} under {scheme}: {e}"));
+            assert!(report.verified);
+            runs += 1;
+        }
+    }
+    println!("coverage sample: {loops} loops, {runs} verified simdized executions");
+    println!("(full >1000-loop sweep: cargo run -p simdize-bench --bin coverage --release)");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2: speedup factors with 8 short ints per register.
+//!
+//! Run with: `cargo run -p simdize-bench --bin table2 --release`
+
+use simdize::ScalarType;
+
+fn main() {
+    let rows = simdize_bench::speedup_table(&simdize_bench::TABLE_SHAPES, ScalarType::I16, 2004);
+    print!(
+        "{}",
+        simdize_bench::render_table("Table 2 — 8 × i16 per register", &rows, 8)
+    );
+    println!("\npaper reference points (actual/LB): S1*L2 5.10/5.85 … S4*L8 6.05/7.32");
+    println!("compile-time; 4.22/4.63 … 3.88/5.67 runtime.");
+}

@@ -1,0 +1,355 @@
+//! The evaluation harness reproducing the paper's §5: synthesized-loop
+//! suites, the OPD breakdown of Figures 11/12, and the speedup tables
+//! (Tables 1/2).
+//!
+//! Every function here is deterministic given its seed; the `fig11`,
+//! `fig12`, `table1`, `table2` and `coverage` binaries (and the
+//! criterion benches of the same names) are thin wrappers that print
+//! the regenerated artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdize::{
+    harmonic_mean, lower_bound_parts, synthesize, DiffConfig, LoopProgram, Policy, ReuseMode,
+    ScalarType, Scheme, Simdizer, TripSpec, VectorShape, WorkloadSpec,
+};
+
+/// Number of loops per benchmark, as in the paper ("each benchmark …
+/// consists of 50 distinct loops with identical (l, s, n, b, r)
+/// characteristics").
+pub const LOOPS_PER_BENCHMARK: usize = 50;
+
+/// Builds a deterministic suite of `count` loops from one spec.
+pub fn suite(spec: &WorkloadSpec, count: usize, base_seed: u64) -> Vec<LoopProgram> {
+    (0..count)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64 * 7919));
+            synthesize(spec, &mut rng)
+        })
+        .collect()
+}
+
+/// One bar of Figure 11/12: a scheme's OPD decomposed into the §5.3
+/// lower bound, the data reorganization overhead actually introduced
+/// beyond the bound, and the remaining (compiler/loop) overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// The scheme label (`SEQ`, `ZERO-sp`, `LAZY-pc`, …).
+    pub label: String,
+    /// Mean lower-bound component (bottom of the bar).
+    pub bound: f64,
+    /// Mean reorganization overhead over the bound (middle).
+    pub reorg_overhead: f64,
+    /// Mean remaining overhead (top).
+    pub other_overhead: f64,
+    /// Harmonic-mean total OPD (the paper's reported aggregate).
+    pub total: f64,
+}
+
+/// Reproduces the Figure 11 (reassoc off) / Figure 12 (reassoc on)
+/// experiment for the given spec: the `SEQ` scalar row, every
+/// compile-time scheme, and the runtime-alignment `ZERO-pc`/`ZERO-sp`
+/// rows the paper quotes for the no-static-information case.
+///
+/// # Panics
+///
+/// Panics if any loop fails to verify — reproduction runs double as
+/// correctness checks.
+pub fn figure_opd(spec: &WorkloadSpec, reassoc: bool, base_seed: u64) -> Vec<FigureRow> {
+    let loops = suite(spec, LOOPS_PER_BENCHMARK, base_seed);
+    let mut rows = Vec::new();
+
+    // SEQ: the idealistic scalar count, e.g. 12 OPD for 1 × 6 loads.
+    let seq: f64 = loops
+        .iter()
+        .map(|p| {
+            let stmts = p.stmts().len() as f64;
+            p.stmts()
+                .iter()
+                .map(|s| (s.rhs.loads().len() + s.rhs.op_count() + 1) as f64)
+                .sum::<f64>()
+                / stmts
+        })
+        .sum::<f64>()
+        / loops.len() as f64;
+    rows.push(FigureRow {
+        label: "SEQ".into(),
+        bound: seq,
+        reorg_overhead: 0.0,
+        other_overhead: 0.0,
+        total: seq,
+    });
+
+    for scheme in Scheme::all() {
+        rows.push(scheme_row(
+            &loops,
+            scheme.reassoc(reassoc),
+            &scheme.label(),
+            base_seed,
+        ));
+    }
+
+    // Runtime-alignment rows: same shapes, alignments hidden from the
+    // compiler.
+    let rt_spec = spec.clone().runtime_align(true);
+    let rt_loops = suite(&rt_spec, LOOPS_PER_BENCHMARK, base_seed ^ 0xACE1);
+    for scheme in Scheme::runtime_contenders() {
+        rows.push(scheme_row(
+            &rt_loops,
+            scheme.reassoc(reassoc),
+            &format!("rt-{}", scheme.label()),
+            base_seed,
+        ));
+    }
+    rows
+}
+
+fn scheme_row(loops: &[LoopProgram], scheme: Scheme, label: &str, base_seed: u64) -> FigureRow {
+    let mut bounds = Vec::new();
+    let mut reorg = Vec::new();
+    let mut others = Vec::new();
+    let mut totals = Vec::new();
+    for (k, program) in loops.iter().enumerate() {
+        let report = Simdizer::new()
+            .scheme(scheme)
+            .evaluate_with(
+                program,
+                &DiffConfig::with_seed(base_seed ^ (k as u64 * 131 + 17)),
+            )
+            .unwrap_or_else(|e| panic!("{label} loop {k}: {e}"));
+        assert!(report.verified, "{label} loop {k} diverged");
+        let lb = lower_bound_parts(program, VectorShape::V16, scheme.policy);
+        let measured_reorg = report.stats.reorg_ops() as f64 / report.data_produced as f64;
+        let reorg_overhead = (measured_reorg - lb.shift_opd()).max(0.0);
+        bounds.push(lb.opd());
+        reorg.push(reorg_overhead);
+        others.push((report.opd - lb.opd() - reorg_overhead).max(0.0));
+        totals.push(report.opd);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    FigureRow {
+        label: label.to_string(),
+        bound: mean(&bounds),
+        reorg_overhead: mean(&reorg),
+        other_overhead: mean(&others),
+        total: harmonic_mean(totals.iter().copied()).expect("positive opds"),
+    }
+}
+
+/// Renders a figure as an aligned text table with proportional bars.
+pub fn render_figure(title: &str, rows: &[FigureRow]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<14} {:>7} {:>8} {:>8} {:>8}  bar (#=bound, +=reorg, .=other)\n",
+        "scheme", "bound", "reorg", "other", "opd"
+    ));
+    let scale = 6.0;
+    for r in rows {
+        let bar = format!(
+            "{}{}{}",
+            "#".repeat((r.bound * scale) as usize),
+            "+".repeat((r.reorg_overhead * scale) as usize),
+            ".".repeat((r.other_overhead * scale) as usize)
+        );
+        out.push_str(&format!(
+            "{:<14} {:>7.3} {:>8.3} {:>8.3} {:>8.3}  {bar}\n",
+            r.label, r.bound, r.reorg_overhead, r.other_overhead, r.total
+        ));
+    }
+    out
+}
+
+/// One row of Table 1/2: the best-performing scheme with and without
+/// compile-time alignment information, with the lower-bound speedups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// The benchmark name (`S1*L2`, …).
+    pub name: String,
+    /// Best compile-time scheme label.
+    pub best_static: String,
+    /// Its aggregate speedup.
+    pub static_speedup: f64,
+    /// Lower-bound speedup with compile-time alignments.
+    pub static_bound: f64,
+    /// Best runtime-alignment scheme label.
+    pub best_runtime: String,
+    /// Its aggregate speedup.
+    pub runtime_speedup: f64,
+    /// Lower-bound speedup for the runtime case.
+    pub runtime_bound: f64,
+}
+
+/// Reproduces Table 1 (`elem = i32`) / Table 2 (`elem = i16`): for each
+/// loop shape, the best contender's aggregate speedup (total scalar
+/// instructions over total simdized instructions, as in the paper's
+/// footnote 7) with compile-time and with runtime alignments, plus the
+/// lower-bound speedups.
+///
+/// # Panics
+///
+/// Panics if any loop fails to verify.
+pub fn speedup_table(
+    shapes: &[(usize, usize)],
+    elem: ScalarType,
+    base_seed: u64,
+) -> Vec<SpeedupRow> {
+    shapes
+        .iter()
+        .map(|&(s, l)| {
+            let spec = WorkloadSpec::new(s, l)
+                .elem(elem)
+                .trip(TripSpec::KnownInRange(997, 1000));
+            let static_loops = suite(&spec, LOOPS_PER_BENCHMARK, base_seed);
+            let (best_static, static_speedup, static_bound) =
+                best_scheme(&static_loops, &Scheme::contenders(), base_seed);
+
+            let rt_spec = spec.clone().runtime_align(true);
+            let rt_loops = suite(&rt_spec, LOOPS_PER_BENCHMARK, base_seed ^ 0xBEEF);
+            let (best_runtime, runtime_speedup, runtime_bound) =
+                best_scheme(&rt_loops, &Scheme::runtime_contenders(), base_seed);
+
+            SpeedupRow {
+                name: spec.name(),
+                best_static,
+                static_speedup,
+                static_bound,
+                best_runtime,
+                runtime_speedup,
+                runtime_bound,
+            }
+        })
+        .collect()
+}
+
+fn best_scheme(loops: &[LoopProgram], schemes: &[Scheme], base_seed: u64) -> (String, f64, f64) {
+    let mut best: Option<(String, f64)> = None;
+    let mut bound_speedup = 0.0f64;
+    for &scheme in schemes {
+        let mut scalar_total = 0u64;
+        let mut simd_total = 0u64;
+        let mut lb_total = 0.0f64;
+        for (k, program) in loops.iter().enumerate() {
+            let report = Simdizer::new()
+                .scheme(scheme)
+                .evaluate_with(
+                    program,
+                    &DiffConfig::with_seed(base_seed ^ (k as u64 * 977 + 3)),
+                )
+                .unwrap_or_else(|e| panic!("{scheme} loop {k}: {e}"));
+            assert!(report.verified);
+            scalar_total += report.scalar_ideal;
+            simd_total += report.stats.total();
+            lb_total += lower_bound_parts(program, VectorShape::V16, scheme.policy).opd()
+                * report.data_produced as f64;
+        }
+        let speedup = scalar_total as f64 / simd_total as f64;
+        bound_speedup = bound_speedup.max(scalar_total as f64 / lb_total);
+        if best.as_ref().is_none_or(|(_, s)| speedup > *s) {
+            best = Some((scheme.label(), speedup));
+        }
+    }
+    let (label, speedup) = best.expect("at least one scheme");
+    (label, speedup, bound_speedup)
+}
+
+/// Renders a speedup table in the paper's Table 1/2 layout.
+pub fn render_table(title: &str, rows: &[SpeedupRow], peak: u32) -> String {
+    let mut out = format!("{title} (peak speedup {peak}x)\n");
+    out.push_str(&format!(
+        "{:<8} | {:<10} {:>7} {:>7} | {:<10} {:>7} {:>7}\n",
+        "loop", "best(ct)", "actual", "LB", "best(rt)", "actual", "LB"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} | {:<10} {:>6.2}x {:>6.2}x | {:<10} {:>6.2}x {:>6.2}x\n",
+            r.name,
+            r.best_static,
+            r.static_speedup,
+            r.static_bound,
+            r.best_runtime,
+            r.runtime_speedup,
+            r.runtime_bound
+        ));
+    }
+    out
+}
+
+/// The loop shapes of Tables 1 and 2.
+pub const TABLE_SHAPES: [(usize, usize); 6] = [(1, 2), (1, 4), (1, 6), (2, 4), (4, 4), (4, 8)];
+
+/// The headline spec of Figures 11/12: one statement, six loads,
+/// bias 30%, reuse 30%, integer elements.
+pub fn figure_spec() -> WorkloadSpec {
+    WorkloadSpec::new(1, 6)
+        .bias(0.3)
+        .reuse(0.3)
+        .trip(TripSpec::KnownInRange(997, 1000))
+}
+
+/// A representative loop + scheme pair used by the criterion timing
+/// benches: one S1×L6 loop under dominant-shift with software
+/// pipelining.
+pub fn representative() -> (LoopProgram, Scheme) {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let program = synthesize(&figure_spec(), &mut rng);
+    (
+        program,
+        Scheme::new(Policy::Dominant, ReuseMode::SoftwarePipeline),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::new(1, 3).trip(TripSpec::Known(200))
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite(&small_spec(), 3, 9);
+        let b = suite(&small_spec(), 3, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn figure_rows_have_expected_shape() {
+        // A tiny figure run: 50 loops but short trip counts keep it fast.
+        let spec = WorkloadSpec::new(1, 4).trip(TripSpec::Known(200));
+        let rows = figure_opd(&spec, false, 5);
+        assert_eq!(rows.len(), 1 + 12 + 2);
+        assert_eq!(rows[0].label, "SEQ");
+        assert!((rows[0].total - 8.0).abs() < 1e-9); // 2l = 8 for l=4
+        for r in &rows[1..] {
+            assert!(r.total < rows[0].total, "{} did not beat SEQ", r.label);
+            assert!(r.bound > 0.0);
+        }
+        // Reuse schemes beat their naive counterparts.
+        let get = |l: &str| rows.iter().find(|r| r.label == l).unwrap().total;
+        assert!(get("ZERO-sp") < get("ZERO"));
+        assert!(get("LAZY-pc") < get("LAZY"));
+        let text = render_figure("test", &rows);
+        assert!(text.contains("SEQ"));
+        assert!(text.contains("ZERO-sp"));
+    }
+
+    #[test]
+    fn speedup_rows_have_expected_shape() {
+        let rows = speedup_table(&[(1, 2), (2, 4)], ScalarType::I32, 3);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.static_speedup > 1.0, "{}: {}", r.name, r.static_speedup);
+            assert!(r.static_speedup <= 4.0);
+            assert!(r.runtime_speedup <= r.static_speedup * 1.05);
+            assert!(r.static_bound >= r.static_speedup * 0.8);
+        }
+        let text = render_table("test", &rows, 4);
+        assert!(text.contains("S1*L2"));
+    }
+}

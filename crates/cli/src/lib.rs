@@ -1,0 +1,331 @@
+//! The `simdize` command-line driver: parse a loop in the textual
+//! syntax, run it through the alignment-handling pipeline, and print
+//! graphs, generated code, lowerings and evaluation reports.
+//!
+//! The binary is a thin wrapper around [`run`], which is exposed (and
+//! unit-tested) here. Usage:
+//!
+//! ```text
+//! simdize <command> <file.loop|-> [options]
+//!
+//! commands:
+//!   check      parse and validate the loop, print the normalized form
+//!   graph      print the data reorganization graph (--dot for Graphviz)
+//!   compile    print the generated vector code (--asm for AltiVec form)
+//!   run        compile, execute, verify against the scalar loop, report
+//!   policies   compare all four shift-placement policies on the loop
+//!
+//! options:
+//!   --policy zero|eager|lazy|dominant   force a placement policy
+//!   --reuse none|sp|pc                  reuse scheme (default sp)
+//!   --reassoc                           enable common-offset reassociation
+//!   --no-memnorm / --no-unroll          disable those passes
+//!   --target unaligned                  SSE2-style misaligned-memory machine
+//!   --shape 8|16|32                     vector register bytes (default 16)
+//!   --seed N                            memory image seed (default 2004)
+//!   --ub N                              trip count for runtime-`ub` loops
+//!   --param N (repeatable)              loop parameter values, in order
+//!   --dot / --asm                       alternative output formats
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simdize::{
+    lower_altivec, to_dot, DiffConfig, Policy, ReorgGraph, ReuseMode, Scheme, SimdizeError,
+    Simdizer, Target, VectorShape,
+};
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    command: String,
+    source: String,
+    policy: Option<Policy>,
+    reuse: ReuseMode,
+    reassoc: bool,
+    memnorm: bool,
+    unroll: bool,
+    target: Target,
+    shape: VectorShape,
+    seed: u64,
+    ub: u64,
+    params: Vec<i64>,
+    dot: bool,
+    asm: bool,
+}
+
+/// Parses argv-style arguments (`args` excludes the program name) and
+/// reads the loop source via `read_file` (injected for testability;
+/// `"-"` means standard input in the binary).
+///
+/// # Errors
+///
+/// Returns a usage message on malformed arguments.
+pub fn parse_args(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, Box<dyn Error>>,
+) -> Result<Options, Box<dyn Error>> {
+    let mut it = args.iter();
+    let command = it.next().ok_or(USAGE)?.clone();
+    if !matches!(
+        command.as_str(),
+        "check" | "graph" | "compile" | "run" | "policies"
+    ) {
+        return Err(format!("unknown command `{command}`\n{USAGE}").into());
+    }
+    let path = it.next().ok_or("missing <file.loop> argument")?;
+    let source = read_file(path)?;
+
+    let mut opts = Options {
+        command,
+        source,
+        policy: None,
+        reuse: ReuseMode::SoftwarePipeline,
+        reassoc: false,
+        memnorm: true,
+        unroll: true,
+        target: Target::Aligned,
+        shape: VectorShape::V16,
+        seed: 2004,
+        ub: 1000,
+        params: Vec::new(),
+        dot: false,
+        asm: false,
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, Box<dyn Error>> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match arg.as_str() {
+            "--policy" => {
+                opts.policy = Some(match value("--policy")?.as_str() {
+                    "zero" => Policy::Zero,
+                    "eager" => Policy::Eager,
+                    "lazy" => Policy::Lazy,
+                    "dominant" => Policy::Dominant,
+                    other => return Err(format!("unknown policy `{other}`").into()),
+                })
+            }
+            "--reuse" => {
+                opts.reuse = match value("--reuse")?.as_str() {
+                    "none" => ReuseMode::None,
+                    "sp" => ReuseMode::SoftwarePipeline,
+                    "pc" => ReuseMode::PredictiveCommoning,
+                    other => return Err(format!("unknown reuse mode `{other}`").into()),
+                }
+            }
+            "--reassoc" => opts.reassoc = true,
+            "--no-memnorm" => opts.memnorm = false,
+            "--no-unroll" => opts.unroll = false,
+            "--target" => {
+                opts.target = match value("--target")?.as_str() {
+                    "aligned" => Target::Aligned,
+                    "unaligned" => Target::Unaligned,
+                    other => return Err(format!("unknown target `{other}`").into()),
+                }
+            }
+            "--shape" => {
+                let bytes: u32 = value("--shape")?.parse()?;
+                opts.shape =
+                    VectorShape::new(bytes).ok_or_else(|| format!("unsupported shape {bytes}"))?;
+            }
+            "--seed" => opts.seed = value("--seed")?.parse()?,
+            "--ub" => opts.ub = value("--ub")?.parse()?,
+            "--param" => opts.params.push(value("--param")?.parse()?),
+            "--dot" => opts.dot = true,
+            "--asm" => opts.asm = true,
+            other => return Err(format!("unknown option `{other}`\n{USAGE}").into()),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: simdize <check|graph|compile|run|policies> <file.loop|-> [options]
+run `simdize` with no arguments for the full option list";
+
+/// Executes the parsed command and returns its printable output.
+///
+/// # Errors
+///
+/// Propagates parse, pipeline and verification errors with readable
+/// messages.
+pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
+    let program = simdize::parse_program(&opts.source)?;
+    let mut driver = Simdizer::new()
+        .shape(opts.shape)
+        .reuse(opts.reuse)
+        .memnorm(opts.memnorm)
+        .unroll(opts.unroll)
+        .reassociate(opts.reassoc)
+        .target(opts.target);
+    if let Some(p) = opts.policy {
+        driver = driver.policy(p);
+    }
+
+    let mut out = String::new();
+    match opts.command.as_str() {
+        "check" => {
+            writeln!(out, "valid simdizable loop:")?;
+            write!(out, "{program}")?;
+            writeln!(
+                out,
+                "element {} ({} lanes on {}), {} statement(s), alignments {}",
+                program.elem(),
+                opts.shape.blocking_factor(program.elem()),
+                opts.shape,
+                program.stmts().len(),
+                if program.all_alignments_known() {
+                    "compile-time"
+                } else {
+                    "runtime"
+                }
+            )?;
+        }
+        "graph" => {
+            let graph = ReorgGraph::build(&program, opts.shape)?;
+            let placed = graph.with_policy(driver.policy_for(&program))?;
+            if opts.dot {
+                out.push_str(&to_dot(&placed));
+            } else {
+                write!(out, "{placed}")?;
+                writeln!(out, "{} stream shifts", placed.shift_count())?;
+            }
+        }
+        "compile" => {
+            let compiled = driver.compile(&program)?;
+            if opts.asm {
+                out.push_str(&lower_altivec(&compiled));
+            } else {
+                write!(out, "{compiled}")?;
+            }
+        }
+        "run" => {
+            let report = driver.evaluate_with(
+                &program,
+                &DiffConfig::with_seed(opts.seed)
+                    .runtime_ub(opts.ub)
+                    .params(opts.params.clone()),
+            )?;
+            writeln!(out, "verified: {}", report.verified)?;
+            writeln!(out, "{report}")?;
+        }
+        "policies" => {
+            writeln!(
+                out,
+                "{:<10} {:>7} {:>9} {:>9} {:>9}",
+                "policy", "shifts", "opd", "bound", "speedup"
+            )?;
+            for policy in Policy::ALL {
+                let graph = ReorgGraph::build(&program, opts.shape)?;
+                let placed = match graph.with_policy(policy) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        writeln!(out, "{:<10} {e}", policy.name())?;
+                        continue;
+                    }
+                };
+                let report = driver
+                    .scheme(Scheme::new(policy, opts.reuse).reassoc(opts.reassoc))
+                    .evaluate_with(
+                        &program,
+                        &DiffConfig::with_seed(opts.seed)
+                            .runtime_ub(opts.ub)
+                            .params(opts.params.clone()),
+                    );
+                match report {
+                    Ok(r) => writeln!(
+                        out,
+                        "{:<10} {:>7} {:>9.3} {:>9.3} {:>8.2}x",
+                        policy.name(),
+                        placed.shift_count(),
+                        r.opd,
+                        r.lower_bound_opd,
+                        r.speedup
+                    )?,
+                    Err(SimdizeError::Policy(e)) => writeln!(out, "{:<10} {e}", policy.name())?,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP: &str = "arrays { a: i32[1024] @ 0; b: i32[1024] @ 0; c: i32[1024] @ 0; }
+                        for i in 0..1000 { a[i+3] = b[i+1] + c[i+2]; }";
+
+    fn opts(args: &[&str]) -> Options {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&args, &|_| Ok(LOOP.to_string())).unwrap()
+    }
+
+    #[test]
+    fn check_prints_summary() {
+        let out = run(&opts(&["check", "x.loop"])).unwrap();
+        assert!(out.contains("valid simdizable loop"));
+        assert!(out.contains("4 lanes"));
+        assert!(out.contains("compile-time"));
+    }
+
+    #[test]
+    fn graph_and_dot() {
+        let out = run(&opts(&["graph", "x.loop", "--policy", "zero"])).unwrap();
+        assert!(out.contains("vshiftstream"));
+        assert!(out.contains("3 stream shifts"));
+        let dot = run(&opts(&["graph", "x.loop", "--dot"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn compile_and_asm() {
+        let out = run(&opts(&["compile", "x.loop"])).unwrap();
+        assert!(out.contains("prologue"));
+        assert!(out.contains("vshiftpair"));
+        let asm = run(&opts(&["compile", "x.loop", "--asm"])).unwrap();
+        assert!(asm.contains("lvx"));
+    }
+
+    #[test]
+    fn run_verifies() {
+        let out = run(&opts(&["run", "x.loop", "--seed", "7"])).unwrap();
+        assert!(out.contains("verified: true"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn policies_table() {
+        let out = run(&opts(&["policies", "x.loop", "--reassoc"])).unwrap();
+        assert!(out.contains("zero"));
+        assert!(out.contains("dominant"));
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn option_parsing_errors() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let read = |_: &str| -> Result<String, Box<dyn Error>> { Ok(LOOP.into()) };
+        assert!(parse_args(&args(&["frobnicate", "x"]), &read).is_err());
+        assert!(parse_args(&args(&["run"]), &read).is_err());
+        assert!(parse_args(&args(&["run", "x", "--policy", "bogus"]), &read).is_err());
+        assert!(parse_args(&args(&["run", "x", "--shape", "12"]), &read).is_err());
+        assert!(parse_args(&args(&["run", "x", "--whatever"]), &read).is_err());
+    }
+
+    #[test]
+    fn unaligned_target_flag() {
+        let out = run(&opts(&["run", "x.loop", "--target", "unaligned"])).unwrap();
+        assert!(out.contains("verified: true"));
+        let code = run(&opts(&["compile", "x.loop", "--target", "unaligned"])).unwrap();
+        assert!(code.contains("vloadu"));
+    }
+}

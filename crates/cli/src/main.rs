@@ -1,0 +1,28 @@
+//! The `simdize` binary: see the crate docs of `simdize_cli` for usage.
+
+use std::error::Error;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read_file = |path: &str| -> Result<String, Box<dyn Error>> {
+        if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            Ok(buf)
+        } else {
+            Ok(std::fs::read_to_string(path)?)
+        }
+    };
+    match simdize_cli::parse_args(&args, &read_file).and_then(|o| simdize_cli::run(&o)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simdize: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,811 @@
+//! The SIMD code generator (paper §4).
+
+use crate::error::GenCodeError;
+use crate::options::{CodegenOptions, ReuseMode};
+use crate::passes;
+use crate::sexpr::{SCond, SExpr};
+use crate::vir::{Addr, SimdProgram, VInst, VReg};
+use simdize_ir::{AlignKind, ArrayRef, BinOp, Invariant, ScalarType, TripCount};
+use simdize_reorg::{NodeId, Offset, RNode, ReorgGraph, ShiftDir, VOpKind};
+use std::collections::HashMap;
+
+/// Generates a [`SimdProgram`] from a valid data reorganization graph.
+///
+/// The generator implements the paper's Figure 7 (expressions and stream
+/// shifts), Figure 9 (prologue / steady state / epilogue with partial
+/// stores), the multi-statement bound formulas (eqs. 12–14), the runtime
+/// alignment and unknown-bound handling of §4.4 (eqs. 15–16 and the
+/// `ub > 3B` guard), and — when [`ReuseMode::SoftwarePipeline`] is
+/// selected — the software-pipelined scheme of Figure 10. Post passes
+/// run according to `options` (memory normalization + CSE, predictive
+/// commoning, dead code elimination, copy-removing unroll-by-2).
+///
+/// # Errors
+///
+/// Returns [`GenCodeError::InvalidGraph`] when the graph violates
+/// constraint (C.2) or (C.3); apply a [`simdize_reorg::Policy`] first.
+pub fn generate(graph: &ReorgGraph, options: &CodegenOptions) -> Result<SimdProgram, GenCodeError> {
+    graph.validate()?;
+    let mut generator = Generator::new(graph, options);
+    let mut program = generator.run()?;
+    passes::run_pipeline(&mut program, options);
+    Ok(program)
+}
+
+/// Internal code generation mode: the paper's `GenSimdExpr` (standard)
+/// versus `GenSimdExprSP` (software pipelined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Std,
+    Sp,
+}
+
+struct Generator<'g> {
+    graph: &'g ReorgGraph,
+    options: CodegenOptions,
+    next_reg: u32,
+    prologue: Vec<VInst>,
+    body: Vec<VInst>,
+    epilogue: Vec<VInst>,
+    /// Loop-carried rotations `(old, second)` appended at the bottom of
+    /// the steady body (Figure 10 line 19).
+    carried: Vec<(VReg, VReg)>,
+    /// Software-pipelining memo: result register per (shift node, i
+    /// substitution), so one carried chain serves all uses.
+    sp_memo: HashMap<(NodeId, i64), VReg>,
+    /// Blocking factor in elements.
+    b: i64,
+    /// Vector length in bytes.
+    v: i64,
+    /// Element size in bytes.
+    d: i64,
+}
+
+impl<'g> Generator<'g> {
+    fn new(graph: &'g ReorgGraph, options: &CodegenOptions) -> Generator<'g> {
+        Generator {
+            graph,
+            options: *options,
+            next_reg: 0,
+            prologue: Vec::new(),
+            body: Vec::new(),
+            epilogue: Vec::new(),
+            carried: Vec::new(),
+            sp_memo: HashMap::new(),
+            b: graph.blocking_factor() as i64,
+            v: graph.shape().bytes() as i64,
+            d: graph.program().elem().size() as i64,
+        }
+    }
+
+    fn fresh(&mut self) -> VReg {
+        let r = VReg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    fn run(&mut self) -> Result<SimdProgram, GenCodeError> {
+        let program = self.graph.program().clone();
+        let guard_min_trip = (3 * self.b) as u64;
+
+        // Per-statement stores (or reduction accumulators) and their
+        // ProSplice expressions (eq. 8; reductions have none).
+        let stmts: Vec<(ArrayRef, NodeId, Option<BinOp>)> = self
+            .graph
+            .roots()
+            .iter()
+            .zip(program.stmts())
+            .map(|(&root, stmt)| match self.graph.node(root) {
+                RNode::Store { r, src } => (*r, *src, stmt.reduction),
+                other => unreachable!("root is not a store: {other:?}"),
+            })
+            .collect();
+        let has_reduction = stmts.iter().any(|&(_, _, red)| red.is_some());
+        if has_reduction {
+            if program.trip().known().is_none() {
+                return Err(GenCodeError::ReductionNeedsKnownTrip);
+            }
+            for &(r, _, red) in &stmts {
+                if red.is_some() && !program.array(r.array).align().is_known() {
+                    return Err(GenCodeError::ReductionNeedsKnownAlignment);
+                }
+            }
+        }
+        let prosplices: Vec<Option<SExpr>> = stmts
+            .iter()
+            .map(|&(r, _, red)| {
+                if red.is_some() {
+                    None
+                } else {
+                    Some(self.offset_expr(Offset::of_ref(r, &program, self.graph.shape())))
+                }
+            })
+            .collect();
+
+        // Steady-state upper bound: eq. 13 when everything is known at
+        // compile time, eq. 15 otherwise. Loops containing reductions
+        // always use the eq. 15 bound so that the reduction tail is
+        // exactly `ub mod B` elements.
+        let ub_sexpr = match program.trip() {
+            TripCount::Known(u) => SExpr::c(u as i64),
+            TripCount::Runtime => SExpr::Ub,
+        };
+        let compile_time = program.all_alignments_known() && ub_sexpr.as_const().is_some();
+        let use_eq15 = !compile_time || has_reduction;
+        let upper_bound = if !use_eq15 {
+            let ub = ub_sexpr.as_const().expect("checked");
+            let max_e = prosplices
+                .iter()
+                .flatten()
+                .map(|ps| {
+                    let ps = ps.as_const().expect("compile-time prosplice");
+                    let episplice = (ps + ub * self.d).rem_euclid(self.v);
+                    episplice.div_euclid(self.d)
+                })
+                .max()
+                .unwrap_or(0);
+            SExpr::c(ub - max_e)
+        } else {
+            ub_sexpr.clone().sub(SExpr::c(self.b - 1))
+        };
+
+        // Loop-carried accumulator registers, one per reduction.
+        let mut accs: Vec<Option<VReg>> = vec![None; stmts.len()];
+
+        // Prologue (Figure 9, GenSimdStmt-Prologue), executed at i = 0.
+        // Reductions initialize their accumulator with the first block
+        // E(0) here instead of a partial store.
+        for (idx, &(store, src, reduction)) in stmts.iter().enumerate() {
+            if reduction.is_some() {
+                let mut insts = Vec::new();
+                let first = self.gen_expr(src, 0, &mut insts, Mode::Std);
+                let acc = self.fresh();
+                insts.push(VInst::Copy {
+                    dst: acc,
+                    src: first,
+                });
+                accs[idx] = Some(acc);
+                self.prologue.extend(insts);
+                continue;
+            }
+            let addr = Addr::new(store.array, store.offset);
+            let mut insts = Vec::new();
+            let new = self.gen_expr(src, 0, &mut insts, Mode::Std);
+            let ps = prosplices[idx].clone().expect("stores have splice points");
+            if ps.as_const() == Some(0) {
+                insts.push(VInst::StoreA { addr, src: new });
+            } else {
+                let old = self.fresh();
+                insts.push(VInst::LoadA { dst: old, addr });
+                let spliced = self.fresh();
+                insts.push(VInst::Splice {
+                    dst: spliced,
+                    a: old,
+                    b: new,
+                    point: ps,
+                });
+                insts.push(VInst::StoreA { addr, src: spliced });
+            }
+            self.prologue.extend(insts);
+        }
+
+        // Steady-state body (GenSimdStmt-Steady), plus carried copies.
+        let body_mode = match self.options.reuse_mode() {
+            ReuseMode::SoftwarePipeline => Mode::Sp,
+            _ => Mode::Std,
+        };
+        let mut body = Vec::new();
+        for (idx, &(store, src, reduction)) in stmts.iter().enumerate() {
+            let new = self.gen_expr(src, 0, &mut body, body_mode);
+            match reduction {
+                Some(op) => {
+                    let acc = accs[idx].expect("initialized in prologue");
+                    let newacc = self.fresh();
+                    body.push(VInst::Bin {
+                        dst: newacc,
+                        op,
+                        a: acc,
+                        b: new,
+                    });
+                    self.carried.push((acc, newacc));
+                }
+                None => body.push(VInst::StoreA {
+                    addr: Addr::new(store.array, store.offset),
+                    src: new,
+                }),
+            }
+        }
+        for &(old, second) in &self.carried.clone() {
+            body.push(VInst::Copy {
+                dst: old,
+                src: second,
+            });
+        }
+        self.body = body;
+
+        // Epilogue (Figure 9, GenSimdStmt-Epilogue; eqs. 14/16),
+        // executed with i at the first un-executed steady value.
+        for (idx, &(store, src, reduction)) in stmts.iter().enumerate() {
+            if let Some(op) = reduction {
+                let acc = accs[idx].expect("initialized in prologue");
+                let ub = ub_sexpr.as_const().expect("reductions have known trips");
+                let residue = (ub % self.b) as usize;
+                self.gen_reduction_epilogue(store, src, op, acc, residue, &program);
+                continue;
+            }
+            let ps = prosplices[idx].clone().expect("stores have splice points");
+            let elo = if !use_eq15 {
+                let ub = ub_sexpr.as_const().expect("checked");
+                let ubound = upper_bound.as_const().expect("checked");
+                let steady_chunks = ceil_div(ubound, self.b);
+                SExpr::c(ub * self.d + ps.as_const().expect("checked") - steady_chunks * self.v)
+            } else {
+                // eq. 16: EpiLeftOver = ProSplice + (ub mod B) · D.
+                ps.clone()
+                    .add(ub_sexpr.clone().rem(SExpr::c(self.b)).mul(SExpr::c(self.d)))
+            };
+            let episplice = elo.clone().rem(SExpr::c(self.v));
+            let addr = Addr::new(store.array, store.offset);
+
+            // Full vector store when a whole chunk is left (ELO >= V),
+            // followed by a partial store at i+B for the remainder.
+            let mut full_block = Vec::new();
+            {
+                let new = self.gen_expr(src, 0, &mut full_block, Mode::Std);
+                full_block.push(VInst::StoreA { addr, src: new });
+                let mut partial_hi = Vec::new();
+                self.gen_partial_store(src, addr, self.b, episplice.clone(), &mut partial_hi);
+                push_guarded(
+                    SCond::Gt(elo.clone(), SExpr::c(self.v)),
+                    partial_hi,
+                    &mut full_block,
+                );
+            }
+            push_guarded(
+                SCond::Ge(elo.clone(), SExpr::c(self.v)),
+                full_block,
+                &mut self.epilogue,
+            );
+
+            // Otherwise a single partial store at i (when anything is
+            // left at all).
+            let mut partial_lo = Vec::new();
+            self.gen_partial_store(src, addr, 0, episplice.clone(), &mut partial_lo);
+            let mut lo_block = Vec::new();
+            push_guarded(
+                SCond::Gt(elo.clone(), SExpr::c(0)),
+                partial_lo,
+                &mut lo_block,
+            );
+            push_guarded(
+                SCond::Lt(elo.clone(), SExpr::c(self.v)),
+                lo_block,
+                &mut self.epilogue,
+            );
+        }
+
+        Ok(SimdProgram {
+            program,
+            shape: self.graph.shape(),
+            nvregs: self.next_reg,
+            prologue: std::mem::take(&mut self.prologue),
+            body: std::mem::take(&mut self.body),
+            body_pair: None,
+            epilogue: std::mem::take(&mut self.epilogue),
+            lower_bound: self.b as u64,
+            upper_bound,
+            guard_min_trip,
+        })
+    }
+
+    /// Finishes a reduction: fold the residue block (masked to the
+    /// `residue` valid lanes), reduce the accumulator horizontally with
+    /// log2(B) rotate-and-combine steps, and merge the scalar total into
+    /// the accumulator element with a final permute.
+    fn gen_reduction_epilogue(
+        &mut self,
+        target: ArrayRef,
+        src: NodeId,
+        op: BinOp,
+        acc: VReg,
+        residue: usize,
+        program: &simdize_ir::LoopProgram,
+    ) {
+        let d = self.d as usize;
+        let v = self.v as usize;
+        let ident_value = reduction_identity(op, program.elem());
+
+        let mut insts = Vec::new();
+        let mut current = acc;
+        if residue > 0 {
+            let value = self.gen_expr(src, 0, &mut insts, Mode::Std);
+            let ident = self.fresh();
+            insts.push(VInst::SplatConst {
+                dst: ident,
+                value: ident_value,
+            });
+            let pattern: Vec<u8> = (0..v)
+                .map(|p| {
+                    if p / d < residue {
+                        p as u8
+                    } else {
+                        (v + p) as u8
+                    }
+                })
+                .collect();
+            let masked = self.fresh();
+            insts.push(VInst::Perm {
+                dst: masked,
+                a: value,
+                b: ident,
+                pattern,
+            });
+            let folded = self.fresh();
+            insts.push(VInst::Bin {
+                dst: folded,
+                op,
+                a: current,
+                b: masked,
+            });
+            current = folded;
+        }
+
+        // Horizontal fold: rotate by B/2, B/4, … lanes and combine.
+        let mut step = (self.b / 2) as usize;
+        while step >= 1 {
+            let rotated = self.fresh();
+            insts.push(VInst::ShiftPair {
+                dst: rotated,
+                a: current,
+                b: current,
+                amt: SExpr::c((step * d) as i64),
+            });
+            let combined = self.fresh();
+            insts.push(VInst::Bin {
+                dst: combined,
+                op,
+                a: current,
+                b: rotated,
+            });
+            current = combined;
+            step /= 2;
+        }
+
+        // Merge `old op total` into the accumulator element only.
+        let beta = match program.array(target.array).align() {
+            AlignKind::Known(beta) => (beta % self.graph.shape().bytes()) as i64,
+            AlignKind::Runtime => unreachable!("checked in run()"),
+        };
+        let pos = (beta + target.offset * self.d).rem_euclid(self.v) as usize;
+        let addr = Addr::invariant(target.array, target.offset);
+        let old = self.fresh();
+        insts.push(VInst::LoadA { dst: old, addr });
+        let combined = self.fresh();
+        insts.push(VInst::Bin {
+            dst: combined,
+            op,
+            a: current,
+            b: old,
+        });
+        // After the horizontal fold every lane of `current` holds the
+        // total, so lane `pos / D` of `combined` is exactly
+        // `total op old[pos / D]` — select it in place.
+        let pattern: Vec<u8> = (0..v)
+            .map(|p| {
+                if p >= pos && p < pos + d {
+                    p as u8
+                } else {
+                    (v + p) as u8
+                }
+            })
+            .collect();
+        let merged = self.fresh();
+        insts.push(VInst::Perm {
+            dst: merged,
+            a: combined,
+            b: old,
+            pattern,
+        });
+        insts.push(VInst::StoreA { addr, src: merged });
+        self.epilogue.extend(insts);
+    }
+
+    /// Figure 9's epilogue partial store: load–splice–store at
+    /// `i + delta`, keeping the first `point` bytes of the new value.
+    fn gen_partial_store(
+        &mut self,
+        src: NodeId,
+        addr: Addr,
+        delta: i64,
+        point: SExpr,
+        out: &mut Vec<VInst>,
+    ) {
+        let new = self.gen_expr(src, delta, out, Mode::Std);
+        let old = self.fresh();
+        out.push(VInst::LoadA {
+            dst: old,
+            addr: addr.shifted(delta),
+        });
+        let spliced = self.fresh();
+        out.push(VInst::Splice {
+            dst: spliced,
+            a: new,
+            b: old,
+            point,
+        });
+        out.push(VInst::StoreA {
+            addr: addr.shifted(delta),
+            src: spliced,
+        });
+    }
+
+    /// Figure 7 `GenSimdExpr` / Figure 10 `GenSimdExprSP`. `delta` is the
+    /// accumulated `Substitute(n, i → i + delta)` in elements.
+    fn gen_expr(&mut self, node: NodeId, delta: i64, out: &mut Vec<VInst>, mode: Mode) -> VReg {
+        match self.graph.node(node).clone() {
+            RNode::Load { r } => {
+                let dst = self.fresh();
+                out.push(VInst::LoadA {
+                    dst,
+                    addr: Addr::new(r.array, r.offset + delta),
+                });
+                dst
+            }
+            RNode::Splat { inv } => {
+                let dst = self.fresh();
+                out.push(match inv {
+                    Invariant::Const(value) => VInst::SplatConst { dst, value },
+                    Invariant::Param(param) => VInst::SplatParam { dst, param },
+                });
+                dst
+            }
+            RNode::Op { kind, srcs } => {
+                let regs: Vec<VReg> = srcs
+                    .iter()
+                    .map(|&s| self.gen_expr(s, delta, out, mode))
+                    .collect();
+                let dst = self.fresh();
+                out.push(match kind {
+                    VOpKind::Bin(op) => VInst::Bin {
+                        dst,
+                        op,
+                        a: regs[0],
+                        b: regs[1],
+                    },
+                    VOpKind::Un(op) => VInst::Un {
+                        dst,
+                        op,
+                        a: regs[0],
+                    },
+                });
+                dst
+            }
+            RNode::ShiftStream { src, to } => {
+                let from = self.graph.offset_of(src);
+                let dir = from.shift_dir(to).expect("graph validated");
+                match dir {
+                    ShiftDir::None => self.gen_expr(src, delta, out, mode),
+                    ShiftDir::Left | ShiftDir::Right if mode == Mode::Sp => {
+                        self.gen_shift_sp(node, src, from, to, dir, delta, out)
+                    }
+                    ShiftDir::Left => {
+                        // Combine current and next registers of the stream.
+                        let curr = self.gen_expr(src, delta, out, mode);
+                        let next = self.gen_expr(src, delta + self.b, out, mode);
+                        let dst = self.fresh();
+                        out.push(VInst::ShiftPair {
+                            dst,
+                            a: curr,
+                            b: next,
+                            amt: self.amount_expr(from, to),
+                        });
+                        dst
+                    }
+                    ShiftDir::Right => {
+                        // Combine previous and current registers.
+                        let prev = self.gen_expr(src, delta - self.b, out, mode);
+                        let curr = self.gen_expr(src, delta, out, mode);
+                        let dst = self.fresh();
+                        out.push(VInst::ShiftPair {
+                            dst,
+                            a: prev,
+                            b: curr,
+                            amt: self.amount_expr(from, to),
+                        });
+                        dst
+                    }
+                }
+            }
+            RNode::Store { .. } => unreachable!("stores are handled per statement"),
+        }
+    }
+
+    /// Figure 10 `GenSimdShiftStreamSP`: carry the previous iteration's
+    /// "second" register in `old` so each stream chunk is loaded once.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_shift_sp(
+        &mut self,
+        node: NodeId,
+        src: NodeId,
+        from: Offset,
+        to: Offset,
+        dir: ShiftDir,
+        delta: i64,
+        out: &mut Vec<VInst>,
+    ) -> VReg {
+        if let Some(&r) = self.sp_memo.get(&(node, delta)) {
+            return r;
+        }
+        let (first_delta, second_delta) = match dir {
+            ShiftDir::Left => (delta, delta + self.b),
+            ShiftDir::Right => (delta - self.b, delta),
+            ShiftDir::None => unreachable!("handled by caller"),
+        };
+
+        // Prologue: old = first, computed by the standard generator and
+        // evaluated at the first steady iteration (i = LB = B, while the
+        // prologue itself runs at i = 0).
+        let old = self.fresh();
+        let mut init = Vec::new();
+        let first = self.gen_expr(src, first_delta + self.b, &mut init, Mode::Std);
+        init.push(VInst::Copy {
+            dst: old,
+            src: first,
+        });
+        self.prologue.extend(init);
+
+        // Body: compute only second; combine with the carried old.
+        let second = self.gen_expr(src, second_delta, out, Mode::Sp);
+        let dst = self.fresh();
+        out.push(VInst::ShiftPair {
+            dst,
+            a: old,
+            b: second,
+            amt: self.amount_expr(from, to),
+        });
+        self.carried.push((old, second));
+        self.sp_memo.insert((node, delta), dst);
+        dst
+    }
+
+    /// The `(from − to) mod V` shift amount as a loop-invariant scalar
+    /// expression.
+    fn amount_expr(&self, from: Offset, to: Offset) -> SExpr {
+        match (from, to) {
+            (Offset::Byte(f), Offset::Byte(t)) => {
+                SExpr::c(((f as i64) + self.v - (t as i64)).rem_euclid(self.v))
+            }
+            // Runtime load shift to 0: amount is the runtime alignment.
+            (Offset::Runtime { array, disp }, Offset::Byte(0)) => SExpr::AlignOf {
+                array,
+                disp: disp as i64,
+            },
+            // Runtime store shift from 0: V − align, in [1, V]. The
+            // amount V (runtime alignment 0) selects the current
+            // register whole; reducing mod V would wrongly select the
+            // previous register when the alignment happens to be 0.
+            (Offset::Byte(0), Offset::Runtime { array, disp }) => {
+                SExpr::c(self.v).sub(SExpr::AlignOf {
+                    array,
+                    disp: disp as i64,
+                })
+            }
+            (f, t) => unreachable!("undecidable shift {f} -> {t} survived validation"),
+        }
+    }
+
+    /// A stream offset as a loop-invariant scalar expression.
+    fn offset_expr(&self, offset: Offset) -> SExpr {
+        match offset {
+            Offset::Byte(b) => SExpr::c(b as i64),
+            Offset::Runtime { array, disp } => SExpr::AlignOf {
+                array,
+                disp: disp as i64,
+            },
+            Offset::Any => unreachable!("store offsets are never ⊥"),
+        }
+    }
+}
+
+/// Appends `body` under `cond`, folding compile-time conditions.
+fn push_guarded(cond: SCond, body: Vec<VInst>, out: &mut Vec<VInst>) {
+    if body.is_empty() {
+        return;
+    }
+    match cond.as_const() {
+        Some(true) => out.extend(body),
+        Some(false) => {}
+        None => out.push(VInst::Guarded { cond, body }),
+    }
+}
+
+/// The identity element of a reduction operation for lanes of `elem`.
+fn reduction_identity(op: BinOp, elem: ScalarType) -> i64 {
+    match op {
+        BinOp::Add | BinOp::Or | BinOp::Xor => 0,
+        BinOp::Mul => 1,
+        BinOp::And => -1,
+        BinOp::Min => {
+            if elem.is_signed() {
+                // The signed maximum bit pattern (wraps correctly for
+                // 64-bit lanes too).
+                (1i64 << (elem.bits() - 1)).wrapping_sub(1)
+            } else {
+                -1 // all ones: the unsigned maximum after wrapping
+            }
+        }
+        BinOp::Max => {
+            if elem.is_signed() {
+                // The signed minimum bit pattern; the lane constructor
+                // masks to the element width.
+                1i64 << (elem.bits() - 1)
+            } else {
+                0
+            }
+        }
+        BinOp::Sub => unreachable!("rejected by loop validation"),
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::Policy;
+
+    fn gen(src: &str, policy: Policy, options: CodegenOptions) -> SimdProgram {
+        let p = parse_program(src).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(policy)
+            .unwrap();
+        generate(&g, &options).unwrap()
+    }
+
+    const FIG1: &str = "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+                        for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }";
+
+    #[test]
+    fn bounds_match_paper_example() {
+        // a[i+3]: ProSplice = 12, EpiSplice = (12 + 400) mod 16 = 12,
+        // UB = 100 - 12/4 = 97, LB = B = 4.
+        let opts = CodegenOptions::default().memnorm(false).unroll(false);
+        let p = gen(FIG1, Policy::Zero, opts);
+        assert_eq!(p.lower_bound(), 4);
+        assert_eq!(p.upper_bound().as_const(), Some(97));
+        assert_eq!(p.guard_min_trip(), 12);
+        assert_eq!(p.block(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_graph() {
+        let p = parse_program(FIG1).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16).unwrap(); // no policy
+        assert!(matches!(
+            generate(&g, &CodegenOptions::default()),
+            Err(GenCodeError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn prologue_splices_unless_aligned() {
+        let opts = CodegenOptions::default().unroll(false);
+        let p = gen(FIG1, Policy::Zero, opts);
+        // store misaligned (ProSplice = 12): prologue has load+splice+store.
+        assert!(p
+            .prologue()
+            .iter()
+            .any(|i| matches!(i, VInst::Splice { .. })));
+        let aligned = "arrays { a: i32[128] @ 0; b: i32[128] @ 0; }
+                       for i in 0..100 { a[i] = b[i+1]; }";
+        let p = gen(aligned, Policy::Zero, opts);
+        // aligned store: prologue stores the full new vector directly.
+        assert!(!p
+            .prologue()
+            .iter()
+            .any(|i| matches!(i, VInst::Splice { .. })));
+    }
+
+    #[test]
+    fn epilogue_folds_compile_time_guards() {
+        let opts = CodegenOptions::default().unroll(false);
+        let p = gen(FIG1, Policy::Zero, opts);
+        // Compile-time: no Guarded instructions survive.
+        assert!(!p
+            .epilogue()
+            .iter()
+            .any(|i| matches!(i, VInst::Guarded { .. })));
+        // EpiLeftOver = 400 + 12 - 25*16 = 12 < 16: single partial store.
+        let stores = p
+            .epilogue()
+            .iter()
+            .filter(|i| matches!(i, VInst::StoreA { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn runtime_ub_keeps_guards() {
+        let src = "arrays { a: i32[4096] @ 0; b: i32[4096] @ 0; c: i32[4096] @ 0; }
+                   for i in 0..ub { a[i+3] = b[i+1] + c[i+2]; }";
+        let opts = CodegenOptions::default().unroll(false);
+        let p = gen(src, Policy::Zero, opts);
+        assert!(p.upper_bound().is_runtime());
+        assert!(p
+            .epilogue()
+            .iter()
+            .any(|i| matches!(i, VInst::Guarded { .. })));
+    }
+
+    #[test]
+    fn software_pipeline_emits_carried_copies() {
+        let opts = CodegenOptions::default()
+            .reuse(ReuseMode::SoftwarePipeline)
+            .unroll(false);
+        let p = gen(FIG1, Policy::Zero, opts);
+        let copies = p
+            .body()
+            .iter()
+            .filter(|i| matches!(i, VInst::Copy { .. }))
+            .count();
+        // Three shifts (zero policy) → three carried chains.
+        assert_eq!(copies, 3);
+        // The body loads each of b and c exactly once (never-load-twice).
+        let loads = p
+            .body()
+            .iter()
+            .filter(|i| matches!(i, VInst::LoadA { .. }))
+            .count();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn naive_body_loads_twice() {
+        let opts = CodegenOptions::default().memnorm(false).unroll(false);
+        let p = gen(FIG1, Policy::Zero, opts);
+        // Without reuse, the store shift recomputes the whole expression
+        // at i−B and the load shifts duplicate each stream (curr+next):
+        // per input stream the body touches chunks {i−B, i, i+B} → 3
+        // loads each after local CSE, versus 1 each with SP/PC.
+        let loads = p
+            .body()
+            .iter()
+            .filter(|i| matches!(i, VInst::LoadA { .. }))
+            .count();
+        assert_eq!(loads, 6);
+    }
+
+    #[test]
+    fn runtime_alignment_amounts() {
+        let src = "arrays { a: i32[4096] @ ?; b: i32[4096] @ ?; }
+                   for i in 0..100 { a[i] = b[i+1]; }";
+        let opts = CodegenOptions::default().unroll(false);
+        let p = gen(src, Policy::Zero, opts);
+        // Load shift amount is a raw AlignOf; store shift is (V−align)
+        // mod V. The body holds the load shift at i−B and i (feeding the
+        // store shift's prev/curr) plus the store shift itself: 3.
+        let amts: Vec<&SExpr> = p
+            .body()
+            .iter()
+            .filter_map(|i| match i {
+                VInst::ShiftPair { amt, .. } => Some(amt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(amts.len(), 3);
+        assert!(amts.iter().all(|a| a.is_runtime()));
+    }
+
+    #[test]
+    fn ceil_div_matches_math() {
+        assert_eq!(ceil_div(97, 4), 25);
+        assert_eq!(ceil_div(96, 4), 24);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(0, 4), 0);
+    }
+}

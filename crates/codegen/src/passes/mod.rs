@@ -1,0 +1,31 @@
+//! Post-generation optimization passes over VIR programs.
+
+pub(crate) mod dce;
+pub(crate) mod lvn;
+mod pc;
+mod unroll;
+
+use crate::options::{CodegenOptions, ReuseMode};
+use crate::vir::SimdProgram;
+
+/// Runs the configured pass pipeline in order:
+///
+/// 1. local value numbering (with chunk-normalized load keys when
+///    MemNorm is enabled);
+/// 2. predictive commoning when [`ReuseMode::PredictiveCommoning`] is
+///    selected, followed by another LVN round to clean up the inserted
+///    prologue initializers;
+/// 3. dead code elimination;
+/// 4. copy-removing unroll-by-2 when enabled and the steady body carries
+///    registers.
+pub(crate) fn run_pipeline(program: &mut SimdProgram, options: &CodegenOptions) {
+    lvn::run(program, options.memnorm_enabled());
+    if options.reuse_mode() == ReuseMode::PredictiveCommoning {
+        pc::run(program);
+        lvn::run(program, options.memnorm_enabled());
+    }
+    dce::run(program);
+    if options.unroll_enabled() {
+        unroll::run(program);
+    }
+}

@@ -1,0 +1,189 @@
+//! Copy-removing unroll-by-2 of the steady-state loop (paper §4.5,
+//! closing remark: "the copy operation can be easily removed by
+//! unrolling the loop twice and forward propagating the copy").
+//!
+//! The unrolled body executes two steady iterations; in the first half
+//! the loop-carried copies are forward-propagated away (reads of a
+//! carried register in the second half go straight to the first half's
+//! value), so only the second half's rotations remain. A leftover
+//! single-iteration loop (the original body) handles odd trip counts.
+
+use crate::vir::{SimdProgram, VInst, VReg};
+use std::collections::HashMap;
+
+pub(crate) fn run(program: &mut SimdProgram) {
+    let copies: Vec<(VReg, VReg)> = program
+        .body
+        .iter()
+        .filter_map(|i| match i {
+            VInst::Copy { dst, src } => Some((*dst, *src)),
+            _ => None,
+        })
+        .collect();
+    if copies.is_empty() {
+        return; // nothing to win
+    }
+    let carried: Vec<VReg> = copies.iter().map(|&(c, _)| c).collect();
+
+    // Chains (a copy reading another carried register) need the
+    // sequential-copy semantics preserved; keep the copies in that case.
+    let has_chain = copies.iter().any(|&(_, src)| carried.contains(&src));
+
+    let core: Vec<VInst> = program
+        .body
+        .iter()
+        .filter(|i| !matches!(i, VInst::Copy { .. }))
+        .cloned()
+        .collect();
+
+    // The value each carried register holds at the end of half 1.
+    let end_value: HashMap<VReg, VReg> = copies.iter().cloned().collect();
+
+    let b = program.block() as i64;
+    let mut pair: Vec<VInst> = core.clone();
+    if has_chain {
+        for &(dst, src) in &copies {
+            pair.push(VInst::Copy { dst, src });
+        }
+    }
+
+    // Second half: addresses advance by B; every defined register is
+    // renamed; reads of carried registers take half 1's value directly
+    // (forward-propagated copies) unless chains forced real copies.
+    let mut rename: HashMap<VReg, VReg> = HashMap::new();
+    let mut half2: Vec<VInst> = Vec::new();
+    for inst in &core {
+        let mut inst = inst.clone();
+        // Rewrite uses first (pre-rename state).
+        remap_uses(&mut inst, |r| {
+            if let Some(&n) = rename.get(&r) {
+                n
+            } else if !has_chain {
+                *end_value.get(&r).unwrap_or(&r)
+            } else {
+                r
+            }
+        });
+        shift_addrs(&mut inst, b);
+        if let Some(dst) = inst.def() {
+            let fresh = VReg(program.nvregs);
+            program.nvregs += 1;
+            rename.insert(dst, fresh);
+            set_def(&mut inst, fresh);
+        }
+        half2.push(inst);
+    }
+    // Second half's rotations close the loop for the next pair.
+    for &(dst, src) in &copies {
+        let src = *rename.get(&src).unwrap_or(&src);
+        half2.push(VInst::Copy { dst, src });
+    }
+
+    pair.extend(half2);
+    program.body_pair = Some(pair);
+}
+
+fn remap_uses(inst: &mut VInst, f: impl Fn(VReg) -> VReg + Copy) {
+    match inst {
+        VInst::LoadA { .. }
+        | VInst::LoadU { .. }
+        | VInst::SplatConst { .. }
+        | VInst::SplatParam { .. } => {}
+        VInst::StoreA { src, .. } | VInst::StoreU { src, .. } => *src = f(*src),
+        VInst::ShiftPair { a, b, .. } | VInst::Splice { a, b, .. } | VInst::Perm { a, b, .. } => {
+            *a = f(*a);
+            *b = f(*b);
+        }
+        VInst::Bin { a, b, .. } => {
+            *a = f(*a);
+            *b = f(*b);
+        }
+        VInst::Un { a, .. } => *a = f(*a),
+        VInst::Copy { src, .. } => *src = f(*src),
+        VInst::Guarded { body, .. } => {
+            for i in body {
+                remap_uses(i, f);
+            }
+        }
+    }
+}
+
+fn shift_addrs(inst: &mut VInst, delta: i64) {
+    match inst {
+        VInst::LoadA { addr, .. }
+        | VInst::StoreA { addr, .. }
+        | VInst::LoadU { addr, .. }
+        | VInst::StoreU { addr, .. } => *addr = addr.shifted(delta),
+        VInst::Guarded { body, .. } => {
+            for i in body {
+                shift_addrs(i, delta);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn set_def(inst: &mut VInst, new: VReg) {
+    match inst {
+        VInst::LoadA { dst, .. }
+        | VInst::LoadU { dst, .. }
+        | VInst::ShiftPair { dst, .. }
+        | VInst::Perm { dst, .. }
+        | VInst::Splice { dst, .. }
+        | VInst::SplatConst { dst, .. }
+        | VInst::SplatParam { dst, .. }
+        | VInst::Bin { dst, .. }
+        | VInst::Un { dst, .. }
+        | VInst::Copy { dst, .. } => *dst = new,
+        VInst::StoreA { .. } | VInst::StoreU { .. } | VInst::Guarded { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::options::{CodegenOptions, ReuseMode};
+    use crate::vir::VInst;
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    const FIG1: &str = "arrays { a: i32[256] @ 0; b: i32[256] @ 0; c: i32[256] @ 0; }
+                        for i in 0..200 { a[i+3] = b[i+1] + c[i+2]; }";
+
+    fn gen(reuse: ReuseMode, unroll: bool) -> crate::vir::SimdProgram {
+        let p = parse_program(FIG1).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(Policy::Zero)
+            .unwrap();
+        crate::generate::generate(&g, &CodegenOptions::default().reuse(reuse).unroll(unroll))
+            .unwrap()
+    }
+
+    #[test]
+    fn unroll_halves_copy_overhead() {
+        let p = gen(ReuseMode::SoftwarePipeline, true);
+        let pair = p.body_pair().expect("unrolled");
+        let pair_copies = pair
+            .iter()
+            .filter(|i| matches!(i, VInst::Copy { .. }))
+            .count();
+        let body_copies = p
+            .body()
+            .iter()
+            .filter(|i| matches!(i, VInst::Copy { .. }))
+            .count();
+        // Two iterations' worth of work, one iteration's worth of copies.
+        assert_eq!(pair_copies, body_copies);
+        let pair_stores = pair
+            .iter()
+            .filter(|i| matches!(i, VInst::StoreA { .. }))
+            .count();
+        assert_eq!(pair_stores, 2);
+    }
+
+    #[test]
+    fn no_copies_no_unroll() {
+        let p = gen(ReuseMode::None, true);
+        assert!(p.body_pair().is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Loop-invariant scalar expressions used by the generated code for
+//! runtime alignments, splice points and loop bounds.
+
+use simdize_ir::{ArrayId, VectorShape};
+use std::fmt;
+
+/// A loop-invariant scalar integer expression, evaluated once per loop
+/// invocation.
+///
+/// These expressions encode everything the paper computes about a loop
+/// at run time: alignments (`addr & (V−1)`, §3.3), splice points
+/// (eqs. 8–9), epilogue leftovers (eqs. 14/16) and the steady-state upper
+/// bound (eqs. 13/15). The builder methods fold constants eagerly, so
+/// when all alignments and the trip count are known at compile time
+/// every such expression is already a [`SExpr::Const`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SExpr {
+    /// An integer constant.
+    Const(i64),
+    /// The loop trip count `ub` (a runtime input when the trip count is
+    /// unknown at compile time).
+    Ub,
+    /// The byte alignment `(base(array) + disp) & (V − 1)` of an address
+    /// `disp` bytes past the array base.
+    AlignOf {
+        /// The array whose base address is inspected.
+        array: ArrayId,
+        /// Byte displacement added before masking.
+        disp: i64,
+    },
+    /// Sum of two expressions.
+    Add(Box<SExpr>, Box<SExpr>),
+    /// Difference of two expressions.
+    Sub(Box<SExpr>, Box<SExpr>),
+    /// Product of two expressions.
+    Mul(Box<SExpr>, Box<SExpr>),
+    /// Floor division (divisor is a positive constant in generated code).
+    Div(Box<SExpr>, Box<SExpr>),
+    /// Euclidean remainder (divisor is a positive constant in generated
+    /// code).
+    Mod(Box<SExpr>, Box<SExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder-style names fold constants
+impl SExpr {
+    /// Shorthand for a constant.
+    pub fn c(v: i64) -> SExpr {
+        SExpr::Const(v)
+    }
+
+    /// `self + rhs`, folding constants.
+    pub fn add(self, rhs: SExpr) -> SExpr {
+        match (self, rhs) {
+            (SExpr::Const(a), SExpr::Const(b)) => SExpr::Const(a + b),
+            (SExpr::Const(0), e) | (e, SExpr::Const(0)) => e,
+            (a, b) => SExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `self - rhs`, folding constants.
+    pub fn sub(self, rhs: SExpr) -> SExpr {
+        match (self, rhs) {
+            (SExpr::Const(a), SExpr::Const(b)) => SExpr::Const(a - b),
+            (e, SExpr::Const(0)) => e,
+            (a, b) => SExpr::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `self * rhs`, folding constants.
+    pub fn mul(self, rhs: SExpr) -> SExpr {
+        match (self, rhs) {
+            (SExpr::Const(a), SExpr::Const(b)) => SExpr::Const(a * b),
+            (SExpr::Const(1), e) | (e, SExpr::Const(1)) => e,
+            (a, b) => SExpr::Mul(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Floor division `self / rhs`, folding constants.
+    pub fn div(self, rhs: SExpr) -> SExpr {
+        match (self, rhs) {
+            (SExpr::Const(a), SExpr::Const(b)) if b != 0 => SExpr::Const(a.div_euclid(b)),
+            (e, SExpr::Const(1)) => e,
+            (a, b) => SExpr::Div(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Euclidean remainder `self mod rhs`, folding constants.
+    pub fn rem(self, rhs: SExpr) -> SExpr {
+        match (self, rhs) {
+            (SExpr::Const(a), SExpr::Const(b)) if b != 0 => SExpr::Const(a.rem_euclid(b)),
+            (a, b) => SExpr::Mod(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// The constant value, if the expression folded to one.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            SExpr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether evaluation requires runtime information (a base address
+    /// or the runtime trip count) — the paper's `Runtime(c)` predicate.
+    pub fn is_runtime(&self) -> bool {
+        match self {
+            SExpr::Const(_) => false,
+            SExpr::Ub | SExpr::AlignOf { .. } => true,
+            SExpr::Add(a, b)
+            | SExpr::Sub(a, b)
+            | SExpr::Mul(a, b)
+            | SExpr::Div(a, b)
+            | SExpr::Mod(a, b) => a.is_runtime() || b.is_runtime(),
+        }
+    }
+
+    /// Constant-folds the expression given an environment that can
+    /// resolve `Ub` and `AlignOf` (e.g. once the memory image is known).
+    pub fn eval(&self, env: &dyn ScalarEnv) -> i64 {
+        match self {
+            SExpr::Const(v) => *v,
+            SExpr::Ub => env.ub(),
+            SExpr::AlignOf { array, disp } => {
+                let addr = env.base_of(*array) as i64 + disp;
+                addr & (env.shape().mask() as i64)
+            }
+            SExpr::Add(a, b) => a.eval(env) + b.eval(env),
+            SExpr::Sub(a, b) => a.eval(env) - b.eval(env),
+            SExpr::Mul(a, b) => a.eval(env) * b.eval(env),
+            SExpr::Div(a, b) => a.eval(env).div_euclid(b.eval(env)),
+            SExpr::Mod(a, b) => a.eval(env).rem_euclid(b.eval(env)),
+        }
+    }
+}
+
+impl fmt::Display for SExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SExpr::Const(v) => write!(f, "{v}"),
+            SExpr::Ub => f.write_str("ub"),
+            SExpr::AlignOf { array, disp } => write!(f, "align({array}+{disp})"),
+            SExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            SExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            SExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            SExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            SExpr::Mod(a, b) => write!(f, "({a} mod {b})"),
+        }
+    }
+}
+
+/// A loop-invariant comparison guarding epilogue code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SCond {
+    /// `lhs >= rhs`.
+    Ge(SExpr, SExpr),
+    /// `lhs > rhs`.
+    Gt(SExpr, SExpr),
+    /// `lhs < rhs`.
+    Lt(SExpr, SExpr),
+}
+
+impl SCond {
+    /// Evaluates the condition in `env`.
+    pub fn eval(&self, env: &dyn ScalarEnv) -> bool {
+        match self {
+            SCond::Ge(a, b) => a.eval(env) >= b.eval(env),
+            SCond::Gt(a, b) => a.eval(env) > b.eval(env),
+            SCond::Lt(a, b) => a.eval(env) < b.eval(env),
+        }
+    }
+
+    /// The compile-time truth value, if both sides are constants.
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            SCond::Ge(a, b) => Some(a.as_const()? >= b.as_const()?),
+            SCond::Gt(a, b) => Some(a.as_const()? > b.as_const()?),
+            SCond::Lt(a, b) => Some(a.as_const()? < b.as_const()?),
+        }
+    }
+}
+
+impl fmt::Display for SCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SCond::Ge(a, b) => write!(f, "{a} >= {b}"),
+            SCond::Gt(a, b) => write!(f, "{a} > {b}"),
+            SCond::Lt(a, b) => write!(f, "{a} < {b}"),
+        }
+    }
+}
+
+/// The runtime environment that resolves the leaves of an [`SExpr`]:
+/// the loop trip count and array base addresses (the memory image of
+/// `simdize-vm` implements this).
+pub trait ScalarEnv {
+    /// The loop trip count.
+    fn ub(&self) -> i64;
+    /// The byte address of `array`'s first element in the memory image.
+    fn base_of(&self, array: ArrayId) -> u64;
+    /// The vector register shape (for alignment masks).
+    fn shape(&self) -> VectorShape;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Env;
+    impl ScalarEnv for Env {
+        fn ub(&self) -> i64 {
+            100
+        }
+        fn base_of(&self, array: ArrayId) -> u64 {
+            0x1000 + 4 * array.index() as u64
+        }
+        fn shape(&self) -> VectorShape {
+            VectorShape::V16
+        }
+    }
+
+    #[test]
+    fn constant_folding_in_builders() {
+        let e = SExpr::c(3).add(SExpr::c(4)).mul(SExpr::c(2));
+        assert_eq!(e.as_const(), Some(14));
+        assert!(!e.is_runtime());
+        let e = SExpr::Ub.sub(SExpr::c(0));
+        assert_eq!(e, SExpr::Ub);
+        assert!(e.is_runtime());
+    }
+
+    #[test]
+    fn eval_align_of() {
+        let a1 = SExpr::AlignOf {
+            array: ArrayId::from_index(1),
+            disp: 8,
+        };
+        // base = 0x1004, +8 = 0x100C → align 12.
+        assert_eq!(a1.eval(&Env), 12);
+    }
+
+    #[test]
+    fn eval_compound() {
+        // (ub mod 4) * 4 + 12 = 12 for ub = 100.
+        let e = SExpr::Ub
+            .rem(SExpr::c(4))
+            .mul(SExpr::c(4))
+            .add(SExpr::c(12));
+        assert_eq!(e.eval(&Env), 12);
+    }
+
+    #[test]
+    fn div_is_floor() {
+        assert_eq!(SExpr::c(-7).div(SExpr::c(4)).as_const(), Some(-2));
+        assert_eq!(SExpr::c(-7).rem(SExpr::c(4)).as_const(), Some(1));
+    }
+
+    #[test]
+    fn conditions() {
+        assert_eq!(SCond::Ge(SExpr::c(4), SExpr::c(4)).as_const(), Some(true));
+        assert_eq!(SCond::Gt(SExpr::c(4), SExpr::c(4)).as_const(), Some(false));
+        assert_eq!(SCond::Lt(SExpr::Ub, SExpr::c(4)).as_const(), None);
+        assert!(!SCond::Lt(SExpr::Ub, SExpr::c(4)).eval(&Env));
+        assert!(SCond::Gt(SExpr::Ub, SExpr::c(12)).eval(&Env));
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = SExpr::Ub.rem(SExpr::c(4));
+        assert_eq!(e.to_string(), "(ub mod 4)");
+        assert_eq!(SCond::Ge(e, SExpr::c(1)).to_string(), "(ub mod 4) >= 1");
+    }
+}

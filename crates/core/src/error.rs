@@ -1,0 +1,90 @@
+//! The facade's unified error type.
+
+use simdize_codegen::GenCodeError;
+use simdize_reorg::{BuildGraphError, PolicyError};
+use simdize_vm::VerifyError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure along the simdization pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimdizeError {
+    /// The loop could not be turned into a reorganization graph.
+    Build(BuildGraphError),
+    /// The requested shift-placement policy does not apply.
+    Policy(PolicyError),
+    /// Code generation failed.
+    Gen(GenCodeError),
+    /// Differential verification failed or faulted.
+    Verify(VerifyError),
+    /// The loop's textual form failed to parse.
+    Parse(simdize_ir::ParseProgramError),
+}
+
+impl fmt::Display for SimdizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdizeError::Build(e) => write!(f, "graph construction failed: {e}"),
+            SimdizeError::Policy(e) => write!(f, "shift placement failed: {e}"),
+            SimdizeError::Gen(e) => write!(f, "code generation failed: {e}"),
+            SimdizeError::Verify(e) => write!(f, "verification failed: {e}"),
+            SimdizeError::Parse(e) => write!(f, "parse failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimdizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimdizeError::Build(e) => Some(e),
+            SimdizeError::Policy(e) => Some(e),
+            SimdizeError::Gen(e) => Some(e),
+            SimdizeError::Verify(e) => Some(e),
+            SimdizeError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildGraphError> for SimdizeError {
+    fn from(e: BuildGraphError) -> Self {
+        SimdizeError::Build(e)
+    }
+}
+
+impl From<PolicyError> for SimdizeError {
+    fn from(e: PolicyError) -> Self {
+        SimdizeError::Policy(e)
+    }
+}
+
+impl From<GenCodeError> for SimdizeError {
+    fn from(e: GenCodeError) -> Self {
+        SimdizeError::Gen(e)
+    }
+}
+
+impl From<VerifyError> for SimdizeError {
+    fn from(e: VerifyError) -> Self {
+        SimdizeError::Verify(e)
+    }
+}
+
+impl From<simdize_ir::ParseProgramError> for SimdizeError {
+    fn from(e: simdize_ir::ParseProgramError) -> Self {
+        SimdizeError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_convert() {
+        let e = simdize_ir::parse_program("garbage").unwrap_err();
+        let s = SimdizeError::from(e);
+        assert!(s.to_string().contains("parse failed"));
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,69 @@
+//! Evaluation reports combining measurement and the analytic bound.
+
+use simdize_vm::RunStats;
+use std::fmt;
+
+/// The outcome of compiling, executing and verifying one loop — one
+/// data point of the paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Whether the simdized execution matched the scalar oracle byte
+    /// for byte (always true when the report came from a successful
+    /// [`crate::Simdizer::evaluate`]).
+    pub verified: bool,
+    /// Dynamic instruction counts of the simdized run.
+    pub stats: RunStats,
+    /// Data elements produced.
+    pub data_produced: u64,
+    /// Measured operations per datum.
+    pub opd: f64,
+    /// The §5.3 analytic lower bound on OPD for this loop and policy.
+    pub lower_bound_opd: f64,
+    /// Idealistic scalar instruction count (the `SEQ` baseline).
+    pub scalar_ideal: u64,
+    /// Speedup: scalar ideal over simdized dynamic count.
+    pub speedup: f64,
+    /// The lower bound's implied speedup ceiling.
+    pub speedup_bound: f64,
+}
+
+impl Report {
+    /// Measured OPD in excess of the analytic bound — the paper's
+    /// "overhead" bar components combined.
+    pub fn overhead_opd(&self) -> f64 {
+        (self.opd - self.lower_bound_opd).max(0.0)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "opd {:.3} (bound {:.3}), speedup {:.2}× (bound {:.2}×), {}",
+            self.opd, self.lower_bound_opd, self.speedup, self.speedup_bound, self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_and_display() {
+        let r = Report {
+            verified: true,
+            stats: RunStats::default(),
+            data_produced: 100,
+            opd: 4.0,
+            lower_bound_opd: 3.5,
+            scalar_ideal: 1200,
+            speedup: 3.0,
+            speedup_bound: 3.43,
+        };
+        assert!((r.overhead_opd() - 0.5).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("4.000"));
+        assert!(text.contains("3.00×"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Named simdization schemes, matching the labels of the paper's
+//! evaluation (Figures 11–12, Tables 1–2).
+
+use simdize_codegen::ReuseMode;
+use simdize_reorg::Policy;
+use std::fmt;
+
+/// A full simdization scheme: shift-placement policy × reuse mode ×
+/// common-offset reassociation — one bar of Figure 11/12, e.g.
+/// `LAZY-pc` or `ZERO-sp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scheme {
+    /// The shift placement policy.
+    pub policy: Policy,
+    /// The reuse exploitation mode.
+    pub reuse: ReuseMode,
+    /// Whether common-offset reassociation runs first (§5.5,
+    /// "OffsetReassoc" — Figure 12 vs Figure 11).
+    pub reassoc: bool,
+}
+
+impl Scheme {
+    /// A scheme with reassociation off.
+    pub fn new(policy: Policy, reuse: ReuseMode) -> Scheme {
+        Scheme {
+            policy,
+            reuse,
+            reassoc: false,
+        }
+    }
+
+    /// The same scheme with reassociation toggled.
+    pub fn reassoc(mut self, on: bool) -> Scheme {
+        self.reassoc = on;
+        self
+    }
+
+    /// The paper's label, e.g. `ZERO`, `EAGER-sp`, `LAZY-pc`, `DOM-sp`.
+    pub fn label(&self) -> String {
+        let policy = match self.policy {
+            Policy::Zero => "ZERO",
+            Policy::Eager => "EAGER",
+            Policy::Lazy => "LAZY",
+            Policy::Dominant => "DOM",
+        };
+        match self.reuse {
+            ReuseMode::None => policy.to_string(),
+            ReuseMode::SoftwarePipeline => format!("{policy}-sp"),
+            ReuseMode::PredictiveCommoning => format!("{policy}-pc"),
+        }
+    }
+
+    /// All 12 policy × reuse combinations, in figure order.
+    pub fn all() -> Vec<Scheme> {
+        let mut out = Vec::new();
+        for policy in Policy::ALL {
+            for reuse in [
+                ReuseMode::None,
+                ReuseMode::PredictiveCommoning,
+                ReuseMode::SoftwarePipeline,
+            ] {
+                out.push(Scheme::new(policy, reuse));
+            }
+        }
+        out
+    }
+
+    /// The schemes competing in the paper's best-policy tables
+    /// (policies with a reuse scheme; the naive generators are
+    /// dominated and excluded).
+    pub fn contenders() -> Vec<Scheme> {
+        Scheme::all()
+            .into_iter()
+            .filter(|s| s.reuse != ReuseMode::None)
+            .collect()
+    }
+
+    /// The contenders applicable without compile-time alignment
+    /// information (§4.4: zero-shift only).
+    pub fn runtime_contenders() -> Vec<Scheme> {
+        Scheme::contenders()
+            .into_iter()
+            .filter(|s| s.policy == Policy::Zero)
+            .collect()
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.reassoc {
+            write!(f, "{}+reassoc", self.label())
+        } else {
+            f.write_str(&self.label())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::new(Policy::Zero, ReuseMode::None).label(), "ZERO");
+        assert_eq!(
+            Scheme::new(Policy::Dominant, ReuseMode::SoftwarePipeline).label(),
+            "DOM-sp"
+        );
+        assert_eq!(
+            Scheme::new(Policy::Lazy, ReuseMode::PredictiveCommoning).label(),
+            "LAZY-pc"
+        );
+        assert_eq!(
+            Scheme::new(Policy::Eager, ReuseMode::SoftwarePipeline)
+                .reassoc(true)
+                .to_string(),
+            "EAGER-sp+reassoc"
+        );
+    }
+
+    #[test]
+    fn enumerations() {
+        assert_eq!(Scheme::all().len(), 12);
+        assert_eq!(Scheme::contenders().len(), 8);
+        assert_eq!(Scheme::runtime_contenders().len(), 2);
+    }
+}

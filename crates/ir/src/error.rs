@@ -1,0 +1,154 @@
+//! Validation errors for loop programs.
+
+use crate::array::ArrayId;
+use crate::program::ParamId;
+use crate::types::ScalarType;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the simdizable-loop preconditions (paper §4.1) or of
+/// this IR's statement-independence requirements.
+///
+/// Returned by [`crate::LoopProgram::new`], [`crate::LoopProgram::validate`]
+/// and [`crate::LoopBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidateLoopError {
+    /// The loop body has no statements.
+    EmptyBody,
+    /// The trip count is the compile-time constant 0.
+    ZeroTripCount,
+    /// An array's element type differs from the loop's uniform type.
+    MixedElementTypes {
+        /// Offending array name.
+        array: String,
+        /// The loop's uniform element type.
+        expected: ScalarType,
+        /// The array's declared element type.
+        found: ScalarType,
+    },
+    /// Two statements store to the same array.
+    DuplicateStore {
+        /// Offending array name.
+        array: String,
+    },
+    /// An array is both stored and loaded in the loop.
+    StoreLoadOverlap {
+        /// Offending array name.
+        array: String,
+    },
+    /// A reference names an array id outside the program's table.
+    UnknownArray {
+        /// The dangling id.
+        id: ArrayId,
+    },
+    /// A splat names a parameter id outside the program's table.
+    UnknownParam {
+        /// The dangling id.
+        id: ParamId,
+    },
+    /// A reduction uses an operation that is not associative and
+    /// commutative, so a vector accumulator could not reassociate it.
+    NonReassociableReduction {
+        /// The rejected operation.
+        op: crate::BinOp,
+    },
+    /// A reference offset is negative (`a[i - k]` would underflow at
+    /// `i = 0`).
+    NegativeOffset {
+        /// Offending array name.
+        array: String,
+        /// The negative element offset.
+        offset: i64,
+    },
+    /// A reference runs past the end of its array over the iteration
+    /// space.
+    OutOfBounds {
+        /// Offending array name.
+        array: String,
+        /// The reference's element offset.
+        offset: i64,
+        /// The loop trip count.
+        trip: u64,
+        /// The array length in elements.
+        len: u64,
+    },
+}
+
+impl fmt::Display for ValidateLoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateLoopError::EmptyBody => f.write_str("loop body has no statements"),
+            ValidateLoopError::ZeroTripCount => f.write_str("loop trip count is zero"),
+            ValidateLoopError::MixedElementTypes {
+                array,
+                expected,
+                found,
+            } => write!(
+                f,
+                "array `{array}` has element type {found}, but the loop uses {expected} \
+                 (references must access data of one uniform length)"
+            ),
+            ValidateLoopError::DuplicateStore { array } => {
+                write!(f, "two statements store to array `{array}`")
+            }
+            ValidateLoopError::StoreLoadOverlap { array } => write!(
+                f,
+                "array `{array}` is both stored and loaded; the loop may carry a dependence"
+            ),
+            ValidateLoopError::UnknownArray { id } => {
+                write!(f, "reference to undeclared array {id}")
+            }
+            ValidateLoopError::UnknownParam { id } => {
+                write!(f, "reference to undeclared parameter {id}")
+            }
+            ValidateLoopError::NonReassociableReduction { op } => write!(
+                f,
+                "`{op}` is not associative and commutative; reductions cannot use it"
+            ),
+            ValidateLoopError::NegativeOffset { array, offset } => write!(
+                f,
+                "reference `{array}[i{offset}]` reads before the array at i = 0"
+            ),
+            ValidateLoopError::OutOfBounds {
+                array,
+                offset,
+                trip,
+                len,
+            } => write!(
+                f,
+                "reference `{array}[i+{offset}]` reaches element {} over {trip} iterations, \
+                 but the array has {len} elements",
+                trip - 1 + *offset as u64
+            ),
+        }
+    }
+}
+
+impl Error for ValidateLoopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = ValidateLoopError::OutOfBounds {
+            array: "a".into(),
+            offset: 5,
+            trip: 100,
+            len: 100,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("a[i+5]"));
+        assert!(msg.contains("104"));
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&ValidateLoopError::EmptyBody);
+    }
+}

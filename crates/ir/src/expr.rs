@@ -1,0 +1,360 @@
+//! Element-wise expression trees.
+
+use crate::array::ArrayRef;
+use crate::program::ParamId;
+use crate::value::Value;
+use std::fmt;
+use std::ops;
+
+/// Binary element-wise operations.
+///
+/// All operate lane-wise with wrapping semantics (see [`Value`]). `Add`
+/// and `Mul` are the associative/commutative operations exploited by the
+/// common-offset reassociation optimization (§5.5 "OffsetReassoc").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low half).
+    Mul,
+    /// Lane minimum (signedness-aware).
+    Min,
+    /// Lane maximum (signedness-aware).
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+impl BinOp {
+    /// Whether the operation is associative and commutative, enabling
+    /// common-offset reassociation.
+    pub fn is_reassociable(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// Applies the operation to two lane values.
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Min => a.min_lane(b),
+            BinOp::Max => a.max_lane(b),
+            BinOp::And => a.and(b),
+            BinOp::Or => a.or(b),
+            BinOp::Xor => a.xor(b),
+        }
+    }
+
+    /// The operator's textual symbol (used by the printer and parser).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary element-wise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Wrapping negation.
+    Neg,
+    /// Bitwise NOT.
+    Not,
+    /// Wrapping absolute value.
+    Abs,
+}
+
+impl UnOp {
+    /// Applies the operation to a lane value.
+    pub fn apply(self, a: Value) -> Value {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => a.not(),
+            UnOp::Abs => a.wrapping_abs(),
+        }
+    }
+
+    /// The operator's textual name.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "~",
+            UnOp::Abs => "abs",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A loop-invariant scalar operand.
+///
+/// Invariants become `vsplat` nodes in the data reorganization graph;
+/// their stream offset is ⊥ ("any") since every lane holds the same value
+/// (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// A compile-time constant (wrapped to the loop's element type).
+    Const(i64),
+    /// A runtime scalar parameter of the program.
+    Param(ParamId),
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Invariant::Const(c) => write!(f, "{c}"),
+            Invariant::Param(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// An element-wise expression over stride-one loads and invariants.
+///
+/// Expressions are uniform in type: every load and the result have the
+/// loop's single element type (paper §4.1 — "no conversion between data
+/// of different lengths").
+///
+/// # Example
+///
+/// ```
+/// use simdize_ir::{ArrayId, ArrayRef, Expr};
+/// let b = ArrayRef::new(ArrayId::from_index(0), 1);
+/// let c = ArrayRef::new(ArrayId::from_index(1), 2);
+/// let e = Expr::load(b) + Expr::load(c);
+/// assert_eq!(e.loads().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A stride-one load `array[i + k]`.
+    Load(ArrayRef),
+    /// A loop-invariant scalar, replicated across lanes.
+    Splat(Invariant),
+    /// A binary element-wise operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary element-wise operation.
+    Unary(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// A load expression `r.array[i + r.offset]`.
+    pub fn load(r: ArrayRef) -> Expr {
+        Expr::Load(r)
+    }
+
+    /// A splat of a compile-time constant.
+    pub fn constant(c: i64) -> Expr {
+        Expr::Splat(Invariant::Const(c))
+    }
+
+    /// A splat of a runtime parameter.
+    pub fn param(p: ParamId) -> Expr {
+        Expr::Splat(Invariant::Param(p))
+    }
+
+    /// A binary operation node.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// A unary operation node.
+    pub fn unary(op: UnOp, operand: Expr) -> Expr {
+        Expr::Unary(op, Box::new(operand))
+    }
+
+    /// Lane minimum of two expressions.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Min, self, rhs)
+    }
+
+    /// Lane maximum of two expressions.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Max, self, rhs)
+    }
+
+    /// All array references loaded by this expression, in left-to-right
+    /// order (duplicates preserved).
+    pub fn loads(&self) -> Vec<ArrayRef> {
+        let mut out = Vec::new();
+        self.visit_loads(&mut |r| out.push(r));
+        out
+    }
+
+    /// Calls `f` on every load in the expression, left-to-right.
+    pub fn visit_loads(&self, f: &mut impl FnMut(ArrayRef)) {
+        match self {
+            Expr::Load(r) => f(*r),
+            Expr::Splat(_) => {}
+            Expr::Binary(_, a, b) => {
+                a.visit_loads(f);
+                b.visit_loads(f);
+            }
+            Expr::Unary(_, a) => a.visit_loads(f),
+        }
+    }
+
+    /// Number of arithmetic operation nodes (binary + unary) in the tree.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Load(_) | Expr::Splat(_) => 0,
+            Expr::Binary(_, a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Unary(_, a) => 1 + a.op_count(),
+        }
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Load(_) | Expr::Splat(_) => 1,
+            Expr::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::Unary(_, a) => 1 + a.node_count(),
+        }
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Add, self, rhs)
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Sub, self, rhs)
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Mul, self, rhs)
+    }
+}
+
+impl ops::BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::And, self, rhs)
+    }
+}
+
+impl ops::BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Or, self, rhs)
+    }
+}
+
+impl ops::BitXor for Expr {
+    type Output = Expr;
+    fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Xor, self, rhs)
+    }
+}
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::unary(UnOp::Neg, self)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Load(r) => write!(f, "{r}"),
+            Expr::Splat(inv) => write!(f, "{inv}"),
+            Expr::Binary(op, a, b) => match op {
+                BinOp::Min | BinOp::Max => write!(f, "{op}({a}, {b})"),
+                _ => write!(f, "({a} {op} {b})"),
+            },
+            Expr::Unary(op, a) => match op {
+                UnOp::Abs => write!(f, "abs({a})"),
+                _ => write!(f, "{op}({a})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::types::ScalarType;
+
+    fn r(id: u32, off: i64) -> ArrayRef {
+        ArrayRef::new(ArrayId(id), off)
+    }
+
+    #[test]
+    fn operator_sugar_builds_trees() {
+        let e = Expr::load(r(0, 1)) + Expr::load(r(1, 2)) * Expr::constant(3);
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(e.loads(), vec![r(0, 1), r(1, 2)]);
+        assert_eq!(e.to_string(), "(arr0[i+1] + (arr1[i+2] * 3))");
+    }
+
+    #[test]
+    fn unary_ops_display() {
+        let e = -Expr::load(r(0, 0));
+        assert_eq!(e.to_string(), "-(arr0[i])");
+        let a = Expr::unary(UnOp::Abs, Expr::load(r(0, 0)));
+        assert_eq!(a.to_string(), "abs(arr0[i])");
+        assert_eq!(a.op_count(), 1);
+        assert_eq!(a.node_count(), 2);
+    }
+
+    #[test]
+    fn binop_apply_matches_value_semantics() {
+        let a = Value::from_i64(ScalarType::I32, 7);
+        let b = Value::from_i64(ScalarType::I32, -3);
+        assert_eq!(BinOp::Add.apply(a, b).as_i64(), 4);
+        assert_eq!(BinOp::Sub.apply(a, b).as_i64(), 10);
+        assert_eq!(BinOp::Mul.apply(a, b).as_i64(), -21);
+        assert_eq!(BinOp::Min.apply(a, b).as_i64(), -3);
+        assert_eq!(BinOp::Max.apply(a, b).as_i64(), 7);
+        assert_eq!(UnOp::Neg.apply(a).as_i64(), -7);
+        assert_eq!(UnOp::Abs.apply(b).as_i64(), 3);
+    }
+
+    #[test]
+    fn reassociable_classification() {
+        assert!(BinOp::Add.is_reassociable());
+        assert!(BinOp::Mul.is_reassociable());
+        assert!(!BinOp::Sub.is_reassociable());
+    }
+
+    #[test]
+    fn min_max_sugar() {
+        let e = Expr::load(r(0, 0)).min(Expr::load(r(1, 0)));
+        assert_eq!(e.to_string(), "min(arr0[i], arr1[i])");
+    }
+}

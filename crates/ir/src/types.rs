@@ -1,0 +1,264 @@
+//! Scalar element types and the target vector shape.
+
+use std::fmt;
+
+/// Element type of an array and of every operation in a loop.
+///
+/// The paper's algorithm assumes all memory references in a loop access
+/// data of the same length `D` (§4.1); the supported lengths are the 1-,
+/// 2-, 4- and 8-byte packed types found on AltiVec/SSE-class SIMD units.
+///
+/// # Example
+///
+/// ```
+/// use simdize_ir::ScalarType;
+/// assert_eq!(ScalarType::I32.size(), 4);
+/// assert!(ScalarType::I8.is_signed());
+/// assert!(!ScalarType::U16.is_signed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScalarType {
+    /// Signed 8-bit integer.
+    I8,
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Signed 16-bit integer (the paper's `short`).
+    I16,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Signed 32-bit integer (the paper's `int`).
+    I32,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 64-bit integer.
+    I64,
+    /// Unsigned 64-bit integer.
+    U64,
+}
+
+impl ScalarType {
+    /// All supported element types, in increasing size order.
+    pub const ALL: [ScalarType; 8] = [
+        ScalarType::I8,
+        ScalarType::U8,
+        ScalarType::I16,
+        ScalarType::U16,
+        ScalarType::I32,
+        ScalarType::U32,
+        ScalarType::I64,
+        ScalarType::U64,
+    ];
+
+    /// Size of one element in bytes (the paper's `D`).
+    pub const fn size(self) -> usize {
+        match self {
+            ScalarType::I8 | ScalarType::U8 => 1,
+            ScalarType::I16 | ScalarType::U16 => 2,
+            ScalarType::I32 | ScalarType::U32 => 4,
+            ScalarType::I64 | ScalarType::U64 => 8,
+        }
+    }
+
+    /// Whether values of this type are interpreted as signed.
+    ///
+    /// Signedness only matters for `Min`, `Max`, `Abs` and the shift-right
+    /// semantics; additions and multiplications wrap identically.
+    pub const fn is_signed(self) -> bool {
+        matches!(
+            self,
+            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
+        )
+    }
+
+    /// Width of the type in bits.
+    pub const fn bits(self) -> u32 {
+        (self.size() as u32) * 8
+    }
+
+    /// Canonical lowercase name (`"i32"`, `"u8"`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ScalarType::I8 => "i8",
+            ScalarType::U8 => "u8",
+            ScalarType::I16 => "i16",
+            ScalarType::U16 => "u16",
+            ScalarType::I32 => "i32",
+            ScalarType::U32 => "u32",
+            ScalarType::I64 => "i64",
+            ScalarType::U64 => "u64",
+        }
+    }
+
+    /// Parses a canonical name produced by [`ScalarType::name`].
+    pub fn from_name(name: &str) -> Option<ScalarType> {
+        Self::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The geometry of the target's vector registers.
+///
+/// A `VectorShape` is just the register width `V` in bytes; together with
+/// an element type it yields the *blocking factor* `B = V / D` (paper
+/// eq. 7), the number of data packed per vector.
+///
+/// # Example
+///
+/// ```
+/// use simdize_ir::{ScalarType, VectorShape};
+/// let v = VectorShape::V16;
+/// assert_eq!(v.bytes(), 16);
+/// assert_eq!(v.blocking_factor(ScalarType::I32), 4);
+/// assert_eq!(v.blocking_factor(ScalarType::I16), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VectorShape {
+    bytes: u32,
+}
+
+impl VectorShape {
+    /// The 16-byte shape of AltiVec/VMX and SSE registers — the shape used
+    /// throughout the paper.
+    pub const V16: VectorShape = VectorShape { bytes: 16 };
+
+    /// An 8-byte shape (MMX/3DNow!-class units).
+    pub const V8: VectorShape = VectorShape { bytes: 8 };
+
+    /// A 32-byte shape (AVX2-class units), used by the extension benches.
+    pub const V32: VectorShape = VectorShape { bytes: 32 };
+
+    /// Creates a shape of `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `bytes` is a power of two in `8..=64`; the
+    /// alignment arithmetic throughout the pipeline relies on power-of-two
+    /// register widths (addresses are truncated with `addr & !(V-1)`).
+    pub fn new(bytes: u32) -> Option<VectorShape> {
+        if bytes.is_power_of_two() && (8..=64).contains(&bytes) {
+            Some(VectorShape { bytes })
+        } else {
+            None
+        }
+    }
+
+    /// Register width `V` in bytes.
+    pub const fn bytes(self) -> u32 {
+        self.bytes
+    }
+
+    /// Mask with the low `log2(V)` bits set, i.e. `V - 1`.
+    ///
+    /// `addr & mask()` is the byte offset of `addr` within its aligned
+    /// chunk — exactly the runtime alignment computation of paper §3.3.
+    pub const fn mask(self) -> u64 {
+        (self.bytes as u64) - 1
+    }
+
+    /// Truncates `addr` to the enclosing `V`-aligned boundary, mirroring
+    /// the behaviour of AltiVec's `vload`/`vstore` (paper §1).
+    pub const fn truncate(self, addr: u64) -> u64 {
+        addr & !self.mask()
+    }
+
+    /// Byte offset of `addr` within its `V`-byte chunk (`addr mod V`).
+    pub const fn offset_of(self, addr: u64) -> u32 {
+        (addr & self.mask()) as u32
+    }
+
+    /// The blocking factor `B = V / D` for elements of type `ty`
+    /// (paper eq. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element does not fit in the register (`D > V`); the
+    /// pipeline validates this before use.
+    pub fn blocking_factor(self, ty: ScalarType) -> u32 {
+        let d = ty.size() as u32;
+        assert!(d <= self.bytes, "element wider than vector register");
+        self.bytes / d
+    }
+
+    /// Number of lanes for elements of `size` bytes.
+    pub const fn lanes_for_size(self, size: u32) -> u32 {
+        self.bytes / size
+    }
+}
+
+impl Default for VectorShape {
+    fn default() -> Self {
+        VectorShape::V16
+    }
+}
+
+impl fmt::Display for VectorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_paper() {
+        assert_eq!(ScalarType::I32.size(), 4);
+        assert_eq!(ScalarType::I16.size(), 2);
+        assert_eq!(ScalarType::I8.size(), 1);
+        assert_eq!(ScalarType::U64.size(), 8);
+    }
+
+    #[test]
+    fn signedness() {
+        for t in ScalarType::ALL {
+            assert_eq!(t.is_signed(), t.name().starts_with('i'), "{t}");
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for t in ScalarType::ALL {
+            assert_eq!(ScalarType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(ScalarType::from_name("f32"), None);
+    }
+
+    #[test]
+    fn blocking_factors_match_paper() {
+        // 4 ints per 16-byte register; 8 shorts per 16-byte register.
+        assert_eq!(VectorShape::V16.blocking_factor(ScalarType::I32), 4);
+        assert_eq!(VectorShape::V16.blocking_factor(ScalarType::I16), 8);
+        assert_eq!(VectorShape::V16.blocking_factor(ScalarType::U8), 16);
+    }
+
+    #[test]
+    fn truncation_matches_altivec() {
+        // AltiVec example from §4.3: loads from 0x1000, 0x1001, 0x100E all
+        // load the 16 bytes starting at 0x1000.
+        let v = VectorShape::V16;
+        for addr in [0x1000u64, 0x1001, 0x100E] {
+            assert_eq!(v.truncate(addr), 0x1000);
+        }
+        assert_eq!(v.offset_of(0x100E), 0xE);
+    }
+
+    #[test]
+    fn new_rejects_bad_widths() {
+        assert!(VectorShape::new(12).is_none());
+        assert!(VectorShape::new(4).is_none());
+        assert!(VectorShape::new(128).is_none());
+        assert_eq!(VectorShape::new(16), Some(VectorShape::V16));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VectorShape::V16.to_string(), "V16");
+        assert_eq!(ScalarType::I16.to_string(), "i16");
+    }
+}

@@ -1,0 +1,123 @@
+//! Applicability analysis for the prior-art baselines the paper's
+//! introduction argues against.
+//!
+//! Before this paper, the two deployed strategies were:
+//!
+//! * **aligned-only** simdization: vectorize a loop only if *every*
+//!   memory reference is aligned;
+//! * **loop peeling** ([3, 4]): peel scalar iterations until references
+//!   become aligned — which "can only make at most one reference in the
+//!   loop aligned" unless all references are *relatively aligned*
+//!   (share one misalignment), in which case it equals the eager-shift
+//!   policy with zero shifts.
+//!
+//! These predicates power the applicability study in the evaluation
+//! harness: the paper's scheme simdizes every loop in this crate's
+//! model, the baselines only slices of the space.
+
+use crate::offset::Offset;
+use simdize_ir::{LoopProgram, VectorShape};
+
+/// Whether the *aligned-only* baseline can simdize `program`: every
+/// load and store must have compile-time stream offset 0.
+pub fn simdizable_aligned_only(program: &LoopProgram, shape: VectorShape) -> bool {
+    all_offsets(program, shape)
+        .map(|offs| offs.iter().all(|&o| o == Offset::Byte(0)))
+        .unwrap_or(false)
+}
+
+/// Whether the *loop peeling* baseline can simdize `program`: all
+/// references must share one compile-time misalignment, so that peeling
+/// `(V − offset) / D mod B` scalar iterations aligns everything at
+/// once. (Paper §6: "the loop peeling scheme is equivalent to the
+/// eager-shift policy with the restriction that all memory references
+/// in the loop must have the same misalignment.")
+pub fn simdizable_by_peeling(program: &LoopProgram, shape: VectorShape) -> bool {
+    all_offsets(program, shape)
+        .map(|offs| {
+            let mut distinct = offs.clone();
+            distinct.sort_by_key(|o| o.known());
+            distinct.dedup();
+            distinct.len() <= 1
+        })
+        .unwrap_or(false)
+}
+
+/// All stream offsets in the loop (loads and stores), or `None` when
+/// any is unknown at compile time (neither baseline handles runtime
+/// alignments).
+fn all_offsets(program: &LoopProgram, shape: VectorShape) -> Option<Vec<Offset>> {
+    let mut out = Vec::new();
+    let mut runtime = false;
+    if program.all_refs().iter().any(|r| !r.is_unit_stride()) {
+        return None;
+    }
+    for stmt in program.stmts() {
+        stmt.rhs
+            .visit_loads(&mut |r| match Offset::of_ref(r, program, shape) {
+                o @ Offset::Byte(_) => out.push(o),
+                _ => runtime = true,
+            });
+        match Offset::of_ref(stmt.target, program, shape) {
+            o @ Offset::Byte(_) => out.push(o),
+            _ => runtime = true,
+        }
+    }
+    if runtime {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_ir::parse_program;
+
+    #[test]
+    fn fully_aligned_loop_passes_both() {
+        let p = parse_program(
+            "arrays { a: i32[64] @ 0; b: i32[64] @ 0; }
+             for i in 0..32 { a[i] = b[i+4]; }",
+        )
+        .unwrap();
+        assert!(simdizable_aligned_only(&p, VectorShape::V16));
+        assert!(simdizable_by_peeling(&p, VectorShape::V16));
+    }
+
+    #[test]
+    fn relatively_aligned_loop_only_peels() {
+        let p = parse_program(
+            "arrays { a: i32[64] @ 0; b: i32[64] @ 0; }
+             for i in 0..32 { a[i+1] = b[i+5]; }",
+        )
+        .unwrap();
+        assert!(!simdizable_aligned_only(&p, VectorShape::V16));
+        assert!(simdizable_by_peeling(&p, VectorShape::V16));
+    }
+
+    #[test]
+    fn figure_1_defeats_both_baselines() {
+        // The paper's point: no peeling can align more than one of the
+        // three references.
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+             for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }",
+        )
+        .unwrap();
+        assert!(!simdizable_aligned_only(&p, VectorShape::V16));
+        assert!(!simdizable_by_peeling(&p, VectorShape::V16));
+    }
+
+    #[test]
+    fn runtime_alignment_defeats_both() {
+        let p = parse_program(
+            "arrays { a: i32[64] @ ?; b: i32[64] @ ?; }
+             for i in 0..32 { a[i] = b[i]; }",
+        )
+        .unwrap();
+        assert!(!simdizable_aligned_only(&p, VectorShape::V16));
+        assert!(!simdizable_by_peeling(&p, VectorShape::V16));
+    }
+}

@@ -1,0 +1,276 @@
+//! Common offset reassociation (paper §5.5, "OffsetReassoc").
+//!
+//! Uses the associativity and commutativity of lane-wise operations to
+//! regroup operand chains so that operands with identical stream offsets
+//! are combined first. After this transformation the lazy and dominant
+//! policies place, per statement, exactly the analytic minimum of
+//! `n − 1` shifts for `n` distinct alignments.
+
+use crate::offset::Offset;
+use simdize_ir::{BinOp, Expr, LoopProgram, Stmt, VectorShape};
+
+/// Rewrites every statement of `program` so that maximal chains of one
+/// associative-commutative operation are regrouped by stream offset.
+///
+/// The returned program is semantically equivalent: only the evaluation
+/// *shape* of reassociable chains changes (all lane operations here are
+/// exact integer operations, so regrouping is value-preserving). Operand
+/// order *within* a group and group order are deterministic, keyed by
+/// offset.
+///
+/// # Example
+///
+/// ```
+/// use simdize_ir::{parse_program, VectorShape};
+/// use simdize_reorg::{reassociate, Policy, ReorgGraph};
+///
+/// // b and d share offset 4; naive association combines b with c first.
+/// let p = parse_program(
+///     "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; d: i32[128] @ 0; }
+///      for i in 0..100 { a[i+3] = b[i+1] + c[i+2] + d[i+1]; }",
+/// )?;
+/// let shifts = |p: &simdize_ir::LoopProgram| -> usize {
+///     ReorgGraph::build(p, VectorShape::V16)
+///         .unwrap()
+///         .with_policy(Policy::Lazy)
+///         .unwrap()
+///         .shift_count()
+/// };
+/// let q = reassociate(&p, VectorShape::V16);
+/// assert!(shifts(&q) < shifts(&p));
+/// assert_eq!(shifts(&q), 2); // n-1: offsets {4, 8, 12} → 2 shifts
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn reassociate(program: &LoopProgram, shape: VectorShape) -> LoopProgram {
+    let stmts: Vec<Stmt> = program
+        .stmts()
+        .iter()
+        .map(|s| {
+            let rhs = rewrite(&s.rhs, program, shape);
+            match s.reduction {
+                Some(op) => Stmt::reduce(s.target, op, rhs),
+                None => Stmt::new(s.target, rhs),
+            }
+        })
+        .collect();
+    LoopProgram::new(
+        program.elem(),
+        program.arrays().to_vec(),
+        program.params().to_vec(),
+        program.trip(),
+        stmts,
+    )
+    .expect("reassociation preserves validity")
+}
+
+/// The grouping key of an operand: its uniform stream offset if it has
+/// one, otherwise a unique bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    /// Operand contains no loads (splat-only): combines with anything.
+    Any,
+    /// All loads in the operand share this compile-time offset.
+    Byte(u32),
+    /// Runtime offset, identified structurally.
+    Runtime(u32, u32),
+    /// Mixed offsets inside the operand; treated as its own bucket.
+    Mixed(u32),
+}
+
+fn rewrite(e: &Expr, program: &LoopProgram, shape: VectorShape) -> Expr {
+    match e {
+        Expr::Load(_) | Expr::Splat(_) => e.clone(),
+        Expr::Unary(op, a) => Expr::unary(*op, rewrite(a, program, shape)),
+        Expr::Binary(op, _, _) if !op.is_reassociable() => {
+            if let Expr::Binary(op, a, b) = e {
+                Expr::binary(*op, rewrite(a, program, shape), rewrite(b, program, shape))
+            } else {
+                unreachable!()
+            }
+        }
+        Expr::Binary(op, _, _) => {
+            let mut operands = Vec::new();
+            flatten(e, *op, &mut operands);
+            let mut rewritten: Vec<Expr> = operands
+                .into_iter()
+                .map(|o| rewrite(&o, program, shape))
+                .collect();
+
+            // Stable sort by grouping key: Any first (free to merge),
+            // then known offsets ascending, runtime, then mixed buckets.
+            let mut mixed_counter = 0u32;
+            let mut keyed: Vec<(Key, Expr)> = rewritten
+                .drain(..)
+                .map(|o| {
+                    let k = key_of(&o, program, shape, &mut mixed_counter);
+                    (k, o)
+                })
+                .collect();
+            keyed.sort_by_key(|a| a.0);
+
+            // Left-assoc reduce within groups, then across groups.
+            let mut group_results: Vec<Expr> = Vec::new();
+            let mut current: Option<(Key, Expr)> = None;
+            for (k, o) in keyed {
+                current = Some(match current {
+                    Some((ck, acc)) if ck == k => (ck, Expr::binary(*op, acc, o)),
+                    Some((_, acc)) => {
+                        group_results.push(acc);
+                        (k, o)
+                    }
+                    None => (k, o),
+                });
+            }
+            if let Some((_, acc)) = current {
+                group_results.push(acc);
+            }
+            group_results
+                .into_iter()
+                .reduce(|acc, o| Expr::binary(*op, acc, o))
+                .expect("chain has at least two operands")
+        }
+    }
+}
+
+/// Collects the maximal same-operator chain rooted at `e`.
+fn flatten(e: &Expr, op: BinOp, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary(o, a, b) if *o == op => {
+            flatten(a, op, out);
+            flatten(b, op, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn key_of(e: &Expr, program: &LoopProgram, shape: VectorShape, mixed: &mut u32) -> Key {
+    let mut offsets: Vec<Offset> = Vec::new();
+    e.visit_loads(&mut |r| offsets.push(Offset::of_ref(r, program, shape)));
+    let Some(&first) = offsets.first() else {
+        return Key::Any;
+    };
+    if offsets.iter().all(|&o| o == first) {
+        match first {
+            Offset::Byte(b) => Key::Byte(b),
+            Offset::Runtime { array, disp } => Key::Runtime(array.index() as u32, disp),
+            Offset::Any => Key::Any,
+        }
+    } else {
+        *mixed += 1;
+        Key::Mixed(*mixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ReorgGraph;
+    use crate::policy::Policy;
+    use simdize_ir::parse_program;
+
+    fn lazy_shifts(p: &LoopProgram) -> usize {
+        ReorgGraph::build(p, VectorShape::V16)
+            .unwrap()
+            .with_policy(Policy::Lazy)
+            .unwrap()
+            .shift_count()
+    }
+
+    #[test]
+    fn groups_common_offsets() {
+        // offsets: b@4, c@8, d@4, e@8, store@0 → n = 3 → minimum 2 shifts.
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0;
+                      d: i32[128] @ 0; e: i32[128] @ 0; }
+             for i in 0..100 { a[i] = b[i+1] + c[i+2] + d[i+1] + e[i+2]; }",
+        )
+        .unwrap();
+        assert_eq!(lazy_shifts(&p), 4); // naive association: every add conflicts
+        let q = reassociate(&p, VectorShape::V16);
+        assert_eq!(lazy_shifts(&q), 2);
+    }
+
+    #[test]
+    fn preserves_semantics_shape() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; d: i32[128] @ 0; }
+             for i in 0..100 { a[i+3] = b[i+1] + c[i+2] + d[i+1]; }",
+        )
+        .unwrap();
+        let q = reassociate(&p, VectorShape::V16);
+        // Same multiset of loads and op count.
+        let mut l1 = p.stmts()[0].rhs.loads();
+        let mut l2 = q.stmts()[0].rhs.loads();
+        l1.sort_by_key(|r| (r.array.index(), r.offset));
+        l2.sort_by_key(|r| (r.array.index(), r.offset));
+        assert_eq!(l1, l2);
+        assert_eq!(p.stmts()[0].rhs.op_count(), q.stmts()[0].rhs.op_count());
+    }
+
+    #[test]
+    fn does_not_cross_non_reassociable_ops() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; d: i32[128] @ 0; }
+             for i in 0..100 { a[i] = b[i+1] - (c[i+2] + d[i+1]); }",
+        )
+        .unwrap();
+        let q = reassociate(&p, VectorShape::V16);
+        // The subtraction stays a subtraction of the same operands.
+        match &q.stmts()[0].rhs {
+            Expr::Binary(BinOp::Sub, lhs, _) => {
+                assert_eq!(lhs.loads().len(), 1);
+            }
+            other => panic!("expected Sub at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn splats_merge_freely() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+             for i in 0..100 { a[i+1] = b[i+1] + 5 + c[i+1] + 9; }",
+        )
+        .unwrap();
+        let q = reassociate(&p, VectorShape::V16);
+        // Everything at offset 4 (splats free): zero shifts under lazy.
+        assert_eq!(lazy_shifts(&q), 0);
+    }
+
+    #[test]
+    fn preserves_reduction_statements() {
+        use simdize_ir::{BinOp, LoopBuilder, ScalarType};
+        let mut b = LoopBuilder::new(ScalarType::I32);
+        let acc = b.array("acc", 4, 0);
+        let x = b.array("x", 128, 4);
+        let y = b.array("y", 128, 4);
+        let z = b.array("z", 128, 8);
+        b.reduce(acc.at(0), BinOp::Add, x.load(0) + z.load(0) + y.load(0));
+        let p = b.finish(100).unwrap();
+        let q = reassociate(&p, VectorShape::V16);
+        assert!(q.stmts()[0].is_reduction());
+        assert_eq!(q.stmts()[0].reduction, p.stmts()[0].reduction);
+    }
+
+    #[test]
+    fn idempotent_on_single_loads() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; }
+             for i in 0..100 { a[i] = b[i+1]; }",
+        )
+        .unwrap();
+        let q = reassociate(&p, VectorShape::V16);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn mul_chains_group_too() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; d: i32[128] @ 0; }
+             for i in 0..100 { a[i+1] = b[i+1] * c[i+2] * d[i+1]; }",
+        )
+        .unwrap();
+        let q = reassociate(&p, VectorShape::V16);
+        // groups {4: b,d} {8: c}; store@4 → reconcile once at the final mul.
+        assert_eq!(lazy_shifts(&q), 1);
+    }
+}

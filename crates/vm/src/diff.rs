@@ -1,0 +1,200 @@
+//! Differential verification: the simdized program versus the scalar
+//! oracle on identical memory images (§5.4's coverage methodology).
+
+use crate::error::VerifyError;
+use crate::interp::{run_simd, RunInput};
+use crate::memory::MemoryImage;
+use crate::scalar::run_scalar;
+use crate::stats::RunStats;
+use simdize_codegen::SimdProgram;
+use simdize_ir::TripCount;
+
+/// Configuration of one differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffConfig {
+    /// Seed for array placement (runtime misalignments) and contents.
+    pub seed: u64,
+    /// Trip count for loops whose trip count is a runtime value; loops
+    /// with compile-time trip counts use their own. Defaults to 1000.
+    pub runtime_ub: u64,
+    /// Values for the loop's scalar parameters.
+    pub params: Vec<i64>,
+}
+
+impl DiffConfig {
+    /// A configuration with the given seed and defaults elsewhere.
+    pub fn with_seed(seed: u64) -> DiffConfig {
+        DiffConfig {
+            seed,
+            runtime_ub: 1000,
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the runtime trip count.
+    pub fn runtime_ub(mut self, ub: u64) -> DiffConfig {
+        self.runtime_ub = ub;
+        self
+    }
+
+    /// Sets the parameter values.
+    pub fn params(mut self, params: Vec<i64>) -> DiffConfig {
+        self.params = params;
+        self
+    }
+}
+
+/// The result of a successful differential run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOutcome {
+    /// Always true on `Ok` — kept for readable assertions.
+    pub verified: bool,
+    /// Dynamic instruction counts of the simdized execution.
+    pub stats: RunStats,
+    /// Data elements produced (`statements × trip count`).
+    pub data_produced: u64,
+    /// The idealistic scalar instruction count for the same work — the
+    /// speedup baseline.
+    pub scalar_ideal: u64,
+}
+
+impl DiffOutcome {
+    /// The paper's speedup factor: scalar instructions over simdized
+    /// instructions.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ideal as f64 / self.stats.total() as f64
+    }
+
+    /// The simdized execution's operations per datum.
+    pub fn opd(&self) -> f64 {
+        self.stats.opd(self.data_produced)
+    }
+}
+
+/// Runs `program` and the scalar oracle on identical images and
+/// compares every byte of memory (guard padding included).
+///
+/// # Errors
+///
+/// * [`VerifyError::Exec`] if either execution faults;
+/// * [`VerifyError::MemoryMismatch`] if the images diverge — the
+///   simdized code computed something wrong.
+pub fn run_differential(
+    program: &SimdProgram,
+    config: &DiffConfig,
+) -> Result<DiffOutcome, VerifyError> {
+    let source = program.source();
+    let ub = match source.trip() {
+        TripCount::Known(u) => u,
+        TripCount::Runtime => config.runtime_ub,
+    };
+
+    let mut simd_img = MemoryImage::with_seed(source, program.shape(), config.seed);
+    let mut oracle_img = simd_img.clone();
+
+    let scalar_ideal = run_scalar(source, &mut oracle_img, ub, &config.params)?;
+    let stats = run_simd(
+        program,
+        &mut simd_img,
+        &RunInput {
+            ub,
+            params: config.params.clone(),
+        },
+    )?;
+
+    match simd_img.first_difference(&oracle_img) {
+        None => Ok(DiffOutcome {
+            verified: true,
+            stats,
+            data_produced: source.stmts().len() as u64 * ub,
+            scalar_ideal,
+        }),
+        Some(first_diff) => Err(VerifyError::MemoryMismatch { first_diff }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    fn compile(src: &str, policy: Policy, opts: CodegenOptions) -> SimdProgram {
+        let p = parse_program(src).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(policy)
+            .unwrap();
+        generate(&g, &opts).unwrap()
+    }
+
+    #[test]
+    fn multi_statement_mixed_alignments_verify() {
+        let src = "arrays { a: i32[256] @ 12; b: i32[256] @ 4; c: i32[256] @ 8;
+                            x: i32[256] @ 0; y: i32[256] @ 4; }
+                   for i in 0..200 { a[i+1] = b[i+2] + c[i]; x[i+3] = y[i+1] * 7; }";
+        for policy in Policy::ALL {
+            for reuse in [
+                ReuseMode::None,
+                ReuseMode::SoftwarePipeline,
+                ReuseMode::PredictiveCommoning,
+            ] {
+                let prog = compile(src, policy, CodegenOptions::default().reuse(reuse));
+                let out = run_differential(&prog, &DiffConfig::with_seed(17)).unwrap();
+                assert!(out.verified, "{policy}/{reuse:?}");
+                assert!(out.speedup() > 1.0, "{policy}/{reuse:?} too slow");
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_everything_verifies_across_seeds() {
+        let src = "arrays { a: i16[2048] @ ?; b: i16[2048] @ ?; c: i16[2048] @ ?; }
+                   for i in 0..ub { a[i+3] = b[i+5] + c[i+2]; }";
+        let prog = compile(
+            src,
+            Policy::Zero,
+            CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline),
+        );
+        for seed in 0..24 {
+            for ub in [997, 1000, 1003, 1024] {
+                let out =
+                    run_differential(&prog, &DiffConfig::with_seed(seed).runtime_ub(ub)).unwrap();
+                assert!(out.verified, "seed {seed} ub {ub}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_trips_take_the_guard() {
+        let src = "arrays { a: i32[64] @ 4; b: i32[64] @ 8; }
+                   for i in 0..ub { a[i] = b[i+1]; }";
+        let prog = compile(src, Policy::Zero, CodegenOptions::default());
+        for ub in 1..=13 {
+            let out = run_differential(&prog, &DiffConfig::with_seed(1).runtime_ub(ub)).unwrap();
+            assert_eq!(out.stats.used_fallback, ub <= 12, "ub = {ub}");
+        }
+    }
+
+    #[test]
+    fn params_flow_through() {
+        let src = "arrays { a: i32[256] @ 4; b: i32[256] @ 8; }
+                   params { k; }
+                   for i in 0..200 { a[i+1] = b[i+2] * k; }";
+        let prog = compile(src, Policy::Lazy, CodegenOptions::default());
+        let out = run_differential(&prog, &DiffConfig::with_seed(3).params(vec![-5])).unwrap();
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn epilogue_two_store_case_verifies() {
+        // ProSplice = 12 and ub ≡ 3 (mod 4) drives EpiLeftOver = 24 > V:
+        // the epilogue needs a full store followed by a partial one.
+        let src = "arrays { a: i32[256] @ 0; b: i32[256] @ 0; }
+                   for i in 0..103 { a[i+3] = b[i+1]; }";
+        let prog = compile(src, Policy::Zero, CodegenOptions::default());
+        let out = run_differential(&prog, &DiffConfig::with_seed(8)).unwrap();
+        assert!(out.verified);
+    }
+}

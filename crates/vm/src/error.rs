@@ -1,0 +1,157 @@
+//! Execution and verification errors.
+
+use simdize_ir::ArrayId;
+use std::error::Error;
+use std::fmt;
+
+/// A fault raised while executing code on the simulated machine.
+///
+/// Correct generated programs never raise these; they exist to turn
+/// generator bugs into loud test failures instead of silent corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A scalar element access past the end of an array.
+    ElementOutOfBounds {
+        /// The accessed array.
+        array: ArrayId,
+        /// The accessed element index.
+        index: u64,
+        /// The array length.
+        len: u64,
+    },
+    /// A vector chunk access outside an array's guarded region.
+    ChunkOutOfBounds {
+        /// The accessed array.
+        array: ArrayId,
+        /// The requested (untruncated) byte address.
+        addr: i64,
+        /// The array's base byte address.
+        base: u64,
+        /// The array's length in bytes.
+        byte_len: u64,
+    },
+    /// A `vshiftpair` amount outside `[0, V]`.
+    BadShiftAmount {
+        /// The evaluated amount.
+        amount: i64,
+    },
+    /// A `vsplice` point outside `[0, V]`.
+    BadSplicePoint {
+        /// The evaluated point.
+        point: i64,
+    },
+    /// A read of a virtual register that was never written.
+    UninitializedRegister {
+        /// The register index.
+        index: usize,
+    },
+    /// The run was given fewer parameter values than the loop declares.
+    MissingParam {
+        /// The parameter index.
+        index: usize,
+    },
+    /// A runtime trip count that drives some reference out of bounds.
+    TripTooLarge {
+        /// The offending trip count.
+        ub: u64,
+        /// The offending array.
+        array: ArrayId,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ElementOutOfBounds { array, index, len } => {
+                write!(f, "element {index} of {array} is out of bounds (len {len})")
+            }
+            ExecError::ChunkOutOfBounds {
+                array,
+                addr,
+                base,
+                byte_len,
+            } => write!(
+                f,
+                "vector access at address {addr} leaves the guarded region of {array} \
+                 (base {base}, {byte_len} bytes)"
+            ),
+            ExecError::BadShiftAmount { amount } => {
+                write!(f, "vshiftpair amount {amount} is outside [0, V]")
+            }
+            ExecError::BadSplicePoint { point } => {
+                write!(f, "vsplice point {point} is outside [0, V]")
+            }
+            ExecError::UninitializedRegister { index } => {
+                write!(f, "read of uninitialized vector register v{index}")
+            }
+            ExecError::MissingParam { index } => {
+                write!(f, "no value supplied for loop parameter p{index}")
+            }
+            ExecError::TripTooLarge { ub, array } => {
+                write!(
+                    f,
+                    "trip count {ub} drives a reference to {array} out of bounds"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// A differential verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// One of the two executions faulted.
+    Exec(ExecError),
+    /// The simdized run produced different memory than the scalar
+    /// oracle.
+    MemoryMismatch {
+        /// First differing byte position in the image.
+        first_diff: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Exec(e) => write!(f, "execution fault: {e}"),
+            VerifyError::MemoryMismatch { first_diff } => write!(
+                f,
+                "simdized execution diverges from the scalar oracle at byte {first_diff}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for VerifyError {
+    fn from(e: ExecError) -> Self {
+        VerifyError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ExecError::BadShiftAmount { amount: 17 };
+        assert!(e.to_string().contains("17"));
+        let v = VerifyError::from(e);
+        assert!(v.source().is_some());
+        let m = VerifyError::MemoryMismatch { first_diff: 99 };
+        assert!(m.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The byte-addressable memory image with controlled array placement.
+
+use crate::error::ExecError;
+use simdize_ir::{AlignKind, ArrayId, LoopProgram, ScalarType, Value, VectorShape};
+
+/// Guard padding, in multiples of the vector length, kept on both sides
+/// of every array. Shifted streams legitimately *read* up to two chunks
+/// past either end of a stream (the paper's figures exclude these
+/// boundary chunks); partial stores may *rewrite* guard bytes with their
+/// own previous contents. Four chunks is comfortably past every case the
+/// generator can produce.
+const GUARD_CHUNKS: u64 = 4;
+
+/// A memory image holding every array of a loop at a base address with
+/// the declared (or chosen) misalignment, plus guard padding.
+///
+/// The image is the single source of truth for runtime alignments: it
+/// implements [`simdize_codegen` scalar environments](simdize_codegen::SExpr)
+/// by exposing [`MemoryImage::base_of`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryImage {
+    bytes: Vec<u8>,
+    bases: Vec<u64>,
+    lens: Vec<u64>,
+    elem: ScalarType,
+    shape: VectorShape,
+}
+
+impl MemoryImage {
+    /// Builds an image for `program`, choosing the misalignment of each
+    /// runtime-aligned array pseudo-randomly from `seed` (always a
+    /// multiple of the element size, preserving natural alignment) and
+    /// filling every array with pseudo-random element values.
+    pub fn with_seed(program: &LoopProgram, shape: VectorShape, seed: u64) -> MemoryImage {
+        let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+        let d = program.elem().size() as u64;
+        let lanes = (shape.bytes() as u64) / d;
+        let offsets: Vec<u32> = program
+            .arrays()
+            .iter()
+            .map(|a| match a.align() {
+                AlignKind::Known(off) => off % shape.bytes(),
+                AlignKind::Runtime => ((rng.next() % lanes) * d) as u32,
+            })
+            .collect();
+        let mut image = MemoryImage::with_offsets(program, shape, &offsets);
+        image.fill_random(seed ^ 0x9E37_79B9_7F4A_7C15);
+        image
+    }
+
+    /// Builds an image with explicit per-array misalignments (entries
+    /// for arrays with compile-time alignments are ignored in favour of
+    /// their declarations). Contents start zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is shorter than the array table, or if an
+    /// offset used for a runtime array is not naturally aligned.
+    pub fn with_offsets(program: &LoopProgram, shape: VectorShape, offsets: &[u32]) -> MemoryImage {
+        let v = shape.bytes() as u64;
+        let guard = GUARD_CHUNKS * v;
+        let d = program.elem().size() as u64;
+        let mut bases = Vec::new();
+        let mut lens = Vec::new();
+        let mut cursor = v; // never place anything at address 0
+        for (idx, a) in program.arrays().iter().enumerate() {
+            let off = match a.align() {
+                AlignKind::Known(o) => (o % shape.bytes()) as u64,
+                AlignKind::Runtime => {
+                    let o = offsets[idx] as u64 % v;
+                    assert!(
+                        o.is_multiple_of(d),
+                        "runtime misalignment must be naturally aligned"
+                    );
+                    o
+                }
+            };
+            cursor += guard;
+            cursor = cursor.div_ceil(v) * v; // align up to V
+            let base = cursor + off;
+            bases.push(base);
+            lens.push(a.len());
+            cursor = base + a.byte_len() + guard;
+        }
+        let total = (cursor + v) as usize;
+        MemoryImage {
+            bytes: vec![0; total],
+            bases,
+            lens,
+            elem: program.elem(),
+            shape,
+        }
+    }
+
+    /// Fills every array element with pseudo-random values (guard bytes
+    /// stay untouched, so differential comparisons cover them too).
+    pub fn fill_random(&mut self, seed: u64) {
+        let mut rng = Lcg(seed | 1);
+        let d = self.elem.size();
+        for a in 0..self.bases.len() {
+            for idx in 0..self.lens[a] {
+                let v = Value::from_i64(self.elem, rng.next() as i64);
+                let at = (self.bases[a] + idx * d as u64) as usize;
+                self.bytes[at..at + d].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// The byte address of `array`'s first element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` does not belong to the image's program.
+    pub fn base_of(&self, array: ArrayId) -> u64 {
+        self.bases[array.index()]
+    }
+
+    /// The vector shape the image was laid out for.
+    pub fn shape(&self) -> VectorShape {
+        self.shape
+    }
+
+    /// The element type of every array.
+    pub fn elem(&self) -> ScalarType {
+        self.elem
+    }
+
+    /// Reads element `idx` of `array`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ElementOutOfBounds`] when `idx` is past the
+    /// array's length.
+    pub fn get(&self, array: ArrayId, idx: u64) -> Result<Value, ExecError> {
+        self.check_elem(array, idx)?;
+        let d = self.elem.size();
+        let at = (self.bases[array.index()] + idx * d as u64) as usize;
+        Ok(Value::from_le_bytes(self.elem, &self.bytes[at..at + d]))
+    }
+
+    /// Writes element `idx` of `array`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ElementOutOfBounds`] when `idx` is past the
+    /// array's length.
+    pub fn set(&mut self, array: ArrayId, idx: u64, value: Value) -> Result<(), ExecError> {
+        self.check_elem(array, idx)?;
+        let d = self.elem.size();
+        let at = (self.bases[array.index()] + idx * d as u64) as usize;
+        self.bytes[at..at + d].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    fn check_elem(&self, array: ArrayId, idx: u64) -> Result<(), ExecError> {
+        if idx >= self.lens[array.index()] {
+            return Err(ExecError::ElementOutOfBounds {
+                array,
+                index: idx,
+                len: self.lens[array.index()],
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads the `V`-byte chunk enclosing `addr` (truncating, like
+    /// AltiVec `lvx`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ChunkOutOfBounds`] when the chunk leaves
+    /// `array`'s guarded region — this catches generator bugs; correct
+    /// programs never trip it.
+    pub fn load_chunk(&self, array: ArrayId, addr: i64) -> Result<Vec<u8>, ExecError> {
+        let at = self.check_chunk(array, addr)?;
+        Ok(self.bytes[at..at + self.shape.bytes() as usize].to_vec())
+    }
+
+    /// Writes the `V`-byte chunk enclosing `addr` (truncating, like
+    /// AltiVec `stvx`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ChunkOutOfBounds`] when the chunk leaves
+    /// `array`'s guarded region.
+    pub fn store_chunk(&mut self, array: ArrayId, addr: i64, data: &[u8]) -> Result<(), ExecError> {
+        let at = self.check_chunk(array, addr)?;
+        self.bytes[at..at + self.shape.bytes() as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `V` bytes at the *exact* address `addr` (a hardware
+    /// misaligned load, SSE2 `movdqu`-style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ChunkOutOfBounds`] when the access leaves
+    /// `array`'s guarded region.
+    pub fn load_exact(&self, array: ArrayId, addr: i64) -> Result<Vec<u8>, ExecError> {
+        let at = self.check_exact(array, addr)?;
+        Ok(self.bytes[at..at + self.shape.bytes() as usize].to_vec())
+    }
+
+    /// Writes `V` bytes at the *exact* address `addr` (a hardware
+    /// misaligned store).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::ChunkOutOfBounds`] when the access leaves
+    /// `array`'s guarded region.
+    pub fn store_exact(&mut self, array: ArrayId, addr: i64, data: &[u8]) -> Result<(), ExecError> {
+        let at = self.check_exact(array, addr)?;
+        self.bytes[at..at + self.shape.bytes() as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn check_exact(&self, array: ArrayId, addr: i64) -> Result<usize, ExecError> {
+        let v = self.shape.bytes() as i64;
+        let base = self.bases[array.index()] as i64;
+        let len = (self.lens[array.index()] * self.elem.size() as u64) as i64;
+        let guard = (GUARD_CHUNKS as i64) * v;
+        if addr < base - guard || addr + v > base + len + guard || addr < 0 {
+            return Err(ExecError::ChunkOutOfBounds {
+                array,
+                addr,
+                base: base as u64,
+                byte_len: len as u64,
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    fn check_chunk(&self, array: ArrayId, addr: i64) -> Result<usize, ExecError> {
+        let v = self.shape.bytes() as i64;
+        let base = self.bases[array.index()] as i64;
+        let len = (self.lens[array.index()] * self.elem.size() as u64) as i64;
+        let guard = (GUARD_CHUNKS as i64) * v;
+        let chunk = addr & !(v - 1);
+        if chunk < base - guard || chunk + v > base + len + guard || chunk < 0 {
+            return Err(ExecError::ChunkOutOfBounds {
+                array,
+                addr,
+                base: base as u64,
+                byte_len: len as u64,
+            });
+        }
+        Ok(chunk as usize)
+    }
+
+    /// The raw image bytes (for whole-image differential comparison).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// First byte position at which two images differ, if any.
+    pub fn first_difference(&self, other: &MemoryImage) -> Option<usize> {
+        self.bytes
+            .iter()
+            .zip(other.bytes.iter())
+            .position(|(a, b)| a != b)
+            .or_else(|| {
+                if self.bytes.len() != other.bytes.len() {
+                    Some(self.bytes.len().min(other.bytes.len()))
+                } else {
+                    None
+                }
+            })
+    }
+}
+
+/// A tiny deterministic generator (64-bit LCG, top bits) so the VM does
+/// not depend on external randomness.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_ir::{parse_program, Expr, LoopBuilder};
+
+    fn program() -> LoopProgram {
+        parse_program(
+            "arrays { a: i32[64] @ 12; b: i32[64] @ 4; c: i32[64] @ ?; }
+             for i in 0..32 { a[i] = b[i] + c[i]; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bases_respect_declared_misalignment() {
+        let p = program();
+        let img = MemoryImage::with_seed(&p, VectorShape::V16, 7);
+        assert_eq!(img.base_of(ArrayId::from_index(0)) % 16, 12);
+        assert_eq!(img.base_of(ArrayId::from_index(1)) % 16, 4);
+        // runtime array: naturally aligned for i32
+        assert_eq!(img.base_of(ArrayId::from_index(2)) % 4, 0);
+    }
+
+    #[test]
+    fn runtime_offsets_vary_with_seed() {
+        let p = program();
+        let offs: Vec<u64> = (0..16)
+            .map(|s| {
+                MemoryImage::with_seed(&p, VectorShape::V16, s).base_of(ArrayId::from_index(2)) % 16
+            })
+            .collect();
+        assert!(offs.iter().any(|&o| o != offs[0]));
+    }
+
+    #[test]
+    fn element_roundtrip_and_bounds() {
+        let p = program();
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 1);
+        let a = ArrayId::from_index(0);
+        img.set(a, 5, Value::from_i64(img.elem(), -77)).unwrap();
+        assert_eq!(img.get(a, 5).unwrap().as_i64(), -77);
+        assert!(matches!(
+            img.get(a, 64),
+            Err(ExecError::ElementOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_ops_truncate() {
+        let p = program();
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 1);
+        let b = ArrayId::from_index(1);
+        let base = img.base_of(b) as i64;
+        // Loads from base, base+1, base+14 all return the same chunk.
+        let c0 = img.load_chunk(b, base).unwrap();
+        assert_eq!(img.load_chunk(b, base + 1).unwrap(), c0);
+        assert_eq!(img.load_chunk(b, base + 11).unwrap(), c0);
+        // A store at a misaligned address writes the truncated chunk.
+        let data = vec![0xAB; 16];
+        img.store_chunk(b, base + 3, &data).unwrap();
+        assert_eq!(img.load_chunk(b, base).unwrap(), data);
+    }
+
+    #[test]
+    fn chunk_guard_limits() {
+        let p = program();
+        let img = MemoryImage::with_seed(&p, VectorShape::V16, 1);
+        let b = ArrayId::from_index(1);
+        let base = img.base_of(b) as i64;
+        // Within guard: fine. Far before the array: error.
+        assert!(img.load_chunk(b, base - 16).is_ok());
+        assert!(img.load_chunk(b, base - 64 * 16).is_err());
+        assert!(img.load_chunk(b, base + 64 * 4 + 63 * 16).is_err());
+    }
+
+    #[test]
+    fn differential_helper_spots_changes() {
+        let p = program();
+        let img1 = MemoryImage::with_seed(&p, VectorShape::V16, 3);
+        let mut img2 = img1.clone();
+        assert_eq!(img1.first_difference(&img2), None);
+        img2.set(ArrayId::from_index(0), 0, Value::from_i64(img2.elem(), 1))
+            .unwrap();
+        assert!(img1.first_difference(&img2).is_some());
+    }
+
+    #[test]
+    fn fill_random_is_deterministic() {
+        let p = program();
+        let mut a = MemoryImage::with_offsets(&p, VectorShape::V16, &[0, 0, 8]);
+        let mut b = MemoryImage::with_offsets(&p, VectorShape::V16, &[0, 0, 8]);
+        a.fill_random(9);
+        b.fill_random(9);
+        assert_eq!(a, b);
+        b.fill_random(10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn i8_arrays_place_at_any_offset() {
+        let mut bld = LoopBuilder::new(simdize_ir::ScalarType::U8);
+        let a = bld.array("a", 64, 3);
+        let c = bld.array_runtime_align("c", 64);
+        bld.stmt(a.at(0), Expr::load(c.at(1)));
+        let p = bld.finish(32).unwrap();
+        let img = MemoryImage::with_seed(&p, VectorShape::V16, 5);
+        assert_eq!(img.base_of(a.id()) % 16, 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! The scalar reference executor (correctness oracle and `ub ≤ 3B`
+//! fallback path) and the idealistic scalar instruction count.
+
+use crate::error::ExecError;
+use crate::memory::MemoryImage;
+use simdize_ir::{Expr, Invariant, LoopProgram, Value};
+
+/// Executes `program` element by element, exactly as the original
+/// scalar loop would, for `ub` iterations.
+///
+/// Returns the number of *ideal* scalar instructions executed: one per
+/// load, lane operation and store — the paper's "idealistic scalar
+/// instruction count" used as the speedup baseline (loop overhead and
+/// address computation excluded).
+///
+/// # Errors
+///
+/// Returns [`ExecError::ElementOutOfBounds`] when `ub` drives a
+/// reference outside its array, or [`ExecError::MissingParam`] when
+/// `params` is shorter than the loop's parameter table.
+pub fn run_scalar(
+    program: &LoopProgram,
+    image: &mut MemoryImage,
+    ub: u64,
+    params: &[i64],
+) -> Result<u64, ExecError> {
+    if params.len() < program.params().len() {
+        return Err(ExecError::MissingParam {
+            index: params.len(),
+        });
+    }
+    for i in 0..ub {
+        for stmt in program.stmts() {
+            let value = eval(&stmt.rhs, i, program, image, params)?;
+            match stmt.reduction {
+                Some(op) => {
+                    let idx = stmt.target.offset as u64;
+                    let acc = image.get(stmt.target.array, idx)?;
+                    image.set(stmt.target.array, idx, op.apply(acc, value))?;
+                }
+                None => {
+                    image.set(stmt.target.array, stmt.target.index_at(i), value)?;
+                }
+            }
+        }
+    }
+    Ok(scalar_ideal_ops(program, ub))
+}
+
+fn eval(
+    e: &Expr,
+    i: u64,
+    program: &LoopProgram,
+    image: &MemoryImage,
+    params: &[i64],
+) -> Result<Value, ExecError> {
+    Ok(match e {
+        Expr::Load(r) => image.get(r.array, r.index_at(i))?,
+        Expr::Splat(Invariant::Const(c)) => Value::from_i64(program.elem(), *c),
+        Expr::Splat(Invariant::Param(p)) => Value::from_i64(program.elem(), params[p.index()]),
+        Expr::Binary(op, a, b) => op.apply(
+            eval(a, i, program, image, params)?,
+            eval(b, i, program, image, params)?,
+        ),
+        Expr::Unary(op, a) => op.apply(eval(a, i, program, image, params)?),
+    })
+}
+
+/// The paper's idealistic scalar instruction count for `ub` iterations:
+/// per statement, one instruction per load, per lane operation and for
+/// the store. For a statement with `l` loads combined by `l − 1` adds
+/// this is `2l` per datum — e.g. 12 OPD for the 6-load single-statement
+/// benchmark (the `SEQ` bar of Figure 11).
+pub fn scalar_ideal_ops(program: &LoopProgram, ub: u64) -> u64 {
+    let per_iter: u64 = program
+        .stmts()
+        .iter()
+        .map(|s| (s.rhs.loads().len() + s.rhs.op_count() + 1) as u64)
+        .sum();
+    per_iter * ub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_ir::{parse_program, ArrayId, VectorShape};
+
+    #[test]
+    fn executes_the_paper_example() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+             for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }",
+        )
+        .unwrap();
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 11);
+        let ops = run_scalar(&p, &mut img, 100, &[]).unwrap();
+        assert_eq!(ops, 400); // (2 loads + 1 add + 1 store) × 100
+    }
+
+    #[test]
+    fn results_match_hand_computation() {
+        let p = parse_program(
+            "arrays { a: i32[64] @ 0; b: i32[64] @ 0; c: i32[64] @ 0; }
+             for i in 0..32 { a[i] = b[i+1] * 2 + c[i]; }",
+        )
+        .unwrap();
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 5);
+        let (a, b, c) = (
+            ArrayId::from_index(0),
+            ArrayId::from_index(1),
+            ArrayId::from_index(2),
+        );
+        let expect: Vec<i64> = (0..32)
+            .map(|i| {
+                let bv = img.get(b, i + 1).unwrap().as_i64();
+                let cv = img.get(c, i).unwrap().as_i64();
+                (bv.wrapping_mul(2)).wrapping_add(cv) as i32 as i64
+            })
+            .collect();
+        run_scalar(&p, &mut img, 32, &[]).unwrap();
+        for i in 0..32u64 {
+            assert_eq!(img.get(a, i).unwrap().as_i64(), expect[i as usize]);
+        }
+    }
+
+    #[test]
+    fn params_are_respected() {
+        let p = parse_program(
+            "arrays { a: i16[32] @ 0; b: i16[32] @ 0; }
+             params { gain; }
+             for i in 0..16 { a[i] = b[i] * gain; }",
+        )
+        .unwrap();
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 5);
+        let b0 = img.get(ArrayId::from_index(1), 0).unwrap().as_i64();
+        run_scalar(&p, &mut img, 16, &[3]).unwrap();
+        assert_eq!(
+            img.get(ArrayId::from_index(0), 0).unwrap().as_i64(),
+            (b0.wrapping_mul(3)) as i16 as i64
+        );
+        let mut img2 = MemoryImage::with_seed(&p, VectorShape::V16, 5);
+        assert!(matches!(
+            run_scalar(&p, &mut img2, 16, &[]),
+            Err(ExecError::MissingParam { .. })
+        ));
+    }
+
+    #[test]
+    fn trip_beyond_array_faults() {
+        let p = parse_program(
+            "arrays { a: i32[64] @ 0; b: i32[64] @ 0; }
+             for i in 0..ub { a[i] = b[i+1]; }",
+        )
+        .unwrap();
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 5);
+        assert!(run_scalar(&p, &mut img, 63, &[]).is_ok());
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 5);
+        assert!(run_scalar(&p, &mut img, 64, &[]).is_err());
+    }
+
+    #[test]
+    fn ideal_count_matches_seq_bar() {
+        // 1 statement × 6 loads: 6 + 5 + 1 = 12 per datum.
+        let p = parse_program(
+            "arrays { a: i32[64] @ 0; b: i32[64] @ 0; c: i32[64] @ 0; d: i32[64] @ 0;
+                      e: i32[64] @ 0; f: i32[64] @ 0; g: i32[64] @ 0; }
+             for i in 0..32 { a[i] = b[i] + c[i] + d[i] + e[i] + f[i] + g[i+1]; }",
+        )
+        .unwrap();
+        assert_eq!(scalar_ideal_ops(&p, 32), 12 * 32);
+    }
+}

@@ -1,0 +1,178 @@
+//! Dynamic instruction counting and the operations-per-datum metric.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Cost charged per steady-state iteration for loop control: one
+/// counted-loop branch (PowerPC `bdnz` decrements and branches in one
+/// instruction). Addressing is assumed to be index-register based and
+/// folded into the memory instructions (update forms), matching the
+/// tight overheads the paper's production compiler achieves.
+pub const LOOP_OVERHEAD_PER_ITERATION: u64 = 1;
+
+/// Cost charged once per loop invocation: function call plus return
+/// (the paper's measurements include a single call and return).
+pub const CALL_OVERHEAD: u64 = 2;
+
+/// Cost of one hardware *misaligned* vector load or store (the
+/// `generate_unaligned` target). Real implementations pay roughly twice
+/// an aligned access when the address straddles a boundary (the paper's
+/// footnote on SSE2: "incurs additional overhead").
+pub const UNALIGNED_MEM_COST: u64 = 2;
+
+/// Cost charged once per *distinct* runtime scalar expression in the
+/// program (computing an alignment with `and`, materializing a permute
+/// vector or select mask from it). These values are loop invariant and
+/// hoisted, so they cost a constant per invocation.
+pub const RUNTIME_SETUP_PER_EXPR: u64 = 2;
+
+/// Dynamic instruction counts of one program execution, by class.
+///
+/// The sum [`RunStats::total`] divided by the number of data elements
+/// produced is the paper's OPD metric ([`RunStats::opd`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Aligned vector loads executed.
+    pub loads: u64,
+    /// Aligned vector stores executed.
+    pub stores: u64,
+    /// `vshiftpair` (permute) operations executed.
+    pub shifts: u64,
+    /// `vsplice` (select) operations executed.
+    pub splices: u64,
+    /// `vsplat` operations executed.
+    pub splats: u64,
+    /// Lane-wise arithmetic operations executed.
+    pub ops: u64,
+    /// Register copies executed (loop-carried rotations).
+    pub copies: u64,
+    /// Loop-control overhead (index updates and branches).
+    pub loop_overhead: u64,
+    /// Call/return and runtime-setup overhead.
+    pub invocation_overhead: u64,
+    /// Hardware-misaligned vector loads and stores executed (each
+    /// costs [`UNALIGNED_MEM_COST`] in [`RunStats::total`]).
+    pub unaligned_mem: u64,
+    /// Scalar instructions executed by the `ub ≤ 3B` fallback path
+    /// (zero when the simdized path ran).
+    pub scalar_fallback: u64,
+    /// Steady-state iterations executed (single-body equivalents).
+    pub steady_iterations: u64,
+    /// Whether the scalar fallback path was taken.
+    pub used_fallback: bool,
+}
+
+impl RunStats {
+    /// Total dynamic cost in instructions.
+    pub fn total(&self) -> u64 {
+        self.loads
+            + self.stores
+            + self.shifts
+            + self.splices
+            + self.splats
+            + self.ops
+            + self.copies
+            + self.loop_overhead
+            + self.invocation_overhead
+            + self.unaligned_mem * UNALIGNED_MEM_COST
+            + self.scalar_fallback
+    }
+
+    /// Only the vector data reorganization operations (`vshiftpair` +
+    /// `vsplice`) — the middle component of the paper's Figure 11 bars.
+    pub fn reorg_ops(&self) -> u64 {
+        self.shifts + self.splices
+    }
+
+    /// Operations per datum: total cost divided by the number of data
+    /// elements the loop produced (`statements × trip count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_produced` is zero.
+    pub fn opd(&self, data_produced: u64) -> f64 {
+        assert!(data_produced > 0, "opd of an empty run");
+        self.total() as f64 / data_produced as f64
+    }
+}
+
+impl AddAssign for RunStats {
+    fn add_assign(&mut self, rhs: RunStats) {
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.shifts += rhs.shifts;
+        self.splices += rhs.splices;
+        self.splats += rhs.splats;
+        self.ops += rhs.ops;
+        self.copies += rhs.copies;
+        self.unaligned_mem += rhs.unaligned_mem;
+        self.loop_overhead += rhs.loop_overhead;
+        self.invocation_overhead += rhs.invocation_overhead;
+        self.scalar_fallback += rhs.scalar_fallback;
+        self.steady_iterations += rhs.steady_iterations;
+        self.used_fallback |= rhs.used_fallback;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} total ({} ld, {} st, {} shift, {} splice, {} splat, {} op, {} copy, \
+             {} loop, {} invoke{})",
+            self.total(),
+            self.loads,
+            self.stores,
+            self.shifts,
+            self.splices,
+            self.splats,
+            self.ops,
+            self.copies,
+            self.loop_overhead,
+            self.invocation_overhead,
+            if self.used_fallback { ", fallback" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_opd() {
+        let s = RunStats {
+            loads: 10,
+            stores: 5,
+            shifts: 3,
+            ops: 12,
+            loop_overhead: 8,
+            ..RunStats::default()
+        };
+        assert_eq!(s.total(), 38);
+        assert!((s.opd(19) - 2.0).abs() < 1e-12);
+        assert_eq!(s.reorg_ops(), 3);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = RunStats {
+            loads: 1,
+            used_fallback: false,
+            ..RunStats::default()
+        };
+        a += RunStats {
+            loads: 2,
+            used_fallback: true,
+            ..RunStats::default()
+        };
+        assert_eq!(a.loads, 3);
+        assert!(a.used_fallback);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn opd_rejects_zero_data() {
+        RunStats::default().opd(0);
+    }
+}

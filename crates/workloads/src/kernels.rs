@@ -1,0 +1,201 @@
+//! Realistic multimedia kernels — the workloads the paper's
+//! introduction motivates (image processing, signal filtering) — as
+//! ready-made loop programs for the examples and integration tests.
+
+use simdize_ir::{
+    AlignKind, ArrayDecl, BinOp, Expr, LoopBuilder, LoopProgram, ParamId, ScalarType, UnOp,
+};
+
+/// A `taps`-tap FIR filter over 16-bit samples with misaligned input:
+/// `out[i] = Σⱼ coeffⱼ · x[i + j]` where the coefficients are runtime
+/// scalar parameters.
+///
+/// Every tap after the first reads the sample stream at a different
+/// alignment, which is exactly the access pattern alignment handling
+/// exists for.
+///
+/// Returns the program together with the coefficient parameter ids (in
+/// tap order).
+///
+/// # Panics
+///
+/// Panics if `taps` is 0 or `n` is 0.
+pub fn fir_filter(n: u64, taps: usize) -> (LoopProgram, Vec<ParamId>) {
+    assert!(taps > 0 && n > 0);
+    let mut b = LoopBuilder::new(ScalarType::I16);
+    let out = b.array("out", n + taps as u64 + 16, 0);
+    let x = b.array("x", n + taps as u64 + 16, 2); // misaligned input
+    let coeffs: Vec<ParamId> = (0..taps).map(|t| b.param(format!("c{t}"))).collect();
+    let rhs = coeffs
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| x.load(j as i64) * Expr::param(c))
+        .reduce(|a, e| a + e)
+        .expect("at least one tap");
+    b.stmt(out.at(0), rhs);
+    let p = b.finish(n).expect("FIR kernel is simdizable");
+    (p, coeffs)
+}
+
+/// Integer alpha blending of two 8-bit pixel rows with misaligned
+/// sources: `out[i] = src[i+1]·α + dst[i+3]·(256−α)` (truncated to 8
+/// bits, as packed multiply-low hardware does).
+///
+/// Returns the program and the `α` parameter id.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn alpha_blend(n: u64) -> (LoopProgram, ParamId) {
+    assert!(n > 0);
+    let mut b = LoopBuilder::new(ScalarType::U8);
+    let out = b.array("out", n + 32, 0);
+    let src = b.array("src", n + 32, 1);
+    let dst = b.array("dst", n + 32, 3);
+    let alpha = b.param("alpha");
+    let inv = b.param("inv_alpha");
+    let rhs = src.load(1) * Expr::param(alpha) + dst.load(3) * Expr::param(inv);
+    b.stmt(out.at(0), rhs);
+    let p = b.finish(n).expect("blend kernel is simdizable");
+    (p, alpha)
+}
+
+/// A saxpy-style update with offset streams and an array whose
+/// alignment is only known at run time:
+/// `out[i+1] = x[i+2]·a + y[i]`.
+///
+/// Returns the program and the scale parameter id.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn offset_saxpy(n: u64) -> (LoopProgram, ParamId) {
+    assert!(n > 0);
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let out = b.array("out", n + 16, 4);
+    let x = b.declare(ArrayDecl::new(
+        "x",
+        ScalarType::I32,
+        n + 16,
+        AlignKind::Runtime,
+    ));
+    let y = b.array("y", n + 16, 8);
+    let a = b.param("a");
+    b.stmt(out.at(1), x.load(2) * Expr::param(a) + y.load(0));
+    let p = b.finish(n).expect("saxpy kernel is simdizable");
+    (p, a)
+}
+
+/// A dot product with misaligned inputs:
+/// `acc[0] += x[i+1] · y[i+2]` — the reduction extension's flagship
+/// kernel (§7: scalar accesses in non-address computation).
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn dot_product(n: u64) -> LoopProgram {
+    assert!(n > 0);
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array("acc", 4, 4);
+    let x = b.array("x", n + 16, 4);
+    let y = b.array("y", n + 16, 8);
+    b.reduce(acc.at(0), BinOp::Add, x.load(1) * y.load(2));
+    b.finish(n).expect("dot product is simdizable")
+}
+
+/// Sum of absolute differences between two misaligned sample windows —
+/// the motion-estimation kernel of video encoders, combining the `abs`
+/// lane operation with the reduction extension:
+/// `sad[0] += |cur[i+1] − ref[i+3]|`.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn sum_abs_diff(n: u64) -> LoopProgram {
+    assert!(n > 0);
+    let mut b = LoopBuilder::new(ScalarType::I16);
+    let sad = b.array("sad", 8, 0);
+    let cur = b.array("cur", n + 16, 2);
+    let refw = b.array("refw", n + 16, 6);
+    let diff = cur.load(1) - refw.load(3);
+    b.reduce(sad.at(0), BinOp::Add, Expr::unary(UnOp::Abs, diff));
+    b.finish(n).expect("SAD kernel is simdizable")
+}
+
+/// Packed-RGB to grayscale conversion using the strided extension:
+/// `gray[i] = r·wr + g·wg + b·wb` where the channels are stride-3…
+/// — 3 is not a supported stride, so this kernel uses RGBA (stride 4):
+/// `gray[i] = rgba[4i]·wr + rgba[4i+1]·wg + rgba[4i+2]·wb` over 16-bit
+/// working precision.
+///
+/// Returns the program and the three weight parameter ids.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn rgba_to_gray(n: u64) -> (LoopProgram, [ParamId; 3]) {
+    assert!(n > 0);
+    let mut b = LoopBuilder::new(ScalarType::I16);
+    let gray = b.array("gray", n + 16, 0);
+    let rgba = b.array("rgba", 4 * n + 32, 2);
+    let wr = b.param("wr");
+    let wg = b.param("wg");
+    let wb = b.param("wb");
+    let rhs = rgba.load_strided(4, 0) * Expr::param(wr)
+        + rgba.load_strided(4, 1) * Expr::param(wg)
+        + rgba.load_strided(4, 2) * Expr::param(wb);
+    b.stmt(gray.at(0), rhs);
+    let p = b.finish(n).expect("RGBA kernel is simdizable");
+    (p, [wr, wg, wb])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_ir::VectorShape;
+    use simdize_reorg::ReorgGraph;
+
+    #[test]
+    fn fir_shape() {
+        let (p, coeffs) = fir_filter(1000, 5);
+        assert_eq!(coeffs.len(), 5);
+        assert_eq!(p.stmts()[0].rhs.loads().len(), 5);
+        assert_eq!(p.elem(), ScalarType::I16);
+        ReorgGraph::build(&p, VectorShape::V16).unwrap();
+    }
+
+    #[test]
+    fn blend_is_u8_with_three_alignments() {
+        let (p, _) = alpha_blend(640);
+        assert_eq!(p.elem(), ScalarType::U8);
+        let g = ReorgGraph::build(&p, VectorShape::V16).unwrap();
+        assert_eq!(simdize_reorg::distinct_alignments(&g, 0), 3);
+    }
+
+    #[test]
+    fn dot_product_is_a_reduction() {
+        let p = dot_product(1000);
+        assert!(p.stmts()[0].is_reduction());
+        ReorgGraph::build(&p, VectorShape::V16).unwrap();
+    }
+
+    #[test]
+    fn sad_reduces_with_abs() {
+        let p = sum_abs_diff(500);
+        assert!(p.stmts()[0].is_reduction());
+        assert_eq!(p.stmts()[0].rhs.op_count(), 2); // sub + abs
+    }
+
+    #[test]
+    fn rgba_kernel_is_strided() {
+        let (p, weights) = rgba_to_gray(640);
+        assert_eq!(weights.len(), 3);
+        assert!(p.stmts()[0].rhs.loads().iter().all(|r| r.stride == 4));
+    }
+
+    #[test]
+    fn saxpy_has_runtime_alignment() {
+        let (p, _) = offset_saxpy(512);
+        assert!(!p.all_alignments_known());
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthesized loop benchmarks and the analytic lower-bound model of
+//! paper §5.3, plus a small library of realistic multimedia kernels.
+//!
+//! The paper evaluates its simdization scheme on loops synthesized from
+//! five parameters: `s` statements per loop, `l` loads per statement,
+//! trip count `n`, an alignment *bias* `b` (the probability that a
+//! reference's alignment equals one randomly pre-selected value) and an
+//! array *reuse* ratio `r` across statements. [`WorkloadSpec`] captures
+//! those parameters and [`synthesize`] produces matching
+//! [`simdize_ir::LoopProgram`]s from a seeded RNG.
+//!
+//! [`lower_bound_opd`] implements §5.3's lower bound: one operation per
+//! distinct 16-byte-aligned load and store in the loop, the minimum
+//! number of `vshiftpair`s per statement (`n − 1` for `n` distinct
+//! alignments; one per misaligned stream under the zero-shift policy),
+//! and the loop's data computations — everything else (address
+//! computation, loop overhead) is excluded by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use simdize_workloads::{synthesize, WorkloadSpec};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let spec = WorkloadSpec::new(1, 6).bias(0.3).reuse(0.3);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let p = synthesize(&spec, &mut rng);
+//! assert_eq!(p.stmts().len(), 1);
+//! assert_eq!(p.stmts()[0].rhs.loads().len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod kernels;
+mod lb;
+mod summary;
+
+pub use gen::{synthesize, TripSpec, WorkloadSpec};
+pub use kernels::{alpha_blend, dot_product, fir_filter, offset_saxpy, rgba_to_gray, sum_abs_diff};
+pub use lb::{
+    lower_bound_opd, lower_bound_opd_cse, lower_bound_opd_unaligned, lower_bound_parts, LowerBound,
+};
+pub use summary::{harmonic_mean, Summary};

@@ -1,0 +1,128 @@
+//! Aggregation helpers for benchmark reporting.
+
+/// The harmonic mean of a sequence of positive values — the aggregation
+/// the paper uses over each 50-loop benchmark ("the results are
+/// reported as the harmonic means over all 50 loops").
+///
+/// Returns `None` for an empty sequence or when any value is
+/// non-positive.
+///
+/// # Example
+///
+/// ```
+/// use simdize_workloads::harmonic_mean;
+/// let hm = harmonic_mean([2.0, 6.0]).unwrap();
+/// assert!((hm - 3.0).abs() < 1e-12);
+/// assert!(harmonic_mean(std::iter::empty()).is_none());
+/// ```
+pub fn harmonic_mean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut count = 0usize;
+    let mut recip_sum = 0.0;
+    for v in values {
+        if v <= 0.0 {
+            return None;
+        }
+        count += 1;
+        recip_sum += 1.0 / v;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(count as f64 / recip_sum)
+    }
+}
+
+/// Running summary of a metric over a benchmark's loops: harmonic mean
+/// plus extremes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Records one loop's value.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Harmonic mean of the recorded values.
+    pub fn harmonic_mean(&self) -> Option<f64> {
+        harmonic_mean(self.values.iter().copied())
+    }
+
+    /// Arithmetic mean of the recorded values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Summary {
+        Summary {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean([4.0]), Some(4.0));
+        assert!(harmonic_mean([1.0, 0.0]).is_none());
+        assert!(harmonic_mean([1.0, -2.0]).is_none());
+        let hm = harmonic_mean([1.0, 2.0, 4.0]).unwrap();
+        assert!((hm - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s: Summary = [2.0, 6.0, 3.0].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+        assert!((s.mean().unwrap() - 11.0 / 3.0).abs() < 1e-12);
+        assert!(s.harmonic_mean().unwrap() < s.mean().unwrap());
+        let mut t = Summary::new();
+        t.extend([1.0, 2.0]);
+        assert_eq!(t.len(), 2);
+    }
+}

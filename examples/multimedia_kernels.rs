@@ -1,0 +1,64 @@
+//! Simdizing the multimedia kernels the paper's introduction motivates:
+//! a FIR filter over 16-bit samples, 8-bit alpha blending, and an
+//! offset saxpy — all with misaligned streams.
+//!
+//! Run with: `cargo run --example multimedia_kernels`
+
+use simdize::{
+    alpha_blend, dot_product, fir_filter, offset_saxpy, rgba_to_gray, sum_abs_diff, DiffConfig,
+    LoopProgram, SimdizeError, Simdizer,
+};
+
+fn evaluate(name: &str, program: &LoopProgram, params: Vec<i64>) -> Result<(), SimdizeError> {
+    let simdizer = Simdizer::new();
+    let policy = simdizer.policy_for(program);
+    let report = simdizer.evaluate_with(
+        program,
+        &DiffConfig::with_seed(77).runtime_ub(1000).params(params),
+    )?;
+    assert!(report.verified);
+    let lanes = 16 / program.elem().size();
+    println!(
+        "{name:<28} {:>4} lanes  policy {:<8}  opd {:>6.3}  speedup {:>5.2}x (peak {lanes}x)",
+        lanes,
+        policy.name(),
+        report.opd,
+        report.speedup
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("kernel                        lanes  policy    opd     speedup");
+    println!("--------------------------------------------------------------");
+
+    // 5-tap FIR filter on shorts: every tap reads the sample stream at
+    // a different alignment.
+    let (fir, coeffs) = fir_filter(2000, 5);
+    let coeff_values: Vec<i64> = (0..coeffs.len() as i64).map(|t| 2 * t + 1).collect();
+    evaluate("fir_filter (i16, 5 taps)", &fir, coeff_values)?;
+
+    // Alpha blending of two u8 pixel rows with misaligned sources.
+    let (blend, _) = alpha_blend(1920);
+    evaluate("alpha_blend (u8, 1920px)", &blend, vec![96, 160])?;
+
+    // Offset saxpy with one runtime-aligned input: the driver falls
+    // back to the zero-shift policy automatically (§4.4).
+    let (saxpy, _) = offset_saxpy(2000);
+    evaluate("offset_saxpy (i32, rt align)", &saxpy, vec![3])?;
+
+    // A dot product: the reduction extension with misaligned inputs.
+    let dot = dot_product(2000);
+    evaluate("dot_product (i32, reduce)", &dot, vec![])?;
+
+    // Motion-estimation SAD: abs + reduction.
+    let sad = sum_abs_diff(2000);
+    evaluate("sum_abs_diff (i16, reduce)", &sad, vec![])?;
+
+    // RGBA → gray: the strided extension on a real pixel format.
+    let (gray, _) = rgba_to_gray(1920);
+    evaluate("rgba_to_gray (i16, stride 4)", &gray, vec![77, 150, 29])?;
+
+    println!("\nAll six verified byte-for-byte against the scalar loops.");
+    Ok(())
+}

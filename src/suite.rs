@@ -1,0 +1,2 @@
+//! Umbrella crate: re-exports the whole `simdize` workspace for tests/examples.
+pub use simdize as core;

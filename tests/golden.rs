@@ -1,0 +1,146 @@
+//! Golden tests: the exact generated code for representative loops.
+//!
+//! These freeze the code generator's output so refactors cannot
+//! silently change the instruction mix the evaluation relies on. The
+//! expectations were captured from differentially-verified runs; if an
+//! intentional improvement changes the output, re-verify and re-run the
+//! figures (EXPERIMENTS.md), then update.
+
+use simdize::{Policy, ReuseMode, Simdizer};
+
+fn compile(src: &str, policy: Policy) -> String {
+    let p = simdize::parse_program(src).unwrap();
+    Simdizer::new()
+        .policy(policy)
+        .reuse(ReuseMode::SoftwarePipeline)
+        .unroll(false)
+        .compile(&p)
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn figure1_zero_sp_golden() {
+    // The paper's Figure 1 under zero-shift + software pipelining: left-
+    // shifted load streams, a right-shifted store stream, carried
+    // chains, and splice-guarded prologue and epilogue.
+    let out = compile(
+        "arrays { a: i32[1024] @ 0; b: i32[1024] @ 0; c: i32[1024] @ 0; }
+         for i in 0..1000 { a[i+3] = b[i+1] + c[i+2]; }",
+        Policy::Zero,
+    );
+    let expected = "\
+; simdized loop: V=16 D=4 B=4 guard: ub > 12
+prologue (i = 0):
+  v0 = vload arr1[i-3]
+  v1 = vload arr1[i+1]
+  v2 = vshiftpair(v0, v1, 4)
+  v3 = vload arr2[i-2]
+  v4 = vload arr2[i+2]
+  v5 = vshiftpair(v3, v4, 8)
+  v6 = vadd(v2, v5)
+  v8 = vload arr1[i+5]
+  v9 = vshiftpair(v1, v8, 4)
+  v11 = vload arr2[i+6]
+  v12 = vshiftpair(v4, v11, 8)
+  v13 = vadd(v9, v12)
+  v14 = vshiftpair(v6, v13, 4)
+  v15 = vload arr0[i+3]
+  v16 = vsplice(v15, v14, 12)
+  vstore arr0[i+3], v16
+  v17 = v13
+  v25 = v8
+  v29 = v11
+steady (i = 4; i < 997; i += 4):
+  v27 = vload arr1[i+5]
+  v28 = vshiftpair(v25, v27, 4)
+  v31 = vload arr2[i+6]
+  v32 = vshiftpair(v29, v31, 8)
+  v33 = vadd(v28, v32)
+  v34 = vshiftpair(v17, v33, 4)
+  vstore arr0[i+3], v34
+  v25 = v27
+  v29 = v31
+  v17 = v33
+epilogue:
+  v67 = vload arr1[i-3]
+  v68 = vload arr1[i+1]
+  v69 = vshiftpair(v67, v68, 4)
+  v70 = vload arr2[i-2]
+  v71 = vload arr2[i+2]
+  v72 = vshiftpair(v70, v71, 8)
+  v73 = vadd(v69, v72)
+  v75 = vload arr1[i+5]
+  v76 = vshiftpair(v68, v75, 4)
+  v78 = vload arr2[i+6]
+  v79 = vshiftpair(v71, v78, 8)
+  v80 = vadd(v76, v79)
+  v81 = vshiftpair(v73, v80, 4)
+  v82 = vload arr0[i+3]
+  v83 = vsplice(v81, v82, 12)
+  vstore arr0[i+3], v83
+";
+    assert_eq!(out, expected, "generated:\n{out}");
+}
+
+#[test]
+fn aligned_loop_is_shift_free_golden() {
+    // A fully aligned loop compiles to the minimal load/splat/mul/store
+    // body with no shifts, no splices and an empty epilogue.
+    let out = compile(
+        "arrays { a: i32[512] @ 0; b: i32[512] @ 0; }
+         for i in 0..256 { a[i] = b[i] * 3; }",
+        Policy::Lazy,
+    );
+    let expected = "\
+; simdized loop: V=16 D=4 B=4 guard: ub > 12
+prologue (i = 0):
+  v0 = vload arr1[i]
+  v1 = vsplat(3)
+  v2 = vmul(v0, v1)
+  vstore arr0[i], v2
+steady (i = 4; i < 256; i += 4):
+  v3 = vload arr1[i]
+  v4 = vsplat(3)
+  v5 = vmul(v3, v4)
+  vstore arr0[i], v5
+epilogue:
+";
+    assert_eq!(out, expected, "generated:\n{out}");
+}
+
+#[test]
+fn dot_product_reduction_golden() {
+    // A reduction: carried vector accumulator in the steady state, then
+    // a log2(B) horizontal fold and a single-element permute merge. The
+    // trip count is a multiple of B, so no residue mask appears.
+    let out = compile(
+        "arrays { acc: i32[4] @ 0; x: i32[256] @ 0; y: i32[256] @ 0; }
+         for i in 0..200 { acc[i] += x[i] * y[i]; }",
+        Policy::Lazy,
+    );
+    let expected = "\
+; simdized loop: V=16 D=4 B=4 guard: ub > 12
+prologue (i = 0):
+  v0 = vload arr1[i]
+  v1 = vload arr2[i]
+  v2 = vmul(v0, v1)
+  v3 = v2
+steady (i = 4; i < 197; i += 4):
+  v4 = vload arr1[i]
+  v5 = vload arr2[i]
+  v6 = vmul(v4, v5)
+  v7 = vadd(v3, v6)
+  v3 = v7
+epilogue:
+  v8 = vshiftpair(v3, v3, 8)
+  v9 = vadd(v3, v8)
+  v10 = vshiftpair(v9, v9, 4)
+  v11 = vadd(v9, v10)
+  v12 = vload arr0[0]
+  v13 = vadd(v11, v12)
+  v14 = vperm(v13, v12, [0,1,2,3,20,21,22,23,24,25,26,27,28,29,30,31])
+  vstore arr0[0], v14
+";
+    assert_eq!(out, expected, "generated:\n{out}");
+}

@@ -1,0 +1,340 @@
+//! Property-based tests over the whole pipeline.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdize::{
+    parse_program, reassociate, synthesize, DiffConfig, Policy, ReorgGraph, ReuseMode, ScalarType,
+    Scheme, Simdizer, TripSpec, Value, VectorShape, WorkloadSpec,
+};
+
+fn elem_strategy() -> impl Strategy<Value = ScalarType> {
+    prop::sample::select(vec![
+        ScalarType::I8,
+        ScalarType::U8,
+        ScalarType::I16,
+        ScalarType::U16,
+        ScalarType::I32,
+        ScalarType::U32,
+        ScalarType::I64,
+    ])
+}
+
+fn spec_strategy() -> impl Strategy<Value = (WorkloadSpec, u64)> {
+    (
+        1usize..=4,
+        1usize..=8,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        elem_strategy(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(s, l, bias, reuse, elem, runtime_align, seed)| {
+            let spec = WorkloadSpec::new(s, l)
+                .bias(bias)
+                .reuse(reuse)
+                .elem(elem)
+                .trip(TripSpec::KnownInRange(117, 130))
+                .runtime_align(runtime_align);
+            (spec, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The crown jewel: any loop the generator can produce, simdized
+    /// under any applicable scheme, computes exactly what the scalar
+    /// loop computes.
+    #[test]
+    fn any_workload_verifies((spec, seed) in spec_strategy(), scheme_idx in 0usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = synthesize(&spec, &mut rng);
+        let schemes = if spec.runtime_align {
+            Scheme::runtime_contenders()
+        } else {
+            Scheme::contenders()
+        };
+        let scheme = schemes[scheme_idx % schemes.len()];
+        let report = Simdizer::new()
+            .scheme(scheme)
+            .evaluate_with(&program, &DiffConfig::with_seed(seed ^ 0x5A5A))
+            .unwrap();
+        prop_assert!(report.verified);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy yields a graph satisfying (C.2)/(C.3), and the
+    /// placement quality ordering lazy ≤ eager holds.
+    #[test]
+    fn policies_valid_and_ordered((spec, seed) in spec_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = spec.runtime_align(false);
+        let program = synthesize(&spec, &mut rng);
+        let graph = ReorgGraph::build(&program, VectorShape::V16).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for policy in Policy::ALL {
+            let placed = graph.with_policy(policy).unwrap();
+            placed.validate().unwrap();
+            counts.insert(policy, placed.shift_count());
+        }
+        prop_assert!(counts[&Policy::Lazy] <= counts[&Policy::Eager]);
+        // Zero shifts exactly the misaligned streams: one per
+        // misaligned load occurrence plus one per misaligned store.
+        let mut expected_zero = 0usize;
+        for stmt in program.stmts() {
+            stmt.rhs.visit_loads(&mut |r| {
+                if simdize::Offset::of_ref(r, &program, VectorShape::V16)
+                    != simdize::Offset::Byte(0)
+                {
+                    expected_zero += 1;
+                }
+            });
+            if simdize::Offset::of_ref(stmt.target, &program, VectorShape::V16)
+                != simdize::Offset::Byte(0)
+            {
+                expected_zero += 1;
+            }
+        }
+        prop_assert_eq!(counts[&Policy::Zero], expected_zero);
+    }
+
+    /// After common-offset reassociation, lazy placement reaches the
+    /// paper's analytic minimum of n−1 shifts per statement.
+    #[test]
+    fn reassoc_lazy_reaches_minimum((spec, seed) in spec_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = spec.runtime_align(false);
+        let program = synthesize(&spec, &mut rng);
+        let re = reassociate(&program, VectorShape::V16);
+        let placed = ReorgGraph::build(&re, VectorShape::V16)
+            .unwrap()
+            .with_policy(Policy::Lazy)
+            .unwrap();
+        placed.validate().unwrap();
+        let unshifted = ReorgGraph::build(&re, VectorShape::V16).unwrap();
+        let stats = placed.stats();
+        for s in 0..program.stmts().len() {
+            let n = simdize::distinct_alignments(&unshifted, s);
+            prop_assert_eq!(
+                stats.per_stmt_shifts[s],
+                n.saturating_sub(1),
+                "statement {} of {}", s, re
+            );
+        }
+    }
+
+    /// Reassociation never *increases* lazy's shift count, and
+    /// preserves the multiset of loads.
+    #[test]
+    fn reassoc_monotone((spec, seed) in spec_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = spec.runtime_align(false);
+        let program = synthesize(&spec, &mut rng);
+        let re = reassociate(&program, VectorShape::V16);
+        let shifts = |p: &simdize::LoopProgram| {
+            ReorgGraph::build(p, VectorShape::V16)
+                .unwrap()
+                .with_policy(Policy::Lazy)
+                .unwrap()
+                .shift_count()
+        };
+        prop_assert!(shifts(&re) <= shifts(&program));
+        for (a, b) in program.stmts().iter().zip(re.stmts()) {
+            let mut la = a.rhs.loads();
+            let mut lb = b.rhs.loads();
+            la.sort_by_key(|r| (r.array.index(), r.offset));
+            lb.sort_by_key(|r| (r.array.index(), r.offset));
+            prop_assert_eq!(la, lb);
+        }
+    }
+
+    /// Textual round trip: printing a program and re-parsing it yields
+    /// the same program.
+    #[test]
+    fn source_roundtrip((spec, seed) in spec_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = synthesize(&spec, &mut rng);
+        let reparsed = parse_program(&program.to_source()).unwrap();
+        prop_assert_eq!(program, reparsed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Software pipelining never loads more than the naive generator
+    /// on long loops without cross-statement array sharing. (With heavy
+    /// reuse the comparison genuinely goes both ways: LVN dedupes the
+    /// naive code's identical shifts *across* statements, while each SP
+    /// carried chain is private — the paper's harmonic means average
+    /// over this.)
+    #[test]
+    fn sp_never_loads_more((spec, seed) in spec_strategy()) {
+        let spec = spec.reuse(0.0).trip(TripSpec::Known(1000));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = synthesize(&spec, &mut rng);
+        let policy = if spec.runtime_align { Policy::Zero } else { Policy::Lazy };
+        let naive = Simdizer::new()
+            .policy(policy)
+            .reuse(ReuseMode::None)
+            .evaluate_with(&program, &DiffConfig::with_seed(seed))
+            .unwrap();
+        let sp = Simdizer::new()
+            .policy(policy)
+            .reuse(ReuseMode::SoftwarePipeline)
+            .evaluate_with(&program, &DiffConfig::with_seed(seed))
+            .unwrap();
+        prop_assert!(sp.stats.loads <= naive.stats.loads);
+        prop_assert!(sp.stats.total() <= naive.stats.total() + 16);
+    }
+}
+
+proptest! {
+    /// Lane value algebra: wrapping ops are closed and obey the
+    /// expected identities for every element type.
+    #[test]
+    fn value_algebra(bits_a in any::<u64>(), bits_b in any::<u64>(), elem in elem_strategy()) {
+        let a = Value::new(elem, bits_a);
+        let b = Value::new(elem, bits_b);
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
+        prop_assert_eq!(a.min_lane(b), b.min_lane(a));
+        prop_assert_eq!(a.max_lane(b).max_lane(b), a.max_lane(b));
+        prop_assert_eq!(a.wrapping_sub(b).wrapping_add(b), a);
+        prop_assert_eq!(a.not().not(), a);
+        prop_assert_eq!(a.wrapping_neg().wrapping_neg(), a);
+        prop_assert_eq!(Value::from_le_bytes(elem, &a.to_le_bytes()), a);
+        // min/max bracket both operands.
+        let lo = a.min_lane(b).as_i64();
+        let hi = a.max_lane(b).as_i64();
+        prop_assert!(lo <= hi);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The strided extension: any mixed-stride workload (strides 1, 2,
+    /// 4; compile-time alignments and trip counts) verifies against the
+    /// scalar oracle.
+    #[test]
+    fn strided_workloads_verify(
+        s in 1usize..=3,
+        l in 1usize..=5,
+        bias in 0.0f64..=1.0,
+        reuse in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec::new(s, l)
+            .bias(bias)
+            .reuse(reuse)
+            .trip(TripSpec::KnownInRange(117, 130))
+            .strides(vec![1, 2, 4]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = synthesize(&spec, &mut rng);
+        let report = Simdizer::new()
+            .evaluate_with(&program, &DiffConfig::with_seed(seed ^ 0xFEED))
+            .unwrap();
+        prop_assert!(report.verified);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reductions: random expressions folded with every reassociable
+    /// operation match the scalar fold exactly (wrapping arithmetic is
+    /// order-insensitive for these ops).
+    #[test]
+    fn reductions_verify(
+        op_idx in 0usize..7,
+        elem in elem_strategy(),
+        loads in 1usize..=4,
+        misalign in 0u32..16,
+        ub in 100u64..400,
+        seed in any::<u64>(),
+    ) {
+        use simdize::{BinOp, LoopBuilder};
+        let ops = [
+            BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max,
+            BinOp::And, BinOp::Or, BinOp::Xor,
+        ];
+        let op = ops[op_idx];
+        let d = elem.size() as u32;
+        let mut b = LoopBuilder::new(elem);
+        let acc = b.array("acc", 32, misalign - misalign % d);
+        let len = ub + 32;
+        let rhs = (0..loads)
+            .map(|l| {
+                let arr = b.array(format!("x{l}"), len, (l as u32 * d) % 16);
+                arr.load(l as i64)
+            })
+            .reduce(|a, e| simdize::Expr::binary(op, a, e))
+            .unwrap();
+        b.reduce(acc.at(1), op, rhs);
+        let program = b.finish(ub).unwrap();
+        let report = Simdizer::new()
+            .evaluate_with(&program, &DiffConfig::with_seed(seed))
+            .unwrap();
+        prop_assert!(report.verified);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics: arbitrary input is either a valid
+    /// program or a clean error.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_program(&input);
+    }
+
+    /// Structured fuzzing: near-miss programs built from valid fragments
+    /// with random mutations still never panic the parser.
+    #[test]
+    fn parser_survives_mutations(
+        cut_at in 0usize..200,
+        insert in "[\\[\\]{}();:=+*@?0-9a-z ]{0,8}",
+    ) {
+        let base = "arrays { a: i32[128] @ 0; b: i32[128] @ 4; }
+                    params { k; }
+                    for i in 0..ub { a[i+3] += b[2*i+1] * k; }";
+        let cut = cut_at.min(base.len());
+        // Cut at a char boundary and splice random tokens in.
+        let mut at = cut;
+        while !base.is_char_boundary(at) {
+            at -= 1;
+        }
+        let mutated = format!("{}{}{}", &base[..at], insert, &base[at..]);
+        let _ = parse_program(&mutated);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every program the pipeline generates passes the static VIR
+    /// verifier (SSA discipline, permute/shift/splice ranges).
+    #[test]
+    fn generated_programs_pass_the_verifier(
+        (spec, seed) in spec_strategy(),
+        scheme_idx in 0usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = synthesize(&spec, &mut rng);
+        let schemes = if spec.runtime_align {
+            Scheme::runtime_contenders()
+        } else {
+            Scheme::contenders()
+        };
+        let scheme = schemes[scheme_idx % schemes.len()];
+        let compiled = Simdizer::new().scheme(scheme).compile(&program).unwrap();
+        simdize::verify_program(&compiled).unwrap();
+    }
+}

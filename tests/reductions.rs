@@ -1,0 +1,158 @@
+//! End-to-end tests of the reduction extension (§7: scalar accesses in
+//! non-address computation): `out[k] op= expr(i)` folded over the loop.
+
+use simdize::{
+    BinOp, Expr, LoopBuilder, LoopProgram, Report, ScalarType, Scheme, SimdizeError, Simdizer,
+};
+
+fn verify(p: &LoopProgram, seed: u64) -> Report {
+    let r = Simdizer::new()
+        .evaluate(p, seed)
+        .unwrap_or_else(|e| panic!("reduction loop failed: {e}\n{p}"));
+    assert!(r.verified, "reduction diverged:\n{p}");
+    r
+}
+
+#[test]
+fn dot_product() {
+    // acc[0] += x[i+1] * y[i+2]: both inputs misaligned.
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array("acc", 4, 4);
+    let x = b.array("x", 1024, 4);
+    let y = b.array("y", 1024, 8);
+    b.reduce(acc.at(0), BinOp::Add, x.load(1) * y.load(2));
+    let p = b.finish(1000).unwrap();
+    let r = verify(&p, 1);
+    assert!(r.speedup > 2.0, "speedup {}", r.speedup);
+}
+
+#[test]
+fn all_reduction_ops_and_residues() {
+    for op in [
+        BinOp::Add,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+    ] {
+        for ub in [96u64, 97, 99, 100] {
+            let mut b = LoopBuilder::new(ScalarType::I16);
+            let acc = b.array("acc", 8, 2);
+            let x = b.array("x", 128, 6);
+            b.reduce(acc.at(3), op, x.load(1));
+            let p = b.finish(ub).unwrap();
+            verify(&p, ub ^ 0xC0FFEE);
+        }
+    }
+}
+
+#[test]
+fn unsigned_min_max_identities() {
+    for op in [BinOp::Min, BinOp::Max] {
+        let mut b = LoopBuilder::new(ScalarType::U8);
+        let acc = b.array("acc", 16, 0);
+        let x = b.array("x", 256, 3);
+        b.reduce(acc.at(5), op, x.load(0));
+        let p = b.finish(200).unwrap();
+        verify(&p, 77);
+    }
+}
+
+#[test]
+fn mixed_reduction_and_store_statements() {
+    // A loop computing both an output stream and a running checksum.
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let out = b.array("out", 256, 12);
+    let sum = b.array("sum", 4, 0);
+    let x = b.array("x", 256, 4);
+    let y = b.array("y", 256, 8);
+    b.stmt(out.at(3), x.load(1) + y.load(2));
+    b.reduce(sum.at(0), BinOp::Add, x.load(1) * y.load(2));
+    let p = b.finish(200).unwrap();
+    for scheme in Scheme::contenders() {
+        let r = Simdizer::new()
+            .scheme(scheme)
+            .evaluate(&p, 5)
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert!(r.verified, "{scheme}");
+    }
+}
+
+#[test]
+fn reduction_with_runtime_aligned_inputs() {
+    // Input alignments unknown (zero-shift handles them); only the
+    // accumulator's alignment must be static.
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array("acc", 4, 8);
+    let x = b.array_runtime_align("x", 512);
+    b.reduce(acc.at(0), BinOp::Add, x.load(3));
+    let p = b.finish(500).unwrap();
+    for seed in 0..8 {
+        verify(&p, seed);
+    }
+}
+
+#[test]
+fn reduction_rejections() {
+    // Non-reassociable op is rejected at IR validation.
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array("acc", 4, 0);
+    let x = b.array("x", 64, 0);
+    b.reduce(acc.at(0), BinOp::Sub, x.load(0));
+    assert!(b.finish(32).is_err());
+
+    // Runtime trip counts are rejected at code generation.
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array("acc", 4, 0);
+    let x = b.array("x", 8192, 0);
+    b.reduce(acc.at(0), BinOp::Add, x.load(0));
+    let p = b.finish_runtime_trip().unwrap();
+    assert!(matches!(
+        Simdizer::new().compile(&p),
+        Err(SimdizeError::Gen(
+            simdize::GenCodeError::ReductionNeedsKnownTrip
+        ))
+    ));
+
+    // Runtime-aligned accumulators are rejected at code generation.
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array_runtime_align("acc", 4);
+    let x = b.array("x", 128, 0);
+    b.reduce(acc.at(0), BinOp::Add, x.load(0));
+    let p = b.finish(100).unwrap();
+    assert!(matches!(
+        Simdizer::new().compile(&p),
+        Err(SimdizeError::Gen(
+            simdize::GenCodeError::ReductionNeedsKnownAlignment
+        ))
+    ));
+}
+
+#[test]
+fn tiny_trips_fall_back_to_scalar() {
+    let mut b = LoopBuilder::new(ScalarType::I32);
+    let acc = b.array("acc", 4, 0);
+    let x = b.array("x", 64, 4);
+    b.reduce(acc.at(1), BinOp::Add, x.load(2));
+    let p = b.finish(10).unwrap(); // 10 <= 3B = 12
+    let r = verify(&p, 3);
+    assert!(r.stats.used_fallback);
+}
+
+#[test]
+fn wide_accumulation_is_exact() {
+    // Wrapping adds reassociate exactly: a long i8 sum must match the
+    // scalar fold bit for bit.
+    let mut b = LoopBuilder::new(ScalarType::I8);
+    let acc = b.array("acc", 16, 7);
+    let x = b.array("x", 4096, 3);
+    let y = b.array("y", 4096, 9);
+    b.reduce(acc.at(2), BinOp::Add, x.load(1) + y.load(5));
+    let p = b.finish(4000).unwrap();
+    let r = verify(&p, 11);
+    // 16 lanes of i8: near-peak accumulation throughput.
+    assert!(r.speedup > 4.0, "speedup {}", r.speedup);
+    let _ = Expr::constant(0);
+}
