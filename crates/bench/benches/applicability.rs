@@ -7,7 +7,7 @@
 //! Effective speedup counts non-simdizable loops at 1.0x (they run the
 //! scalar loop).
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{
     harmonic_mean, simdizable_aligned_only, simdizable_by_peeling, DiffConfig, Simdizer, TripSpec,
     VectorShape, WorkloadSpec,
@@ -66,7 +66,7 @@ fn main() {
     println!("one that simdizes the loops at all.");
 
     let (program, _) = simdize_bench::representative();
-    let mut c = Criterion::default().sample_size(50).configure_from_args();
+    let mut c = Harness::new().sample_size(50);
     c.bench_function("applicability/analysis", |b| {
         b.iter(|| {
             (

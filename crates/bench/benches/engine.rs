@@ -1,0 +1,72 @@
+//! Engine bench: compiled-kernel execution versus the tree-walking
+//! interpreter on a 1M-element loop, plus the parallel batch sweep.
+//!
+//! The interpreter is the reference semantics; the engine must beat it
+//! by at least 5× on the big loop (the whole point of pre-lowering).
+//! This bench measures both, prints the ratio, and fails loudly if the
+//! engine ever regresses below that bar.
+
+use simdize::{
+    parse_program, run_simd, run_sweep, CompiledKernel, MemoryImage, RunInput, Simdizer, SweepJob,
+    VectorShape,
+};
+use simdize_bench::timing::{black_box, Harness};
+use std::time::Instant;
+
+const BIG: &str = "arrays { a: i32[1000016] @ 0; b: i32[1000016] @ 4; c: i32[1000016] @ 8; }
+                   for i in 0..1000000 { a[i+3] = b[i+1] + c[i+2]; }";
+
+fn main() {
+    let program = parse_program(BIG).unwrap();
+    let compiled = Simdizer::new().compile(&program).unwrap();
+    let input = RunInput::with_ub(1_000_000);
+    let image = MemoryImage::with_seed(&program, VectorShape::V16, 2004);
+    let kernel = CompiledKernel::compile(&compiled, &image, &input).unwrap();
+
+    let mut c = Harness::new().sample_size(10);
+    c.bench_function("engine/compile-kernel", |b| {
+        b.iter(|| CompiledKernel::compile(black_box(&compiled), &image, &input).unwrap())
+    });
+    c.bench_function("engine/run-1M", |b| {
+        let mut img = image.clone();
+        b.iter(|| kernel.run(black_box(&mut img)).unwrap())
+    });
+    c.bench_function("interp/run-1M", |b| {
+        let mut img = image.clone();
+        b.iter(|| run_simd(&compiled, black_box(&mut img), &input).unwrap())
+    });
+    c.bench_function("engine/sweep-8x100k", |b| {
+        let small = parse_program(
+            "arrays { a: i32[100016] @ ?; b: i32[100016] @ ?; }
+             for i in 0..100000 { a[i] = b[i+1]; }",
+        )
+        .unwrap();
+        let prog = Simdizer::new().compile(&small).unwrap();
+        let jobs: Vec<SweepJob> = (0..8)
+            .map(|s| SweepJob::new(prog.clone(), s, 100_000))
+            .collect();
+        b.iter(|| {
+            let outcomes = run_sweep(black_box(&jobs), 4);
+            assert!(outcomes.iter().all(|o| o.as_ref().unwrap().verified));
+        })
+    });
+    c.final_summary();
+
+    // The acceptance bar: compiled kernel ≥5× the interpreter on the
+    // 1M-element loop, measured directly on single full runs.
+    let mut img = image.clone();
+    let t0 = Instant::now();
+    kernel.run(&mut img).unwrap();
+    let engine_t = t0.elapsed();
+    let t1 = Instant::now();
+    run_simd(&compiled, &mut img, &input).unwrap();
+    let interp_t = t1.elapsed();
+    let ratio = interp_t.as_secs_f64() / engine_t.as_secs_f64();
+    println!(
+        "\nengine {engine_t:?} vs interp {interp_t:?} on 1M elements -> {ratio:.1}x speedup"
+    );
+    assert!(
+        ratio >= 5.0,
+        "compiled kernel only {ratio:.1}x faster than the interpreter (need >= 5x)"
+    );
+}

@@ -1,7 +1,7 @@
 //! Figure 11 bench: regenerates the table, then times the full
 //! pipeline (compile + simulate + verify) on the headline loop.
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{DiffConfig, Simdizer};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
     );
 
     let (program, scheme) = simdize_bench::representative();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     c.bench_function("fig11/compile", |b| {
         b.iter(|| {
             Simdizer::new()

@@ -1,7 +1,7 @@
 //! Figure 12 bench: the reassociation variant of Figure 11, timing the
 //! reassociation pass itself.
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{reassociate, VectorShape};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
     );
 
     let (program, scheme) = simdize_bench::representative();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     c.bench_function("fig12/reassociate", |b| {
         b.iter(|| reassociate(black_box(&program), VectorShape::V16))
     });

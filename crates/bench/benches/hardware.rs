@@ -5,7 +5,7 @@
 //! quantifies the crossover as the fraction of misaligned references
 //! grows.
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{DiffConfig, ScalarType, Simdizer, Target, TripSpec, WorkloadSpec};
 
 fn main() {
@@ -93,7 +93,7 @@ fn main() {
     }
 
     let (program, _) = simdize_bench::representative();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     for (name, target) in [("aligned", Target::Aligned), ("movdqu", Target::Unaligned)] {
         c.bench_function(&format!("hardware/evaluate {name}"), |b| {
             b.iter(|| {

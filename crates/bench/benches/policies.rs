@@ -2,8 +2,8 @@
 //! bias sweeps from 0 (uniform random) to 1 (all references share one
 //! alignment) — the design-space behind Figure 11's middle components.
 
-use criterion::{black_box, Criterion};
-use rand::{rngs::StdRng, SeedableRng};
+use simdize_bench::timing::{black_box, Harness};
+use simdize_prng::SplitMix64;
 use simdize::{synthesize, Policy, ReorgGraph, TripSpec, VectorShape, WorkloadSpec};
 
 fn main() {
@@ -45,10 +45,10 @@ fn main() {
     }
 
     let spec = WorkloadSpec::new(1, 6).trip(TripSpec::Known(500));
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SplitMix64::seed_from_u64(3);
     let program = synthesize(&spec, &mut rng);
     let graph = ReorgGraph::build(&program, VectorShape::V16).unwrap();
-    let mut c = Criterion::default().sample_size(50).configure_from_args();
+    let mut c = Harness::new().sample_size(50);
     c.bench_function("policies/dominant placement", |b| {
         b.iter(|| black_box(&graph).with_policy(Policy::Dominant).unwrap())
     });

@@ -3,7 +3,7 @@
 //! misaligned inputs: speedup vs the scalar fold, and the cost split
 //! between the steady accumulate and the horizontal epilogue.
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{dot_product, BinOp, DiffConfig, LoopBuilder, ScalarType, Simdizer};
 
 fn scan(op: BinOp, n: u64) -> simdize::LoopProgram {
@@ -42,7 +42,7 @@ fn main() {
     println!("the same per-iteration costs as stores of the same expression.");
 
     let p = dot_product(1000);
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     c.bench_function("reduction/dot product evaluate", |b| {
         b.iter(|| {
             Simdizer::new()

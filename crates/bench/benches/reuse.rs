@@ -3,7 +3,7 @@
 //! with and without the copy-removing unroll (§4.5's closing remark).
 //! Also checks the never-load-twice guarantee numerically.
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{DiffConfig, ReuseMode, Simdizer};
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
         );
     }
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     for reuse in [ReuseMode::None, ReuseMode::SoftwarePipeline] {
         c.bench_function(&format!("reuse/evaluate {reuse}"), |b| {
             b.iter(|| {

@@ -3,7 +3,7 @@
 //! to show speedups tracking the lane count while reorganization
 //! overhead stays proportionally constant.
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{DiffConfig, ScalarType, Simdizer, TripSpec, VectorShape, WorkloadSpec};
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
     println!("8-way short loops get closer to peak than 4-way integer loops.");
 
     let (program, scheme) = simdize_bench::representative();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     for shape in [VectorShape::V8, VectorShape::V32] {
         c.bench_function(&format!("scaling/evaluate {shape}"), |b| {
             b.iter(|| {

@@ -3,7 +3,7 @@
 //! 2 and 4, and compares its stride-1 code against the paper's stream
 //! framework (quantifying what window reloading costs).
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{DiffConfig, Expr, LoopBuilder, LoopProgram, ScalarType, Simdizer};
 
 fn strided_loop(stride: u32) -> LoopProgram {
@@ -47,7 +47,7 @@ fn main() {
 
     let p = strided_loop(2);
     let compiled = Simdizer::new().compile(&p).unwrap();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     c.bench_function("stride/compile strided", |b| {
         b.iter(|| Simdizer::new().compile(black_box(&p)).unwrap())
     });

@@ -1,7 +1,7 @@
 //! Table 1 bench: regenerates the 4-lane speedup table, then times the
 //! simulated execution (the dominant cost of the harness).
 
-use criterion::{black_box, Criterion};
+use simdize_bench::timing::{black_box, Harness};
 use simdize::{run_differential, DiffConfig, ScalarType, Simdizer};
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
 
     let (program, scheme) = simdize_bench::representative();
     let compiled = Simdizer::new().scheme(scheme).compile(&program).unwrap();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     c.bench_function("table1/simulate 1000-iteration loop", |b| {
         b.iter(|| run_differential(black_box(&compiled), &DiffConfig::with_seed(1)).unwrap())
     });

@@ -1,8 +1,8 @@
 //! Table 2 bench: the 8-lane (i16) speedup table, timing the short-int
 //! pipeline.
 
-use criterion::{black_box, Criterion};
-use rand::{rngs::StdRng, SeedableRng};
+use simdize_bench::timing::{black_box, Harness};
+use simdize_prng::SplitMix64;
 use simdize::{synthesize, DiffConfig, ScalarType, Simdizer};
 
 fn main() {
@@ -13,10 +13,10 @@ fn main() {
     );
 
     let spec = simdize_bench::figure_spec().elem(ScalarType::I16);
-    let mut rng = StdRng::seed_from_u64(2004);
+    let mut rng = SplitMix64::seed_from_u64(2004);
     let program = synthesize(&spec, &mut rng);
     let (_, scheme) = simdize_bench::representative();
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let mut c = Harness::new().sample_size(20);
     c.bench_function("table2/compile+run+verify i16", |b| {
         b.iter(|| {
             Simdizer::new()

@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run -p simdize-bench --bin coverage --release`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simdize::{synthesize, DiffConfig, Scheme, Simdizer, TripSpec, WorkloadSpec};
+use simdize_prng::SplitMix64;
 
 fn main() {
     let mut loops = 0usize;
@@ -17,13 +16,13 @@ fn main() {
             for runtime_align in [false, true] {
                 for rep in 0..16u64 {
                     seed += 1;
-                    let mut meta = StdRng::seed_from_u64(seed * 131 + rep);
+                    let mut meta = SplitMix64::seed_from_u64(seed * 131 + rep);
                     let spec = WorkloadSpec::new(s, l)
-                        .bias(meta.gen_range(0.0..=1.0))
-                        .reuse(meta.gen_range(0.0..=1.0))
+                        .bias(meta.range_f64(0.0, 1.0))
+                        .reuse(meta.range_f64(0.0, 1.0))
                         .trip(TripSpec::KnownInRange(997, 1000))
                         .runtime_align(runtime_align);
-                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut rng = SplitMix64::seed_from_u64(seed);
                     let program = synthesize(&spec, &mut rng);
                     loops += 1;
                     let schemes = if runtime_align {

@@ -4,9 +4,8 @@
 //!
 //! Run with: `cargo run -p simdize-bench --bin repro --release`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simdize::{synthesize, DiffConfig, ScalarType, Scheme, Simdizer, TripSpec, WorkloadSpec};
+use simdize_prng::SplitMix64;
 
 fn main() {
     println!("reproducing Eichenberger, Wu & O'Brien, PLDI 2004\n");
@@ -47,13 +46,16 @@ fn main() {
     let mut loops = 0usize;
     let mut runs = 0usize;
     for seed in 0..64u64 {
-        let mut meta = StdRng::seed_from_u64(seed * 7 + 1);
-        let spec = WorkloadSpec::new(meta.gen_range(1..=4), meta.gen_range(1..=8))
-            .bias(meta.gen_range(0.0..=1.0))
-            .reuse(meta.gen_range(0.0..=1.0))
-            .trip(TripSpec::KnownInRange(997, 1000))
-            .runtime_align(seed % 3 == 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meta = SplitMix64::seed_from_u64(seed * 7 + 1);
+        let spec = WorkloadSpec::new(
+            meta.range_inclusive(1, 4) as usize,
+            meta.range_inclusive(1, 8) as usize,
+        )
+        .bias(meta.range_f64(0.0, 1.0))
+        .reuse(meta.range_f64(0.0, 1.0))
+        .trip(TripSpec::KnownInRange(997, 1000))
+        .runtime_align(seed % 3 == 0);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let program = synthesize(&spec, &mut rng);
         loops += 1;
         let schemes = if spec.runtime_align {

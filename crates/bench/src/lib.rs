@@ -4,14 +4,16 @@
 //!
 //! Every function here is deterministic given its seed; the `fig11`,
 //! `fig12`, `table1`, `table2` and `coverage` binaries (and the
-//! criterion benches of the same names) are thin wrappers that print
-//! the regenerated artifacts.
+//! in-repo [`timing`] benches of the same names) are thin wrappers that
+//! print the regenerated artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub mod timing;
+
+use simdize_prng::SplitMix64;
+
 use simdize::{
     harmonic_mean, lower_bound_parts, synthesize, DiffConfig, LoopProgram, Policy, ReuseMode,
     ScalarType, Scheme, Simdizer, TripSpec, VectorShape, WorkloadSpec,
@@ -26,7 +28,7 @@ pub const LOOPS_PER_BENCHMARK: usize = 50;
 pub fn suite(spec: &WorkloadSpec, count: usize, base_seed: u64) -> Vec<LoopProgram> {
     (0..count)
         .map(|k| {
-            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64 * 7919));
+            let mut rng = SplitMix64::seed_from_u64(base_seed.wrapping_add(k as u64 * 7919));
             synthesize(spec, &mut rng)
         })
         .collect()
@@ -289,11 +291,10 @@ pub fn figure_spec() -> WorkloadSpec {
         .trip(TripSpec::KnownInRange(997, 1000))
 }
 
-/// A representative loop + scheme pair used by the criterion timing
-/// benches: one S1×L6 loop under dominant-shift with software
-/// pipelining.
+/// A representative loop + scheme pair used by the timing benches: one
+/// S1×L6 loop under dominant-shift with software pipelining.
 pub fn representative() -> (LoopProgram, Scheme) {
-    let mut rng = StdRng::seed_from_u64(2004);
+    let mut rng = SplitMix64::seed_from_u64(2004);
     let program = synthesize(&figure_spec(), &mut rng);
     (
         program,

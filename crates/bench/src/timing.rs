@@ -1,0 +1,201 @@
+//! A dependency-free wall-clock timing harness.
+//!
+//! This replaces criterion for the repository's bench targets so they
+//! build and run with no registry access. The API deliberately mirrors
+//! the slice of criterion the benches use — [`Harness::bench_function`]
+//! with a [`Bencher::iter`] closure — so a bench file reads the same
+//! either way. Measurement is simple and robust rather than clever:
+//! per sample, time `iters` back-to-back runs with [`Instant`], then
+//! report the median over [`Harness::sample_size`] samples (the median
+//! shrugs off scheduler noise that would wreck a mean).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that inhibits constant folding.
+///
+/// Re-exported so bench files can keep writing `black_box(...)`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The per-benchmark measurement driver passed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` back to back.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One benchmark's aggregated result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Measurement {
+    fn line(&self) -> String {
+        format!(
+            "{:<32} {:>12} /iter  (min {}, max {}, {} samples)",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.min_ns),
+            format_ns(self.max_ns),
+            self.samples
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level harness: collects measurements, prints a summary.
+pub struct Harness {
+    sample_size: usize,
+    min_sample_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness with the default 10 samples of ≥ 2 ms each.
+    pub fn new() -> Harness {
+        Harness {
+            sample_size: 10,
+            min_sample_time: Duration::from_millis(2),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Harness {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the minimum wall-clock span of one sample; the harness
+    /// raises the per-sample iteration count until a sample takes at
+    /// least this long.
+    pub fn min_sample_time(mut self, t: Duration) -> Harness {
+        self.min_sample_time = t;
+        self
+    }
+
+    /// Times `f` and records (and prints) the aggregated measurement.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &Measurement {
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to dwarf timer granularity.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.min_sample_time || iters >= 1 << 30 {
+                break;
+            }
+            // Jump straight toward the target span rather than doubling
+            // blindly, but at least double to make progress on 0-reads.
+            let target = self.min_sample_time.as_nanos().max(1) as f64;
+            let got = b.elapsed.as_nanos().max(1) as f64;
+            iters = (iters as f64 * (target / got).max(2.0)).ceil() as u64;
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            samples: per_iter.len(),
+        };
+        println!("{}", m.line());
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements recorded so far, in bench order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the closing summary table.
+    pub fn final_summary(&self) {
+        println!("\n=== timing summary ({} benches) ===", self.results.len());
+        for m in &self.results {
+            println!("{}", m.line());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut h = Harness::new()
+            .sample_size(3)
+            .min_sample_time(Duration::from_micros(50));
+        let m = h
+            .bench_function("spin", |b| {
+                b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x * x)))
+            })
+            .clone();
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e3).ends_with("µs"));
+        assert!(format_ns(5.0e6).ends_with("ms"));
+        assert!(format_ns(5.0e9).ends_with(" s"));
+    }
+}

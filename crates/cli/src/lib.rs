@@ -14,6 +14,7 @@
 //!   compile    print the generated vector code (--asm for AltiVec form)
 //!   run        compile, execute, verify against the scalar loop, report
 //!   policies   compare all four shift-placement policies on the loop
+//!   sweep      run the loop over many memory seeds on worker threads
 //!
 //! options:
 //!   --policy zero|eager|lazy|dominant   force a placement policy
@@ -25,6 +26,10 @@
 //!   --seed N                            memory image seed (default 2004)
 //!   --ub N                              trip count for runtime-`ub` loops
 //!   --param N (repeatable)              loop parameter values, in order
+//!   --engine interp|native              executor for `run` (default interp)
+//!   --jobs N                            sweep worker threads (default 4)
+//!   --count N                           sweep seeds to cover (default 32)
+//!   --smoke                             quick 8-seed sweep preset
 //!   --dot / --asm                       alternative output formats
 //! ```
 
@@ -32,11 +37,15 @@
 #![warn(missing_docs)]
 
 use simdize::{
-    lower_altivec, to_dot, DiffConfig, Policy, ReorgGraph, ReuseMode, Scheme, SimdizeError,
-    Simdizer, Target, VectorShape,
+    lower_altivec, run_scalar, run_sweep, to_dot, CompiledKernel, DiffConfig, MemoryImage, Policy,
+    ReorgGraph, ReuseMode, RunInput, Scheme, SimdizeError, Simdizer, SweepJob, Target, VectorShape,
 };
 use std::error::Error;
 use std::fmt::Write as _;
+
+/// Source reader injected into [`parse_args`] so tests can supply loop
+/// text without touching the filesystem.
+pub type ReadSource = dyn Fn(&str) -> Result<String, Box<dyn Error>>;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +62,10 @@ pub struct Options {
     seed: u64,
     ub: u64,
     params: Vec<i64>,
+    engine: String,
+    jobs: usize,
+    count: usize,
+    smoke: bool,
     dot: bool,
     asm: bool,
 }
@@ -66,13 +79,13 @@ pub struct Options {
 /// Returns a usage message on malformed arguments.
 pub fn parse_args(
     args: &[String],
-    read_file: &dyn Fn(&str) -> Result<String, Box<dyn Error>>,
+    read_file: &ReadSource,
 ) -> Result<Options, Box<dyn Error>> {
     let mut it = args.iter();
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "check" | "graph" | "compile" | "run" | "policies"
+        "check" | "graph" | "compile" | "run" | "policies" | "sweep"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}").into());
     }
@@ -92,6 +105,10 @@ pub fn parse_args(
         seed: 2004,
         ub: 1000,
         params: Vec::new(),
+        engine: "interp".to_string(),
+        jobs: 4,
+        count: 32,
+        smoke: false,
         dot: false,
         asm: false,
     };
@@ -137,6 +154,21 @@ pub fn parse_args(
             "--seed" => opts.seed = value("--seed")?.parse()?,
             "--ub" => opts.ub = value("--ub")?.parse()?,
             "--param" => opts.params.push(value("--param")?.parse()?),
+            "--engine" => {
+                let name = value("--engine")?;
+                if !matches!(name.as_str(), "interp" | "native") {
+                    return Err(format!("unknown engine `{name}` (expected `interp` or `native`)").into());
+                }
+                opts.engine = name;
+            }
+            "--jobs" => {
+                opts.jobs = value("--jobs")?.parse()?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--count" => opts.count = value("--count")?.parse()?,
+            "--smoke" => opts.smoke = true,
             "--dot" => opts.dot = true,
             "--asm" => opts.asm = true,
             other => return Err(format!("unknown option `{other}`\n{USAGE}").into()),
@@ -145,7 +177,8 @@ pub fn parse_args(
     Ok(opts)
 }
 
-const USAGE: &str = "usage: simdize <check|graph|compile|run|policies> <file.loop|-> [options]
+const USAGE: &str =
+    "usage: simdize <check|graph|compile|run|policies|sweep> <file.loop|-> [options]
 run `simdize` with no arguments for the full option list";
 
 /// Executes the parsed command and returns its printable output.
@@ -204,6 +237,42 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                 write!(out, "{compiled}")?;
             }
         }
+        "run" if opts.engine == "native" => {
+            let compiled = driver.compile(&program)?;
+            let source = compiled.source().clone();
+            let ub = source.trip().known().unwrap_or(opts.ub);
+            let input = RunInput {
+                ub,
+                params: opts.params.clone(),
+            };
+            let mut image = MemoryImage::with_seed(&source, opts.shape, opts.seed);
+            let mut oracle = image.clone();
+            let kernel = CompiledKernel::compile(&compiled, &image, &input)?;
+            let stats = kernel.run(&mut image)?;
+            let ideal = run_scalar(&source, &mut oracle, ub, &opts.params)?;
+            let verified = image.first_difference(&oracle).is_none();
+            let data = source.stmts().len() as u64 * ub;
+            writeln!(out, "verified: {verified}")?;
+            writeln!(
+                out,
+                "engine: native ({})",
+                if kernel.is_fallback() {
+                    "scalar fallback"
+                } else {
+                    "compiled kernel"
+                }
+            )?;
+            writeln!(
+                out,
+                "opd: {:.3}  speedup: {:.2}x over idealistic scalar",
+                stats.opd(data),
+                ideal as f64 / stats.total() as f64
+            )?;
+            writeln!(out, "stats: {stats}")?;
+            if !verified {
+                return Err("native engine diverged from the scalar oracle".into());
+            }
+        }
         "run" => {
             let report = driver.evaluate_with(
                 &program,
@@ -213,6 +282,44 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             )?;
             writeln!(out, "verified: {}", report.verified)?;
             writeln!(out, "{report}")?;
+        }
+        "sweep" => {
+            let compiled = driver.compile(&program)?;
+            let count = if opts.smoke { 8 } else { opts.count };
+            let jobs: Vec<SweepJob> = (0..count as u64)
+                .map(|k| SweepJob::new(compiled.clone(), opts.seed.wrapping_add(k), opts.ub))
+                .collect();
+            let outcomes = run_sweep(&jobs, opts.jobs);
+            writeln!(
+                out,
+                "{:>6} {:>9} {:>9} {:>9}",
+                "seed", "verified", "opd", "speedup"
+            )?;
+            let mut ok = 0usize;
+            for outcome in &outcomes {
+                match outcome {
+                    Ok(o) => {
+                        ok += usize::from(o.verified);
+                        writeln!(
+                            out,
+                            "{:>6} {:>9} {:>9.3} {:>8.2}x",
+                            o.seed,
+                            o.verified,
+                            o.stats.opd(o.data_produced),
+                            o.speedup()
+                        )?;
+                    }
+                    Err(e) => writeln!(out, "     - error: {e}")?,
+                }
+            }
+            writeln!(
+                out,
+                "{ok}/{count} verified on {} worker thread(s)",
+                opts.jobs.min(count.max(1))
+            )?;
+            if ok != count {
+                return Err(format!("sweep failed: {ok}/{count} seeds verified").into());
+            }
         }
         "policies" => {
             writeln!(
@@ -311,6 +418,21 @@ mod tests {
     }
 
     #[test]
+    fn run_native_engine_verifies() {
+        let out = run(&opts(&["run", "x.loop", "--engine", "native", "--seed", "7"])).unwrap();
+        assert!(out.contains("verified: true"));
+        assert!(out.contains("engine: native (compiled kernel)"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn sweep_smoke_reports_all_seeds() {
+        let out = run(&opts(&["sweep", "x.loop", "--smoke", "--jobs", "2"])).unwrap();
+        assert!(out.contains("8/8 verified"));
+        assert!(out.lines().count() >= 10); // header + 8 rows + summary
+    }
+
+    #[test]
     fn option_parsing_errors() {
         let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let read = |_: &str| -> Result<String, Box<dyn Error>> { Ok(LOOP.into()) };
@@ -319,6 +441,8 @@ mod tests {
         assert!(parse_args(&args(&["run", "x", "--policy", "bogus"]), &read).is_err());
         assert!(parse_args(&args(&["run", "x", "--shape", "12"]), &read).is_err());
         assert!(parse_args(&args(&["run", "x", "--whatever"]), &read).is_err());
+        assert!(parse_args(&args(&["run", "x", "--engine", "jit"]), &read).is_err());
+        assert!(parse_args(&args(&["sweep", "x", "--jobs", "0"]), &read).is_err());
     }
 
     #[test]

@@ -181,12 +181,12 @@ fn check_inst(
         VInst::LoadA { addr, .. }
         | VInst::StoreA { addr, .. }
         | VInst::LoadU { addr, .. }
-        | VInst::StoreU { addr, .. } => {
-            if addr.array.index() >= arrays {
-                return Err(VerifyProgramError::UnknownArray {
-                    index: addr.array.index(),
-                });
-            }
+        | VInst::StoreU { addr, .. }
+            if addr.array.index() >= arrays =>
+        {
+            return Err(VerifyProgramError::UnknownArray {
+                index: addr.array.index(),
+            });
         }
         VInst::ShiftPair { amt, .. } => {
             if let Some(a) = amt.as_const() {

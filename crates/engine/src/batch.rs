@@ -1,0 +1,184 @@
+//! Parallel batch sweeps: run many `(program, memory seed)` jobs across
+//! scoped worker threads, each job compiled once and verified against
+//! the scalar oracle, with per-job [`RunStats`].
+//!
+//! The runner uses `std::thread::scope` so jobs can be borrowed rather
+//! than moved, and a shared atomic cursor so threads self-schedule —
+//! long jobs (large trip counts) don't stall a statically partitioned
+//! worker.
+
+use crate::kernel::CompiledKernel;
+use simdize_codegen::SimdProgram;
+use simdize_ir::VectorShape;
+use simdize_vm::{run_scalar, ExecError, MemoryImage, RunInput, RunStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// One sweep job: a compiled program plus the seed that determines its
+/// memory image (runtime misalignments and contents) and the runtime
+/// inputs for the invocation.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The program to execute.
+    pub program: SimdProgram,
+    /// Seed for [`MemoryImage::with_seed`].
+    pub seed: u64,
+    /// Runtime trip count and parameter values.
+    pub input: RunInput,
+}
+
+impl SweepJob {
+    /// A job for `program` on the image seeded by `seed`, with the trip
+    /// count taken from the loop when compile-time known and from `ub`
+    /// otherwise.
+    pub fn new(program: SimdProgram, seed: u64, ub: u64) -> SweepJob {
+        let ub = program.source().trip().known().unwrap_or(ub);
+        SweepJob {
+            program,
+            seed,
+            input: RunInput::with_ub(ub),
+        }
+    }
+}
+
+/// The result of one sweep job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// The job's memory seed.
+    pub seed: u64,
+    /// Dynamic instruction counts of the engine execution.
+    pub stats: RunStats,
+    /// Whether the engine's memory image matched the scalar oracle's
+    /// byte for byte.
+    pub verified: bool,
+    /// Data elements produced (`statements × trip count`).
+    pub data_produced: u64,
+    /// The idealistic scalar instruction count for the same run.
+    pub scalar_ideal: u64,
+}
+
+impl SweepOutcome {
+    /// Speedup of the engine-executed simdized loop over the idealistic
+    /// scalar baseline, in the paper's OPD terms.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ideal as f64 / self.stats.total() as f64
+    }
+}
+
+/// Runs every job, distributing them over `threads` scoped worker
+/// threads (clamped to `[1, jobs.len()]`), and returns per-job outcomes
+/// in job order. Each job compiles a [`CompiledKernel`] for its own
+/// image, runs it, and differentially verifies the result against
+/// [`run_scalar`] on an identical image.
+pub fn run_sweep(jobs: &[SweepJob], threads: usize) -> Vec<Result<SweepOutcome, ExecError>> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let partials: Vec<Vec<(usize, Result<SweepOutcome, ExecError>)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= jobs.len() {
+                            break;
+                        }
+                        mine.push((idx, run_one(&jobs[idx])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<Result<SweepOutcome, ExecError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    for (idx, outcome) in partials.into_iter().flatten() {
+        results[idx] = Some(outcome);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job index claimed exactly once"))
+        .collect()
+}
+
+fn run_one(job: &SweepJob) -> Result<SweepOutcome, ExecError> {
+    let source = job.program.source();
+    let mut engine_img = MemoryImage::with_seed(source, VectorShape::V16, job.seed);
+    let mut oracle_img = engine_img.clone();
+    let ub = source.trip().known().unwrap_or(job.input.ub);
+    let kernel = CompiledKernel::compile(&job.program, &engine_img, &job.input)?;
+    let stats = kernel.run(&mut engine_img)?;
+    let scalar_ideal = run_scalar(source, &mut oracle_img, ub, &job.input.params)?;
+    Ok(SweepOutcome {
+        seed: job.seed,
+        stats,
+        verified: engine_img.first_difference(&oracle_img).is_none(),
+        data_produced: source.stmts().len() as u64 * ub,
+        scalar_ideal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+    use simdize_ir::parse_program;
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    fn program(src: &str) -> SimdProgram {
+        let p = parse_program(src).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(Policy::Zero)
+            .unwrap();
+        generate(
+            &g,
+            &CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline),
+        )
+        .unwrap()
+    }
+
+    const RUNTIME: &str = "arrays { a: i32[512] @ ?; b: i32[512] @ ?; c: i32[512] @ ?; }
+                           for i in 0..ub { a[i] = b[i+1] + c[i+3]; }";
+
+    #[test]
+    fn sweep_verifies_every_seed() {
+        let prog = program(RUNTIME);
+        let jobs: Vec<SweepJob> = (0..24)
+            .map(|seed| SweepJob::new(prog.clone(), seed, 500))
+            .collect();
+        let outcomes = run_sweep(&jobs, 4);
+        assert_eq!(outcomes.len(), 24);
+        for (seed, outcome) in outcomes.into_iter().enumerate() {
+            let o = outcome.unwrap();
+            assert_eq!(o.seed, seed as u64);
+            assert!(o.verified, "seed {seed} failed verification");
+            assert!(o.speedup() > 1.0, "seed {seed} not profitable");
+            assert_eq!(o.data_produced, 500);
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let prog = program(RUNTIME);
+        let jobs: Vec<SweepJob> = (0..9)
+            .map(|seed| SweepJob::new(prog.clone(), seed * 7, 200))
+            .collect();
+        let serial = run_sweep(&jobs, 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run_sweep(&jobs, threads), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_sweep(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,915 @@
+//! Kernel compilation: one `SimdProgram` + one memory layout + one set
+//! of runtime inputs, lowered once into straight-line instruction
+//! slices that a tight dispatch loop can execute with no per-iteration
+//! decisions left.
+//!
+//! Everything the interpreter re-derives on every instruction is folded
+//! here, exactly once:
+//!
+//! * every scalar expression (alignment masks, shift amounts, splice
+//!   points, the runtime upper bound) is evaluated against the image;
+//! * every address is reduced to a baked `(start, step)` byte-offset
+//!   pair — truncation to the enclosing chunk happens at compile time,
+//!   which is sound because a steady iteration advances every address
+//!   by `scale · V` bytes, a multiple of the chunk size;
+//! * every guarded block is resolved (the conditions are loop
+//!   invariant) and flattened away;
+//! * every access stream is bounds-checked against the image's guarded
+//!   ranges, first and last execution, so the hot loop indexes the raw
+//!   bytes directly;
+//! * registers are checked defined-before-use in execution order;
+//! * the dynamic instruction counts are computed analytically, charging
+//!   the same costs as `simdize_vm::run_simd` charges dynamically.
+
+use crate::lanes::{self, Reg};
+use simdize_codegen::{SExpr, ScalarEnv, SimdProgram, VInst};
+use simdize_ir::{ArrayId, BinOp, LoopProgram, ScalarType, UnOp, Value, VectorShape};
+use simdize_vm::{
+    run_scalar, runtime_expr_count, scalar_ideal_ops, ExecError, Executor, MemoryImage, RunInput,
+    RunStats, CALL_OVERHEAD, LOOP_OVERHEAD_PER_ITERATION, RUNTIME_SETUP_PER_EXPR,
+};
+use std::fmt::Write as _;
+
+/// The one vector width the engine has kernels for.
+const V: i64 = 16;
+
+/// One pre-lowered engine instruction. Memory operands are raw byte
+/// offsets into the image — `at = start + iteration · step` — with any
+/// chunk truncation already applied; all scalar operands are folded.
+#[derive(Debug, Clone)]
+enum Op {
+    Load { dst: u32, start: i64, step: i64 },
+    Store { src: u32, start: i64, step: i64 },
+    Shift { dst: u32, a: u32, b: u32, amt: u8 },
+    Splice { dst: u32, a: u32, b: u32, point: u8 },
+    Perm { dst: u32, a: u32, b: u32, pattern: [u8; 16] },
+    Splat { dst: u32, bytes: Reg },
+    Bin { dst: u32, op: BinOp, a: u32, b: u32 },
+    Un { dst: u32, op: UnOp, a: u32 },
+    Copy { dst: u32, src: u32 },
+}
+
+/// The `ub ≤ 3B` guard resolved to the scalar path at compile time.
+#[derive(Debug, Clone)]
+struct FallbackPlan {
+    source: LoopProgram,
+    ub: u64,
+    params: Vec<i64>,
+}
+
+/// A `SimdProgram` compiled for one memory layout and one set of
+/// runtime inputs.
+///
+/// Compile once with [`CompiledKernel::compile`], then [`run`] against
+/// the image (or any image with the identical layout — same bases, same
+/// length). The kernel's [`stats`] are computed at compile time and are
+/// identical to what [`simdize_vm::run_simd`] would count dynamically;
+/// the differential tests enforce byte-for-byte and stat-for-stat
+/// equality with the interpreter.
+///
+/// [`run`]: CompiledKernel::run
+/// [`stats`]: CompiledKernel::stats
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    prologue: Vec<Op>,
+    pair: Vec<Op>,
+    pair_iters: i64,
+    body: Vec<Op>,
+    body_iters: i64,
+    epilogue: Vec<Op>,
+    nregs: usize,
+    elem: ScalarType,
+    shape: VectorShape,
+    stats: RunStats,
+    bases: Vec<u64>,
+    image_len: usize,
+    fallback: Option<FallbackPlan>,
+    disassembly: String,
+}
+
+struct Env<'a> {
+    ub: i64,
+    image: &'a MemoryImage,
+}
+
+impl ScalarEnv for Env<'_> {
+    fn ub(&self) -> i64 {
+        self.ub
+    }
+    fn base_of(&self, array: ArrayId) -> u64 {
+        self.image.base_of(array)
+    }
+    fn shape(&self) -> VectorShape {
+        self.image.shape()
+    }
+}
+
+/// Per-section lowering state.
+struct Lowering<'a> {
+    image: &'a MemoryImage,
+    params: &'a [i64],
+    ub: i64,
+    elem: ScalarType,
+    elem_size: i64,
+    defined: Vec<bool>,
+    dis: String,
+}
+
+impl Lowering<'_> {
+    fn eval(&self, e: &SExpr) -> i64 {
+        e.eval(&Env {
+            ub: self.ub,
+            image: self.image,
+        })
+    }
+
+    fn use_reg(&self, r: simdize_codegen::VReg) -> Result<u32, ExecError> {
+        if !self.defined[r.index()] {
+            return Err(ExecError::UninitializedRegister { index: r.index() });
+        }
+        Ok(r.index() as u32)
+    }
+
+    fn def_reg(&mut self, r: simdize_codegen::VReg) -> u32 {
+        self.defined[r.index()] = true;
+        r.index() as u32
+    }
+
+    /// Validates one memory stream: `iters` accesses starting at byte
+    /// `start`, advancing by `step` bytes each, every one inside the
+    /// array's guarded region.
+    fn check_stream(
+        &self,
+        array: ArrayId,
+        start: i64,
+        step: i64,
+        iters: i64,
+    ) -> Result<(), ExecError> {
+        let (lo, hi) = self.image.guarded_range(array);
+        let last = start + (iters - 1) * step;
+        for at in [start, last] {
+            if at < lo || at + V > hi {
+                let base = self.image.base_of(array);
+                return Err(ExecError::ChunkOutOfBounds {
+                    array,
+                    addr: at,
+                    base,
+                    byte_len: (hi - base as i64 - 4 * V) as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers `insts` executed with the induction variable starting at
+    /// `i0` and advancing by `step_i` elements for `iters` iterations,
+    /// appending engine ops to `out` and class counts (per single
+    /// iteration) to `counts`.
+    fn lower(
+        &mut self,
+        insts: &[VInst],
+        i0: i64,
+        step_i: i64,
+        iters: i64,
+        counts: &mut RunStats,
+        out: &mut Vec<Op>,
+    ) -> Result<(), ExecError> {
+        for inst in insts {
+            self.lower_inst(inst, i0, step_i, iters, counts, out)?;
+        }
+        Ok(())
+    }
+
+    /// Baked `(first byte address, bytes per iteration)` of `addr` for a
+    /// section starting at induction value `i0` advancing `step_i`.
+    fn addr_of(&self, addr: &simdize_codegen::Addr, i0: i64, step_i: i64) -> (i64, i64) {
+        let base = self.image.base_of(addr.array) as i64;
+        let a0 = base + (addr.scale * i0 + addr.elem) * self.elem_size;
+        let step = addr.scale * step_i * self.elem_size;
+        (a0, step)
+    }
+
+    fn dis_addr(&self, array: ArrayId, start: i64, step: i64) -> String {
+        let rel = start - self.image.base_of(array) as i64;
+        if step != 0 {
+            format!("{array}[base{rel:+}; {step:+}/iter]")
+        } else {
+            format!("{array}[base{rel:+}]")
+        }
+    }
+
+    fn lower_inst(
+        &mut self,
+        inst: &VInst,
+        i0: i64,
+        step_i: i64,
+        iters: i64,
+        counts: &mut RunStats,
+        out: &mut Vec<Op>,
+    ) -> Result<(), ExecError> {
+        match inst {
+            VInst::LoadA { dst, addr } => {
+                let (a0, step) = self.addr_of(addr, i0, step_i);
+                let start = a0 & !(V - 1);
+                self.check_stream(addr.array, start, step, iters)?;
+                let d = self.def_reg(*dst);
+                let at = self.dis_addr(addr.array, start, step);
+                let _ = writeln!(self.dis, "  v{d} = load.chunk {at}");
+                out.push(Op::Load { dst: d, start, step });
+                counts.loads += 1;
+            }
+            VInst::StoreA { addr, src } => {
+                let (a0, step) = self.addr_of(addr, i0, step_i);
+                let start = a0 & !(V - 1);
+                self.check_stream(addr.array, start, step, iters)?;
+                let s = self.use_reg(*src)?;
+                let at = self.dis_addr(addr.array, start, step);
+                let _ = writeln!(self.dis, "  store.chunk {at}, v{s}");
+                out.push(Op::Store { src: s, start, step });
+                counts.stores += 1;
+            }
+            VInst::LoadU { dst, addr } => {
+                let (start, step) = self.addr_of(addr, i0, step_i);
+                self.check_stream(addr.array, start, step, iters)?;
+                let d = self.def_reg(*dst);
+                let at = self.dis_addr(addr.array, start, step);
+                let _ = writeln!(self.dis, "  v{d} = load.exact {at}");
+                out.push(Op::Load { dst: d, start, step });
+                counts.unaligned_mem += 1;
+            }
+            VInst::StoreU { addr, src } => {
+                let (start, step) = self.addr_of(addr, i0, step_i);
+                self.check_stream(addr.array, start, step, iters)?;
+                let s = self.use_reg(*src)?;
+                let at = self.dis_addr(addr.array, start, step);
+                let _ = writeln!(self.dis, "  store.exact {at}, v{s}");
+                out.push(Op::Store { src: s, start, step });
+                counts.unaligned_mem += 1;
+            }
+            VInst::ShiftPair { dst, a, b, amt } => {
+                let amount = self.eval(amt);
+                if !(0..=V).contains(&amount) {
+                    return Err(ExecError::BadShiftAmount { amount });
+                }
+                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
+                let d = self.def_reg(*dst);
+                let _ = writeln!(self.dis, "  v{d} = shift(v{ra}, v{rb}, {amount})");
+                out.push(Op::Shift {
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                    amt: amount as u8,
+                });
+                counts.shifts += 1;
+            }
+            VInst::Splice { dst, a, b, point } => {
+                let p = self.eval(point);
+                if !(0..=V).contains(&p) {
+                    return Err(ExecError::BadSplicePoint { point: p });
+                }
+                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
+                let d = self.def_reg(*dst);
+                let _ = writeln!(self.dis, "  v{d} = splice(v{ra}, v{rb}, {p})");
+                out.push(Op::Splice {
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                    point: p as u8,
+                });
+                counts.splices += 1;
+            }
+            VInst::Perm { dst, a, b, pattern } => {
+                if pattern.len() != V as usize {
+                    return Err(ExecError::BadShiftAmount {
+                        amount: pattern.len() as i64,
+                    });
+                }
+                let mut pat = [0u8; 16];
+                for (t, &sel) in pattern.iter().enumerate() {
+                    if sel as i64 >= 2 * V {
+                        return Err(ExecError::BadShiftAmount { amount: sel as i64 });
+                    }
+                    pat[t] = sel;
+                }
+                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
+                let d = self.def_reg(*dst);
+                let pat_str: Vec<String> = pattern.iter().map(|x| x.to_string()).collect();
+                let _ = writeln!(
+                    self.dis,
+                    "  v{d} = perm(v{ra}, v{rb}, [{}])",
+                    pat_str.join(",")
+                );
+                out.push(Op::Perm {
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                    pattern: pat,
+                });
+                counts.shifts += 1; // permutes count as reorganization ops
+            }
+            VInst::SplatConst { dst, value } => {
+                let d = self.def_reg(*dst);
+                let _ = writeln!(self.dis, "  v{d} = splat({value})");
+                out.push(Op::Splat {
+                    dst: d,
+                    bytes: self.splat(*value),
+                });
+                counts.splats += 1;
+            }
+            VInst::SplatParam { dst, param } => {
+                let value = *self
+                    .params
+                    .get(param.index())
+                    .ok_or(ExecError::MissingParam {
+                        index: param.index(),
+                    })?;
+                let d = self.def_reg(*dst);
+                let _ = writeln!(self.dis, "  v{d} = splat(p{}={value})", param.index());
+                out.push(Op::Splat {
+                    dst: d,
+                    bytes: self.splat(value),
+                });
+                counts.splats += 1;
+            }
+            VInst::Bin { dst, op, a, b } => {
+                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
+                let d = self.def_reg(*dst);
+                let _ = writeln!(
+                    self.dis,
+                    "  v{d} = {}(v{ra}, v{rb})",
+                    format!("{op:?}").to_lowercase()
+                );
+                out.push(Op::Bin {
+                    dst: d,
+                    op: *op,
+                    a: ra,
+                    b: rb,
+                });
+                counts.ops += 1;
+            }
+            VInst::Un { dst, op, a } => {
+                let ra = self.use_reg(*a)?;
+                let d = self.def_reg(*dst);
+                let _ = writeln!(
+                    self.dis,
+                    "  v{d} = {}(v{ra})",
+                    format!("{op:?}").to_lowercase()
+                );
+                out.push(Op::Un {
+                    dst: d,
+                    op: *op,
+                    a: ra,
+                });
+                counts.ops += 1;
+            }
+            VInst::Copy { dst, src } => {
+                let s = self.use_reg(*src)?;
+                let d = self.def_reg(*dst);
+                let _ = writeln!(self.dis, "  v{d} = v{s}");
+                out.push(Op::Copy { dst: d, src: s });
+                counts.copies += 1;
+            }
+            VInst::Guarded { cond, body } => {
+                let taken = cond.eval(&Env {
+                    ub: self.ub,
+                    image: self.image,
+                });
+                let _ = writeln!(
+                    self.dis,
+                    "  ; guard [{cond}] resolved {}",
+                    if taken { "taken" } else { "skipped" }
+                );
+                if taken {
+                    self.lower(body, i0, step_i, iters, counts, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn splat(&self, value: i64) -> Reg {
+        let bytes = Value::from_i64(self.elem, value).to_le_bytes();
+        let d = self.elem_size as usize;
+        let mut out = [0u8; 16];
+        for lane in 0..16 / d {
+            out[lane * d..lane * d + d].copy_from_slice(&bytes);
+        }
+        out
+    }
+}
+
+impl CompiledKernel {
+    /// Compiles `program` for the layout of `image` and the runtime
+    /// inputs in `input`. The image's *contents* do not matter — only
+    /// its array placement — so one kernel may run over many refills of
+    /// the same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Unsupported`] for vector shapes other than
+    /// 16 bytes, [`ExecError::TripMismatch`]/[`ExecError::MissingParam`]
+    /// on inconsistent inputs, and any machine fault the interpreter
+    /// would raise at runtime (out-of-bounds streams, bad shift
+    /// amounts, reads of undefined registers) — those are detected here,
+    /// before any memory is touched.
+    pub fn compile(
+        program: &SimdProgram,
+        image: &MemoryImage,
+        input: &RunInput,
+    ) -> Result<CompiledKernel, ExecError> {
+        if program.shape().bytes() as i64 != V || image.shape().bytes() as i64 != V {
+            return Err(ExecError::Unsupported {
+                what: "vector shapes other than V16",
+            });
+        }
+        let source = program.source();
+        if input.params.len() < source.params().len() {
+            return Err(ExecError::MissingParam {
+                index: input.params.len(),
+            });
+        }
+        if let Some(declared) = source.trip().known() {
+            if input.ub != declared {
+                return Err(ExecError::TripMismatch {
+                    declared,
+                    supplied: input.ub,
+                });
+            }
+        }
+        let ub = source.trip().known().unwrap_or(input.ub);
+        let bases: Vec<u64> = (0..source.arrays().len())
+            .map(|k| image.base_of(ArrayId::from_index(k)))
+            .collect();
+
+        let mut stats = RunStats {
+            invocation_overhead: CALL_OVERHEAD,
+            ..RunStats::default()
+        };
+
+        if ub <= program.guard_min_trip() {
+            // §4.4 guard: the kernel is the original scalar loop.
+            stats.used_fallback = true;
+            stats.scalar_fallback =
+                scalar_ideal_ops(source, ub) + ub * LOOP_OVERHEAD_PER_ITERATION;
+            return Ok(CompiledKernel {
+                prologue: Vec::new(),
+                pair: Vec::new(),
+                pair_iters: 0,
+                body: Vec::new(),
+                body_iters: 0,
+                epilogue: Vec::new(),
+                nregs: 0,
+                elem: source.elem(),
+                shape: image.shape(),
+                stats,
+                bases,
+                image_len: image.bytes().len(),
+                fallback: Some(FallbackPlan {
+                    source: source.clone(),
+                    ub,
+                    params: input.params.clone(),
+                }),
+                disassembly: format!(
+                    "; scalar fallback: ub = {ub} <= guard {}\n",
+                    program.guard_min_trip()
+                ),
+            });
+        }
+
+        stats.invocation_overhead += RUNTIME_SETUP_PER_EXPR * runtime_expr_count(program) as u64;
+
+        let b = program.block() as i64;
+        let lb = program.lower_bound() as i64;
+        let upper = program.upper_bound().eval(&Env {
+            ub: ub as i64,
+            image,
+        });
+
+        // Iteration counts, mirroring run_simd's loop structure exactly:
+        //   if pair: while i + B < upper { i += 2B }   (steady ×2)
+        //   while i < upper { i += B }                 (leftover)
+        let pair_iters = if program.body_pair().is_some() && lb + b < upper {
+            (upper - b - lb + 2 * b - 1).div_euclid(2 * b)
+        } else {
+            0
+        };
+        let i_after = lb + 2 * b * pair_iters;
+        let body_iters = if i_after < upper {
+            (upper - i_after + b - 1).div_euclid(b)
+        } else {
+            0
+        };
+        let i_final = i_after + b * body_iters;
+
+        let mut low = Lowering {
+            image,
+            params: &input.params,
+            ub: ub as i64,
+            elem: source.elem(),
+            elem_size: source.elem().size() as i64,
+            defined: vec![false; max_reg(program) + 1],
+            dis: String::new(),
+        };
+        let _ = writeln!(
+            low.dis,
+            "; kernel: V={V} D={} B={b} ub={ub} upper={upper} regs={}",
+            low.elem_size,
+            low.defined.len()
+        );
+
+        let mut prologue = Vec::new();
+        let mut pair = Vec::new();
+        let mut body = Vec::new();
+        let mut epilogue = Vec::new();
+        let mut pro_counts = RunStats::default();
+        let mut pair_counts = RunStats::default();
+        let mut body_counts = RunStats::default();
+        let mut epi_counts = RunStats::default();
+
+        let _ = writeln!(low.dis, "prologue (i = 0):");
+        low.lower(program.prologue(), 0, 0, 1, &mut pro_counts, &mut prologue)?;
+        if pair_iters > 0 {
+            let _ = writeln!(low.dis, "pair (i = {lb}, step {}, x{pair_iters}):", 2 * b);
+            low.lower(
+                program.body_pair().unwrap(),
+                lb,
+                2 * b,
+                pair_iters,
+                &mut pair_counts,
+                &mut pair,
+            )?;
+        }
+        if body_iters > 0 {
+            let _ = writeln!(low.dis, "body (i = {i_after}, step {b}, x{body_iters}):");
+            low.lower(
+                program.body(),
+                i_after,
+                b,
+                body_iters,
+                &mut body_counts,
+                &mut body,
+            )?;
+        }
+        let _ = writeln!(low.dis, "epilogue (i = {i_final}):");
+        low.lower(program.epilogue(), i_final, 0, 1, &mut epi_counts, &mut epilogue)?;
+
+        stats += pro_counts;
+        stats += scaled(pair_counts, pair_iters as u64);
+        stats += scaled(body_counts, body_iters as u64);
+        stats += epi_counts;
+        stats.steady_iterations = 2 * pair_iters as u64 + body_iters as u64;
+        stats.loop_overhead =
+            (pair_iters as u64 + body_iters as u64) * LOOP_OVERHEAD_PER_ITERATION;
+
+        Ok(CompiledKernel {
+            prologue,
+            pair,
+            pair_iters,
+            body,
+            body_iters,
+            epilogue,
+            nregs: low.defined.len(),
+            elem: source.elem(),
+            shape: image.shape(),
+            stats,
+            bases,
+            image_len: image.bytes().len(),
+            fallback: None,
+            disassembly: low.dis,
+        })
+    }
+
+    /// Executes the kernel against `image`, which must have the layout
+    /// the kernel was compiled for.
+    ///
+    /// The pre-lowered path is fault-free by construction (every access
+    /// and register was validated at compile time), so the hot loop is
+    /// pure dispatch. Returns the compile-time [`RunStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unsupported`] when `image` has a different layout
+    /// than the compile-time one; scalar-fallback kernels propagate
+    /// [`run_scalar`] faults.
+    pub fn run(&self, image: &mut MemoryImage) -> Result<RunStats, ExecError> {
+        let same_layout = image.shape() == self.shape
+            && image.elem() == self.elem
+            && image.bytes().len() == self.image_len
+            && (0..self.bases.len())
+                .all(|k| image.base_of(ArrayId::from_index(k)) == self.bases[k]);
+        if !same_layout {
+            return Err(ExecError::Unsupported {
+                what: "a memory image with a different layout than compiled for",
+            });
+        }
+        if let Some(fb) = &self.fallback {
+            run_scalar(&fb.source, image, fb.ub, &fb.params)?;
+            return Ok(self.stats);
+        }
+        let mut regs = vec![[0u8; 16]; self.nregs];
+        let elem = self.elem;
+        let mem = image.bytes_mut();
+        exec_section(&self.prologue, 0, elem, &mut regs, mem);
+        for k in 0..self.pair_iters {
+            exec_section(&self.pair, k, elem, &mut regs, mem);
+        }
+        for k in 0..self.body_iters {
+            exec_section(&self.body, k, elem, &mut regs, mem);
+        }
+        exec_section(&self.epilogue, 0, elem, &mut regs, mem);
+        Ok(self.stats)
+    }
+
+    /// The dynamic instruction counts this kernel's execution produces,
+    /// computed analytically at compile time.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Whether the `ub ≤ 3B` guard resolved to the scalar path.
+    pub fn is_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// A human-readable listing of the lowered kernel: baked offsets,
+    /// folded scalars, resolved guards and per-section iteration
+    /// counts. Offsets are printed relative to each array's base so the
+    /// text is stable across layouts of the same program.
+    pub fn disassembly(&self) -> &str {
+        &self.disassembly
+    }
+}
+
+/// The compiled-engine [`Executor`]: compiles a kernel per call and
+/// runs it. Use [`CompiledKernel`] directly to amortize compilation
+/// over repeated runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeEngine;
+
+impl Executor for NativeEngine {
+    fn execute(
+        &self,
+        program: &SimdProgram,
+        image: &mut MemoryImage,
+        input: &RunInput,
+    ) -> Result<RunStats, ExecError> {
+        CompiledKernel::compile(program, image, input)?.run(image)
+    }
+
+    fn name(&self) -> &'static str {
+        "native"
+    }
+}
+
+/// Highest register index mentioned anywhere in the program.
+fn max_reg(program: &SimdProgram) -> usize {
+    let mut max = 0usize;
+    let mut scan = |insts: &[VInst]| {
+        for inst in insts {
+            if let Some(d) = inst.def() {
+                max = max.max(d.index());
+            }
+            inst.visit_uses(&mut |r| max = max.max(r.index()));
+        }
+    };
+    scan(program.prologue());
+    scan(program.body());
+    if let Some(pair) = program.body_pair() {
+        scan(pair);
+    }
+    scan(program.epilogue());
+    max
+}
+
+/// Class counts of one section iteration, scaled to `n` iterations.
+fn scaled(counts: RunStats, n: u64) -> RunStats {
+    RunStats {
+        loads: counts.loads * n,
+        stores: counts.stores * n,
+        shifts: counts.shifts * n,
+        splices: counts.splices * n,
+        splats: counts.splats * n,
+        ops: counts.ops * n,
+        copies: counts.copies * n,
+        unaligned_mem: counts.unaligned_mem * n,
+        ..RunStats::default()
+    }
+}
+
+/// The dispatch loop: executes one straight-line section for iteration
+/// `k`, with every address `start + k · step`.
+fn exec_section(ops: &[Op], k: i64, elem: ScalarType, regs: &mut [Reg], mem: &mut [u8]) {
+    for op in ops {
+        match *op {
+            Op::Load { dst, start, step } => {
+                let at = (start + k * step) as usize;
+                regs[dst as usize].copy_from_slice(&mem[at..at + 16]);
+            }
+            Op::Store { src, start, step } => {
+                let at = (start + k * step) as usize;
+                mem[at..at + 16].copy_from_slice(&regs[src as usize]);
+            }
+            Op::Shift { dst, a, b, amt } => {
+                let av = regs[a as usize];
+                let bv = regs[b as usize];
+                let amt = amt as usize;
+                let out = &mut regs[dst as usize];
+                out[..16 - amt].copy_from_slice(&av[amt..]);
+                out[16 - amt..].copy_from_slice(&bv[..amt]);
+            }
+            Op::Splice { dst, a, b, point } => {
+                let av = regs[a as usize];
+                let bv = regs[b as usize];
+                let p = point as usize;
+                let out = &mut regs[dst as usize];
+                out[..p].copy_from_slice(&av[..p]);
+                out[p..].copy_from_slice(&bv[p..]);
+            }
+            Op::Perm {
+                dst,
+                a,
+                b,
+                ref pattern,
+            } => {
+                let mut pair = [0u8; 32];
+                pair[..16].copy_from_slice(&regs[a as usize]);
+                pair[16..].copy_from_slice(&regs[b as usize]);
+                let out = &mut regs[dst as usize];
+                for (t, &sel) in pattern.iter().enumerate() {
+                    out[t] = pair[sel as usize];
+                }
+            }
+            Op::Splat { dst, bytes } => regs[dst as usize] = bytes,
+            Op::Bin { dst, op, a, b } => {
+                regs[dst as usize] = lanes::bin(op, elem, &regs[a as usize], &regs[b as usize]);
+            }
+            Op::Un { dst, op, a } => {
+                regs[dst as usize] = lanes::un(op, elem, &regs[a as usize]);
+            }
+            Op::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+    use simdize_ir::parse_program;
+    use simdize_reorg::{Policy, ReorgGraph};
+    use simdize_vm::{run_simd, Interpreter};
+
+    const FIG1: &str = "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+                        for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }";
+
+    fn compile_prog(src: &str, policy: Policy, reuse: ReuseMode) -> SimdProgram {
+        let p = parse_program(src).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(policy)
+            .unwrap();
+        generate(&g, &CodegenOptions::default().reuse(reuse)).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_interpreter_on_paper_example() {
+        for policy in Policy::ALL {
+            for reuse in [
+                ReuseMode::None,
+                ReuseMode::SoftwarePipeline,
+                ReuseMode::PredictiveCommoning,
+            ] {
+                let prog = compile_prog(FIG1, policy, reuse);
+                let source = prog.source().clone();
+                let input = RunInput::with_ub(100);
+                let mut interp_img = MemoryImage::with_seed(&source, VectorShape::V16, 99);
+                let mut engine_img = interp_img.clone();
+                let want = run_simd(&prog, &mut interp_img, &input).unwrap();
+                let kernel = CompiledKernel::compile(&prog, &engine_img, &input).unwrap();
+                let got = kernel.run(&mut engine_img).unwrap();
+                assert_eq!(got, want, "{policy}/{reuse:?} stats diverged");
+                assert_eq!(
+                    engine_img.first_difference(&interp_img),
+                    None,
+                    "{policy}/{reuse:?} memory diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_alignment_and_ub_match() {
+        let src = "arrays { a: i32[256] @ ?; b: i32[256] @ ?; }
+                   for i in 0..ub { a[i] = b[i+1]; }";
+        let prog = compile_prog(src, Policy::Zero, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        for seed in [1u64, 5, 13] {
+            for ub in [14u64, 100, 201] {
+                let input = RunInput::with_ub(ub);
+                let mut interp_img = MemoryImage::with_seed(&source, VectorShape::V16, seed);
+                let mut engine_img = interp_img.clone();
+                let want = run_simd(&prog, &mut interp_img, &input).unwrap();
+                let got = NativeEngine.execute(&prog, &mut engine_img, &input).unwrap();
+                assert_eq!(got, want, "seed {seed} ub {ub}");
+                assert_eq!(engine_img.first_difference(&interp_img), None);
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_matches_interpreter() {
+        let src = "arrays { a: i32[128] @ 0; b: i32[128] @ 0; }
+                   for i in 0..ub { a[i] = b[i+1]; }";
+        let prog = compile_prog(src, Policy::Zero, ReuseMode::None);
+        let source = prog.source().clone();
+        let input = RunInput::with_ub(7);
+        let mut interp_img = MemoryImage::with_seed(&source, VectorShape::V16, 3);
+        let mut engine_img = interp_img.clone();
+        let want = run_simd(&prog, &mut interp_img, &input).unwrap();
+        let kernel = CompiledKernel::compile(&prog, &engine_img, &input).unwrap();
+        assert!(kernel.is_fallback());
+        assert!(kernel.disassembly().contains("scalar fallback"));
+        let got = kernel.run(&mut engine_img).unwrap();
+        assert!(got.used_fallback);
+        assert_eq!(got, want);
+        assert_eq!(engine_img.first_difference(&interp_img), None);
+    }
+
+    #[test]
+    fn rejects_mismatched_trip_and_shapes() {
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::None);
+        let source = prog.source().clone();
+        let img = MemoryImage::with_seed(&source, VectorShape::V16, 1);
+        let err = CompiledKernel::compile(&prog, &img, &RunInput::with_ub(99)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::TripMismatch {
+                declared: 100,
+                supplied: 99
+            }
+        );
+        let img8 = MemoryImage::with_seed(&source, VectorShape::V8, 1);
+        let err = CompiledKernel::compile(&prog, &img8, &RunInput::with_ub(100)).unwrap_err();
+        assert!(matches!(err, ExecError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn rejects_foreign_layout_at_run() {
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::None);
+        let source = prog.source().clone();
+        let img = MemoryImage::with_seed(&source, VectorShape::V16, 1);
+        let kernel = CompiledKernel::compile(&prog, &img, &RunInput::with_ub(100)).unwrap();
+        // Same layout, refilled contents: accepted.
+        let mut refill = img.clone();
+        refill.fill_random(77);
+        kernel.run(&mut refill).unwrap();
+        // A different program's image: rejected, not corrupted.
+        let other = parse_program(
+            "arrays { x: i32[16] @ 0; y: i32[16] @ 0; }
+             for i in 0..8 { x[i] = y[i]; }",
+        )
+        .unwrap();
+        let mut foreign = MemoryImage::with_seed(&other, VectorShape::V16, 1);
+        assert!(matches!(
+            kernel.run(&mut foreign),
+            Err(ExecError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_reuse_across_refills_matches_fresh_interpreter_runs() {
+        let prog = compile_prog(FIG1, Policy::Eager, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        let input = RunInput::with_ub(100);
+        let base = MemoryImage::with_seed(&source, VectorShape::V16, 42);
+        let kernel = CompiledKernel::compile(&prog, &base, &input).unwrap();
+        for fill in [9u64, 10, 11] {
+            let mut engine_img = base.clone();
+            engine_img.fill_random(fill);
+            let mut interp_img = engine_img.clone();
+            kernel.run(&mut engine_img).unwrap();
+            run_simd(&prog, &mut interp_img, &input).unwrap();
+            assert_eq!(engine_img.first_difference(&interp_img), None, "fill {fill}");
+        }
+    }
+
+    #[test]
+    fn executor_names() {
+        assert_eq!(NativeEngine.name(), "native");
+        assert_eq!(Interpreter.name(), "interp");
+    }
+
+    #[test]
+    fn disassembly_lists_sections_and_baked_offsets() {
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        let img = MemoryImage::with_seed(&source, VectorShape::V16, 1);
+        let kernel = CompiledKernel::compile(&prog, &img, &RunInput::with_ub(100)).unwrap();
+        let dis = kernel.disassembly();
+        assert!(dis.starts_with("; kernel: V=16 D=4 B=4 ub=100"));
+        assert!(dis.contains("prologue (i = 0):"));
+        assert!(dis.contains("epilogue"));
+        assert!(dis.contains("load.chunk"));
+        assert!(dis.contains("/iter"));
+    }
+}

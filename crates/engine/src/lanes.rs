@@ -1,0 +1,171 @@
+//! Width-specialized lane arithmetic on fixed 16-byte registers.
+//!
+//! The interpreter in `simdize-vm` decodes every lane through
+//! [`simdize_ir::Value`], which allocates a `Vec<u8>` per lane result.
+//! The engine instead dispatches once per instruction on
+//! `(element width, signedness)` and runs a monomorphic loop over the
+//! register bytes — no allocation, no per-lane branching. The results
+//! must be *bit-identical* to `Value` semantics (wrapping arithmetic,
+//! signedness-aware min/max, `abs(MIN) == MIN`); the tests below pin
+//! that equivalence for every operation and element type.
+
+use simdize_ir::{BinOp, ScalarType, UnOp};
+
+/// One 16-byte vector register.
+pub(crate) type Reg = [u8; 16];
+
+macro_rules! width_ops {
+    ($bin:ident, $un:ident, $n:literal, $u:ty, $s:ty) => {
+        fn $bin(op: BinOp, signed: bool, a: &Reg, b: &Reg) -> Reg {
+            let mut out = [0u8; 16];
+            for lane in 0..16 / $n {
+                let at = lane * $n;
+                let x = <$u>::from_le_bytes(a[at..at + $n].try_into().unwrap());
+                let y = <$u>::from_le_bytes(b[at..at + $n].try_into().unwrap());
+                let r: $u = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Min if signed => (x as $s).min(y as $s) as $u,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max if signed => (x as $s).max(y as $s) as $u,
+                    BinOp::Max => x.max(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                };
+                out[at..at + $n].copy_from_slice(&r.to_le_bytes());
+            }
+            out
+        }
+
+        fn $un(op: UnOp, signed: bool, a: &Reg) -> Reg {
+            let mut out = [0u8; 16];
+            for lane in 0..16 / $n {
+                let at = lane * $n;
+                let x = <$u>::from_le_bytes(a[at..at + $n].try_into().unwrap());
+                let r: $u = match op {
+                    UnOp::Neg => x.wrapping_neg(),
+                    UnOp::Not => !x,
+                    UnOp::Abs if signed => (x as $s).wrapping_abs() as $u,
+                    UnOp::Abs => x,
+                };
+                out[at..at + $n].copy_from_slice(&r.to_le_bytes());
+            }
+            out
+        }
+    };
+}
+
+width_ops!(bin1, un1, 1, u8, i8);
+width_ops!(bin2, un2, 2, u16, i16);
+width_ops!(bin4, un4, 4, u32, i32);
+width_ops!(bin8, un8, 8, u64, i64);
+
+/// Applies `op` lane-wise over two registers of `ty` elements.
+pub(crate) fn bin(op: BinOp, ty: ScalarType, a: &Reg, b: &Reg) -> Reg {
+    let signed = ty.is_signed();
+    match ty.size() {
+        1 => bin1(op, signed, a, b),
+        2 => bin2(op, signed, a, b),
+        4 => bin4(op, signed, a, b),
+        _ => bin8(op, signed, a, b),
+    }
+}
+
+/// Applies `op` lane-wise over one register of `ty` elements.
+pub(crate) fn un(op: UnOp, ty: ScalarType, a: &Reg) -> Reg {
+    let signed = ty.is_signed();
+    match ty.size() {
+        1 => un1(op, signed, a),
+        2 => un2(op, signed, a),
+        4 => un4(op, signed, a),
+        _ => un8(op, signed, a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_ir::Value;
+    use simdize_prng::SplitMix64;
+
+    const BINS: [BinOp; 8] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+    ];
+    const UNS: [UnOp; 3] = [UnOp::Neg, UnOp::Not, UnOp::Abs];
+
+    fn value_bin(op: BinOp, ty: ScalarType, a: &Reg, b: &Reg) -> Reg {
+        let d = ty.size();
+        let mut out = [0u8; 16];
+        for lane in 0..16 / d {
+            let x = Value::from_le_bytes(ty, &a[lane * d..]);
+            let y = Value::from_le_bytes(ty, &b[lane * d..]);
+            out[lane * d..lane * d + d].copy_from_slice(&op.apply(x, y).to_le_bytes());
+        }
+        out
+    }
+
+    fn value_un(op: UnOp, ty: ScalarType, a: &Reg) -> Reg {
+        let d = ty.size();
+        let mut out = [0u8; 16];
+        for lane in 0..16 / d {
+            let x = Value::from_le_bytes(ty, &a[lane * d..]);
+            out[lane * d..lane * d + d].copy_from_slice(&op.apply(x).to_le_bytes());
+        }
+        out
+    }
+
+    fn random_reg(rng: &mut SplitMix64) -> Reg {
+        let mut r = [0u8; 16];
+        for chunk in r.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
+        }
+        r
+    }
+
+    #[test]
+    fn bit_identical_to_value_semantics() {
+        let mut rng = SplitMix64::seed_from_u64(0x1A7E5);
+        for ty in ScalarType::ALL {
+            for _ in 0..64 {
+                let a = random_reg(&mut rng);
+                let b = random_reg(&mut rng);
+                for op in BINS {
+                    assert_eq!(bin(op, ty, &a, &b), value_bin(op, ty, &a, &b), "{op:?} {ty}");
+                }
+                for op in UNS {
+                    assert_eq!(un(op, ty, &a), value_un(op, ty, &a), "{op:?} {ty}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_patterns_match() {
+        // Lane extremes: MIN/MAX patterns where abs/neg/min diverge
+        // between naive and wrapping implementations.
+        let min8 = [0x80u8; 16];
+        let ff = [0xFFu8; 16];
+        let zero = [0u8; 16];
+        for ty in ScalarType::ALL {
+            for a in [&min8, &ff, &zero] {
+                for b in [&min8, &ff, &zero] {
+                    for op in BINS {
+                        assert_eq!(bin(op, ty, a, b), value_bin(op, ty, a, b), "{op:?} {ty}");
+                    }
+                }
+                for op in UNS {
+                    assert_eq!(un(op, ty, a), value_un(op, ty, a), "{op:?} {ty}");
+                }
+            }
+        }
+    }
+}

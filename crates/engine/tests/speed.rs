@@ -1,0 +1,49 @@
+//! Performance floor: the compiled kernel must beat the interpreter by
+//! at least 5× on a 1M-element loop. Timing assertions are only
+//! meaningful on optimized builds, so the whole test compiles away in
+//! debug mode (`cargo test --release` / `scripts/ci.sh` exercise it).
+#![cfg(not(debug_assertions))]
+
+use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+use simdize_engine::CompiledKernel;
+use simdize_ir::{parse_program, VectorShape};
+use simdize_reorg::{Policy, ReorgGraph};
+use simdize_vm::{run_simd, MemoryImage, RunInput};
+use std::time::Instant;
+
+#[test]
+fn compiled_kernel_is_at_least_5x_faster_than_interpreter() {
+    let p = parse_program(
+        "arrays { a: i32[1000016] @ 0; b: i32[1000016] @ 4; c: i32[1000016] @ 8; }
+         for i in 0..1000000 { a[i+3] = b[i+1] + c[i+2]; }",
+    )
+    .unwrap();
+    let g = ReorgGraph::build(&p, VectorShape::V16)
+        .unwrap()
+        .with_policy(Policy::Zero)
+        .unwrap();
+    let prog = generate(
+        &g,
+        &CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline),
+    )
+    .unwrap();
+    let input = RunInput::with_ub(1_000_000);
+    let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 2004);
+    let kernel = CompiledKernel::compile(&prog, &img, &input).unwrap();
+
+    // Warm caches once, then time single full passes of each executor.
+    kernel.run(&mut img).unwrap();
+    let t0 = Instant::now();
+    kernel.run(&mut img).unwrap();
+    let engine_t = t0.elapsed();
+    let t1 = Instant::now();
+    run_simd(&prog, &mut img, &input).unwrap();
+    let interp_t = t1.elapsed();
+
+    let ratio = interp_t.as_secs_f64() / engine_t.as_secs_f64();
+    assert!(
+        ratio >= 5.0,
+        "compiled kernel only {ratio:.1}x faster than the interpreter \
+         (engine {engine_t:?}, interp {interp_t:?}; need >= 5x)"
+    );
+}

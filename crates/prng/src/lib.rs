@@ -1,0 +1,193 @@
+//! A small, dependency-free deterministic PRNG for the simdize
+//! workspace.
+//!
+//! Everything random in this repository — synthesized workloads, memory
+//! image placement and contents, sweep schedules — must be (a)
+//! reproducible from a single `u64` seed and (b) buildable with no
+//! registry access. [`SplitMix64`] provides both: it is the well-known
+//! 64-bit finalizer-based generator (Steele, Lea & Flood, OOPSLA 2014),
+//! passes BigCrush for our purposes, seeds in O(1), and fits in twenty
+//! lines of safe code.
+//!
+//! The API mirrors the subset of `rand::Rng` the workspace actually
+//! uses (`gen_range`-style integer ranges, a biased coin, uniform
+//! floats), so call sites read the same as before the vendoring.
+//!
+//! # Example
+//!
+//! ```
+//! use simdize_prng::SplitMix64;
+//! let mut rng = SplitMix64::seed_from_u64(7);
+//! let a = rng.next_u64();
+//! let b = rng.range_u64(0, 10);      // 0 ≤ b < 10
+//! let c = rng.range_inclusive(3, 5); // 3 ≤ c ≤ 5
+//! let p = rng.chance(0.5);
+//! assert!(b < 10 && (3..=5).contains(&c));
+//! assert_eq!(SplitMix64::seed_from_u64(7).next_u64(), a);
+//! let _ = p;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The SplitMix64 generator: 64 bits of state, one multiply-xor-shift
+/// finalizer per output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Identical seeds produce
+    /// identical streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Alias for [`SplitMix64::seed_from_u64`].
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64::seed_from_u64(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        // Multiply-shift range reduction (Lemire); the bias for our
+        // range sizes (≤ 2^32) is < 2^-32 and irrelevant here.
+        let span = hi - lo;
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
+    }
+
+    /// A uniform value in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        self.range_u64(lo, hi + 1)
+    }
+
+    /// A uniform index in `[0, len)` — the `choose` helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.range_u64(0, len as u64) as usize
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A biased coin: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform float in `[lo, hi]`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Derives an independent generator for a labelled subtask: the
+    /// stream of `self.split(label)` is uncorrelated with `self`'s for
+    /// distinct labels (both go through the SplitMix64 finalizer).
+    pub fn split(&self, label: u64) -> SplitMix64 {
+        let mut probe = SplitMix64 {
+            state: self.state ^ label.wrapping_mul(0xA24B_AED4_963E_E407),
+        };
+        SplitMix64 {
+            state: probe.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        let mut c = SplitMix64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs for seed 0, from the published reference
+        // implementation.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.range_u64(5, 17);
+            assert!((5..17).contains(&v));
+            let w = r.range_inclusive(0, 3);
+            assert!(w <= 3);
+            let i = r.index(7);
+            assert!(i < 7);
+            let f = r.uniform();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_every_value() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.index(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+        // p = 0.5 lands somewhere strictly between.
+        let hits = (0..1000).filter(|_| r.chance(0.5)).count();
+        assert!((300..700).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let base = SplitMix64::seed_from_u64(7);
+        let mut a = base.split(1);
+        let mut b = base.split(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -58,6 +58,22 @@ pub enum ExecError {
         /// The offending array.
         array: ArrayId,
     },
+    /// The caller supplied a runtime trip count that contradicts the
+    /// loop's compile-time one. The compile-time value always wins, so a
+    /// disagreement means the caller is verifying against the wrong
+    /// scalar run — fail loudly instead.
+    TripMismatch {
+        /// The loop's compile-time trip count.
+        declared: u64,
+        /// The trip count the caller supplied.
+        supplied: u64,
+    },
+    /// The program uses a feature this executor does not implement
+    /// (e.g. a vector shape the compiled engine has no kernels for).
+    Unsupported {
+        /// What was unsupported.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -93,6 +109,16 @@ impl fmt::Display for ExecError {
                     f,
                     "trip count {ub} drives a reference to {array} out of bounds"
                 )
+            }
+            ExecError::TripMismatch { declared, supplied } => {
+                write!(
+                    f,
+                    "supplied trip count {supplied} contradicts the compile-time \
+                     trip count {declared}"
+                )
+            }
+            ExecError::Unsupported { what } => {
+                write!(f, "unsupported by this executor: {what}")
             }
         }
     }

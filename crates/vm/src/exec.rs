@@ -1,0 +1,85 @@
+//! The [`Executor`] abstraction: anything that can run a
+//! [`SimdProgram`] against a [`MemoryImage`] and report [`RunStats`].
+//!
+//! Two implementations exist: the tree-walking [`Interpreter`] in this
+//! crate (the reference semantics and the oracle for everything else)
+//! and the pre-lowered compiled engine in `simdize-engine`. Both must
+//! produce byte-identical memory images and identical stats for the
+//! same `(program, image, input)` — the engine's differential tests
+//! enforce exactly that.
+
+use crate::error::ExecError;
+use crate::interp::{run_simd, RunInput};
+use crate::memory::MemoryImage;
+use crate::stats::RunStats;
+use simdize_codegen::SimdProgram;
+
+/// A strategy for executing simdized programs.
+pub trait Executor {
+    /// Executes `program` against `image`, mutating it in place, and
+    /// returns the dynamic instruction counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on machine faults (always a codegen
+    /// bug), on inconsistent inputs, or when the executor does not
+    /// support the program ([`ExecError::Unsupported`]).
+    fn execute(
+        &self,
+        program: &SimdProgram,
+        image: &mut MemoryImage,
+        input: &RunInput,
+    ) -> Result<RunStats, ExecError>;
+
+    /// A short name for reports and CLI flags (`"interp"`, `"native"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The reference executor: delegates to [`run_simd`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Interpreter;
+
+impl Executor for Interpreter {
+    fn execute(
+        &self,
+        program: &SimdProgram,
+        image: &mut MemoryImage,
+        input: &RunInput,
+    ) -> Result<RunStats, ExecError> {
+        run_simd(program, image, input)
+    }
+
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions};
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    #[test]
+    fn interpreter_executor_matches_run_simd() {
+        let p = parse_program(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 4; }
+             for i in 0..100 { a[i] = b[i+1]; }",
+        )
+        .unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(Policy::Zero)
+            .unwrap();
+        let prog = generate(&g, &CodegenOptions::default()).unwrap();
+        let mut img1 = MemoryImage::with_seed(&p, VectorShape::V16, 7);
+        let mut img2 = img1.clone();
+        let input = RunInput::with_ub(100);
+        let direct = run_simd(&prog, &mut img1, &input).unwrap();
+        let via_trait = Interpreter.execute(&prog, &mut img2, &input).unwrap();
+        assert_eq!(direct, via_trait);
+        assert_eq!(img1.first_difference(&img2), None);
+        assert_eq!(Interpreter.name(), "interp");
+    }
+}

@@ -71,6 +71,14 @@ pub fn run_simd(
             index: input.params.len(),
         });
     }
+    if let Some(declared) = source.trip().known() {
+        if input.ub != declared {
+            return Err(ExecError::TripMismatch {
+                declared,
+                supplied: input.ub,
+            });
+        }
+    }
     let ub = source.trip().known().unwrap_or(input.ub);
     let mut stats = RunStats {
         invocation_overhead: CALL_OVERHEAD,
@@ -85,7 +93,7 @@ pub fn run_simd(
         return Ok(stats);
     }
 
-    stats.invocation_overhead += RUNTIME_SETUP_PER_EXPR * runtime_exprs(program) as u64;
+    stats.invocation_overhead += RUNTIME_SETUP_PER_EXPR * runtime_expr_count(program) as u64;
 
     let mut machine = Machine {
         regs: vec![None; program.vreg_count() as usize + 64],
@@ -133,7 +141,11 @@ pub fn run_simd(
 /// Counts the distinct runtime scalar expressions a program needs to
 /// materialize per invocation (alignment masks, permute vectors, the
 /// runtime upper bound).
-fn runtime_exprs(program: &SimdProgram) -> usize {
+///
+/// Public so alternative executors (the compiled engine) charge exactly
+/// the same [`RUNTIME_SETUP_PER_EXPR`] invocation overhead as the
+/// interpreter.
+pub fn runtime_expr_count(program: &SimdProgram) -> usize {
     let mut seen: HashSet<SExpr> = HashSet::new();
     let mut scan = |insts: &[VInst]| {
         collect_runtime(insts, &mut seen);
@@ -379,6 +391,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mismatched_ub_is_rejected() {
+        // The docs promise the compile-time trip count wins, but a
+        // caller who disagrees is comparing against the wrong oracle —
+        // that must be a loud error, not a silent pick.
+        let prog = compile(FIG1, Policy::Zero, ReuseMode::None);
+        let source = prog.source().clone();
+        let mut img = MemoryImage::with_seed(&source, VectorShape::V16, 1);
+        let err = run_simd(&prog, &mut img, &RunInput::with_ub(99)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::TripMismatch {
+                declared: 100,
+                supplied: 99
+            }
+        );
+        // The agreeing value still runs.
+        run_simd(&prog, &mut img, &RunInput::with_ub(100)).unwrap();
     }
 
     #[test]

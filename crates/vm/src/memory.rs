@@ -2,6 +2,7 @@
 
 use crate::error::ExecError;
 use simdize_ir::{AlignKind, ArrayId, LoopProgram, ScalarType, Value, VectorShape};
+use simdize_prng::SplitMix64;
 
 /// Guard padding, in multiples of the vector length, kept on both sides
 /// of every array. Shifted streams legitimately *read* up to two chunks
@@ -32,7 +33,7 @@ impl MemoryImage {
     /// multiple of the element size, preserving natural alignment) and
     /// filling every array with pseudo-random element values.
     pub fn with_seed(program: &LoopProgram, shape: VectorShape, seed: u64) -> MemoryImage {
-        let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(2).wrapping_add(1));
         let d = program.elem().size() as u64;
         let lanes = (shape.bytes() as u64) / d;
         let offsets: Vec<u32> = program
@@ -40,7 +41,7 @@ impl MemoryImage {
             .iter()
             .map(|a| match a.align() {
                 AlignKind::Known(off) => off % shape.bytes(),
-                AlignKind::Runtime => ((rng.next() % lanes) * d) as u32,
+                AlignKind::Runtime => ((rng.next_u64() % lanes) * d) as u32,
             })
             .collect();
         let mut image = MemoryImage::with_offsets(program, shape, &offsets);
@@ -95,11 +96,11 @@ impl MemoryImage {
     /// Fills every array element with pseudo-random values (guard bytes
     /// stay untouched, so differential comparisons cover them too).
     pub fn fill_random(&mut self, seed: u64) {
-        let mut rng = Lcg(seed | 1);
+        let mut rng = SplitMix64::seed_from_u64(seed | 1);
         let d = self.elem.size();
         for a in 0..self.bases.len() {
             for idx in 0..self.lens[a] {
-                let v = Value::from_i64(self.elem, rng.next() as i64);
+                let v = Value::from_i64(self.elem, rng.next_u64() as i64);
                 let at = (self.bases[a] + idx * d as u64) as usize;
                 self.bytes[at..at + d].copy_from_slice(&v.to_le_bytes());
             }
@@ -252,6 +253,24 @@ impl MemoryImage {
         &self.bytes
     }
 
+    /// Mutable access to the raw image bytes, for executors that have
+    /// validated their accesses up front (the compiled engine).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// The guarded byte range `[lo, hi)` of `array`: every `V`-byte
+    /// chunk access the truncating load/store instructions accept
+    /// satisfies `lo ≤ chunk` and `chunk + V ≤ hi`. Lets a compiler
+    /// validate a whole access stream once instead of per access.
+    pub fn guarded_range(&self, array: ArrayId) -> (i64, i64) {
+        let v = self.shape.bytes() as i64;
+        let base = self.bases[array.index()] as i64;
+        let len = (self.lens[array.index()] * self.elem.size() as u64) as i64;
+        let guard = (GUARD_CHUNKS as i64) * v;
+        ((base - guard).max(0), base + len + guard)
+    }
+
     /// First byte position at which two images differ, if any.
     pub fn first_difference(&self, other: &MemoryImage) -> Option<usize> {
         self.bytes
@@ -265,20 +284,6 @@ impl MemoryImage {
                     None
                 }
             })
-    }
-}
-
-/// A tiny deterministic generator (64-bit LCG, top bits) so the VM does
-/// not depend on external randomness.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 16
     }
 }
 

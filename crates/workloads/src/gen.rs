@@ -1,7 +1,7 @@
 //! The §5.3 synthesized-loop generator.
 
-use rand::Rng;
 use simdize_ir::{ArrayHandle, BinOp, Expr, LoopBuilder, LoopProgram, ScalarType, TripCount};
+use simdize_prng::SplitMix64;
 
 /// How the generated loop's trip count is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,13 +125,13 @@ impl WorkloadSpec {
 /// # Panics
 ///
 /// Panics if `spec.loads_per_stmt` is 0 or `spec.statements` is 0.
-pub fn synthesize(spec: &WorkloadSpec, rng: &mut impl Rng) -> LoopProgram {
+pub fn synthesize(spec: &WorkloadSpec, rng: &mut SplitMix64) -> LoopProgram {
     assert!(spec.statements > 0 && spec.loads_per_stmt > 0);
     let mut builder = LoopBuilder::new(spec.elem);
 
     let trip = match spec.trip {
         TripSpec::Known(n) => TripCount::Known(n),
-        TripSpec::KnownInRange(lo, hi) => TripCount::Known(rng.gen_range(lo..=hi)),
+        TripSpec::KnownInRange(lo, hi) => TripCount::Known(rng.range_inclusive(lo, hi)),
         TripSpec::Runtime => TripCount::Runtime,
     };
     // Arrays must accommodate the largest trip count plus the largest
@@ -146,12 +146,12 @@ pub fn synthesize(spec: &WorkloadSpec, rng: &mut impl Rng) -> LoopProgram {
     let max_stride = *spec.strides.iter().max().expect("non-empty") as u64;
     let len = max_stride * max_trip + 2 * lanes + 8;
 
-    let biased_alignment = rng.gen_range(0..lanes);
-    let pick_alignment = |rng: &mut dyn rand::RngCore| -> u64 {
-        if rng.gen_bool(spec.bias.clamp(0.0, 1.0)) {
+    let biased_alignment = rng.range_u64(0, lanes);
+    let pick_alignment = |rng: &mut SplitMix64| -> u64 {
+        if rng.chance(spec.bias) {
             biased_alignment
         } else {
-            rng.gen_range(0..lanes)
+            rng.range_u64(0, lanes)
         }
     };
 
@@ -169,8 +169,8 @@ pub fn synthesize(spec: &WorkloadSpec, rng: &mut impl Rng) -> LoopProgram {
                 .copied()
                 .filter(|h| !used_here.contains(h))
                 .collect();
-            let handle = if !reuse_pool.is_empty() && rng.gen_bool(spec.reuse.clamp(0.0, 1.0)) {
-                reuse_pool[rng.gen_range(0..reuse_pool.len())]
+            let handle = if !reuse_pool.is_empty() && rng.chance(spec.reuse) {
+                reuse_pool[rng.index(reuse_pool.len())]
             } else {
                 let name = format!("in_{s}_{l}");
                 if spec.runtime_align {
@@ -183,8 +183,8 @@ pub fn synthesize(spec: &WorkloadSpec, rng: &mut impl Rng) -> LoopProgram {
             // The element offset realizes the chosen alignment
             // (alignment · D bytes past a 16-byte boundary), with an
             // extra whole-vector displacement for chunk variety.
-            let k = pick_alignment(rng) + lanes * rng.gen_range(0..2u64);
-            let stride = spec.strides[rng.gen_range(0..spec.strides.len())];
+            let k = pick_alignment(rng) + lanes * rng.range_u64(0, 2);
+            let stride = spec.strides[rng.index(spec.strides.len())];
             operands.push(handle.load_strided(stride, k as i64));
         }
         let rhs = operands
@@ -214,13 +214,11 @@ pub fn synthesize(spec: &WorkloadSpec, rng: &mut impl Rng) -> LoopProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use simdize_ir::VectorShape;
 
     #[test]
     fn shape_matches_spec() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let p = synthesize(&WorkloadSpec::new(4, 8), &mut rng);
         assert_eq!(p.stmts().len(), 4);
         for s in p.stmts() {
@@ -233,9 +231,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let spec = WorkloadSpec::new(2, 4);
-        let a = synthesize(&spec, &mut StdRng::seed_from_u64(42));
-        let b = synthesize(&spec, &mut StdRng::seed_from_u64(42));
-        let c = synthesize(&spec, &mut StdRng::seed_from_u64(43));
+        let a = synthesize(&spec, &mut SplitMix64::seed_from_u64(42));
+        let b = synthesize(&spec, &mut SplitMix64::seed_from_u64(42));
+        let c = synthesize(&spec, &mut SplitMix64::seed_from_u64(43));
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -243,7 +241,7 @@ mod tests {
     #[test]
     fn bias_one_aligns_everything_together() {
         let spec = WorkloadSpec::new(2, 4).bias(1.0).reuse(0.0);
-        let p = synthesize(&spec, &mut StdRng::seed_from_u64(9));
+        let p = synthesize(&spec, &mut SplitMix64::seed_from_u64(9));
         let g = simdize_reorg::ReorgGraph::build(&p, VectorShape::V16).unwrap();
         for s in 0..p.stmts().len() {
             assert_eq!(simdize_reorg::distinct_alignments(&g, s), 1);
@@ -253,20 +251,20 @@ mod tests {
     #[test]
     fn reuse_one_shares_arrays_across_statements() {
         let spec = WorkloadSpec::new(4, 4).reuse(1.0);
-        let p = synthesize(&spec, &mut StdRng::seed_from_u64(5));
+        let p = synthesize(&spec, &mut SplitMix64::seed_from_u64(5));
         // Statement 0 creates 4 arrays; later statements reuse them, so
         // total arrays = 4 loads + 4 stores = 8.
         assert_eq!(p.arrays().len(), 8);
         let none = synthesize(
             &WorkloadSpec::new(4, 4).reuse(0.0),
-            &mut StdRng::seed_from_u64(5),
+            &mut SplitMix64::seed_from_u64(5),
         );
         assert_eq!(none.arrays().len(), 20);
     }
 
     #[test]
     fn trip_range_and_runtime() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let p = synthesize(
             &WorkloadSpec::new(1, 2).trip(TripSpec::KnownInRange(997, 1000)),
             &mut rng,
@@ -279,14 +277,14 @@ mod tests {
 
     #[test]
     fn runtime_align_marks_arrays() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let p = synthesize(&WorkloadSpec::new(1, 3).runtime_align(true), &mut rng);
         assert!(!p.all_alignments_known());
     }
 
     #[test]
     fn short_elements_use_eight_lane_grid() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SplitMix64::seed_from_u64(8);
         let spec = WorkloadSpec::new(1, 6).elem(ScalarType::I16);
         let p = synthesize(&spec, &mut rng);
         assert_eq!(p.elem(), ScalarType::I16);

@@ -20,10 +20,10 @@
 //!
 //! ```
 //! use simdize_workloads::{synthesize, WorkloadSpec};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use simdize_prng::SplitMix64;
 //!
 //! let spec = WorkloadSpec::new(1, 6).bias(0.3).reuse(0.3);
-//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut rng = SplitMix64::seed_from_u64(7);
 //! let p = synthesize(&spec, &mut rng);
 //! assert_eq!(p.stmts().len(), 1);
 //! assert_eq!(p.stmts()[0].rhs.loads().len(), 6);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI gate for the simdize workspace.
+#
+# Everything runs with `--offline`: the repo has no external
+# dependencies, and CI must never reach for the network. The root
+# `cargo build`/`cargo test` pair is the tier-1 gate; the rest of the
+# script widens it to the full workspace (bench + cli are not in the
+# root package's dependency graph), lints with clippy at -D warnings,
+# and finishes with an end-to-end smoke sweep through the CLI binary:
+# eight seeds of Figure 1 compiled by the native engine and verified
+# against the scalar oracle on four worker threads.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, workspace) =="
+cargo build --release --offline --workspace
+
+echo "== test (tier-1: root package) =="
+cargo test -q --offline
+
+echo "== test (release, workspace) =="
+cargo test -q --release --offline --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== smoke sweep (native engine, 8 seeds) =="
+target/release/simdize sweep loops/figure1.loop --smoke --jobs 4
+
+echo "== ci OK =="

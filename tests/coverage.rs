@@ -12,12 +12,11 @@
 //! paper's trip counts lives in `cargo run -p simdize-bench --bin
 //! coverage --release`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simdize_prng::SplitMix64;
 use simdize::{synthesize, DiffConfig, Scheme, Simdizer, TripSpec, WorkloadSpec};
 
 fn verify_spec(spec: &WorkloadSpec, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let program = synthesize(spec, &mut rng);
     let schemes = if spec.runtime_align {
         Scheme::runtime_contenders()
@@ -56,10 +55,10 @@ fn coverage_compile_time_alignments() {
         for l in [1usize, 2, 4, 6, 8] {
             for _ in 0..4 {
                 seed += 1;
-                let mut meta = StdRng::seed_from_u64(seed * 31);
+                let mut meta = SplitMix64::seed_from_u64(seed * 31);
                 let spec = WorkloadSpec::new(s, l)
-                    .bias(meta.gen_range(0.0..=1.0))
-                    .reuse(meta.gen_range(0.0..=1.0))
+                    .bias(meta.range_f64(0.0, 1.0))
+                    .reuse(meta.range_f64(0.0, 1.0))
                     .trip(TripSpec::KnownInRange(197, 200));
                 verify_spec(&spec, seed);
             }
@@ -74,10 +73,10 @@ fn coverage_runtime_alignments() {
         for l in [2usize, 4, 8] {
             for _ in 0..3 {
                 seed += 1;
-                let mut meta = StdRng::seed_from_u64(seed * 31);
+                let mut meta = SplitMix64::seed_from_u64(seed * 31);
                 let spec = WorkloadSpec::new(s, l)
-                    .bias(meta.gen_range(0.0..=1.0))
-                    .reuse(meta.gen_range(0.0..=1.0))
+                    .bias(meta.range_f64(0.0, 1.0))
+                    .reuse(meta.range_f64(0.0, 1.0))
                     .trip(TripSpec::KnownInRange(197, 200))
                     .runtime_align(true);
                 verify_spec(&spec, seed);
@@ -96,7 +95,7 @@ fn coverage_runtime_trip_counts() {
                 let spec = WorkloadSpec::new(s, l)
                     .trip(TripSpec::Runtime)
                     .runtime_align(runtime_align);
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 let program = synthesize(&spec, &mut rng);
                 let schemes = if runtime_align {
                     Scheme::runtime_contenders()
@@ -141,7 +140,7 @@ fn coverage_reassociation_everywhere() {
         for l in [4usize, 8] {
             seed += 1;
             let spec = WorkloadSpec::new(s, l).trip(TripSpec::KnownInRange(197, 200));
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed);
             let program = synthesize(&spec, &mut rng);
             for scheme in Scheme::contenders() {
                 let report = Simdizer::new()
@@ -164,7 +163,7 @@ fn coverage_other_vector_shapes() {
             for l in [2usize, 5] {
                 seed += 1;
                 let spec = WorkloadSpec::new(s, l).trip(TripSpec::KnownInRange(197, 200));
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = SplitMix64::seed_from_u64(seed);
                 let program = synthesize(&spec, &mut rng);
                 for scheme in Scheme::contenders() {
                     let report = Simdizer::new()
@@ -186,13 +185,13 @@ fn coverage_strided_workloads() {
     for s in [1usize, 2, 3] {
         for l in [1usize, 3, 5] {
             seed += 1;
-            let mut meta = StdRng::seed_from_u64(seed * 31);
+            let mut meta = SplitMix64::seed_from_u64(seed * 31);
             let spec = WorkloadSpec::new(s, l)
-                .bias(meta.gen_range(0.0..=1.0))
-                .reuse(meta.gen_range(0.0..=1.0))
+                .bias(meta.range_f64(0.0, 1.0))
+                .reuse(meta.range_f64(0.0, 1.0))
                 .trip(TripSpec::KnownInRange(197, 203))
                 .strides(vec![1, 2, 4]);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed);
             let program = synthesize(&spec, &mut rng);
             let report = Simdizer::new()
                 .evaluate(&program, seed)

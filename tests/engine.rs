@@ -1,0 +1,176 @@
+//! Differential tests for the compiled native engine: `simdize-engine`
+//! must be byte-for-byte and stat-for-stat identical to the
+//! `simdize-vm` interpreter (the reference semantics) across the full
+//! configuration matrix, and its kernel lowering is pinned by a golden
+//! disassembly.
+
+use simdize::{
+    run_simd, CompiledKernel, MemoryImage, Policy, ReuseMode, RunInput, SimdizeError, Simdizer,
+    VectorShape,
+};
+
+const REUSES: [ReuseMode; 3] = [
+    ReuseMode::None,
+    ReuseMode::SoftwarePipeline,
+    ReuseMode::PredictiveCommoning,
+];
+
+/// Compile-time misaligned arrays (every reference off by a different
+/// amount) and runtime-aligned arrays with a runtime trip count — the
+/// two alignment regimes of paper §4.1 and §4.4.
+const MISALIGNED: &str = "arrays { a: i32[256] @ 12; b: i32[256] @ 4; c: i32[256] @ 8; }
+                          for i in 0..200 { a[i+1] = b[i+3] + c[i+2]; }";
+const RUNTIME: &str = "arrays { a: i32[256] @ ?; b: i32[256] @ ?; c: i32[256] @ ?; }
+                       for i in 0..ub { a[i+1] = b[i+3] + c[i+2]; }";
+
+#[test]
+fn engine_matches_interpreter_across_policy_reuse_alignment_matrix() {
+    let mut combos = 0;
+    for (src, ub) in [(MISALIGNED, 200u64), (RUNTIME, 197)] {
+        let program = simdize::parse_program(src).unwrap();
+        for policy in Policy::ALL {
+            for reuse in REUSES {
+                let compiled = match Simdizer::new()
+                    .policy(policy)
+                    .reuse(reuse)
+                    .compile(&program)
+                {
+                    Ok(c) => c,
+                    // Some policies legitimately reject some loops
+                    // (e.g. dominant-alignment needs a dominant one).
+                    Err(SimdizeError::Policy(_)) => continue,
+                    Err(e) => panic!("{policy}/{reuse:?}: {e}"),
+                };
+                for seed in [2, 11, 2004] {
+                    let input = RunInput::with_ub(ub);
+                    let mut interp_img =
+                        MemoryImage::with_seed(&program, VectorShape::V16, seed);
+                    let mut engine_img = interp_img.clone();
+                    let want = run_simd(&compiled, &mut interp_img, &input).unwrap();
+                    let kernel =
+                        CompiledKernel::compile(&compiled, &engine_img, &input).unwrap();
+                    let got = kernel.run(&mut engine_img).unwrap();
+                    assert_eq!(
+                        got, want,
+                        "{policy}/{reuse:?} seed {seed}: stats diverged"
+                    );
+                    assert_eq!(
+                        engine_img.first_difference(&interp_img),
+                        None,
+                        "{policy}/{reuse:?} seed {seed}: memory diverged"
+                    );
+                    // Identical stats imply identical OPD — assert the
+                    // derived metric too so a future stats-shape change
+                    // cannot silently decouple them.
+                    let data = program.stmts().len() as u64 * ub;
+                    assert_eq!(got.opd(data).to_bits(), want.opd(data).to_bits());
+                    combos += 1;
+                }
+            }
+        }
+    }
+    assert!(combos >= 36, "matrix too sparse: only {combos} combinations ran");
+}
+
+#[test]
+fn engine_matches_interpreter_on_scalar_fallback_trips() {
+    let program = simdize::parse_program(RUNTIME).unwrap();
+    let compiled = Simdizer::new()
+        .policy(Policy::Zero)
+        .reuse(ReuseMode::SoftwarePipeline)
+        .compile(&program)
+        .unwrap();
+    for ub in [1u64, 7, 12] {
+        let input = RunInput::with_ub(ub);
+        let mut interp_img = MemoryImage::with_seed(&program, VectorShape::V16, 5);
+        let mut engine_img = interp_img.clone();
+        let want = run_simd(&compiled, &mut interp_img, &input).unwrap();
+        let kernel = CompiledKernel::compile(&compiled, &engine_img, &input).unwrap();
+        assert!(kernel.is_fallback());
+        let got = kernel.run(&mut engine_img).unwrap();
+        assert_eq!(got, want, "ub {ub}");
+        assert!(got.used_fallback);
+        assert_eq!(engine_img.first_difference(&interp_img), None, "ub {ub}");
+    }
+}
+
+/// Pins the lowered kernel for the paper's Figure 1 loop under the
+/// zero-shift policy with software pipelining: the prologue shifts both
+/// streams to offset zero, the unrolled pair body carries three
+/// registers across iterations and the epilogue finishes with a
+/// load–splice–store partial store. Offsets are relative to each
+/// array's base, so the text is layout-stable.
+#[test]
+fn golden_disassembly_for_figure1_zero_sp() {
+    let program = simdize::parse_program(
+        "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+         for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }",
+    )
+    .unwrap();
+    let compiled = Simdizer::new()
+        .policy(Policy::Zero)
+        .reuse(ReuseMode::SoftwarePipeline)
+        .compile(&program)
+        .unwrap();
+    let img = MemoryImage::with_seed(&program, VectorShape::V16, 1);
+    let kernel = CompiledKernel::compile(&compiled, &img, &RunInput::with_ub(100)).unwrap();
+    let expected = "\
+; kernel: V=16 D=4 B=4 ub=100 upper=97 regs=90
+prologue (i = 0):
+  v0 = load.chunk arr1[base-16]
+  v1 = load.chunk arr1[base+0]
+  v2 = shift(v0, v1, 4)
+  v3 = load.chunk arr2[base-16]
+  v4 = load.chunk arr2[base+0]
+  v5 = shift(v3, v4, 8)
+  v6 = add(v2, v5)
+  v8 = load.chunk arr1[base+16]
+  v9 = shift(v1, v8, 4)
+  v11 = load.chunk arr2[base+16]
+  v12 = shift(v4, v11, 8)
+  v13 = add(v9, v12)
+  v14 = shift(v6, v13, 4)
+  v15 = load.chunk arr0[base+0]
+  v16 = splice(v15, v14, 12)
+  store.chunk arr0[base+0], v16
+  v17 = v13
+  v25 = v8
+  v29 = v11
+pair (i = 4, step 8, x12):
+  v27 = load.chunk arr1[base+32; +32/iter]
+  v28 = shift(v25, v27, 4)
+  v31 = load.chunk arr2[base+32; +32/iter]
+  v32 = shift(v29, v31, 8)
+  v33 = add(v28, v32)
+  v34 = shift(v17, v33, 4)
+  store.chunk arr0[base+16; +32/iter], v34
+  v84 = load.chunk arr1[base+48; +32/iter]
+  v85 = shift(v27, v84, 4)
+  v86 = load.chunk arr2[base+48; +32/iter]
+  v87 = shift(v31, v86, 8)
+  v88 = add(v85, v87)
+  v89 = shift(v33, v88, 4)
+  store.chunk arr0[base+32; +32/iter], v89
+  v25 = v84
+  v29 = v86
+  v17 = v88
+epilogue (i = 100):
+  v67 = load.chunk arr1[base+384]
+  v68 = load.chunk arr1[base+400]
+  v69 = shift(v67, v68, 4)
+  v70 = load.chunk arr2[base+384]
+  v71 = load.chunk arr2[base+400]
+  v72 = shift(v70, v71, 8)
+  v73 = add(v69, v72)
+  v75 = load.chunk arr1[base+416]
+  v76 = shift(v68, v75, 4)
+  v78 = load.chunk arr2[base+416]
+  v79 = shift(v71, v78, 8)
+  v80 = add(v76, v79)
+  v81 = shift(v73, v80, 4)
+  v82 = load.chunk arr0[base+400]
+  v83 = splice(v81, v82, 12)
+  store.chunk arr0[base+400], v83
+";
+    assert_eq!(kernel.disassembly(), expected);
+}

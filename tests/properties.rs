@@ -1,80 +1,79 @@
-//! Property-based tests over the whole pipeline.
+//! Randomized property tests over the whole pipeline.
+//!
+//! These were proptest properties; they are now driven by seeded
+//! [`SplitMix64`] sweeps so the suite builds and runs with no registry
+//! access. Every case is derived deterministically from its index, so a
+//! failure message's `case` number is a complete reproduction recipe.
+//! Build with `--features fuzz` to multiply the case counts.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use simdize::{
     parse_program, reassociate, synthesize, DiffConfig, Policy, ReorgGraph, ReuseMode, ScalarType,
     Scheme, Simdizer, TripSpec, Value, VectorShape, WorkloadSpec,
 };
+use simdize_prng::SplitMix64;
 
-fn elem_strategy() -> impl Strategy<Value = ScalarType> {
-    prop::sample::select(vec![
-        ScalarType::I8,
-        ScalarType::U8,
-        ScalarType::I16,
-        ScalarType::U16,
-        ScalarType::I32,
-        ScalarType::U32,
-        ScalarType::I64,
-    ])
-}
+/// Case-count multiplier: 1 normally, 8 under `--features fuzz`.
+const SCALE: usize = if cfg!(feature = "fuzz") { 8 } else { 1 };
 
-fn spec_strategy() -> impl Strategy<Value = (WorkloadSpec, u64)> {
-    (
-        1usize..=4,
-        1usize..=8,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        elem_strategy(),
-        any::<bool>(),
-        any::<u64>(),
+const ELEMS: [ScalarType; 7] = [
+    ScalarType::I8,
+    ScalarType::U8,
+    ScalarType::I16,
+    ScalarType::U16,
+    ScalarType::I32,
+    ScalarType::U32,
+    ScalarType::I64,
+];
+
+/// Draws a workload spec the way the old proptest strategy did:
+/// 1–4 statements, 1–8 loads, free bias/reuse, any element type,
+/// short trip counts, half the cases with runtime alignments.
+fn draw_spec(rng: &mut SplitMix64) -> (WorkloadSpec, u64) {
+    let spec = WorkloadSpec::new(
+        rng.range_inclusive(1, 4) as usize,
+        rng.range_inclusive(1, 8) as usize,
     )
-        .prop_map(|(s, l, bias, reuse, elem, runtime_align, seed)| {
-            let spec = WorkloadSpec::new(s, l)
-                .bias(bias)
-                .reuse(reuse)
-                .elem(elem)
-                .trip(TripSpec::KnownInRange(117, 130))
-                .runtime_align(runtime_align);
-            (spec, seed)
-        })
+    .bias(rng.range_f64(0.0, 1.0))
+    .reuse(rng.range_f64(0.0, 1.0))
+    .elem(ELEMS[rng.index(ELEMS.len())])
+    .trip(TripSpec::KnownInRange(117, 130))
+    .runtime_align(rng.chance(0.5));
+    let seed = rng.next_u64();
+    (spec, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The crown jewel: any loop the generator can produce, simdized
-    /// under any applicable scheme, computes exactly what the scalar
-    /// loop computes.
-    #[test]
-    fn any_workload_verifies((spec, seed) in spec_strategy(), scheme_idx in 0usize..8) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let program = synthesize(&spec, &mut rng);
+/// The crown jewel: any loop the generator can produce, simdized under
+/// any applicable scheme, computes exactly what the scalar loop
+/// computes.
+#[test]
+fn any_workload_verifies() {
+    for case in 0..32 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0xA11_0000 + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
         let schemes = if spec.runtime_align {
             Scheme::runtime_contenders()
         } else {
             Scheme::contenders()
         };
-        let scheme = schemes[scheme_idx % schemes.len()];
+        let scheme = schemes[rng.index(schemes.len())];
         let report = Simdizer::new()
             .scheme(scheme)
             .evaluate_with(&program, &DiffConfig::with_seed(seed ^ 0x5A5A))
-            .unwrap();
-        prop_assert!(report.verified);
+            .unwrap_or_else(|e| panic!("case {case} ({scheme}): {e}"));
+        assert!(report.verified, "case {case} ({scheme}) diverged");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every policy yields a graph satisfying (C.2)/(C.3), and the
-    /// placement quality ordering lazy ≤ eager holds.
-    #[test]
-    fn policies_valid_and_ordered((spec, seed) in spec_strategy()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Every policy yields a graph satisfying (C.2)/(C.3), and the
+/// placement quality ordering lazy ≤ eager holds.
+#[test]
+fn policies_valid_and_ordered() {
+    for case in 0..64 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0xB01 + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
         let spec = spec.runtime_align(false);
-        let program = synthesize(&spec, &mut rng);
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
         let graph = ReorgGraph::build(&program, VectorShape::V16).unwrap();
         let mut counts = std::collections::HashMap::new();
         for policy in Policy::ALL {
@@ -82,14 +81,16 @@ proptest! {
             placed.validate().unwrap();
             counts.insert(policy, placed.shift_count());
         }
-        prop_assert!(counts[&Policy::Lazy] <= counts[&Policy::Eager]);
-        // Zero shifts exactly the misaligned streams: one per
-        // misaligned load occurrence plus one per misaligned store.
+        assert!(
+            counts[&Policy::Lazy] <= counts[&Policy::Eager],
+            "case {case}"
+        );
+        // Zero shifts exactly the misaligned streams: one per misaligned
+        // load occurrence plus one per misaligned store.
         let mut expected_zero = 0usize;
         for stmt in program.stmts() {
             stmt.rhs.visit_loads(&mut |r| {
-                if simdize::Offset::of_ref(r, &program, VectorShape::V16)
-                    != simdize::Offset::Byte(0)
+                if simdize::Offset::of_ref(r, &program, VectorShape::V16) != simdize::Offset::Byte(0)
                 {
                     expected_zero += 1;
                 }
@@ -100,16 +101,19 @@ proptest! {
                 expected_zero += 1;
             }
         }
-        prop_assert_eq!(counts[&Policy::Zero], expected_zero);
+        assert_eq!(counts[&Policy::Zero], expected_zero, "case {case}");
     }
+}
 
-    /// After common-offset reassociation, lazy placement reaches the
-    /// paper's analytic minimum of n−1 shifts per statement.
-    #[test]
-    fn reassoc_lazy_reaches_minimum((spec, seed) in spec_strategy()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// After common-offset reassociation, lazy placement reaches the
+/// paper's analytic minimum of n−1 shifts per statement.
+#[test]
+fn reassoc_lazy_reaches_minimum() {
+    for case in 0..64 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x2EA550C + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
         let spec = spec.runtime_align(false);
-        let program = synthesize(&spec, &mut rng);
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
         let re = reassociate(&program, VectorShape::V16);
         let placed = ReorgGraph::build(&re, VectorShape::V16)
             .unwrap()
@@ -120,21 +124,24 @@ proptest! {
         let stats = placed.stats();
         for s in 0..program.stmts().len() {
             let n = simdize::distinct_alignments(&unshifted, s);
-            prop_assert_eq!(
+            assert_eq!(
                 stats.per_stmt_shifts[s],
                 n.saturating_sub(1),
-                "statement {} of {}", s, re
+                "case {case}, statement {s} of {re}"
             );
         }
     }
+}
 
-    /// Reassociation never *increases* lazy's shift count, and
-    /// preserves the multiset of loads.
-    #[test]
-    fn reassoc_monotone((spec, seed) in spec_strategy()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Reassociation never *increases* lazy's shift count, and preserves
+/// the multiset of loads.
+#[test]
+fn reassoc_monotone() {
+    for case in 0..64 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x3030 + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
         let spec = spec.runtime_align(false);
-        let program = synthesize(&spec, &mut rng);
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
         let re = reassociate(&program, VectorShape::V16);
         let shifts = |p: &simdize::LoopProgram| {
             ReorgGraph::build(p, VectorShape::V16)
@@ -143,42 +150,47 @@ proptest! {
                 .unwrap()
                 .shift_count()
         };
-        prop_assert!(shifts(&re) <= shifts(&program));
+        assert!(shifts(&re) <= shifts(&program), "case {case}");
         for (a, b) in program.stmts().iter().zip(re.stmts()) {
             let mut la = a.rhs.loads();
             let mut lb = b.rhs.loads();
             la.sort_by_key(|r| (r.array.index(), r.offset));
             lb.sort_by_key(|r| (r.array.index(), r.offset));
-            prop_assert_eq!(la, lb);
+            assert_eq!(la, lb, "case {case}");
         }
-    }
-
-    /// Textual round trip: printing a program and re-parsing it yields
-    /// the same program.
-    #[test]
-    fn source_roundtrip((spec, seed) in spec_strategy()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let program = synthesize(&spec, &mut rng);
-        let reparsed = parse_program(&program.to_source()).unwrap();
-        prop_assert_eq!(program, reparsed);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Textual round trip: printing a program and re-parsing it yields the
+/// same program.
+#[test]
+fn source_roundtrip() {
+    for case in 0..64 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x5011D + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
+        let reparsed = parse_program(&program.to_source()).unwrap();
+        assert_eq!(program, reparsed, "case {case}");
+    }
+}
 
-    /// Software pipelining never loads more than the naive generator
-    /// on long loops without cross-statement array sharing. (With heavy
-    /// reuse the comparison genuinely goes both ways: LVN dedupes the
-    /// naive code's identical shifts *across* statements, while each SP
-    /// carried chain is private — the paper's harmonic means average
-    /// over this.)
-    #[test]
-    fn sp_never_loads_more((spec, seed) in spec_strategy()) {
+/// Software pipelining never loads more than the naive generator on
+/// long loops without cross-statement array sharing. (With heavy reuse
+/// the comparison genuinely goes both ways: LVN dedupes the naive
+/// code's identical shifts *across* statements, while each SP carried
+/// chain is private — the paper's harmonic means average over this.)
+#[test]
+fn sp_never_loads_more() {
+    for case in 0..16 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x5B00 + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
         let spec = spec.reuse(0.0).trip(TripSpec::Known(1000));
-        let mut rng = StdRng::seed_from_u64(seed);
-        let program = synthesize(&spec, &mut rng);
-        let policy = if spec.runtime_align { Policy::Zero } else { Policy::Lazy };
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
+        let policy = if spec.runtime_align {
+            Policy::Zero
+        } else {
+            Policy::Lazy
+        };
         let naive = Simdizer::new()
             .policy(policy)
             .reuse(ReuseMode::None)
@@ -189,82 +201,82 @@ proptest! {
             .reuse(ReuseMode::SoftwarePipeline)
             .evaluate_with(&program, &DiffConfig::with_seed(seed))
             .unwrap();
-        prop_assert!(sp.stats.loads <= naive.stats.loads);
-        prop_assert!(sp.stats.total() <= naive.stats.total() + 16);
+        assert!(sp.stats.loads <= naive.stats.loads, "case {case}");
+        assert!(sp.stats.total() <= naive.stats.total() + 16, "case {case}");
     }
 }
 
-proptest! {
-    /// Lane value algebra: wrapping ops are closed and obey the
-    /// expected identities for every element type.
-    #[test]
-    fn value_algebra(bits_a in any::<u64>(), bits_b in any::<u64>(), elem in elem_strategy()) {
-        let a = Value::new(elem, bits_a);
-        let b = Value::new(elem, bits_b);
-        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
-        prop_assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a));
-        prop_assert_eq!(a.min_lane(b), b.min_lane(a));
-        prop_assert_eq!(a.max_lane(b).max_lane(b), a.max_lane(b));
-        prop_assert_eq!(a.wrapping_sub(b).wrapping_add(b), a);
-        prop_assert_eq!(a.not().not(), a);
-        prop_assert_eq!(a.wrapping_neg().wrapping_neg(), a);
-        prop_assert_eq!(Value::from_le_bytes(elem, &a.to_le_bytes()), a);
+/// Lane value algebra: wrapping ops are closed and obey the expected
+/// identities for every element type.
+#[test]
+fn value_algebra() {
+    let mut rng = SplitMix64::seed_from_u64(0xA16EB2A);
+    for case in 0..256 * SCALE {
+        let elem = ELEMS[rng.index(ELEMS.len())];
+        let a = Value::new(elem, rng.next_u64());
+        let b = Value::new(elem, rng.next_u64());
+        assert_eq!(a.wrapping_add(b), b.wrapping_add(a), "case {case}");
+        assert_eq!(a.wrapping_mul(b), b.wrapping_mul(a), "case {case}");
+        assert_eq!(a.min_lane(b), b.min_lane(a), "case {case}");
+        assert_eq!(a.max_lane(b).max_lane(b), a.max_lane(b), "case {case}");
+        assert_eq!(a.wrapping_sub(b).wrapping_add(b), a, "case {case}");
+        assert_eq!(a.not().not(), a, "case {case}");
+        assert_eq!(a.wrapping_neg().wrapping_neg(), a, "case {case}");
+        assert_eq!(Value::from_le_bytes(elem, &a.to_le_bytes()), a, "case {case}");
         // min/max bracket both operands.
         let lo = a.min_lane(b).as_i64();
         let hi = a.max_lane(b).as_i64();
-        prop_assert!(lo <= hi);
+        assert!(lo <= hi, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The strided extension: any mixed-stride workload (strides 1, 2,
-    /// 4; compile-time alignments and trip counts) verifies against the
-    /// scalar oracle.
-    #[test]
-    fn strided_workloads_verify(
-        s in 1usize..=3,
-        l in 1usize..=5,
-        bias in 0.0f64..=1.0,
-        reuse in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
-        let spec = WorkloadSpec::new(s, l)
-            .bias(bias)
-            .reuse(reuse)
-            .trip(TripSpec::KnownInRange(117, 130))
-            .strides(vec![1, 2, 4]);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let program = synthesize(&spec, &mut rng);
+/// The strided extension: any mixed-stride workload (strides 1, 2, 4;
+/// compile-time alignments and trip counts) verifies against the
+/// scalar oracle.
+#[test]
+fn strided_workloads_verify() {
+    for case in 0..24 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x57B1DE + case as u64);
+        let spec = WorkloadSpec::new(
+            rng.range_inclusive(1, 3) as usize,
+            rng.range_inclusive(1, 5) as usize,
+        )
+        .bias(rng.range_f64(0.0, 1.0))
+        .reuse(rng.range_f64(0.0, 1.0))
+        .trip(TripSpec::KnownInRange(117, 130))
+        .strides(vec![1, 2, 4]);
+        let seed = rng.next_u64();
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
         let report = Simdizer::new()
             .evaluate_with(&program, &DiffConfig::with_seed(seed ^ 0xFEED))
-            .unwrap();
-        prop_assert!(report.verified);
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(report.verified, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Reductions: random expressions folded with every reassociable
-    /// operation match the scalar fold exactly (wrapping arithmetic is
-    /// order-insensitive for these ops).
-    #[test]
-    fn reductions_verify(
-        op_idx in 0usize..7,
-        elem in elem_strategy(),
-        loads in 1usize..=4,
-        misalign in 0u32..16,
-        ub in 100u64..400,
-        seed in any::<u64>(),
-    ) {
-        use simdize::{BinOp, LoopBuilder};
-        let ops = [
-            BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max,
-            BinOp::And, BinOp::Or, BinOp::Xor,
-        ];
-        let op = ops[op_idx];
+/// Reductions: random expressions folded with every reassociable
+/// operation match the scalar fold exactly (wrapping arithmetic is
+/// order-insensitive for these ops).
+#[test]
+fn reductions_verify() {
+    use simdize::{BinOp, LoopBuilder};
+    let ops = [
+        BinOp::Add,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+    ];
+    for case in 0..24 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x2ED0CE + case as u64);
+        let op = ops[rng.index(ops.len())];
+        let elem = ELEMS[rng.index(ELEMS.len())];
+        let loads = rng.range_inclusive(1, 4) as usize;
+        let misalign = rng.range_u64(0, 16) as u32;
+        let ub = rng.range_u64(100, 400);
+        let seed = rng.next_u64();
         let d = elem.size() as u32;
         let mut b = LoopBuilder::new(elem);
         let acc = b.array("acc", 32, misalign - misalign % d);
@@ -280,34 +292,39 @@ proptest! {
         let program = b.finish(ub).unwrap();
         let report = Simdizer::new()
             .evaluate_with(&program, &DiffConfig::with_seed(seed))
-            .unwrap();
-        prop_assert!(report.verified);
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert!(report.verified, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser never panics: arbitrary input is either a valid
-    /// program or a clean error.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,200}") {
+/// The parser never panics: arbitrary input is either a valid program
+/// or a clean error.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SplitMix64::seed_from_u64(0xFA22);
+    for _ in 0..256 * SCALE {
+        let len = rng.index(200);
+        let input: String = (0..len)
+            .map(|_| char::from_u32(rng.range_u64(1, 0x500) as u32).unwrap_or('?'))
+            .collect();
         let _ = parse_program(&input);
     }
+}
 
-    /// Structured fuzzing: near-miss programs built from valid fragments
-    /// with random mutations still never panic the parser.
-    #[test]
-    fn parser_survives_mutations(
-        cut_at in 0usize..200,
-        insert in "[\\[\\]{}();:=+*@?0-9a-z ]{0,8}",
-    ) {
-        let base = "arrays { a: i32[128] @ 0; b: i32[128] @ 4; }
-                    params { k; }
-                    for i in 0..ub { a[i+3] += b[2*i+1] * k; }";
-        let cut = cut_at.min(base.len());
-        // Cut at a char boundary and splice random tokens in.
-        let mut at = cut;
+/// Structured fuzzing: near-miss programs built from valid fragments
+/// with random mutations still never panic the parser.
+#[test]
+fn parser_survives_mutations() {
+    const TOKENS: &[u8] = b"[]{}();:=+*@?0123456789abcdefghij ";
+    let base = "arrays { a: i32[128] @ 0; b: i32[128] @ 4; }
+                params { k; }
+                for i in 0..ub { a[i+3] += b[2*i+1] * k; }";
+    let mut rng = SplitMix64::seed_from_u64(0x3417A7E);
+    for _ in 0..256 * SCALE {
+        let insert: String = (0..rng.index(9))
+            .map(|_| TOKENS[rng.index(TOKENS.len())] as char)
+            .collect();
+        let mut at = rng.index(base.len() + 1);
         while !base.is_char_boundary(at) {
             at -= 1;
         }
@@ -316,25 +333,22 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every program the pipeline generates passes the static VIR
-    /// verifier (SSA discipline, permute/shift/splice ranges).
-    #[test]
-    fn generated_programs_pass_the_verifier(
-        (spec, seed) in spec_strategy(),
-        scheme_idx in 0usize..8,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let program = synthesize(&spec, &mut rng);
+/// Every program the pipeline generates passes the static VIR verifier
+/// (SSA discipline, permute/shift/splice ranges).
+#[test]
+fn generated_programs_pass_the_verifier() {
+    for case in 0..32 * SCALE {
+        let mut rng = SplitMix64::seed_from_u64(0x7E21F1E2 + case as u64);
+        let (spec, seed) = draw_spec(&mut rng);
+        let program = synthesize(&spec, &mut SplitMix64::seed_from_u64(seed));
         let schemes = if spec.runtime_align {
             Scheme::runtime_contenders()
         } else {
             Scheme::contenders()
         };
-        let scheme = schemes[scheme_idx % schemes.len()];
+        let scheme = schemes[rng.index(schemes.len())];
         let compiled = Simdizer::new().scheme(scheme).compile(&program).unwrap();
-        simdize::verify_program(&compiled).unwrap();
+        simdize::verify_program(&compiled)
+            .unwrap_or_else(|e| panic!("case {case} ({scheme}): {e}"));
     }
 }
