@@ -1,0 +1,262 @@
+//! The abstract domain: per-register, per-byte-lane symbolic stream
+//! provenance.
+//!
+//! Each byte lane of each virtual register is mapped to the set of
+//! *stream bytes* it may hold. A stream byte is `(array, r)`, meaning
+//! "byte `base(array) + σ(array)·i·D + r` of memory at the section's
+//! current induction value `i`". Keeping offsets relative to the moving
+//! stream position is what lets one abstract body execution stand for
+//! every steady-state iteration: stepping `i → i + B` is the uniform
+//! `r → r − σ·B·D` rebase of every entry. (The relative coordinate is
+//! well defined because `i` is always a multiple of `B`, so `σ·i·D` is
+//! a multiple of `V` and chunk truncation commutes with it.)
+
+use std::collections::BTreeSet;
+
+/// Maximum provenance entries tracked per lane before widening to
+/// [`Lane::Top`]. Real programs combine at most a handful of streams
+/// per lane.
+const MAX_PROV: usize = 8;
+
+/// One possible origin of a byte: `(array index, relative byte offset)`.
+pub(crate) type Prov = (u32, i64);
+
+/// A small inline sorted set of provenance entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ProvSet {
+    len: u8,
+    items: [Prov; MAX_PROV],
+}
+
+impl ProvSet {
+    pub(crate) fn empty() -> ProvSet {
+        ProvSet {
+            len: 0,
+            items: [(0, 0); MAX_PROV],
+        }
+    }
+
+    pub(crate) fn single(p: Prov) -> ProvSet {
+        let mut s = ProvSet::empty();
+        s.items[0] = p;
+        s.len = 1;
+        s
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = Prov> + '_ {
+        self.items[..self.len as usize].iter().copied()
+    }
+
+    pub(crate) fn contains(&self, p: Prov) -> bool {
+        self.items[..self.len as usize].contains(&p)
+    }
+
+    /// Inserts `p`, keeping the set sorted; `false` on capacity
+    /// overflow (the caller widens to ⊤).
+    pub(crate) fn insert(&mut self, p: Prov) -> bool {
+        let n = self.len as usize;
+        let pos = match self.items[..n].binary_search(&p) {
+            Ok(_) => return true,
+            Err(pos) => pos,
+        };
+        if n == MAX_PROV {
+            return false;
+        }
+        self.items.copy_within(pos..n, pos + 1);
+        self.items[pos] = p;
+        self.len += 1;
+        true
+    }
+
+    /// The union of both sets; `None` on capacity overflow.
+    pub(crate) fn union(&self, other: &ProvSet) -> Option<ProvSet> {
+        let mut out = *self;
+        for p in other.iter() {
+            if !out.insert(p) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Maps every entry through `f`; `None` means the entry (and hence
+    /// the set) becomes unrepresentable.
+    pub(crate) fn map(&self, mut f: impl FnMut(Prov) -> Option<Prov>) -> Option<ProvSet> {
+        let mut out = ProvSet::empty();
+        for p in self.iter() {
+            if !out.insert(f(p)?) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// The abstract value of one byte lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lane {
+    /// Never written in this execution.
+    Undef,
+    /// Could hold anything (analysis gave up on this lane).
+    Top,
+    /// Holds a combination of exactly these stream bytes. The empty set
+    /// means pure loop-invariant data (splatted constants/parameters),
+    /// which is a *known* value, not ⊤.
+    Known(ProvSet),
+}
+
+impl Lane {
+    pub(crate) fn known1(array: u32, r: i64) -> Lane {
+        Lane::Known(ProvSet::single((array, r)))
+    }
+
+    /// The lane result of a lane-wise arithmetic combination: undef
+    /// poisons, ⊤ dominates, otherwise the provenance union.
+    pub(crate) fn combine(a: Lane, b: Lane) -> Lane {
+        match (a, b) {
+            (Lane::Undef, _) | (_, Lane::Undef) => Lane::Undef,
+            (Lane::Top, _) | (_, Lane::Top) => Lane::Top,
+            (Lane::Known(x), Lane::Known(y)) => match x.union(&y) {
+                Some(s) => Lane::Known(s),
+                None => Lane::Top,
+            },
+        }
+    }
+}
+
+/// The abstract machine state: one [`Lane`] per register byte, plus
+/// per-register taint sets tracking which load sites each register's
+/// value flowed from (for the dead-load lint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AbsState {
+    v: usize,
+    lanes: Vec<Lane>,
+    taints: Vec<BTreeSet<u32>>,
+}
+
+impl AbsState {
+    pub(crate) fn new(nvregs: usize, v: usize) -> AbsState {
+        AbsState {
+            v,
+            lanes: vec![Lane::Undef; nvregs * v],
+            taints: vec![BTreeSet::new(); nvregs],
+        }
+    }
+
+    pub(crate) fn lane(&self, reg: usize, t: usize) -> Lane {
+        self.lanes[reg * self.v + t]
+    }
+
+    pub(crate) fn set_lane(&mut self, reg: usize, t: usize, lane: Lane) {
+        self.lanes[reg * self.v + t] = lane;
+    }
+
+    pub(crate) fn taint(&self, reg: usize) -> &BTreeSet<u32> {
+        &self.taints[reg]
+    }
+
+    pub(crate) fn set_taint(&mut self, reg: usize, taint: BTreeSet<u32>) {
+        self.taints[reg] = taint;
+    }
+
+    pub(crate) fn taint_union(&self, a: usize, b: usize) -> BTreeSet<u32> {
+        self.taints[a].union(&self.taints[b]).copied().collect()
+    }
+
+    pub(crate) fn copy_reg(&mut self, dst: usize, src: usize) {
+        for t in 0..self.v {
+            self.lanes[dst * self.v + t] = self.lanes[src * self.v + t];
+        }
+        self.taints[dst] = self.taints[src].clone();
+    }
+
+    /// Rebases every provenance entry from induction value `i` to
+    /// `i + delta` (in elements): entry offsets shrink by
+    /// `σ(array)·delta·D`.
+    pub(crate) fn rebase(&mut self, delta: i64, sigma: &[Option<i64>], d: i64) {
+        if delta == 0 {
+            return;
+        }
+        for lane in &mut self.lanes {
+            if let Lane::Known(s) = lane {
+                let mapped = s.map(|(a, r)| {
+                    let sg = sigma.get(a as usize).copied().flatten()?;
+                    Some((a, r - sg * delta * d))
+                });
+                *lane = match mapped {
+                    Some(s) => Lane::Known(s),
+                    None => Lane::Top,
+                };
+            }
+        }
+    }
+
+    /// Widens to ⊤ every lane that differs from `prev` (fixpoint
+    /// acceleration).
+    pub(crate) fn widen_from(&mut self, prev: &AbsState) {
+        for (lane, old) in self.lanes.iter_mut().zip(prev.lanes.iter()) {
+            if lane != old {
+                *lane = Lane::Top;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prov_set_insert_union_overflow() {
+        let mut s = ProvSet::single((1, 4));
+        assert!(s.insert((0, 2)));
+        assert!(s.insert((1, 4))); // duplicate is a no-op
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 2), (1, 4)]);
+        assert!(s.contains((0, 2)) && !s.contains((2, 0)));
+
+        for k in 0..6 {
+            assert!(s.insert((3, k)));
+        }
+        assert_eq!(s.len(), 8);
+        assert!(!s.insert((9, 9)), "capacity overflow must report");
+        assert!(s.union(&ProvSet::single((9, 9))).is_none());
+        assert!(s.union(&ProvSet::single((1, 4))).is_some());
+    }
+
+    #[test]
+    fn lane_combine_lattice() {
+        let k = Lane::known1(0, 4);
+        assert_eq!(Lane::combine(Lane::Undef, k), Lane::Undef);
+        assert_eq!(Lane::combine(k, Lane::Top), Lane::Top);
+        let j = Lane::combine(k, Lane::known1(1, -8));
+        match j {
+            Lane::Known(s) => assert_eq!(s.len(), 2),
+            other => panic!("expected union, got {other:?}"),
+        }
+        assert_eq!(Lane::combine(k, Lane::Known(ProvSet::empty())), k);
+    }
+
+    #[test]
+    fn state_rebase_moves_entries() {
+        let mut st = AbsState::new(1, 4);
+        st.set_lane(0, 0, Lane::known1(0, 10));
+        st.set_lane(0, 1, Lane::Top);
+        st.rebase(4, &[Some(1)], 4);
+        assert_eq!(st.lane(0, 0), Lane::known1(0, 10 - 16));
+        assert_eq!(st.lane(0, 1), Lane::Top);
+        // an entry whose array has no uniform stride widens
+        let mut st = AbsState::new(1, 4);
+        st.set_lane(0, 0, Lane::known1(0, 0));
+        st.rebase(4, &[None], 4);
+        assert_eq!(st.lane(0, 0), Lane::Top);
+    }
+}

@@ -1,0 +1,89 @@
+//! `simdize-analysis` — the static analysis tier for generated vector
+//! programs.
+//!
+//! The paper's validity argument (constraints (C.2)/(C.3) of §3, the
+//! splice windows of §4.2, and the §5 exactly-once chunk guarantee) is
+//! stated about the *generated* code, but the rest of the workspace
+//! only checks it dynamically, by differential execution. This crate
+//! proves the properties statically, the way a production compiler
+//! validates its own output after every pass:
+//!
+//! * an **abstract interpreter** over the VIR tracks, per register
+//!   byte lane, the symbolic stream byte it holds —
+//!   `(array, σ·i·D + r)` relative to the moving stream position —
+//!   through truncating `vload`s (modeled exactly), `vshiftpair`,
+//!   `vsplice`, `vperm`, splats and lane-wise arithmetic (provenance
+//!   join);
+//! * the steady state is analyzed once, symbolically in `i`, by
+//!   iterating the body's abstract state to a fixpoint under the
+//!   `i → i + B` rebase;
+//! * loop-invariant scalars (runtime alignments, `ub`) are concretized
+//!   over a family of scenarios so shift amounts and epilogue guards
+//!   evaluate;
+//! * a **lint registry** ([`Lint`]) reports violations with
+//!   configurable severities and structured diagnostics.
+//!
+//! ```
+//! use simdize_analysis::{analyze_program, AnalyzeOptions};
+//! use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+//! use simdize_ir::{parse_program, VectorShape};
+//! use simdize_reorg::{Policy, ReorgGraph};
+//!
+//! let p = parse_program(
+//!     "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+//!      for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }",
+//! )?;
+//! let graph = ReorgGraph::build(&p, VectorShape::V16)?.with_policy(Policy::Zero)?;
+//! let program = generate(&graph, &CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline))?;
+//! let report = analyze_program(
+//!     &program,
+//!     &AnalyzeOptions::new().reuse(ReuseMode::SoftwarePipeline).memnorm(true),
+//! );
+//! assert!(report.is_clean(), "{}", report.render_text());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod interp;
+mod lint;
+
+pub use interp::{analyze_program, AnalyzeOptions};
+pub use lint::{AnalysisReport, Finding, Level, Lint, Section};
+
+use std::error::Error;
+use std::fmt;
+
+/// The post-codegen analysis gate rejected a program: at least one
+/// deny-level finding. Carries the full report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisFailed {
+    report: AnalysisReport,
+}
+
+impl AnalysisFailed {
+    /// Wraps a failing report.
+    pub fn new(report: AnalysisReport) -> AnalysisFailed {
+        AnalysisFailed { report }
+    }
+
+    /// The underlying report.
+    pub fn report(&self) -> &AnalysisReport {
+        &self.report
+    }
+}
+
+impl fmt::Display for AnalysisFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static analysis found {} deny-level finding(s):\n{}",
+            self.report.deny_count(),
+            self.report.render_text()
+        )
+    }
+}
+
+impl Error for AnalysisFailed {}

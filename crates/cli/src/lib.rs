@@ -12,6 +12,7 @@
 //!   check      parse and validate the loop, print the normalized form
 //!   graph      print the data reorganization graph (--dot for Graphviz)
 //!   compile    print the generated vector code (--asm for AltiVec form)
+//!   analyze    statically check the generated code (lints; --json)
 //!   run        compile, execute, verify against the scalar loop, report
 //!   policies   compare all four shift-placement policies on the loop
 //!   sweep      run the loop over many memory seeds on worker threads
@@ -27,6 +28,8 @@
 //!   --ub N                              trip count for runtime-`ub` loops
 //!   --param N (repeatable)              loop parameter values, in order
 //!   --engine interp|native              executor for `run` (default interp)
+//!   --lint NAME=allow|warn|deny         override a lint level (repeatable)
+//!   --json                              JSON diagnostics for `analyze`
 //!   --jobs N                            sweep worker threads (default 4)
 //!   --count N                           sweep seeds to cover (default 32)
 //!   --smoke                             quick 8-seed sweep preset
@@ -37,8 +40,9 @@
 #![warn(missing_docs)]
 
 use simdize::{
-    lower_altivec, run_scalar, run_sweep, to_dot, CompiledKernel, DiffConfig, MemoryImage, Policy,
-    ReorgGraph, ReuseMode, RunInput, Scheme, SimdizeError, Simdizer, SweepJob, Target, VectorShape,
+    analyze_program, lower_altivec, run_scalar, run_sweep, to_dot, AnalyzeOptions, CompiledKernel,
+    DiffConfig, Level, Lint, MemoryImage, Policy, ReorgGraph, ReuseMode, RunInput, Scheme,
+    SimdizeError, Simdizer, SweepJob, Target, VectorShape,
 };
 use std::error::Error;
 use std::fmt::Write as _;
@@ -63,6 +67,8 @@ pub struct Options {
     ub: u64,
     params: Vec<i64>,
     engine: String,
+    lints: Vec<(Lint, Level)>,
+    json: bool,
     jobs: usize,
     count: usize,
     smoke: bool,
@@ -85,7 +91,7 @@ pub fn parse_args(
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "check" | "graph" | "compile" | "run" | "policies" | "sweep"
+        "check" | "graph" | "compile" | "analyze" | "run" | "policies" | "sweep"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}").into());
     }
@@ -106,6 +112,8 @@ pub fn parse_args(
         ub: 1000,
         params: Vec::new(),
         engine: "interp".to_string(),
+        lints: Vec::new(),
+        json: false,
         jobs: 4,
         count: 32,
         smoke: false,
@@ -161,6 +169,19 @@ pub fn parse_args(
                 }
                 opts.engine = name;
             }
+            "--lint" => {
+                let spec = value("--lint")?;
+                let (name, level) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--lint expects `name=level`, got `{spec}`"))?;
+                let lint = Lint::from_name(name)
+                    .ok_or_else(|| format!("unknown lint `{name}`"))?;
+                let level: Level = level
+                    .parse()
+                    .map_err(|e| format!("--lint {name}: {e}"))?;
+                opts.lints.push((lint, level));
+            }
+            "--json" => opts.json = true,
             "--jobs" => {
                 opts.jobs = value("--jobs")?.parse()?;
                 if opts.jobs == 0 {
@@ -178,7 +199,7 @@ pub fn parse_args(
 }
 
 const USAGE: &str =
-    "usage: simdize <check|graph|compile|run|policies|sweep> <file.loop|-> [options]
+    "usage: simdize <check|graph|compile|analyze|run|policies|sweep> <file.loop|-> [options]
 run `simdize` with no arguments for the full option list";
 
 /// Executes the parsed command and returns its printable output.
@@ -235,6 +256,35 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                 out.push_str(&lower_altivec(&compiled));
             } else {
                 write!(out, "{compiled}")?;
+            }
+        }
+        "analyze" => {
+            let compiled = driver.compile(&program)?;
+            // The exactly-once lint only applies to the standard stream
+            // generator; the strided and hardware-misaligned paths
+            // don't pipeline chunks.
+            let standard = opts.target == Target::Aligned
+                && program.all_refs().iter().all(|r| r.is_unit_stride());
+            let mut aopts = AnalyzeOptions::new().memnorm(opts.memnorm);
+            if standard {
+                aopts = aopts.reuse(opts.reuse);
+            }
+            for (lint, level) in &opts.lints {
+                aopts = aopts.level(*lint, *level);
+            }
+            let report = analyze_program(&compiled, &aopts);
+            let rendered = if opts.json {
+                report.render_json()
+            } else {
+                report.render_text()
+            };
+            writeln!(out, "{rendered}")?;
+            if report.deny_count() > 0 {
+                return Err(format!(
+                    "analysis found {} deny-level finding(s)\n{rendered}",
+                    report.deny_count()
+                )
+                .into());
             }
         }
         "run" if opts.engine == "native" => {
@@ -400,6 +450,34 @@ mod tests {
         assert!(out.contains("vshiftpair"));
         let asm = run(&opts(&["compile", "x.loop", "--asm"])).unwrap();
         assert!(asm.contains("lvx"));
+    }
+
+    #[test]
+    fn analyze_reports_clean() {
+        let out = run(&opts(&["analyze", "x.loop"])).unwrap();
+        assert!(out.contains("analysis clean"), "{out}");
+        let json = run(&opts(&["analyze", "x.loop", "--json"])).unwrap();
+        assert!(json.contains("\"findings\":[]"), "{json}");
+        // Lint overrides parse and apply (allow-all keeps it clean too).
+        let out = run(&opts(&[
+            "analyze",
+            "x.loop",
+            "--lint",
+            "redundant-shift=deny",
+            "--lint",
+            "dead-load=allow",
+        ]))
+        .unwrap();
+        assert!(out.contains("analysis clean"), "{out}");
+    }
+
+    #[test]
+    fn analyze_lint_parse_errors() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let read = |_: &str| -> Result<String, Box<dyn Error>> { Ok(LOOP.into()) };
+        assert!(parse_args(&args(&["analyze", "x", "--lint", "dead-load"]), &read).is_err());
+        assert!(parse_args(&args(&["analyze", "x", "--lint", "bogus=deny"]), &read).is_err());
+        assert!(parse_args(&args(&["analyze", "x", "--lint", "dead-load=loud"]), &read).is_err());
     }
 
     #[test]

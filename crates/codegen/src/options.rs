@@ -65,6 +65,7 @@ pub struct CodegenOptions {
     reuse: ReuseMode,
     memnorm: bool,
     unroll: bool,
+    analyze: bool,
 }
 
 impl Default for CodegenOptions {
@@ -73,6 +74,7 @@ impl Default for CodegenOptions {
             reuse: ReuseMode::None,
             memnorm: true,
             unroll: true,
+            analyze: false,
         }
     }
 }
@@ -104,6 +106,17 @@ impl CodegenOptions {
         self
     }
 
+    /// Enables or disables the post-codegen static analysis gate: when
+    /// on, the pipeline driver runs `simdize-analysis` over the final
+    /// program and rejects it on any deny-level finding. (The flag
+    /// lives here so it travels with the other generation options; the
+    /// gate itself is enforced by the `simdize` facade, which owns the
+    /// dependency on the analysis crate.)
+    pub fn analyze(mut self, on: bool) -> CodegenOptions {
+        self.analyze = on;
+        self
+    }
+
     /// The configured reuse scheme.
     pub fn reuse_mode(&self) -> ReuseMode {
         self.reuse
@@ -118,14 +131,19 @@ impl CodegenOptions {
     pub fn unroll_enabled(&self) -> bool {
         self.unroll
     }
+
+    /// Whether the post-codegen analysis gate is enabled.
+    pub fn analyze_enabled(&self) -> bool {
+        self.analyze
+    }
 }
 
 impl fmt::Display for CodegenOptions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reuse={} memnorm={} unroll={}",
-            self.reuse, self.memnorm, self.unroll
+            "reuse={} memnorm={} unroll={} analyze={}",
+            self.reuse, self.memnorm, self.unroll, self.analyze
         )
     }
 }
@@ -139,11 +157,17 @@ mod tests {
         let o = CodegenOptions::new()
             .reuse(ReuseMode::SoftwarePipeline)
             .memnorm(false)
-            .unroll(false);
+            .unroll(false)
+            .analyze(true);
         assert_eq!(o.reuse_mode(), ReuseMode::SoftwarePipeline);
         assert!(!o.memnorm_enabled());
         assert!(!o.unroll_enabled());
-        assert_eq!(o.to_string(), "reuse=sp memnorm=false unroll=false");
+        assert!(o.analyze_enabled());
+        assert!(!CodegenOptions::default().analyze_enabled());
+        assert_eq!(
+            o.to_string(),
+            "reuse=sp memnorm=false unroll=false analyze=true"
+        );
     }
 
     #[test]

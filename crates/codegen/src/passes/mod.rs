@@ -20,12 +20,29 @@ use crate::vir::SimdProgram;
 ///    registers.
 pub(crate) fn run_pipeline(program: &mut SimdProgram, options: &CodegenOptions) {
     lvn::run(program, options.memnorm_enabled());
+    debug_verify(program, "lvn");
     if options.reuse_mode() == ReuseMode::PredictiveCommoning {
         pc::run(program);
+        debug_verify(program, "pc");
         lvn::run(program, options.memnorm_enabled());
+        debug_verify(program, "post-pc lvn");
     }
     dce::run(program);
+    debug_verify(program, "dce");
     if options.unroll_enabled() {
         unroll::run(program);
+        debug_verify(program, "unroll");
+    }
+}
+
+/// Re-verifies the program after a pass in debug builds, the way a
+/// production compiler runs its IR verifier between passes: a pass that
+/// breaks the structural discipline panics here, naming itself, instead
+/// of corrupting execution downstream.
+pub(crate) fn debug_verify(program: &SimdProgram, pass: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = crate::verify::verify_program(program) {
+            panic!("pass `{pass}` broke program well-formedness: {e}");
+        }
     }
 }

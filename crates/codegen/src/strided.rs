@@ -164,7 +164,9 @@ fn try_generate(program: &LoopProgram, shape: VectorShape) -> Result<SimdProgram
     // Duplicate gathers (the same strided reference used twice) and
     // their pack networks deduplicate like any other value.
     crate::passes::lvn::run(&mut compiled, true);
+    crate::passes::debug_verify(&compiled, "strided lvn");
     crate::passes::dce::run(&mut compiled);
+    crate::passes::debug_verify(&compiled, "strided dce");
     Ok(compiled)
 }
 

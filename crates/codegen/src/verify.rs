@@ -12,8 +12,14 @@
 //! * compile-time `vshiftpair` amounts lie in `[0, V]` and `vsplice`
 //!   points in `[0, V]`;
 //! * `vperm` patterns have exactly `V` entries, each below `2V`;
-//! * every memory operand names an array of the source program;
-//! * the unrolled body pair, when present, obeys the same rules.
+//! * every memory operand names an array of the source program, with a
+//!   meaningful scale: never negative, and `scale == 0` (a
+//!   loop-invariant address) only for reduction accumulators in the
+//!   epilogue;
+//! * the unrolled body pair, when present, obeys the same rules *and*
+//!   performs every loop-carried register rotation the primary body
+//!   performs — otherwise the second unrolled iteration and the
+//!   epilogue would read stale chunks.
 
 use crate::vir::{SimdProgram, VInst, VReg};
 use std::collections::HashSet;
@@ -53,6 +59,20 @@ pub enum VerifyProgramError {
         /// The dangling array index.
         index: usize,
     },
+    /// A memory operand with a meaningless scale: negative, or zero
+    /// outside a reduction accumulator access in the epilogue.
+    BadAddrScale {
+        /// Which section the operand is in.
+        section: &'static str,
+        /// The offending scale.
+        scale: i64,
+    },
+    /// The unrolled body pair fails to redefine a loop-carried register
+    /// that the primary body rotates.
+    PairMissingRotation {
+        /// The carried register the pair leaves stale.
+        reg: VReg,
+    },
 }
 
 impl fmt::Display for VerifyProgramError {
@@ -77,11 +97,34 @@ impl fmt::Display for VerifyProgramError {
             VerifyProgramError::UnknownArray { index } => {
                 write!(f, "memory operand names undeclared array index {index}")
             }
+            VerifyProgramError::BadAddrScale { section, scale } => {
+                write!(
+                    f,
+                    "memory operand scale {scale} is meaningless in the {section} \
+                     (scale 0 is reserved for reduction accumulators in the epilogue)"
+                )
+            }
+            VerifyProgramError::PairMissingRotation { reg } => {
+                write!(
+                    f,
+                    "unrolled body pair never redefines loop-carried register {reg} \
+                     rotated by the primary body"
+                )
+            }
         }
     }
 }
 
 impl Error for VerifyProgramError {}
+
+/// Immutable per-program facts threaded through the section checks.
+struct Ctx {
+    v: i64,
+    arrays: usize,
+    /// Arrays accumulated by reduction statements — the only legal
+    /// targets of loop-invariant (`scale == 0`) addresses.
+    reduction_targets: HashSet<usize>,
+}
 
 /// Checks the structural discipline of a generated program.
 ///
@@ -89,8 +132,17 @@ impl Error for VerifyProgramError {}
 ///
 /// Returns the first defect found; see [`VerifyProgramError`].
 pub fn verify_program(program: &SimdProgram) -> Result<(), VerifyProgramError> {
-    let v = program.shape().bytes() as i64;
-    let arrays = program.source().arrays().len();
+    let ctx = Ctx {
+        v: program.shape().bytes() as i64,
+        arrays: program.source().arrays().len(),
+        reduction_targets: program
+            .source()
+            .stmts()
+            .iter()
+            .filter(|s| s.reduction.is_some())
+            .map(|s| s.target.array.index())
+            .collect(),
+    };
 
     // Definitions available at the top of each section.
     let mut prologue_defs: HashSet<VReg> = HashSet::new();
@@ -99,37 +151,38 @@ pub fn verify_program(program: &SimdProgram) -> Result<(), VerifyProgramError> {
         program.prologue(),
         &HashSet::new(),
         &mut prologue_defs,
-        v,
-        arrays,
+        &ctx,
     )?;
 
     // The steady body may read prologue definitions; carried registers
     // are exactly the prologue-defined registers rewritten by body
     // copies, so the prologue-def set covers them.
     let mut body_defs = prologue_defs.clone();
-    check_section(
-        "body",
-        program.body(),
-        &prologue_defs,
-        &mut body_defs,
-        v,
-        arrays,
-    )?;
+    check_section("body", program.body(), &prologue_defs, &mut body_defs, &ctx)?;
 
     if let Some(pair) = program.body_pair() {
         let mut pair_defs = prologue_defs.clone();
-        check_section("body pair", pair, &prologue_defs, &mut pair_defs, v, arrays)?;
+        check_section("body pair", pair, &prologue_defs, &mut pair_defs, &ctx)?;
+
+        // Every loop-carried rotation the primary body performs (its
+        // `Copy` rewrites of prologue-initialized registers) must also
+        // be performed by the pair: the pair stands for two steady
+        // iterations, and the leftover body/epilogue read the carried
+        // registers after it runs. Only the pair's *own* top-level
+        // definitions count — the registers being rotated are
+        // prologue-defined, so the live-in set would mask the check.
+        let pair_own: HashSet<VReg> = pair.iter().filter_map(|i| i.def()).collect();
+        for inst in program.body() {
+            if let VInst::Copy { dst, .. } = inst {
+                if !pair_own.contains(dst) {
+                    return Err(VerifyProgramError::PairMissingRotation { reg: *dst });
+                }
+            }
+        }
     }
 
     let mut epi_defs = body_defs.clone();
-    check_section(
-        "epilogue",
-        program.epilogue(),
-        &body_defs,
-        &mut epi_defs,
-        v,
-        arrays,
-    )?;
+    check_section("epilogue", program.epilogue(), &body_defs, &mut epi_defs, &ctx)?;
     Ok(())
 }
 
@@ -138,11 +191,10 @@ fn check_section(
     insts: &[VInst],
     live_in: &HashSet<VReg>,
     defs: &mut HashSet<VReg>,
-    v: i64,
-    arrays: usize,
+    ctx: &Ctx,
 ) -> Result<(), VerifyProgramError> {
     for inst in insts {
-        check_inst(section, inst, live_in, defs, v, arrays)?;
+        check_inst(section, inst, live_in, defs, ctx)?;
     }
     Ok(())
 }
@@ -152,8 +204,7 @@ fn check_inst(
     inst: &VInst,
     live_in: &HashSet<VReg>,
     defs: &mut HashSet<VReg>,
-    v: i64,
-    arrays: usize,
+    ctx: &Ctx,
 ) -> Result<(), VerifyProgramError> {
     // Guarded blocks are checked recursively (their own definitions
     // stay local, mirroring the LVN scoping); the flat use-scan below
@@ -161,7 +212,7 @@ fn check_inst(
     if let VInst::Guarded { body, .. } = inst {
         let mut inner = defs.clone();
         for i in body {
-            check_inst(section, i, live_in, &mut inner, v, arrays)?;
+            check_inst(section, i, live_in, &mut inner, ctx)?;
         }
         return Ok(());
     }
@@ -181,35 +232,43 @@ fn check_inst(
         VInst::LoadA { addr, .. }
         | VInst::StoreA { addr, .. }
         | VInst::LoadU { addr, .. }
-        | VInst::StoreU { addr, .. }
-            if addr.array.index() >= arrays =>
-        {
-            return Err(VerifyProgramError::UnknownArray {
-                index: addr.array.index(),
-            });
+        | VInst::StoreU { addr, .. } => {
+            if addr.array.index() >= ctx.arrays {
+                return Err(VerifyProgramError::UnknownArray {
+                    index: addr.array.index(),
+                });
+            }
+            let invariant_ok =
+                section == "epilogue" && ctx.reduction_targets.contains(&addr.array.index());
+            if addr.scale < 0 || (addr.scale == 0 && !invariant_ok) {
+                return Err(VerifyProgramError::BadAddrScale {
+                    section,
+                    scale: addr.scale,
+                });
+            }
         }
         VInst::ShiftPair { amt, .. } => {
             if let Some(a) = amt.as_const() {
-                if !(0..=v).contains(&a) {
+                if !(0..=ctx.v).contains(&a) {
                     return Err(VerifyProgramError::ShiftAmountOutOfRange { amount: a });
                 }
             }
         }
         VInst::Splice { point, .. } => {
             if let Some(p) = point.as_const() {
-                if !(0..=v).contains(&p) {
+                if !(0..=ctx.v).contains(&p) {
                     return Err(VerifyProgramError::SplicePointOutOfRange { point: p });
                 }
             }
         }
         VInst::Perm { pattern, .. } => {
-            if pattern.len() != v as usize {
+            if pattern.len() != ctx.v as usize {
                 return Err(VerifyProgramError::BadPermPattern {
                     len: pattern.len(),
                     bad_entry: None,
                 });
             }
-            if let Some(&bad) = pattern.iter().find(|&&e| (e as i64) >= 2 * v) {
+            if let Some(&bad) = pattern.iter().find(|&&e| (e as i64) >= 2 * ctx.v) {
                 return Err(VerifyProgramError::BadPermPattern {
                     len: pattern.len(),
                     bad_entry: Some(bad),
@@ -276,6 +335,23 @@ mod tests {
     }
 
     #[test]
+    fn reduction_programs_verify() {
+        // Reductions are the one place a loop-invariant (scale 0)
+        // accumulator address is legal — in the epilogue.
+        let prog = compiled(
+            "arrays { acc: i32[256] @ 0; x: i32[256] @ 4; }
+             for i in 0..200 { acc[i] += x[i] * x[i]; }",
+            ReuseMode::SoftwarePipeline,
+            true,
+        );
+        assert!(prog
+            .epilogue
+            .iter()
+            .any(|i| matches!(i, VInst::LoadA { addr, .. } if addr.scale == 0)));
+        verify_program(&prog).unwrap();
+    }
+
+    #[test]
     fn catches_use_before_def() {
         let mut prog = compiled(SRC, ReuseMode::None, false);
         let ghost = VReg(prog.nvregs);
@@ -293,6 +369,62 @@ mod tests {
                 section: "body",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn catches_invariant_addr_outside_reduction_epilogue() {
+        // A scale-0 load in the steady body is meaningless: the chunk
+        // never advances with `i`.
+        let mut prog = compiled(SRC, ReuseMode::None, false);
+        let dst = VReg(prog.nvregs);
+        prog.nvregs += 1;
+        prog.body.insert(
+            0,
+            VInst::LoadA {
+                dst,
+                addr: Addr::invariant(ArrayId::from_index(1), 0),
+            },
+        );
+        assert!(matches!(
+            verify_program(&prog),
+            Err(VerifyProgramError::BadAddrScale {
+                section: "body",
+                scale: 0,
+            })
+        ));
+
+        // Even in the epilogue it is only legal for reduction targets.
+        let mut prog = compiled(SRC, ReuseMode::None, false);
+        let dst = VReg(prog.nvregs);
+        prog.nvregs += 1;
+        prog.epilogue.push(VInst::LoadA {
+            dst,
+            addr: Addr::invariant(ArrayId::from_index(1), 0),
+        });
+        assert!(matches!(
+            verify_program(&prog),
+            Err(VerifyProgramError::BadAddrScale {
+                section: "epilogue",
+                scale: 0,
+            })
+        ));
+    }
+
+    #[test]
+    fn catches_pair_missing_rotation() {
+        let mut prog = compiled(SRC, ReuseMode::SoftwarePipeline, true);
+        assert!(prog.body_pair.is_some(), "unroll should produce a pair");
+        verify_program(&prog).unwrap();
+        // Drop the pair's loop-carried rotations: the second unrolled
+        // iteration would then read stale chunks.
+        prog.body_pair
+            .as_mut()
+            .unwrap()
+            .retain(|i| !matches!(i, VInst::Copy { .. }));
+        assert!(matches!(
+            verify_program(&prog),
+            Err(VerifyProgramError::PairMissingRotation { .. })
         ));
     }
 

@@ -415,6 +415,37 @@ impl SimdProgram {
         self.guard_min_trip
     }
 
+    /// Mutable access to the prologue — for testing tools that corrupt
+    /// or patch generated programs (mutation testing, fault injection).
+    pub fn prologue_mut(&mut self) -> &mut Vec<VInst> {
+        &mut self.prologue
+    }
+
+    /// Mutable access to the steady-state body (see
+    /// [`SimdProgram::prologue_mut`]).
+    pub fn body_mut(&mut self) -> &mut Vec<VInst> {
+        &mut self.body
+    }
+
+    /// Mutable access to the unrolled body pair, if present (see
+    /// [`SimdProgram::prologue_mut`]).
+    pub fn body_pair_mut(&mut self) -> Option<&mut Vec<VInst>> {
+        self.body_pair.as_mut()
+    }
+
+    /// Mutable access to the epilogue (see
+    /// [`SimdProgram::prologue_mut`]).
+    pub fn epilogue_mut(&mut self) -> &mut Vec<VInst> {
+        &mut self.epilogue
+    }
+
+    /// Allocates a fresh virtual register (for injected instructions).
+    pub fn alloc_vreg(&mut self) -> VReg {
+        let r = VReg(self.nvregs);
+        self.nvregs += 1;
+        r
+    }
+
     /// Total static instruction count (including inside guards), per
     /// section: `(prologue, body, epilogue)`.
     pub fn static_counts(&self) -> (usize, usize, usize) {

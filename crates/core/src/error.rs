@@ -1,5 +1,6 @@
 //! The facade's unified error type.
 
+use simdize_analysis::AnalysisFailed;
 use simdize_codegen::GenCodeError;
 use simdize_reorg::{BuildGraphError, PolicyError};
 use simdize_vm::VerifyError;
@@ -20,6 +21,9 @@ pub enum SimdizeError {
     Verify(VerifyError),
     /// The loop's textual form failed to parse.
     Parse(simdize_ir::ParseProgramError),
+    /// The post-codegen static analysis gate rejected the generated
+    /// program with deny-level findings.
+    Analysis(AnalysisFailed),
 }
 
 impl fmt::Display for SimdizeError {
@@ -30,6 +34,7 @@ impl fmt::Display for SimdizeError {
             SimdizeError::Gen(e) => write!(f, "code generation failed: {e}"),
             SimdizeError::Verify(e) => write!(f, "verification failed: {e}"),
             SimdizeError::Parse(e) => write!(f, "parse failed: {e}"),
+            SimdizeError::Analysis(e) => write!(f, "static analysis rejected the program: {e}"),
         }
     }
 }
@@ -42,6 +47,7 @@ impl Error for SimdizeError {
             SimdizeError::Gen(e) => Some(e),
             SimdizeError::Verify(e) => Some(e),
             SimdizeError::Parse(e) => Some(e),
+            SimdizeError::Analysis(e) => Some(e),
         }
     }
 }
@@ -73,6 +79,12 @@ impl From<VerifyError> for SimdizeError {
 impl From<simdize_ir::ParseProgramError> for SimdizeError {
     fn from(e: simdize_ir::ParseProgramError) -> Self {
         SimdizeError::Parse(e)
+    }
+}
+
+impl From<AnalysisFailed> for SimdizeError {
+    fn from(e: AnalysisFailed) -> Self {
+        SimdizeError::Analysis(e)
     }
 }
 

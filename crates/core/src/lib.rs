@@ -67,6 +67,9 @@ pub use scheme::Scheme;
 pub use simdizer::{Simdizer, Target};
 
 // The full pipeline surface, re-exported for one-stop use.
+pub use simdize_analysis::{
+    analyze_program, AnalysisFailed, AnalysisReport, AnalyzeOptions, Finding, Level, Lint, Section,
+};
 pub use simdize_codegen::{
     generate, generate_strided, generate_unaligned, lower_altivec, max_live_vregs,
     strided_model_opd, verify_program, Addr, CodegenOptions, GenCodeError, GenStridedError,

@@ -3,6 +3,7 @@
 use crate::error::SimdizeError;
 use crate::report::Report;
 use crate::scheme::Scheme;
+use simdize_analysis::{analyze_program, AnalysisFailed, AnalyzeOptions};
 use simdize_codegen::{
     generate, generate_strided, generate_unaligned, strided_model_opd, CodegenOptions, ReuseMode,
     SimdProgram,
@@ -110,6 +111,15 @@ impl Simdizer {
         self
     }
 
+    /// Enables or disables the post-codegen static analysis gate: when
+    /// on, [`Simdizer::compile`] runs the `simdize-analysis` abstract
+    /// interpreter over the generated program and rejects it with
+    /// [`SimdizeError::Analysis`] on any deny-level finding.
+    pub fn analyze(mut self, on: bool) -> Simdizer {
+        self.options = self.options.analyze(on);
+        self
+    }
+
     /// Selects the machine model (aligned-only, the default, or
     /// hardware-misaligned).
     pub fn target(mut self, target: Target) -> Simdizer {
@@ -144,23 +154,38 @@ impl Simdizer {
     /// code generation — e.g. forcing a non-zero policy on a loop with
     /// runtime alignments.
     pub fn compile(&self, program: &LoopProgram) -> Result<SimdProgram, SimdizeError> {
-        if program.all_refs().iter().any(|r| !r.is_unit_stride()) {
+        let strided = program.all_refs().iter().any(|r| !r.is_unit_stride());
+        let compiled = if strided {
             // §7 extension: loops with non-unit-stride references go
             // through the gather/scatter permute generator.
-            return Ok(generate_strided(program, self.shape)?);
-        }
-        if self.target == Target::Unaligned {
+            generate_strided(program, self.shape)?
+        } else if self.target == Target::Unaligned {
             let graph = ReorgGraph::build(program, self.shape)?;
-            return Ok(generate_unaligned(&graph)?);
-        }
-        let policy = self.policy_for(program);
-        let program = if self.reassoc {
-            reassociate(program, self.shape)
+            generate_unaligned(&graph)?
         } else {
-            program.clone()
+            let policy = self.policy_for(program);
+            let program = if self.reassoc {
+                reassociate(program, self.shape)
+            } else {
+                program.clone()
+            };
+            let graph = ReorgGraph::build(&program, self.shape)?.with_policy(policy)?;
+            generate(&graph, &self.options)?
         };
-        let graph = ReorgGraph::build(&program, self.shape)?.with_policy(policy)?;
-        Ok(generate(&graph, &self.options)?)
+        if self.options.analyze_enabled() {
+            // The exactly-once reuse lint only applies to the standard
+            // stream generator — the strided and hardware-misaligned
+            // generators don't pipeline chunks.
+            let mut opts = AnalyzeOptions::new().memnorm(self.options.memnorm_enabled());
+            if !strided && self.target == Target::Aligned {
+                opts = opts.reuse(self.options.reuse_mode());
+            }
+            let report = analyze_program(&compiled, &opts);
+            if report.deny_count() > 0 {
+                return Err(AnalysisFailed::new(report).into());
+            }
+        }
+        Ok(compiled)
     }
 
     /// Compiles, runs differentially against the scalar oracle with the
@@ -274,6 +299,30 @@ mod tests {
             .unwrap();
         assert!(re.stats.shifts < base.stats.shifts);
         assert!(re.opd < base.opd);
+    }
+
+    #[test]
+    fn analysis_gate_accepts_generated_programs() {
+        let p = parse_program(FIG1).unwrap();
+        for scheme in Scheme::all() {
+            Simdizer::new()
+                .scheme(scheme)
+                .analyze(true)
+                .compile(&p)
+                .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        }
+        let runtime = parse_program(
+            "arrays { a: i32[256] @ ?; b: i32[256] @ ?; }
+             for i in 0..ub { a[i] = b[i+1]; }",
+        )
+        .unwrap();
+        Simdizer::new().analyze(true).compile(&runtime).unwrap();
+        let strided = parse_program(
+            "arrays { out: i32[128] @ 0; inter: i32[300] @ 4; }
+             for i in 0..100 { out[i] = inter[2*i] + inter[2*i+1]; }",
+        )
+        .unwrap();
+        Simdizer::new().analyze(true).compile(&strided).unwrap();
     }
 
     #[test]

@@ -28,4 +28,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== smoke sweep (native engine, 8 seeds) =="
 target/release/simdize sweep loops/figure1.loop --smoke --jobs 4
 
+echo "== static analysis (all sample loops) =="
+for loop in loops/*.loop; do
+    target/release/simdize analyze "$loop"
+done
+target/release/simdize analyze loops/figure1.loop --reuse pc --policy lazy --json
+
 echo "== ci OK =="
