@@ -30,7 +30,9 @@
 //!   --engine interp|native              executor for `run` (default interp)
 //!   --lint NAME=allow|warn|deny         override a lint level (repeatable)
 //!   --json                              JSON diagnostics for `analyze`
-//!   --jobs N                            sweep worker threads (default 4)
+//!   --threads N                         sweep worker threads (default:
+//!                                       available parallelism; --jobs is
+//!                                       an alias)
 //!   --count N                           sweep seeds to cover (default 32)
 //!   --smoke                             quick 8-seed sweep preset
 //!   --dot / --asm                       alternative output formats
@@ -69,7 +71,7 @@ pub struct Options {
     engine: String,
     lints: Vec<(Lint, Level)>,
     json: bool,
-    jobs: usize,
+    threads: usize,
     count: usize,
     smoke: bool,
     dot: bool,
@@ -114,7 +116,7 @@ pub fn parse_args(
         engine: "interp".to_string(),
         lints: Vec::new(),
         json: false,
-        jobs: 4,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         count: 32,
         smoke: false,
         dot: false,
@@ -182,10 +184,10 @@ pub fn parse_args(
                 opts.lints.push((lint, level));
             }
             "--json" => opts.json = true,
-            "--jobs" => {
-                opts.jobs = value("--jobs")?.parse()?;
-                if opts.jobs == 0 {
-                    return Err("--jobs must be at least 1".into());
+            "--threads" | "--jobs" => {
+                opts.threads = value(arg)?.parse()?;
+                if opts.threads == 0 {
+                    return Err(format!("{arg} must be at least 1").into());
                 }
             }
             "--count" => opts.count = value("--count")?.parse()?,
@@ -312,6 +314,12 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                     "compiled kernel"
                 }
             )?;
+            let fusion = kernel.fusion_stats();
+            writeln!(
+                out,
+                "trace: {} fused load(s), {} splat op(s), {} hoisted, {} eliminated",
+                fusion.fused_loads, fusion.splat_ops, fusion.hoisted, fusion.eliminated
+            )?;
             writeln!(
                 out,
                 "opd: {:.3}  speedup: {:.2}x over idealistic scalar",
@@ -339,7 +347,9 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             let jobs: Vec<SweepJob> = (0..count as u64)
                 .map(|k| SweepJob::new(compiled.clone(), opts.seed.wrapping_add(k), opts.ub))
                 .collect();
-            let outcomes = run_sweep(&jobs, opts.jobs);
+            let started = std::time::Instant::now();
+            let outcomes = run_sweep(&jobs, opts.threads);
+            let elapsed = started.elapsed();
             writeln!(
                 out,
                 "{:>6} {:>9} {:>9} {:>9}",
@@ -364,8 +374,9 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             }
             writeln!(
                 out,
-                "{ok}/{count} verified on {} worker thread(s)",
-                opts.jobs.min(count.max(1))
+                "{ok}/{count} verified on {} worker thread(s), {:.0} jobs/sec",
+                opts.threads.min(count.max(1)),
+                count as f64 / elapsed.as_secs_f64().max(1e-9)
             )?;
             if ok != count {
                 return Err(format!("sweep failed: {ok}/{count} seeds verified").into());
@@ -507,7 +518,24 @@ mod tests {
     fn sweep_smoke_reports_all_seeds() {
         let out = run(&opts(&["sweep", "x.loop", "--smoke", "--jobs", "2"])).unwrap();
         assert!(out.contains("8/8 verified"));
+        assert!(out.contains("jobs/sec"));
         assert!(out.lines().count() >= 10); // header + 8 rows + summary
+    }
+
+    #[test]
+    fn threads_flag_matches_jobs_alias() {
+        let via_threads = opts(&["sweep", "x.loop", "--threads", "3"]);
+        let via_jobs = opts(&["sweep", "x.loop", "--jobs", "3"]);
+        assert_eq!(via_threads, via_jobs);
+        let out = run(&opts(&["sweep", "x.loop", "--smoke", "--threads", "2"])).unwrap();
+        assert!(out.contains("8/8 verified on 2 worker thread(s)"));
+    }
+
+    #[test]
+    fn run_native_reports_fusion_trace() {
+        let out = run(&opts(&["run", "x.loop", "--engine", "native"])).unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("fused load(s)"), "{out}");
     }
 
     #[test]
@@ -521,6 +549,7 @@ mod tests {
         assert!(parse_args(&args(&["run", "x", "--whatever"]), &read).is_err());
         assert!(parse_args(&args(&["run", "x", "--engine", "jit"]), &read).is_err());
         assert!(parse_args(&args(&["sweep", "x", "--jobs", "0"]), &read).is_err());
+        assert!(parse_args(&args(&["sweep", "x", "--threads", "0"]), &read).is_err());
     }
 
     #[test]

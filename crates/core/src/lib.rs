@@ -85,7 +85,10 @@ pub use simdize_reorg::{
     distinct_alignments, reassociate, simdizable_aligned_only, simdizable_by_peeling, to_dot,
     BuildGraphError, GraphStats, Offset, Policy, PolicyError, ReorgGraph, ValidateGraphError,
 };
-pub use simdize_engine::{run_sweep, CompiledKernel, NativeEngine, SweepJob, SweepOutcome};
+pub use simdize_engine::{
+    run_sweep, run_sweep_with, CompiledKernel, FusionStats, KernelOptions, NativeEngine,
+    PredecodedKernel, SweepJob, SweepOptions, SweepOutcome,
+};
 pub use simdize_vm::{
     run_differential, run_scalar, run_simd, run_simd_traced, scalar_ideal_ops, DiffConfig,
     DiffOutcome, ExecError, Executor, Interpreter, MemoryImage, RunInput, RunStats, VerifyError,

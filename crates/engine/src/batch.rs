@@ -1,13 +1,31 @@
 //! Parallel batch sweeps: run many `(program, memory seed)` jobs across
-//! scoped worker threads, each job compiled once and verified against
-//! the scalar oracle, with per-job [`RunStats`].
+//! scoped worker threads, each job executed by the engine and verified
+//! against the scalar oracle, with per-job [`RunStats`].
 //!
 //! The runner uses `std::thread::scope` so jobs can be borrowed rather
 //! than moved, and a shared atomic cursor so threads self-schedule —
 //! long jobs (large trip counts) don't stall a statically partitioned
 //! worker.
+//!
+//! Sweeps repeat the same handful of programs over many seeds, so the
+//! default path ([`SweepOptions::new`]) shares compilation work:
+//!
+//! * each *distinct* program (by structural equality) is pre-decoded
+//!   exactly once into a [`PredecodedKernel`] before the workers start;
+//! * each worker keeps one scratch engine image and one scratch oracle
+//!   image, re-seeded in place per job ([`MemoryImage::reseed`])
+//!   instead of allocating fresh images;
+//! * each worker caches its last baked [`CompiledKernel`] and reuses it
+//!   whenever the next job has the same program, the same runtime
+//!   input and an identical memory layout — which is every remaining
+//!   job of a seed sweep over a program with compile-time-known
+//!   alignments, since only the image *contents* change with the seed.
+//!
+//! [`SweepOptions::uncached`] turns all of that off (full per-job
+//! compilation, fresh allocations) — the engine bench harness uses it
+//! to measure what the cache is worth.
 
-use crate::kernel::CompiledKernel;
+use crate::kernel::{CompiledKernel, KernelOptions, PredecodedKernel};
 use simdize_codegen::SimdProgram;
 use simdize_ir::VectorShape;
 use simdize_vm::{run_scalar, ExecError, MemoryImage, RunInput, RunStats};
@@ -65,28 +83,111 @@ impl SweepOutcome {
     }
 }
 
-/// Runs every job, distributing them over `threads` scoped worker
-/// threads (clamped to `[1, jobs.len()]`), and returns per-job outcomes
-/// in job order. Each job compiles a [`CompiledKernel`] for its own
-/// image, runs it, and differentially verifies the result against
-/// [`run_scalar`] on an identical image.
+/// How [`run_sweep_with`] schedules and caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker thread count (clamped to `[1, jobs.len()]`).
+    pub threads: usize,
+    /// Pre-decode each distinct program once before the workers start
+    /// and let every worker cache its last baked kernel.
+    pub share_predecode: bool,
+    /// Reuse one scratch engine image and one scratch oracle image per
+    /// worker, re-seeded in place per job. Only effective together with
+    /// `share_predecode`.
+    pub reuse_scratch: bool,
+}
+
+impl SweepOptions {
+    /// The default sweep configuration: every cache on.
+    pub fn new(threads: usize) -> SweepOptions {
+        SweepOptions {
+            threads,
+            share_predecode: true,
+            reuse_scratch: true,
+        }
+    }
+
+    /// Full per-job compilation with fresh allocations — the baseline
+    /// the compilation cache is measured against.
+    pub fn uncached(threads: usize) -> SweepOptions {
+        SweepOptions {
+            threads,
+            share_predecode: false,
+            reuse_scratch: false,
+        }
+    }
+}
+
+/// Per-worker reusable state.
+#[derive(Default)]
+struct Scratch {
+    engine: Option<MemoryImage>,
+    oracle: Option<MemoryImage>,
+    baked: Option<(usize, RunInput, CompiledKernel)>,
+}
+
+/// Runs every job with the default caches on, distributing them over
+/// `threads` scoped worker threads, and returns per-job outcomes in job
+/// order. Shorthand for [`run_sweep_with`] with [`SweepOptions::new`].
 pub fn run_sweep(jobs: &[SweepJob], threads: usize) -> Vec<Result<SweepOutcome, ExecError>> {
+    run_sweep_with(jobs, SweepOptions::new(threads))
+}
+
+/// Runs every job per `opts` and returns per-job outcomes in job order.
+/// Each job executes its program on the image seeded by its seed and
+/// differentially verifies the result against [`run_scalar`] on an
+/// identical image.
+pub fn run_sweep_with(
+    jobs: &[SweepJob],
+    opts: SweepOptions,
+) -> Vec<Result<SweepOutcome, ExecError>> {
     if jobs.is_empty() {
         return Vec::new();
     }
-    let threads = threads.clamp(1, jobs.len());
+    let threads = opts.threads.clamp(1, jobs.len());
+
+    // One pre-decode per distinct program, shared by every worker.
+    let mut templates: Vec<(&SimdProgram, Result<PredecodedKernel, ExecError>)> = Vec::new();
+    let mut job_template: Vec<usize> = Vec::with_capacity(jobs.len());
+    if opts.share_predecode {
+        for job in jobs {
+            let idx = match templates.iter().position(|(p, _)| *p == &job.program) {
+                Some(idx) => idx,
+                None => {
+                    templates.push((&job.program, PredecodedKernel::new(&job.program)));
+                    templates.len() - 1
+                }
+            };
+            job_template.push(idx);
+        }
+    }
+    let templates = &templates;
+    let job_template = &job_template;
+
     let cursor = AtomicUsize::new(0);
     let partials: Vec<Vec<(usize, Result<SweepOutcome, ExecError>)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
+                    let mut scratch = Scratch::default();
                     let mut mine = Vec::new();
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         if idx >= jobs.len() {
                             break;
                         }
-                        mine.push((idx, run_one(&jobs[idx])));
+                        let res = if opts.share_predecode {
+                            run_one_cached(
+                                &jobs[idx],
+                                job_template[idx],
+                                templates,
+                                &opts,
+                                &mut scratch,
+                            )
+                        } else {
+                            run_one(&jobs[idx])
+                        };
+                        mine.push((idx, res));
                     }
                     mine
                 })
@@ -108,6 +209,7 @@ pub fn run_sweep(jobs: &[SweepJob], threads: usize) -> Vec<Result<SweepOutcome, 
         .collect()
 }
 
+/// The uncached path: fresh images, full compile, per job.
 fn run_one(job: &SweepJob) -> Result<SweepOutcome, ExecError> {
     let source = job.program.source();
     let mut engine_img = MemoryImage::with_seed(source, VectorShape::V16, job.seed);
@@ -120,6 +222,66 @@ fn run_one(job: &SweepJob) -> Result<SweepOutcome, ExecError> {
         seed: job.seed,
         stats,
         verified: engine_img.first_difference(&oracle_img).is_none(),
+        data_produced: source.stmts().len() as u64 * ub,
+        scalar_ideal,
+    })
+}
+
+/// The cached path: shared pre-decode, per-worker scratch images and a
+/// single-slot baked-kernel cache. Produces outcomes identical to
+/// [`run_one`] — `MemoryImage::reseed` rebuilds exactly the image
+/// `with_seed` would, and a cached kernel is only reused when the
+/// program, the runtime input and the memory layout all match.
+fn run_one_cached(
+    job: &SweepJob,
+    tidx: usize,
+    templates: &[(&SimdProgram, Result<PredecodedKernel, ExecError>)],
+    opts: &SweepOptions,
+    scratch: &mut Scratch,
+) -> Result<SweepOutcome, ExecError> {
+    let pre = templates[tidx].1.as_ref().map_err(|e| e.clone())?;
+    let source = job.program.source();
+    let shape = VectorShape::V16;
+
+    let engine_img = match &mut scratch.engine {
+        Some(img) if opts.reuse_scratch => {
+            img.reseed(source, shape, job.seed);
+            img
+        }
+        slot => slot.insert(MemoryImage::with_seed(source, shape, job.seed)),
+    };
+    let oracle_img = match &mut scratch.oracle {
+        Some(img) if opts.reuse_scratch => {
+            // Copy the freshly seeded engine image instead of reseeding
+            // independently: a memcpy is far cheaper than a second
+            // element-by-element random fill.
+            img.copy_from(engine_img);
+            img
+        }
+        slot => slot.insert(engine_img.clone()),
+    };
+
+    let cache_hit = matches!(
+        &scratch.baked,
+        Some((t, input, k)) if *t == tidx && input == &job.input && k.layout_matches(engine_img)
+    );
+    if !cache_hit {
+        let kernel = pre.bake(
+            engine_img,
+            &job.input,
+            &KernelOptions::new().disassembly(false),
+        )?;
+        scratch.baked = Some((tidx, job.input.clone(), kernel));
+    }
+    let kernel = &scratch.baked.as_ref().expect("just populated").2;
+
+    let stats = kernel.run(engine_img)?;
+    let ub = source.trip().known().unwrap_or(job.input.ub);
+    let scalar_ideal = run_scalar(source, oracle_img, ub, &job.input.params)?;
+    Ok(SweepOutcome {
+        seed: job.seed,
+        stats,
+        verified: engine_img.first_difference(oracle_img).is_none(),
         data_produced: source.stmts().len() as u64 * ub,
         scalar_ideal,
     })
@@ -148,6 +310,9 @@ mod tests {
     const RUNTIME: &str = "arrays { a: i32[512] @ ?; b: i32[512] @ ?; c: i32[512] @ ?; }
                            for i in 0..ub { a[i] = b[i+1] + c[i+3]; }";
 
+    const KNOWN: &str = "arrays { a: i32[512] @ 0; b: i32[512] @ 4; }
+                         for i in 0..ub { a[i] = b[i+1]; }";
+
     #[test]
     fn sweep_verifies_every_seed() {
         let prog = program(RUNTIME);
@@ -174,6 +339,45 @@ mod tests {
         let serial = run_sweep(&jobs, 1);
         for threads in [2, 3, 8, 64] {
             assert_eq!(run_sweep(&jobs, threads), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_sweeps_agree() {
+        // KNOWN alignments: every seed shares one layout, so the baked
+        // kernel is reused across jobs. RUNTIME alignments: layouts
+        // differ per seed, exercising re-bake over reseeded scratch.
+        for src in [KNOWN, RUNTIME] {
+            let prog = program(src);
+            let jobs: Vec<SweepJob> = (0..16)
+                .map(|seed| SweepJob::new(prog.clone(), seed * 3 + 1, 300))
+                .collect();
+            let cached = run_sweep_with(&jobs, SweepOptions::new(3));
+            let uncached = run_sweep_with(&jobs, SweepOptions::uncached(3));
+            assert_eq!(cached, uncached);
+            for o in cached {
+                assert!(o.unwrap().verified);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_program_sweep_interleaves_templates() {
+        // Alternating templates on one worker force the scratch images
+        // to be re-laid-out between jobs and the kernel cache to miss.
+        let a = program(KNOWN);
+        let b = program(RUNTIME);
+        let jobs: Vec<SweepJob> = (0..10)
+            .map(|k| {
+                let prog = if k % 2 == 0 { a.clone() } else { b.clone() };
+                SweepJob::new(prog, k as u64, 250)
+            })
+            .collect();
+        let cached = run_sweep_with(&jobs, SweepOptions::new(1));
+        let uncached = run_sweep_with(&jobs, SweepOptions::uncached(1));
+        assert_eq!(cached, uncached);
+        for o in cached {
+            assert!(o.unwrap().verified);
         }
     }
 

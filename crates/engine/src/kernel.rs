@@ -3,48 +3,66 @@
 //! slices that a tight dispatch loop can execute with no per-iteration
 //! decisions left.
 //!
-//! Everything the interpreter re-derives on every instruction is folded
-//! here, exactly once:
+//! Compilation is split into two phases so sweeps can share work:
 //!
-//! * every scalar expression (alignment masks, shift amounts, splice
-//!   points, the runtime upper bound) is evaluated against the image;
-//! * every address is reduced to a baked `(start, step)` byte-offset
-//!   pair — truncation to the enclosing chunk happens at compile time,
-//!   which is sound because a steady iteration advances every address
-//!   by `scale · V` bytes, a multiple of the chunk size;
-//! * every guarded block is resolved (the conditions are loop
-//!   invariant) and flattened away;
-//! * every access stream is bounds-checked against the image's guarded
-//!   ranges, first and last execution, so the hot loop indexes the raw
-//!   bytes directly;
-//! * registers are checked defined-before-use in execution order;
-//! * the dynamic instruction counts are computed analytically, charging
-//!   the same costs as `simdize_vm::run_simd` charges dynamically.
+//! * [`PredecodedKernel::new`] does everything that depends only on the
+//!   *program*: V16 shape check, permutation validation, constant-splat
+//!   materialization, address reduction to per-array `(byte offset,
+//!   byte scale)` pairs, register-file sizing. One pre-decode is shared
+//!   across every seed of a sweep.
+//! * [`PredecodedKernel::bake`] does the cheap per-(layout, input)
+//!   remainder: every scalar expression (alignment masks, shift
+//!   amounts, splice points, the runtime upper bound) is evaluated
+//!   against the image; every address becomes a baked `(start, step)`
+//!   byte pair — truncation to the enclosing chunk happens here, which
+//!   is sound because a steady iteration advances every address by
+//!   `scale · V` bytes, a multiple of the chunk size; guarded blocks
+//!   are resolved (the conditions are loop invariant) and flattened;
+//!   every access stream is bounds-checked first-and-last against the
+//!   image's guarded ranges; registers are checked defined-before-use;
+//!   dynamic instruction counts are computed analytically, charging the
+//!   same costs as `simdize_vm::run_simd` charges dynamically.
+//!
+//! After baking, the [`trace`](crate::trace) pass (on by default)
+//! fuses superinstructions, hoists loop invariants into per-loop
+//! headers and strips dead ops — without changing a single stored byte
+//! or stat, since [`RunStats`] are fixed before fusion runs.
 
 use crate::lanes::{self, Reg};
-use simdize_codegen::{SExpr, ScalarEnv, SimdProgram, VInst};
+use crate::trace::{self, FusionStats};
+use simdize_codegen::{SCond, SExpr, ScalarEnv, SimdProgram, VInst};
 use simdize_ir::{ArrayId, BinOp, LoopProgram, ScalarType, UnOp, Value, VectorShape};
 use simdize_vm::{
     run_scalar, runtime_expr_count, scalar_ideal_ops, ExecError, Executor, MemoryImage, RunInput,
     RunStats, CALL_OVERHEAD, LOOP_OVERHEAD_PER_ITERATION, RUNTIME_SETUP_PER_EXPR,
 };
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The one vector width the engine has kernels for.
-const V: i64 = 16;
+pub(crate) const V: i64 = 16;
 
 /// One pre-lowered engine instruction. Memory operands are raw byte
 /// offsets into the image — `at = start + iteration · step` — with any
 /// chunk truncation already applied; all scalar operands are folded.
-#[derive(Debug, Clone)]
-enum Op {
-    Load { dst: u32, start: i64, step: i64 },
-    Store { src: u32, start: i64, step: i64 },
+/// `arr` identifies the accessed array so the trace pass can reason
+/// about aliasing (array guarded regions never overlap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    Load { dst: u32, arr: u32, start: i64, step: i64 },
+    /// A `vload` + `vshiftpair` pair fused by the trace pass into one
+    /// shifted load. Executes exactly like `Load`; kept distinct so the
+    /// trace listing and fusion telemetry can tell them apart.
+    LoadFused { dst: u32, arr: u32, start: i64, step: i64 },
+    Store { src: u32, arr: u32, start: i64, step: i64 },
     Shift { dst: u32, a: u32, b: u32, amt: u8 },
     Splice { dst: u32, a: u32, b: u32, point: u8 },
     Perm { dst: u32, a: u32, b: u32, pattern: [u8; 16] },
     Splat { dst: u32, bytes: Reg },
     Bin { dst: u32, op: BinOp, a: u32, b: u32 },
+    /// A binop whose other operand the trace pass proved constant at
+    /// bake time; the immediate rides in the instruction.
+    BinSplat { dst: u32, op: BinOp, a: u32, imm: Reg, imm_left: bool },
     Un { dst: u32, op: UnOp, a: u32 },
     Copy { dst: u32, src: u32 },
 }
@@ -52,28 +70,121 @@ enum Op {
 /// The `ub ≤ 3B` guard resolved to the scalar path at compile time.
 #[derive(Debug, Clone)]
 struct FallbackPlan {
-    source: LoopProgram,
+    source: Arc<LoopProgram>,
     ub: u64,
     params: Vec<i64>,
+}
+
+/// Knobs for [`PredecodedKernel::bake`].
+///
+/// The defaults match [`CompiledKernel::compile`]: trace fusion on,
+/// disassembly text built. Sweeps turn the disassembly off (nobody
+/// reads per-seed text); the differential fusion tests turn fusion off
+/// to pin fused == unfused execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOptions {
+    fuse: bool,
+    disassembly: bool,
+}
+
+impl Default for KernelOptions {
+    fn default() -> KernelOptions {
+        KernelOptions {
+            fuse: true,
+            disassembly: true,
+        }
+    }
+}
+
+impl KernelOptions {
+    /// The default options: fusion on, disassembly on.
+    pub fn new() -> KernelOptions {
+        KernelOptions::default()
+    }
+
+    /// Enables or disables the trace fusion pass.
+    pub fn fuse(mut self, on: bool) -> KernelOptions {
+        self.fuse = on;
+        self
+    }
+
+    /// Enables or disables building the disassembly listing.
+    pub fn disassembly(mut self, on: bool) -> KernelOptions {
+        self.disassembly = on;
+        self
+    }
+}
+
+/// One program-level instruction after pre-decoding: registers are raw
+/// indices, addresses are `(array, byte offset, byte scale)` triples,
+/// permutation patterns are validated, constant splats materialized.
+/// Everything left symbolic (`SExpr`/`SCond`) genuinely depends on the
+/// memory layout or runtime input.
+#[derive(Debug, Clone)]
+enum PInst {
+    LoadA { dst: u32, arr: u32, off: i64, scale: i64 },
+    LoadU { dst: u32, arr: u32, off: i64, scale: i64 },
+    StoreA { src: u32, arr: u32, off: i64, scale: i64 },
+    StoreU { src: u32, arr: u32, off: i64, scale: i64 },
+    Shift { dst: u32, a: u32, b: u32, amt: SExpr },
+    Splice { dst: u32, a: u32, b: u32, point: SExpr },
+    Perm { dst: u32, a: u32, b: u32, pattern: [u8; 16] },
+    Splat { dst: u32, bytes: Reg, value: i64 },
+    SplatParam { dst: u32, param: usize },
+    Bin { dst: u32, op: BinOp, a: u32, b: u32 },
+    Un { dst: u32, op: UnOp, a: u32 },
+    Copy { dst: u32, src: u32 },
+    Guarded { cond: SCond, body: Vec<PInst> },
+}
+
+/// The program-dependent half of kernel compilation, shared across
+/// every memory layout and runtime input.
+///
+/// Build once per distinct `SimdProgram` with [`PredecodedKernel::new`],
+/// then [`bake`](PredecodedKernel::bake) a [`CompiledKernel`] per
+/// (image, input) pair. `engine::run_sweep` keys a cache of these on
+/// program identity so a 64-seed sweep pre-decodes once, not 64 times.
+#[derive(Debug, Clone)]
+pub struct PredecodedKernel {
+    source: Arc<LoopProgram>,
+    elem: ScalarType,
+    elem_size: i64,
+    nregs: usize,
+    narrays: usize,
+    nparams: usize,
+    trip_known: Option<u64>,
+    guard_min_trip: u64,
+    block: i64,
+    lower_bound: i64,
+    upper_bound: SExpr,
+    runtime_exprs: u64,
+    prologue: Vec<PInst>,
+    pair: Option<Vec<PInst>>,
+    body: Vec<PInst>,
+    epilogue: Vec<PInst>,
 }
 
 /// A `SimdProgram` compiled for one memory layout and one set of
 /// runtime inputs.
 ///
-/// Compile once with [`CompiledKernel::compile`], then [`run`] against
-/// the image (or any image with the identical layout — same bases, same
-/// length). The kernel's [`stats`] are computed at compile time and are
-/// identical to what [`simdize_vm::run_simd`] would count dynamically;
-/// the differential tests enforce byte-for-byte and stat-for-stat
-/// equality with the interpreter.
+/// Compile once with [`CompiledKernel::compile`] (or pre-decode with
+/// [`PredecodedKernel`] and [`bake`](PredecodedKernel::bake)), then
+/// [`run`] against the image (or any image with the identical layout —
+/// same bases, same length). The kernel's [`stats`] are computed at
+/// compile time, *before* trace fusion, and are identical to what
+/// [`simdize_vm::run_simd`] would count dynamically; the differential
+/// tests enforce byte-for-byte and stat-for-stat equality with the
+/// interpreter whether fusion is on or off.
 ///
 /// [`run`]: CompiledKernel::run
 /// [`stats`]: CompiledKernel::stats
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     prologue: Vec<Op>,
+    pair_header: Vec<Op>,
     pair: Vec<Op>,
     pair_iters: i64,
+    body_header: Vec<Op>,
     body: Vec<Op>,
     body_iters: i64,
     epilogue: Vec<Op>,
@@ -85,6 +196,8 @@ pub struct CompiledKernel {
     image_len: usize,
     fallback: Option<FallbackPlan>,
     disassembly: String,
+    fusion: FusionStats,
+    fused: bool,
 }
 
 struct Env<'a> {
@@ -104,18 +217,119 @@ impl ScalarEnv for Env<'_> {
     }
 }
 
-/// Per-section lowering state.
-struct Lowering<'a> {
+/// Pre-decodes one instruction list (recursing into guards).
+fn predecode(insts: &[VInst], elem_size: i64, elem: ScalarType, out: &mut Vec<PInst>) -> Result<(), ExecError> {
+    let addr = |a: &simdize_codegen::Addr| (a.array.index() as u32, a.elem * elem_size, a.scale * elem_size);
+    for inst in insts {
+        match inst {
+            VInst::LoadA { dst, addr: a } => {
+                let (arr, off, scale) = addr(a);
+                out.push(PInst::LoadA { dst: dst.index() as u32, arr, off, scale });
+            }
+            VInst::StoreA { addr: a, src } => {
+                let (arr, off, scale) = addr(a);
+                out.push(PInst::StoreA { src: src.index() as u32, arr, off, scale });
+            }
+            VInst::LoadU { dst, addr: a } => {
+                let (arr, off, scale) = addr(a);
+                out.push(PInst::LoadU { dst: dst.index() as u32, arr, off, scale });
+            }
+            VInst::StoreU { addr: a, src } => {
+                let (arr, off, scale) = addr(a);
+                out.push(PInst::StoreU { src: src.index() as u32, arr, off, scale });
+            }
+            VInst::ShiftPair { dst, a, b, amt } => out.push(PInst::Shift {
+                dst: dst.index() as u32,
+                a: a.index() as u32,
+                b: b.index() as u32,
+                amt: amt.clone(),
+            }),
+            VInst::Splice { dst, a, b, point } => out.push(PInst::Splice {
+                dst: dst.index() as u32,
+                a: a.index() as u32,
+                b: b.index() as u32,
+                point: point.clone(),
+            }),
+            VInst::Perm { dst, a, b, pattern } => {
+                if pattern.len() != V as usize {
+                    return Err(ExecError::BadShiftAmount {
+                        amount: pattern.len() as i64,
+                    });
+                }
+                let mut pat = [0u8; 16];
+                for (t, &sel) in pattern.iter().enumerate() {
+                    if sel as i64 >= 2 * V {
+                        return Err(ExecError::BadShiftAmount { amount: sel as i64 });
+                    }
+                    pat[t] = sel;
+                }
+                out.push(PInst::Perm {
+                    dst: dst.index() as u32,
+                    a: a.index() as u32,
+                    b: b.index() as u32,
+                    pattern: pat,
+                });
+            }
+            VInst::SplatConst { dst, value } => out.push(PInst::Splat {
+                dst: dst.index() as u32,
+                bytes: splat_bytes(elem, *value),
+                value: *value,
+            }),
+            VInst::SplatParam { dst, param } => out.push(PInst::SplatParam {
+                dst: dst.index() as u32,
+                param: param.index(),
+            }),
+            VInst::Bin { dst, op, a, b } => out.push(PInst::Bin {
+                dst: dst.index() as u32,
+                op: *op,
+                a: a.index() as u32,
+                b: b.index() as u32,
+            }),
+            VInst::Un { dst, op, a } => out.push(PInst::Un {
+                dst: dst.index() as u32,
+                op: *op,
+                a: a.index() as u32,
+            }),
+            VInst::Copy { dst, src } => out.push(PInst::Copy {
+                dst: dst.index() as u32,
+                src: src.index() as u32,
+            }),
+            VInst::Guarded { cond, body } => {
+                let mut inner = Vec::new();
+                predecode(body, elem_size, elem, &mut inner)?;
+                out.push(PInst::Guarded {
+                    cond: cond.clone(),
+                    body: inner,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `value` replicated into every `elem`-sized lane of a register.
+fn splat_bytes(elem: ScalarType, value: i64) -> Reg {
+    let bytes = Value::from_i64(elem, value).to_le_bytes();
+    let d = elem.size();
+    let mut out = [0u8; 16];
+    for lane in 0..16 / d {
+        out[lane * d..lane * d + d].copy_from_slice(&bytes);
+    }
+    out
+}
+
+/// Per-bake lowering state.
+struct Baking<'a> {
     image: &'a MemoryImage,
     params: &'a [i64],
     ub: i64,
     elem: ScalarType,
-    elem_size: i64,
     defined: Vec<bool>,
     dis: String,
+    want_dis: bool,
 }
 
-impl Lowering<'_> {
+impl Baking<'_> {
     fn eval(&self, e: &SExpr) -> i64 {
         e.eval(&Env {
             ub: self.ub,
@@ -123,28 +337,23 @@ impl Lowering<'_> {
         })
     }
 
-    fn use_reg(&self, r: simdize_codegen::VReg) -> Result<u32, ExecError> {
-        if !self.defined[r.index()] {
-            return Err(ExecError::UninitializedRegister { index: r.index() });
+    fn use_reg(&self, r: u32) -> Result<u32, ExecError> {
+        if !self.defined[r as usize] {
+            return Err(ExecError::UninitializedRegister { index: r as usize });
         }
-        Ok(r.index() as u32)
+        Ok(r)
     }
 
-    fn def_reg(&mut self, r: simdize_codegen::VReg) -> u32 {
-        self.defined[r.index()] = true;
-        r.index() as u32
+    fn def_reg(&mut self, r: u32) -> u32 {
+        self.defined[r as usize] = true;
+        r
     }
 
     /// Validates one memory stream: `iters` accesses starting at byte
     /// `start`, advancing by `step` bytes each, every one inside the
     /// array's guarded region.
-    fn check_stream(
-        &self,
-        array: ArrayId,
-        start: i64,
-        step: i64,
-        iters: i64,
-    ) -> Result<(), ExecError> {
+    fn check_stream(&self, arr: u32, start: i64, step: i64, iters: i64) -> Result<(), ExecError> {
+        let array = ArrayId::from_index(arr as usize);
         let (lo, hi) = self.image.guarded_range(array);
         let last = start + (iters - 1) * step;
         for at in [start, last] {
@@ -161,35 +370,8 @@ impl Lowering<'_> {
         Ok(())
     }
 
-    /// Lowers `insts` executed with the induction variable starting at
-    /// `i0` and advancing by `step_i` elements for `iters` iterations,
-    /// appending engine ops to `out` and class counts (per single
-    /// iteration) to `counts`.
-    fn lower(
-        &mut self,
-        insts: &[VInst],
-        i0: i64,
-        step_i: i64,
-        iters: i64,
-        counts: &mut RunStats,
-        out: &mut Vec<Op>,
-    ) -> Result<(), ExecError> {
-        for inst in insts {
-            self.lower_inst(inst, i0, step_i, iters, counts, out)?;
-        }
-        Ok(())
-    }
-
-    /// Baked `(first byte address, bytes per iteration)` of `addr` for a
-    /// section starting at induction value `i0` advancing `step_i`.
-    fn addr_of(&self, addr: &simdize_codegen::Addr, i0: i64, step_i: i64) -> (i64, i64) {
-        let base = self.image.base_of(addr.array) as i64;
-        let a0 = base + (addr.scale * i0 + addr.elem) * self.elem_size;
-        let step = addr.scale * step_i * self.elem_size;
-        (a0, step)
-    }
-
-    fn dis_addr(&self, array: ArrayId, start: i64, step: i64) -> String {
+    fn dis_addr(&self, arr: u32, start: i64, step: i64) -> String {
+        let array = ArrayId::from_index(arr as usize);
         let rel = start - self.image.base_of(array) as i64;
         if step != 0 {
             format!("{array}[base{rel:+}; {step:+}/iter]")
@@ -198,62 +380,97 @@ impl Lowering<'_> {
         }
     }
 
-    fn lower_inst(
+    /// Bakes `insts` executed with the induction variable starting at
+    /// `i0` and advancing by `step_i` elements for `iters` iterations,
+    /// appending engine ops to `out` and class counts (per single
+    /// iteration) to `counts`.
+    fn bake_insts(
         &mut self,
-        inst: &VInst,
+        insts: &[PInst],
         i0: i64,
         step_i: i64,
         iters: i64,
         counts: &mut RunStats,
         out: &mut Vec<Op>,
     ) -> Result<(), ExecError> {
-        match inst {
-            VInst::LoadA { dst, addr } => {
-                let (a0, step) = self.addr_of(addr, i0, step_i);
+        for inst in insts {
+            self.bake_inst(inst, i0, step_i, iters, counts, out)?;
+        }
+        Ok(())
+    }
+
+    fn bake_inst(
+        &mut self,
+        inst: &PInst,
+        i0: i64,
+        step_i: i64,
+        iters: i64,
+        counts: &mut RunStats,
+        out: &mut Vec<Op>,
+    ) -> Result<(), ExecError> {
+        // Baked `(first byte address, bytes per iteration)` of one
+        // pre-decoded address.
+        let baked = |this: &Baking, arr: u32, off: i64, scale: i64| {
+            let base = this.image.base_of(ArrayId::from_index(arr as usize)) as i64;
+            (base + off + scale * i0, scale * step_i)
+        };
+        match *inst {
+            PInst::LoadA { dst, arr, off, scale } => {
+                let (a0, step) = baked(self, arr, off, scale);
                 let start = a0 & !(V - 1);
-                self.check_stream(addr.array, start, step, iters)?;
-                let d = self.def_reg(*dst);
-                let at = self.dis_addr(addr.array, start, step);
-                let _ = writeln!(self.dis, "  v{d} = load.chunk {at}");
-                out.push(Op::Load { dst: d, start, step });
+                self.check_stream(arr, start, step, iters)?;
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let at = self.dis_addr(arr, start, step);
+                    let _ = writeln!(self.dis, "  v{d} = load.chunk {at}");
+                }
+                out.push(Op::Load { dst: d, arr, start, step });
                 counts.loads += 1;
             }
-            VInst::StoreA { addr, src } => {
-                let (a0, step) = self.addr_of(addr, i0, step_i);
+            PInst::StoreA { src, arr, off, scale } => {
+                let (a0, step) = baked(self, arr, off, scale);
                 let start = a0 & !(V - 1);
-                self.check_stream(addr.array, start, step, iters)?;
-                let s = self.use_reg(*src)?;
-                let at = self.dis_addr(addr.array, start, step);
-                let _ = writeln!(self.dis, "  store.chunk {at}, v{s}");
-                out.push(Op::Store { src: s, start, step });
+                self.check_stream(arr, start, step, iters)?;
+                let s = self.use_reg(src)?;
+                if self.want_dis {
+                    let at = self.dis_addr(arr, start, step);
+                    let _ = writeln!(self.dis, "  store.chunk {at}, v{s}");
+                }
+                out.push(Op::Store { src: s, arr, start, step });
                 counts.stores += 1;
             }
-            VInst::LoadU { dst, addr } => {
-                let (start, step) = self.addr_of(addr, i0, step_i);
-                self.check_stream(addr.array, start, step, iters)?;
-                let d = self.def_reg(*dst);
-                let at = self.dis_addr(addr.array, start, step);
-                let _ = writeln!(self.dis, "  v{d} = load.exact {at}");
-                out.push(Op::Load { dst: d, start, step });
+            PInst::LoadU { dst, arr, off, scale } => {
+                let (start, step) = baked(self, arr, off, scale);
+                self.check_stream(arr, start, step, iters)?;
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let at = self.dis_addr(arr, start, step);
+                    let _ = writeln!(self.dis, "  v{d} = load.exact {at}");
+                }
+                out.push(Op::Load { dst: d, arr, start, step });
                 counts.unaligned_mem += 1;
             }
-            VInst::StoreU { addr, src } => {
-                let (start, step) = self.addr_of(addr, i0, step_i);
-                self.check_stream(addr.array, start, step, iters)?;
-                let s = self.use_reg(*src)?;
-                let at = self.dis_addr(addr.array, start, step);
-                let _ = writeln!(self.dis, "  store.exact {at}, v{s}");
-                out.push(Op::Store { src: s, start, step });
+            PInst::StoreU { src, arr, off, scale } => {
+                let (start, step) = baked(self, arr, off, scale);
+                self.check_stream(arr, start, step, iters)?;
+                let s = self.use_reg(src)?;
+                if self.want_dis {
+                    let at = self.dis_addr(arr, start, step);
+                    let _ = writeln!(self.dis, "  store.exact {at}, v{s}");
+                }
+                out.push(Op::Store { src: s, arr, start, step });
                 counts.unaligned_mem += 1;
             }
-            VInst::ShiftPair { dst, a, b, amt } => {
+            PInst::Shift { dst, a, b, ref amt } => {
                 let amount = self.eval(amt);
                 if !(0..=V).contains(&amount) {
                     return Err(ExecError::BadShiftAmount { amount });
                 }
-                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
-                let d = self.def_reg(*dst);
-                let _ = writeln!(self.dis, "  v{d} = shift(v{ra}, v{rb}, {amount})");
+                let (ra, rb) = (self.use_reg(a)?, self.use_reg(b)?);
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(self.dis, "  v{d} = shift(v{ra}, v{rb}, {amount})");
+                }
                 out.push(Op::Shift {
                     dst: d,
                     a: ra,
@@ -262,14 +479,16 @@ impl Lowering<'_> {
                 });
                 counts.shifts += 1;
             }
-            VInst::Splice { dst, a, b, point } => {
+            PInst::Splice { dst, a, b, ref point } => {
                 let p = self.eval(point);
                 if !(0..=V).contains(&p) {
                     return Err(ExecError::BadSplicePoint { point: p });
                 }
-                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
-                let d = self.def_reg(*dst);
-                let _ = writeln!(self.dis, "  v{d} = splice(v{ra}, v{rb}, {p})");
+                let (ra, rb) = (self.use_reg(a)?, self.use_reg(b)?);
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(self.dis, "  v{d} = splice(v{ra}, v{rb}, {p})");
+                }
                 out.push(Op::Splice {
                     dst: d,
                     a: ra,
@@ -278,131 +497,376 @@ impl Lowering<'_> {
                 });
                 counts.splices += 1;
             }
-            VInst::Perm { dst, a, b, pattern } => {
-                if pattern.len() != V as usize {
-                    return Err(ExecError::BadShiftAmount {
-                        amount: pattern.len() as i64,
-                    });
+            PInst::Perm { dst, a, b, pattern } => {
+                let (ra, rb) = (self.use_reg(a)?, self.use_reg(b)?);
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let pat_str: Vec<String> = pattern.iter().map(|x| x.to_string()).collect();
+                    let _ = writeln!(
+                        self.dis,
+                        "  v{d} = perm(v{ra}, v{rb}, [{}])",
+                        pat_str.join(",")
+                    );
                 }
-                let mut pat = [0u8; 16];
-                for (t, &sel) in pattern.iter().enumerate() {
-                    if sel as i64 >= 2 * V {
-                        return Err(ExecError::BadShiftAmount { amount: sel as i64 });
-                    }
-                    pat[t] = sel;
-                }
-                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
-                let d = self.def_reg(*dst);
-                let pat_str: Vec<String> = pattern.iter().map(|x| x.to_string()).collect();
-                let _ = writeln!(
-                    self.dis,
-                    "  v{d} = perm(v{ra}, v{rb}, [{}])",
-                    pat_str.join(",")
-                );
                 out.push(Op::Perm {
                     dst: d,
                     a: ra,
                     b: rb,
-                    pattern: pat,
+                    pattern,
                 });
                 counts.shifts += 1; // permutes count as reorganization ops
             }
-            VInst::SplatConst { dst, value } => {
-                let d = self.def_reg(*dst);
-                let _ = writeln!(self.dis, "  v{d} = splat({value})");
-                out.push(Op::Splat {
-                    dst: d,
-                    bytes: self.splat(*value),
-                });
+            PInst::Splat { dst, bytes, value } => {
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(self.dis, "  v{d} = splat({value})");
+                }
+                out.push(Op::Splat { dst: d, bytes });
                 counts.splats += 1;
             }
-            VInst::SplatParam { dst, param } => {
+            PInst::SplatParam { dst, param } => {
                 let value = *self
                     .params
-                    .get(param.index())
-                    .ok_or(ExecError::MissingParam {
-                        index: param.index(),
-                    })?;
-                let d = self.def_reg(*dst);
-                let _ = writeln!(self.dis, "  v{d} = splat(p{}={value})", param.index());
+                    .get(param)
+                    .ok_or(ExecError::MissingParam { index: param })?;
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(self.dis, "  v{d} = splat(p{param}={value})");
+                }
                 out.push(Op::Splat {
                     dst: d,
-                    bytes: self.splat(value),
+                    bytes: splat_bytes(self.elem, value),
                 });
                 counts.splats += 1;
             }
-            VInst::Bin { dst, op, a, b } => {
-                let (ra, rb) = (self.use_reg(*a)?, self.use_reg(*b)?);
-                let d = self.def_reg(*dst);
-                let _ = writeln!(
-                    self.dis,
-                    "  v{d} = {}(v{ra}, v{rb})",
-                    format!("{op:?}").to_lowercase()
-                );
+            PInst::Bin { dst, op, a, b } => {
+                let (ra, rb) = (self.use_reg(a)?, self.use_reg(b)?);
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(
+                        self.dis,
+                        "  v{d} = {}(v{ra}, v{rb})",
+                        format!("{op:?}").to_lowercase()
+                    );
+                }
                 out.push(Op::Bin {
                     dst: d,
-                    op: *op,
+                    op,
                     a: ra,
                     b: rb,
                 });
                 counts.ops += 1;
             }
-            VInst::Un { dst, op, a } => {
-                let ra = self.use_reg(*a)?;
-                let d = self.def_reg(*dst);
-                let _ = writeln!(
-                    self.dis,
-                    "  v{d} = {}(v{ra})",
-                    format!("{op:?}").to_lowercase()
-                );
-                out.push(Op::Un {
-                    dst: d,
-                    op: *op,
-                    a: ra,
-                });
+            PInst::Un { dst, op, a } => {
+                let ra = self.use_reg(a)?;
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(
+                        self.dis,
+                        "  v{d} = {}(v{ra})",
+                        format!("{op:?}").to_lowercase()
+                    );
+                }
+                out.push(Op::Un { dst: d, op, a: ra });
                 counts.ops += 1;
             }
-            VInst::Copy { dst, src } => {
-                let s = self.use_reg(*src)?;
-                let d = self.def_reg(*dst);
-                let _ = writeln!(self.dis, "  v{d} = v{s}");
+            PInst::Copy { dst, src } => {
+                let s = self.use_reg(src)?;
+                let d = self.def_reg(dst);
+                if self.want_dis {
+                    let _ = writeln!(self.dis, "  v{d} = v{s}");
+                }
                 out.push(Op::Copy { dst: d, src: s });
                 counts.copies += 1;
             }
-            VInst::Guarded { cond, body } => {
+            PInst::Guarded { ref cond, ref body } => {
                 let taken = cond.eval(&Env {
                     ub: self.ub,
                     image: self.image,
                 });
-                let _ = writeln!(
-                    self.dis,
-                    "  ; guard [{cond}] resolved {}",
-                    if taken { "taken" } else { "skipped" }
-                );
+                if self.want_dis {
+                    let _ = writeln!(
+                        self.dis,
+                        "  ; guard [{cond}] resolved {}",
+                        if taken { "taken" } else { "skipped" }
+                    );
+                }
                 if taken {
-                    self.lower(body, i0, step_i, iters, counts, out)?;
+                    self.bake_insts(body, i0, step_i, iters, counts, out)?;
                 }
             }
         }
         Ok(())
     }
+}
 
-    fn splat(&self, value: i64) -> Reg {
-        let bytes = Value::from_i64(self.elem, value).to_le_bytes();
-        let d = self.elem_size as usize;
-        let mut out = [0u8; 16];
-        for lane in 0..16 / d {
-            out[lane * d..lane * d + d].copy_from_slice(&bytes);
+impl PredecodedKernel {
+    /// Pre-decodes `program`: the program-only half of compilation,
+    /// reusable across every memory layout and runtime input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Unsupported`] for vector shapes other than
+    /// 16 bytes and [`ExecError::BadShiftAmount`] for malformed
+    /// permutation patterns.
+    pub fn new(program: &SimdProgram) -> Result<PredecodedKernel, ExecError> {
+        if program.shape().bytes() as i64 != V {
+            return Err(ExecError::Unsupported {
+                what: "vector shapes other than V16",
+            });
         }
-        out
+        let source = program.source();
+        let elem = source.elem();
+        let elem_size = elem.size() as i64;
+        let mut prologue = Vec::new();
+        let mut body = Vec::new();
+        let mut epilogue = Vec::new();
+        predecode(program.prologue(), elem_size, elem, &mut prologue)?;
+        predecode(program.body(), elem_size, elem, &mut body)?;
+        let pair = match program.body_pair() {
+            Some(p) => {
+                let mut v = Vec::new();
+                predecode(p, elem_size, elem, &mut v)?;
+                Some(v)
+            }
+            None => None,
+        };
+        predecode(program.epilogue(), elem_size, elem, &mut epilogue)?;
+        Ok(PredecodedKernel {
+            source: Arc::new(source.clone()),
+            elem,
+            elem_size,
+            nregs: max_reg(program) + 1,
+            narrays: source.arrays().len(),
+            nparams: source.params().len(),
+            trip_known: source.trip().known(),
+            guard_min_trip: program.guard_min_trip(),
+            block: program.block() as i64,
+            lower_bound: program.lower_bound() as i64,
+            upper_bound: program.upper_bound().clone(),
+            runtime_exprs: runtime_expr_count(program) as u64,
+            prologue,
+            pair,
+            body,
+            epilogue,
+        })
+    }
+
+    /// Bakes a [`CompiledKernel`] for the layout of `image` and the
+    /// runtime inputs in `input`. The image's *contents* do not matter —
+    /// only its array placement — so one kernel may run over many
+    /// refills of the same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Unsupported`] for non-V16 images,
+    /// [`ExecError::TripMismatch`]/[`ExecError::MissingParam`] on
+    /// inconsistent inputs, and any machine fault the interpreter would
+    /// raise at runtime (out-of-bounds streams, bad shift amounts,
+    /// reads of undefined registers) — those are detected here, before
+    /// any memory is touched.
+    pub fn bake(
+        &self,
+        image: &MemoryImage,
+        input: &RunInput,
+        opts: &KernelOptions,
+    ) -> Result<CompiledKernel, ExecError> {
+        if image.shape().bytes() as i64 != V {
+            return Err(ExecError::Unsupported {
+                what: "vector shapes other than V16",
+            });
+        }
+        if input.params.len() < self.nparams {
+            return Err(ExecError::MissingParam {
+                index: input.params.len(),
+            });
+        }
+        if let Some(declared) = self.trip_known {
+            if input.ub != declared {
+                return Err(ExecError::TripMismatch {
+                    declared,
+                    supplied: input.ub,
+                });
+            }
+        }
+        let ub = self.trip_known.unwrap_or(input.ub);
+        let bases: Vec<u64> = (0..self.narrays)
+            .map(|k| image.base_of(ArrayId::from_index(k)))
+            .collect();
+
+        let mut stats = RunStats {
+            invocation_overhead: CALL_OVERHEAD,
+            ..RunStats::default()
+        };
+
+        if ub <= self.guard_min_trip {
+            // §4.4 guard: the kernel is the original scalar loop.
+            stats.used_fallback = true;
+            stats.scalar_fallback =
+                scalar_ideal_ops(&self.source, ub) + ub * LOOP_OVERHEAD_PER_ITERATION;
+            return Ok(CompiledKernel {
+                prologue: Vec::new(),
+                pair_header: Vec::new(),
+                pair: Vec::new(),
+                pair_iters: 0,
+                body_header: Vec::new(),
+                body: Vec::new(),
+                body_iters: 0,
+                epilogue: Vec::new(),
+                nregs: 0,
+                elem: self.elem,
+                shape: image.shape(),
+                stats,
+                bases,
+                image_len: image.bytes().len(),
+                fallback: Some(FallbackPlan {
+                    source: Arc::clone(&self.source),
+                    ub,
+                    params: input.params.clone(),
+                }),
+                disassembly: format!(
+                    "; scalar fallback: ub = {ub} <= guard {}\n",
+                    self.guard_min_trip
+                ),
+                fusion: FusionStats::default(),
+                fused: opts.fuse,
+            });
+        }
+
+        stats.invocation_overhead += RUNTIME_SETUP_PER_EXPR * self.runtime_exprs;
+
+        let b = self.block;
+        let lb = self.lower_bound;
+        let upper = self.upper_bound.eval(&Env {
+            ub: ub as i64,
+            image,
+        });
+
+        // Iteration counts, mirroring run_simd's loop structure exactly:
+        //   if pair: while i + B < upper { i += 2B }   (steady ×2)
+        //   while i < upper { i += B }                 (leftover)
+        let pair_iters = if self.pair.is_some() && lb + b < upper {
+            (upper - b - lb + 2 * b - 1).div_euclid(2 * b)
+        } else {
+            0
+        };
+        let i_after = lb + 2 * b * pair_iters;
+        let body_iters = if i_after < upper {
+            (upper - i_after + b - 1).div_euclid(b)
+        } else {
+            0
+        };
+        let i_final = i_after + b * body_iters;
+
+        let mut bk = Baking {
+            image,
+            params: &input.params,
+            ub: ub as i64,
+            elem: self.elem,
+            defined: vec![false; self.nregs],
+            dis: String::new(),
+            want_dis: opts.disassembly,
+        };
+        if bk.want_dis {
+            let _ = writeln!(
+                bk.dis,
+                "; kernel: V={V} D={} B={b} ub={ub} upper={upper} regs={}",
+                self.elem_size, self.nregs
+            );
+        }
+
+        let mut prologue = Vec::new();
+        let mut pair = Vec::new();
+        let mut body = Vec::new();
+        let mut epilogue = Vec::new();
+        let mut pro_counts = RunStats::default();
+        let mut pair_counts = RunStats::default();
+        let mut body_counts = RunStats::default();
+        let mut epi_counts = RunStats::default();
+
+        if bk.want_dis {
+            let _ = writeln!(bk.dis, "prologue (i = 0):");
+        }
+        bk.bake_insts(&self.prologue, 0, 0, 1, &mut pro_counts, &mut prologue)?;
+        if pair_iters > 0 {
+            if bk.want_dis {
+                let _ = writeln!(bk.dis, "pair (i = {lb}, step {}, x{pair_iters}):", 2 * b);
+            }
+            bk.bake_insts(
+                self.pair.as_ref().expect("pair_iters > 0 implies pair"),
+                lb,
+                2 * b,
+                pair_iters,
+                &mut pair_counts,
+                &mut pair,
+            )?;
+        }
+        if body_iters > 0 {
+            if bk.want_dis {
+                let _ = writeln!(bk.dis, "body (i = {i_after}, step {b}, x{body_iters}):");
+            }
+            bk.bake_insts(&self.body, i_after, b, body_iters, &mut body_counts, &mut body)?;
+        }
+        if bk.want_dis {
+            let _ = writeln!(bk.dis, "epilogue (i = {i_final}):");
+        }
+        bk.bake_insts(&self.epilogue, i_final, 0, 1, &mut epi_counts, &mut epilogue)?;
+
+        stats += pro_counts;
+        stats += scaled(pair_counts, pair_iters as u64);
+        stats += scaled(body_counts, body_iters as u64);
+        stats += epi_counts;
+        stats.steady_iterations = 2 * pair_iters as u64 + body_iters as u64;
+        stats.loop_overhead =
+            (pair_iters as u64 + body_iters as u64) * LOOP_OVERHEAD_PER_ITERATION;
+
+        // Stats are final: fusion below only changes how the host
+        // executes the trace, never what the machine model charges.
+        let (pair_header, body_header, fusion) = if opts.fuse {
+            trace::optimize(trace::Sections {
+                prologue: &mut prologue,
+                pair: &mut pair,
+                pair_iters,
+                body: &mut body,
+                body_iters,
+                epilogue: &mut epilogue,
+                nregs: self.nregs,
+                elem: self.elem,
+            })
+        } else {
+            (Vec::new(), Vec::new(), FusionStats::default())
+        };
+
+        Ok(CompiledKernel {
+            prologue,
+            pair_header,
+            pair,
+            pair_iters,
+            body_header,
+            body,
+            body_iters,
+            epilogue,
+            nregs: self.nregs,
+            elem: self.elem,
+            shape: image.shape(),
+            stats,
+            bases,
+            image_len: image.bytes().len(),
+            fallback: None,
+            disassembly: bk.dis,
+            fusion,
+            fused: opts.fuse,
+        })
     }
 }
 
 impl CompiledKernel {
     /// Compiles `program` for the layout of `image` and the runtime
-    /// inputs in `input`. The image's *contents* do not matter — only
-    /// its array placement — so one kernel may run over many refills of
-    /// the same layout.
+    /// inputs in `input`: [`PredecodedKernel::new`] followed by
+    /// [`PredecodedKernel::bake`] with default [`KernelOptions`]
+    /// (fusion on, disassembly on). The image's *contents* do not
+    /// matter — only its array placement — so one kernel may run over
+    /// many refills of the same layout.
     ///
     /// # Errors
     ///
@@ -417,166 +881,17 @@ impl CompiledKernel {
         image: &MemoryImage,
         input: &RunInput,
     ) -> Result<CompiledKernel, ExecError> {
-        if program.shape().bytes() as i64 != V || image.shape().bytes() as i64 != V {
-            return Err(ExecError::Unsupported {
-                what: "vector shapes other than V16",
-            });
-        }
-        let source = program.source();
-        if input.params.len() < source.params().len() {
-            return Err(ExecError::MissingParam {
-                index: input.params.len(),
-            });
-        }
-        if let Some(declared) = source.trip().known() {
-            if input.ub != declared {
-                return Err(ExecError::TripMismatch {
-                    declared,
-                    supplied: input.ub,
-                });
-            }
-        }
-        let ub = source.trip().known().unwrap_or(input.ub);
-        let bases: Vec<u64> = (0..source.arrays().len())
-            .map(|k| image.base_of(ArrayId::from_index(k)))
-            .collect();
+        PredecodedKernel::new(program)?.bake(image, input, &KernelOptions::default())
+    }
 
-        let mut stats = RunStats {
-            invocation_overhead: CALL_OVERHEAD,
-            ..RunStats::default()
-        };
-
-        if ub <= program.guard_min_trip() {
-            // §4.4 guard: the kernel is the original scalar loop.
-            stats.used_fallback = true;
-            stats.scalar_fallback =
-                scalar_ideal_ops(source, ub) + ub * LOOP_OVERHEAD_PER_ITERATION;
-            return Ok(CompiledKernel {
-                prologue: Vec::new(),
-                pair: Vec::new(),
-                pair_iters: 0,
-                body: Vec::new(),
-                body_iters: 0,
-                epilogue: Vec::new(),
-                nregs: 0,
-                elem: source.elem(),
-                shape: image.shape(),
-                stats,
-                bases,
-                image_len: image.bytes().len(),
-                fallback: Some(FallbackPlan {
-                    source: source.clone(),
-                    ub,
-                    params: input.params.clone(),
-                }),
-                disassembly: format!(
-                    "; scalar fallback: ub = {ub} <= guard {}\n",
-                    program.guard_min_trip()
-                ),
-            });
-        }
-
-        stats.invocation_overhead += RUNTIME_SETUP_PER_EXPR * runtime_expr_count(program) as u64;
-
-        let b = program.block() as i64;
-        let lb = program.lower_bound() as i64;
-        let upper = program.upper_bound().eval(&Env {
-            ub: ub as i64,
-            image,
-        });
-
-        // Iteration counts, mirroring run_simd's loop structure exactly:
-        //   if pair: while i + B < upper { i += 2B }   (steady ×2)
-        //   while i < upper { i += B }                 (leftover)
-        let pair_iters = if program.body_pair().is_some() && lb + b < upper {
-            (upper - b - lb + 2 * b - 1).div_euclid(2 * b)
-        } else {
-            0
-        };
-        let i_after = lb + 2 * b * pair_iters;
-        let body_iters = if i_after < upper {
-            (upper - i_after + b - 1).div_euclid(b)
-        } else {
-            0
-        };
-        let i_final = i_after + b * body_iters;
-
-        let mut low = Lowering {
-            image,
-            params: &input.params,
-            ub: ub as i64,
-            elem: source.elem(),
-            elem_size: source.elem().size() as i64,
-            defined: vec![false; max_reg(program) + 1],
-            dis: String::new(),
-        };
-        let _ = writeln!(
-            low.dis,
-            "; kernel: V={V} D={} B={b} ub={ub} upper={upper} regs={}",
-            low.elem_size,
-            low.defined.len()
-        );
-
-        let mut prologue = Vec::new();
-        let mut pair = Vec::new();
-        let mut body = Vec::new();
-        let mut epilogue = Vec::new();
-        let mut pro_counts = RunStats::default();
-        let mut pair_counts = RunStats::default();
-        let mut body_counts = RunStats::default();
-        let mut epi_counts = RunStats::default();
-
-        let _ = writeln!(low.dis, "prologue (i = 0):");
-        low.lower(program.prologue(), 0, 0, 1, &mut pro_counts, &mut prologue)?;
-        if pair_iters > 0 {
-            let _ = writeln!(low.dis, "pair (i = {lb}, step {}, x{pair_iters}):", 2 * b);
-            low.lower(
-                program.body_pair().unwrap(),
-                lb,
-                2 * b,
-                pair_iters,
-                &mut pair_counts,
-                &mut pair,
-            )?;
-        }
-        if body_iters > 0 {
-            let _ = writeln!(low.dis, "body (i = {i_after}, step {b}, x{body_iters}):");
-            low.lower(
-                program.body(),
-                i_after,
-                b,
-                body_iters,
-                &mut body_counts,
-                &mut body,
-            )?;
-        }
-        let _ = writeln!(low.dis, "epilogue (i = {i_final}):");
-        low.lower(program.epilogue(), i_final, 0, 1, &mut epi_counts, &mut epilogue)?;
-
-        stats += pro_counts;
-        stats += scaled(pair_counts, pair_iters as u64);
-        stats += scaled(body_counts, body_iters as u64);
-        stats += epi_counts;
-        stats.steady_iterations = 2 * pair_iters as u64 + body_iters as u64;
-        stats.loop_overhead =
-            (pair_iters as u64 + body_iters as u64) * LOOP_OVERHEAD_PER_ITERATION;
-
-        Ok(CompiledKernel {
-            prologue,
-            pair,
-            pair_iters,
-            body,
-            body_iters,
-            epilogue,
-            nregs: low.defined.len(),
-            elem: source.elem(),
-            shape: image.shape(),
-            stats,
-            bases,
-            image_len: image.bytes().len(),
-            fallback: None,
-            disassembly: low.dis,
-        })
+    /// Whether `image` has the exact layout this kernel was baked for
+    /// (shape, element type, total length, every array base).
+    pub fn layout_matches(&self, image: &MemoryImage) -> bool {
+        image.shape() == self.shape
+            && image.elem() == self.elem
+            && image.bytes().len() == self.image_len
+            && (0..self.bases.len())
+                .all(|k| image.base_of(ArrayId::from_index(k)) == self.bases[k])
     }
 
     /// Executes the kernel against `image`, which must have the layout
@@ -592,12 +907,7 @@ impl CompiledKernel {
     /// than the compile-time one; scalar-fallback kernels propagate
     /// [`run_scalar`] faults.
     pub fn run(&self, image: &mut MemoryImage) -> Result<RunStats, ExecError> {
-        let same_layout = image.shape() == self.shape
-            && image.elem() == self.elem
-            && image.bytes().len() == self.image_len
-            && (0..self.bases.len())
-                .all(|k| image.base_of(ArrayId::from_index(k)) == self.bases[k]);
-        if !same_layout {
+        if !self.layout_matches(image) {
             return Err(ExecError::Unsupported {
                 what: "a memory image with a different layout than compiled for",
             });
@@ -610,18 +920,25 @@ impl CompiledKernel {
         let elem = self.elem;
         let mem = image.bytes_mut();
         exec_section(&self.prologue, 0, elem, &mut regs, mem);
-        for k in 0..self.pair_iters {
-            exec_section(&self.pair, k, elem, &mut regs, mem);
+        if self.pair_iters > 0 {
+            exec_section(&self.pair_header, 0, elem, &mut regs, mem);
+            for k in 0..self.pair_iters {
+                exec_section(&self.pair, k, elem, &mut regs, mem);
+            }
         }
-        for k in 0..self.body_iters {
-            exec_section(&self.body, k, elem, &mut regs, mem);
+        if self.body_iters > 0 {
+            exec_section(&self.body_header, 0, elem, &mut regs, mem);
+            for k in 0..self.body_iters {
+                exec_section(&self.body, k, elem, &mut regs, mem);
+            }
         }
         exec_section(&self.epilogue, 0, elem, &mut regs, mem);
         Ok(self.stats)
     }
 
     /// The dynamic instruction counts this kernel's execution produces,
-    /// computed analytically at compile time.
+    /// computed analytically at compile time (before trace fusion, so
+    /// fused and unfused kernels report identical stats).
     pub fn stats(&self) -> RunStats {
         self.stats
     }
@@ -631,18 +948,124 @@ impl CompiledKernel {
         self.fallback.is_some()
     }
 
+    /// What the trace fusion pass did to this kernel (all zero when
+    /// baked with fusion disabled).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion
+    }
+
     /// A human-readable listing of the lowered kernel: baked offsets,
     /// folded scalars, resolved guards and per-section iteration
     /// counts. Offsets are printed relative to each array's base so the
-    /// text is stable across layouts of the same program.
+    /// text is stable across layouts of the same program. This listing
+    /// shows the kernel *before* trace fusion; see
+    /// [`trace`](CompiledKernel::trace) for the fused form. Empty when
+    /// baked with the disassembly disabled.
     pub fn disassembly(&self) -> &str {
         &self.disassembly
+    }
+
+    /// The pre-decoded execution trace actually dispatched by
+    /// [`run`](CompiledKernel::run): fused superinstructions
+    /// (`vload.fused`, immediate binops), hoisted per-loop headers and
+    /// dead ops stripped. Like the disassembly, offsets are printed
+    /// relative to array bases so the text is stable across layouts.
+    pub fn trace(&self) -> String {
+        if self.fallback.is_some() {
+            return self.disassembly.clone();
+        }
+        let mut out = String::new();
+        let f = &self.fusion;
+        let _ = writeln!(
+            out,
+            "; trace: V={V} regs={} fused={} fused-loads={} splat-ops={} hoisted={} eliminated={}",
+            self.nregs, self.fused, f.fused_loads, f.splat_ops, f.hoisted, f.eliminated
+        );
+        self.render_section(&mut out, "prologue", &self.prologue, 1);
+        if self.pair_iters > 0 {
+            if !self.pair_header.is_empty() {
+                self.render_section(&mut out, "pair.header", &self.pair_header, 1);
+            }
+            self.render_section(&mut out, "pair", &self.pair, self.pair_iters);
+        }
+        if self.body_iters > 0 {
+            if !self.body_header.is_empty() {
+                self.render_section(&mut out, "body.header", &self.body_header, 1);
+            }
+            self.render_section(&mut out, "body", &self.body, self.body_iters);
+        }
+        self.render_section(&mut out, "epilogue", &self.epilogue, 1);
+        out
+    }
+
+    fn render_section(&self, out: &mut String, name: &str, ops: &[Op], iters: i64) {
+        if iters == 1 {
+            let _ = writeln!(out, "{name}:");
+        } else {
+            let _ = writeln!(out, "{name} x{iters}:");
+        }
+        for op in ops {
+            let _ = writeln!(out, "{}", self.render_op(op));
+        }
+    }
+
+    fn render_op(&self, op: &Op) -> String {
+        let addr = |arr: u32, start: i64, step: i64| {
+            let a = ArrayId::from_index(arr as usize);
+            let rel = start - self.bases[arr as usize] as i64;
+            if step != 0 {
+                format!("{a}[base{rel:+}; {step:+}/iter]")
+            } else {
+                format!("{a}[base{rel:+}]")
+            }
+        };
+        let imm_hex = |bytes: &Reg| {
+            let mut s = String::new();
+            for b in bytes[..self.elem.size()].iter().rev() {
+                let _ = write!(s, "{b:02x}");
+            }
+            s
+        };
+        match *op {
+            Op::Load { dst, arr, start, step } => {
+                format!("  v{dst} = vload {}", addr(arr, start, step))
+            }
+            Op::LoadFused { dst, arr, start, step } => {
+                format!("  v{dst} = vload.fused {}", addr(arr, start, step))
+            }
+            Op::Store { src, arr, start, step } => {
+                format!("  vstore {}, v{src}", addr(arr, start, step))
+            }
+            Op::Shift { dst, a, b, amt } => format!("  v{dst} = vshiftpair(v{a}, v{b}, {amt})"),
+            Op::Splice { dst, a, b, point } => format!("  v{dst} = vsplice(v{a}, v{b}, {point})"),
+            Op::Perm { dst, a, b, ref pattern } => {
+                let pat: Vec<String> = pattern.iter().map(|x| x.to_string()).collect();
+                format!("  v{dst} = vperm(v{a}, v{b}, [{}])", pat.join(","))
+            }
+            Op::Splat { dst, ref bytes } => format!("  v{dst} = vsplat(0x{})", imm_hex(bytes)),
+            Op::Bin { dst, op, a, b } => {
+                format!("  v{dst} = {}(v{a}, v{b})", format!("{op:?}").to_lowercase())
+            }
+            Op::BinSplat { dst, op, a, ref imm, imm_left } => {
+                let o = format!("{op:?}").to_lowercase();
+                if imm_left {
+                    format!("  v{dst} = {o}(0x{}, v{a})", imm_hex(imm))
+                } else {
+                    format!("  v{dst} = {o}(v{a}, 0x{})", imm_hex(imm))
+                }
+            }
+            Op::Un { dst, op, a } => {
+                format!("  v{dst} = {}(v{a})", format!("{op:?}").to_lowercase())
+            }
+            Op::Copy { dst, src } => format!("  v{dst} = v{src}"),
+        }
     }
 }
 
 /// The compiled-engine [`Executor`]: compiles a kernel per call and
 /// runs it. Use [`CompiledKernel`] directly to amortize compilation
-/// over repeated runs.
+/// over repeated runs, and [`PredecodedKernel`] to amortize pre-decoding
+/// over many layouts of one program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NativeEngine;
 
@@ -701,11 +1124,11 @@ fn scaled(counts: RunStats, n: u64) -> RunStats {
 fn exec_section(ops: &[Op], k: i64, elem: ScalarType, regs: &mut [Reg], mem: &mut [u8]) {
     for op in ops {
         match *op {
-            Op::Load { dst, start, step } => {
+            Op::Load { dst, start, step, .. } | Op::LoadFused { dst, start, step, .. } => {
                 let at = (start + k * step) as usize;
                 regs[dst as usize].copy_from_slice(&mem[at..at + 16]);
             }
-            Op::Store { src, start, step } => {
+            Op::Store { src, start, step, .. } => {
                 let at = (start + k * step) as usize;
                 mem[at..at + 16].copy_from_slice(&regs[src as usize]);
             }
@@ -742,6 +1165,14 @@ fn exec_section(ops: &[Op], k: i64, elem: ScalarType, regs: &mut [Reg], mem: &mu
             Op::Splat { dst, bytes } => regs[dst as usize] = bytes,
             Op::Bin { dst, op, a, b } => {
                 regs[dst as usize] = lanes::bin(op, elem, &regs[a as usize], &regs[b as usize]);
+            }
+            Op::BinSplat { dst, op, a, ref imm, imm_left } => {
+                let av = regs[a as usize];
+                regs[dst as usize] = if imm_left {
+                    lanes::bin(op, elem, imm, &av)
+                } else {
+                    lanes::bin(op, elem, &av, imm)
+                };
             }
             Op::Un { dst, op, a } => {
                 regs[dst as usize] = lanes::un(op, elem, &regs[a as usize]);
@@ -829,6 +1260,7 @@ mod tests {
         let kernel = CompiledKernel::compile(&prog, &engine_img, &input).unwrap();
         assert!(kernel.is_fallback());
         assert!(kernel.disassembly().contains("scalar fallback"));
+        assert!(kernel.trace().contains("scalar fallback"));
         let got = kernel.run(&mut engine_img).unwrap();
         assert!(got.used_fallback);
         assert_eq!(got, want);
@@ -862,6 +1294,7 @@ mod tests {
         // Same layout, refilled contents: accepted.
         let mut refill = img.clone();
         refill.fill_random(77);
+        assert!(kernel.layout_matches(&refill));
         kernel.run(&mut refill).unwrap();
         // A different program's image: rejected, not corrupted.
         let other = parse_program(
@@ -870,6 +1303,7 @@ mod tests {
         )
         .unwrap();
         let mut foreign = MemoryImage::with_seed(&other, VectorShape::V16, 1);
+        assert!(!kernel.layout_matches(&foreign));
         assert!(matches!(
             kernel.run(&mut foreign),
             Err(ExecError::Unsupported { .. })
@@ -911,5 +1345,82 @@ mod tests {
         assert!(dis.contains("epilogue"));
         assert!(dis.contains("load.chunk"));
         assert!(dis.contains("/iter"));
+    }
+
+    #[test]
+    fn predecode_plus_bake_equals_compile() {
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        let input = RunInput::with_ub(100);
+        let pre = PredecodedKernel::new(&prog).unwrap();
+        for seed in [1u64, 9, 23] {
+            let img = MemoryImage::with_seed(&source, VectorShape::V16, seed);
+            let direct = CompiledKernel::compile(&prog, &img, &input).unwrap();
+            let baked = pre.bake(&img, &input, &KernelOptions::default()).unwrap();
+            assert_eq!(baked.stats(), direct.stats(), "seed {seed}");
+            assert_eq!(baked.disassembly(), direct.disassembly(), "seed {seed}");
+            assert_eq!(baked.trace(), direct.trace(), "seed {seed}");
+            let mut a = img.clone();
+            let mut b = img.clone();
+            direct.run(&mut a).unwrap();
+            baked.run(&mut b).unwrap();
+            assert_eq!(a.first_difference(&b), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_kernels_agree() {
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        let input = RunInput::with_ub(100);
+        let pre = PredecodedKernel::new(&prog).unwrap();
+        let img = MemoryImage::with_seed(&source, VectorShape::V16, 5);
+        let fused = pre.bake(&img, &input, &KernelOptions::default()).unwrap();
+        let plain = pre
+            .bake(&img, &input, &KernelOptions::default().fuse(false))
+            .unwrap();
+        assert_eq!(fused.stats(), plain.stats());
+        assert_eq!(plain.fusion_stats(), FusionStats::default());
+        let mut a = img.clone();
+        let mut b = img.clone();
+        fused.run(&mut a).unwrap();
+        plain.run(&mut b).unwrap();
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn trace_shows_fused_loads_on_shift_heavy_kernel() {
+        // Zero + software pipelining on misaligned streams: the steady
+        // state is load/shift chains, exactly what fusion targets.
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        let img = MemoryImage::with_seed(&source, VectorShape::V16, 1);
+        let kernel = CompiledKernel::compile(&prog, &img, &RunInput::with_ub(100)).unwrap();
+        let st = kernel.fusion_stats();
+        assert!(st.fused_loads > 0, "no fused loads: {st:?}");
+        assert!(kernel.trace().contains("vload.fused"));
+        // The fused trace executes fewer steady-state ops than the
+        // unfused listing.
+        assert!(st.eliminated > 0, "nothing eliminated: {st:?}");
+    }
+
+    #[test]
+    fn disassembly_off_skips_text_only() {
+        let prog = compile_prog(FIG1, Policy::Zero, ReuseMode::SoftwarePipeline);
+        let source = prog.source().clone();
+        let input = RunInput::with_ub(100);
+        let pre = PredecodedKernel::new(&prog).unwrap();
+        let img = MemoryImage::with_seed(&source, VectorShape::V16, 7);
+        let quiet = pre
+            .bake(&img, &input, &KernelOptions::default().disassembly(false))
+            .unwrap();
+        let loud = pre.bake(&img, &input, &KernelOptions::default()).unwrap();
+        assert!(quiet.disassembly().is_empty());
+        assert_eq!(quiet.stats(), loud.stats());
+        let mut a = img.clone();
+        let mut b = img.clone();
+        quiet.run(&mut a).unwrap();
+        loud.run(&mut b).unwrap();
+        assert_eq!(a.first_difference(&b), None);
     }
 }

@@ -4,66 +4,114 @@
 //! [`simdize_ir::Value`], which allocates a `Vec<u8>` per lane result.
 //! The engine instead dispatches once per instruction on
 //! `(element width, signedness)` and runs a monomorphic loop over the
-//! register bytes — no allocation, no per-lane branching. The results
-//! must be *bit-identical* to `Value` semantics (wrapping arithmetic,
-//! signedness-aware min/max, `abs(MIN) == MIN`); the tests below pin
-//! that equivalence for every operation and element type.
+//! register bytes — no allocation, no per-lane branching. Two structural
+//! choices keep the loops wide:
+//!
+//! * the operator `match` is resolved *once per register*, outside the
+//!   lane loop: each arm hands a lane closure to a `map` helper whose
+//!   body is a branch-free `as_chunks` sweep rustc autovectorizes;
+//! * bitwise operations (`And`/`Or`/`Xor`/`Not`) are width-agnostic, so
+//!   they skip lane decomposition entirely and run on the register's two
+//!   `u64` words.
+//!
+//! The results must be *bit-identical* to `Value` semantics (wrapping
+//! arithmetic, signedness-aware min/max, `abs(MIN) == MIN`); the tests
+//! below pin that equivalence for every operation and element type.
 
 use simdize_ir::{BinOp, ScalarType, UnOp};
 
 /// One 16-byte vector register.
 pub(crate) type Reg = [u8; 16];
 
+/// The register as two little-endian `u64` words.
+#[inline(always)]
+fn words(r: &Reg) -> (u64, u64) {
+    let (c, _) = r.as_chunks::<8>();
+    (u64::from_le_bytes(c[0]), u64::from_le_bytes(c[1]))
+}
+
+/// Rebuilds a register from two little-endian `u64` words.
+#[inline(always)]
+fn from_words(lo: u64, hi: u64) -> Reg {
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.to_le_bytes());
+    out[8..].copy_from_slice(&hi.to_le_bytes());
+    out
+}
+
 macro_rules! width_ops {
-    ($bin:ident, $un:ident, $n:literal, $u:ty, $s:ty) => {
-        fn $bin(op: BinOp, signed: bool, a: &Reg, b: &Reg) -> Reg {
+    ($bin:ident, $un:ident, $map2:ident, $map1:ident, $n:literal, $u:ty, $s:ty) => {
+        /// Applies `f` to every lane pair. The loop body is branch-free
+        /// and chunk-exact, so rustc vectorizes it.
+        #[inline(always)]
+        fn $map2(a: &Reg, b: &Reg, f: impl Fn($u, $u) -> $u) -> Reg {
             let mut out = [0u8; 16];
-            for lane in 0..16 / $n {
-                let at = lane * $n;
-                let x = <$u>::from_le_bytes(a[at..at + $n].try_into().unwrap());
-                let y = <$u>::from_le_bytes(b[at..at + $n].try_into().unwrap());
-                let r: $u = match op {
-                    BinOp::Add => x.wrapping_add(y),
-                    BinOp::Sub => x.wrapping_sub(y),
-                    BinOp::Mul => x.wrapping_mul(y),
-                    BinOp::Min if signed => (x as $s).min(y as $s) as $u,
-                    BinOp::Min => x.min(y),
-                    BinOp::Max if signed => (x as $s).max(y as $s) as $u,
-                    BinOp::Max => x.max(y),
-                    BinOp::And => x & y,
-                    BinOp::Or => x | y,
-                    BinOp::Xor => x ^ y,
-                };
-                out[at..at + $n].copy_from_slice(&r.to_le_bytes());
+            let (oc, _) = out.as_chunks_mut::<$n>();
+            let (ac, _) = a.as_chunks::<$n>();
+            let (bc, _) = b.as_chunks::<$n>();
+            for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
+                *o = f(<$u>::from_le_bytes(*x), <$u>::from_le_bytes(*y)).to_le_bytes();
             }
             out
         }
 
-        fn $un(op: UnOp, signed: bool, a: &Reg) -> Reg {
+        /// Applies `f` to every lane.
+        #[inline(always)]
+        fn $map1(a: &Reg, f: impl Fn($u) -> $u) -> Reg {
             let mut out = [0u8; 16];
-            for lane in 0..16 / $n {
-                let at = lane * $n;
-                let x = <$u>::from_le_bytes(a[at..at + $n].try_into().unwrap());
-                let r: $u = match op {
-                    UnOp::Neg => x.wrapping_neg(),
-                    UnOp::Not => !x,
-                    UnOp::Abs if signed => (x as $s).wrapping_abs() as $u,
-                    UnOp::Abs => x,
-                };
-                out[at..at + $n].copy_from_slice(&r.to_le_bytes());
+            let (oc, _) = out.as_chunks_mut::<$n>();
+            let (ac, _) = a.as_chunks::<$n>();
+            for (o, x) in oc.iter_mut().zip(ac) {
+                *o = f(<$u>::from_le_bytes(*x)).to_le_bytes();
             }
             out
+        }
+
+        fn $bin(op: BinOp, signed: bool, a: &Reg, b: &Reg) -> Reg {
+            match op {
+                BinOp::Add => $map2(a, b, <$u>::wrapping_add),
+                BinOp::Sub => $map2(a, b, <$u>::wrapping_sub),
+                BinOp::Mul => $map2(a, b, <$u>::wrapping_mul),
+                BinOp::Min if signed => $map2(a, b, |x, y| (x as $s).min(y as $s) as $u),
+                BinOp::Min => $map2(a, b, <$u>::min),
+                BinOp::Max if signed => $map2(a, b, |x, y| (x as $s).max(y as $s) as $u),
+                BinOp::Max => $map2(a, b, <$u>::max),
+                // Bitwise ops are intercepted on the u64-word path in
+                // `bin`; these arms keep the per-width helpers total.
+                BinOp::And => $map2(a, b, |x, y| x & y),
+                BinOp::Or => $map2(a, b, |x, y| x | y),
+                BinOp::Xor => $map2(a, b, |x, y| x ^ y),
+            }
+        }
+
+        fn $un(op: UnOp, signed: bool, a: &Reg) -> Reg {
+            match op {
+                UnOp::Neg => $map1(a, <$u>::wrapping_neg),
+                UnOp::Not => $map1(a, |x| !x),
+                UnOp::Abs if signed => $map1(a, |x| (x as $s).wrapping_abs() as $u),
+                UnOp::Abs => a.to_owned(),
+            }
         }
     };
 }
 
-width_ops!(bin1, un1, 1, u8, i8);
-width_ops!(bin2, un2, 2, u16, i16);
-width_ops!(bin4, un4, 4, u32, i32);
-width_ops!(bin8, un8, 8, u64, i64);
+width_ops!(bin1, un1, map2_1, map1_1, 1, u8, i8);
+width_ops!(bin2, un2, map2_2, map1_2, 2, u16, i16);
+width_ops!(bin4, un4, map2_4, map1_4, 4, u32, i32);
+width_ops!(bin8, un8, map2_8, map1_8, 8, u64, i64);
 
 /// Applies `op` lane-wise over two registers of `ty` elements.
 pub(crate) fn bin(op: BinOp, ty: ScalarType, a: &Reg, b: &Reg) -> Reg {
+    if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+        // Width-agnostic: two u64 word operations regardless of lane count.
+        let (al, ah) = words(a);
+        let (bl, bh) = words(b);
+        return match op {
+            BinOp::And => from_words(al & bl, ah & bh),
+            BinOp::Or => from_words(al | bl, ah | bh),
+            _ => from_words(al ^ bl, ah ^ bh),
+        };
+    }
     let signed = ty.is_signed();
     match ty.size() {
         1 => bin1(op, signed, a, b),
@@ -75,6 +123,11 @@ pub(crate) fn bin(op: BinOp, ty: ScalarType, a: &Reg, b: &Reg) -> Reg {
 
 /// Applies `op` lane-wise over one register of `ty` elements.
 pub(crate) fn un(op: UnOp, ty: ScalarType, a: &Reg) -> Reg {
+    if op == UnOp::Not {
+        // Width-agnostic complement on the register's two u64 words.
+        let (lo, hi) = words(a);
+        return from_words(!lo, !hi);
+    }
     let signed = ty.is_signed();
     match ty.size() {
         1 => un1(op, signed, a),
@@ -166,6 +219,16 @@ mod tests {
                     assert_eq!(un(op, ty, a), value_un(op, ty, a), "{op:?} {ty}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn word_helpers_round_trip() {
+        let mut rng = SplitMix64::seed_from_u64(0xB17);
+        for _ in 0..32 {
+            let r = random_reg(&mut rng);
+            let (lo, hi) = words(&r);
+            assert_eq!(from_words(lo, hi), r);
         }
     }
 }

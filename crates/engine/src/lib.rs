@@ -6,9 +6,12 @@
 //! allocating a fresh `Vec<u8>` per register write. That is exactly
 //! right for an oracle and far too slow for large sweeps.
 //!
-//! This crate adds the second execution tier: [`CompiledKernel`]
-//! compiles a program *once* per (program, memory layout, runtime
-//! input) triple —
+//! This crate adds the second execution tier, split in two phases so
+//! repeated work is shared. [`PredecodedKernel`] does everything that
+//! depends only on the program (shape checks, permutation validation,
+//! constant splats, address reduction); [`PredecodedKernel::bake`]
+//! (or the one-shot [`CompiledKernel::compile`]) finishes the job per
+//! (memory layout, runtime input) pair —
 //!
 //! * every scalar expression (alignment masks, shift amounts, splice
 //!   points, runtime trip bounds) evaluated exactly once,
@@ -21,15 +24,24 @@
 //!
 //! and then executes prologue, steady state and epilogue as
 //! straight-line slices of a flat `[u8; 16]`-register machine in a
-//! tight dispatch loop. The engine is byte-for-byte and stat-for-stat
+//! tight dispatch loop. On top of the baked trace a fusion pass
+//! (on by default, see [`FusionStats`]) rewrites `vload`+`vshiftpair`
+//! chains into single fused loads, folds known-operand arithmetic into
+//! splat/immediate forms, hoists loop invariants into once-run headers
+//! and deletes dead ops — shrinking the steady-state op count without
+//! changing a stored byte or a reported stat ([`RunStats`] are fixed
+//! before fusion). The engine is byte-for-byte and stat-for-stat
 //! identical to [`simdize_vm::run_simd`] (the differential tests
-//! enforce it) while running orders of magnitude faster, and it keeps
-//! the workspace-wide `#![forbid(unsafe_code)]` guarantee: the hot
-//! loop's safety comes from compile-time validation, not from `unsafe`.
+//! enforce it, fused and unfused) while running orders of magnitude
+//! faster, and it keeps the workspace-wide `#![forbid(unsafe_code)]`
+//! guarantee: the hot loop's safety comes from compile-time
+//! validation, not from `unsafe`.
 //!
 //! The [`batch`] module scales this to sweeps: many (program, seed)
 //! jobs distributed over scoped worker threads, each job compiled,
 //! executed and differentially verified, with per-job [`RunStats`].
+//! Sweeps pre-decode each distinct program once ([`SweepOptions`]) and
+//! reuse per-worker scratch images across jobs.
 //!
 //! # Example
 //!
@@ -61,6 +73,8 @@
 pub mod batch;
 mod kernel;
 mod lanes;
+mod trace;
 
-pub use batch::{run_sweep, SweepJob, SweepOutcome};
-pub use kernel::{CompiledKernel, NativeEngine};
+pub use batch::{run_sweep, run_sweep_with, SweepJob, SweepOptions, SweepOutcome};
+pub use kernel::{CompiledKernel, KernelOptions, NativeEngine, PredecodedKernel};
+pub use trace::FusionStats;

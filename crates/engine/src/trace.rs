@@ -1,0 +1,725 @@
+//! Trace fusion: post-bake optimization of the engine's straight-line
+//! sections into fused superinstructions.
+//!
+//! Baking leaves the kernel as a literal transcription of the
+//! `SimdProgram` — every misaligned stream costs a `vload` + a
+//! `vshiftpair` (plus a rotation `copy` under software pipelining) per
+//! iteration. But once addresses are baked to `(start, step)` byte
+//! pairs, a simple abstract domain can prove where those reorganization
+//! chains are just reads of *other* contiguous memory:
+//!
+//! * **window facts** — "register `r` holds `mem[s + k·t .. s + k·t + 16)`
+//!   of array `A`, as memory currently is, at iteration `k`" — flow
+//!   through loads, shifts of contiguous window pairs, and copies.
+//!   A `vshiftpair(a, b, amt)` whose operands hold adjacent windows
+//!   `[s, s+16)` / `[s+16, s+32)` is itself a load of `[s+amt, s+amt+16)`
+//!   and is rewritten to a single fused `vload.fused` — sound because
+//!   both constituent chunks were bounds-validated at bake time, and in
+//!   bounds killed at every store to the same array (arrays' guarded
+//!   regions are disjoint, so only same-array stores can invalidate a
+//!   window).
+//! * **known facts** — registers holding compile-time-constant bytes
+//!   (splats and folds thereof). A binop with one known operand becomes
+//!   an immediate-carrying `BinSplat`; with two, it folds to a `Splat`.
+//!
+//! Window facts at a loop entry come from a small fixpoint: the entry
+//! fact must agree with the fall-in fact at iteration 0 and with the
+//! back-edge fact (the end-of-iteration fact re-expressed one iteration
+//! later, `start -= step`) for iterations ≥ 1. This is what lets the
+//! software-pipelined rotation `prev = copy cur` feed the next
+//! iteration's shift with a provable window.
+//!
+//! After rewriting, iteration-invariant ops are hoisted into a per-loop
+//! header (executed once, only when the loop runs), and a global
+//! backward liveness pass over all sections deletes ops whose results
+//! are never observed — typically the raw loads and rotation copies
+//! that fusion just obsoleted. None of this changes a stored byte or a
+//! reported stat: `RunStats` are fixed before this pass runs, and the
+//! differential tests execute every kernel fused and unfused.
+
+use crate::kernel::Op;
+use crate::lanes::{self, Reg};
+use simdize_ir::ScalarType;
+
+/// What the trace fusion pass did to one kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// `vload`+`vshiftpair` chains rewritten into single fused loads.
+    pub fused_loads: usize,
+    /// Binops rewritten to immediate forms or folded to splats.
+    pub splat_ops: usize,
+    /// Iteration-invariant ops moved to a per-loop header.
+    pub hoisted: usize,
+    /// Dead ops deleted by the global liveness pass.
+    pub eliminated: usize,
+}
+
+/// The baked sections of one kernel, handed over for optimization.
+pub(crate) struct Sections<'a> {
+    pub(crate) prologue: &'a mut Vec<Op>,
+    pub(crate) pair: &'a mut Vec<Op>,
+    pub(crate) pair_iters: i64,
+    pub(crate) body: &'a mut Vec<Op>,
+    pub(crate) body_iters: i64,
+    pub(crate) epilogue: &'a mut Vec<Op>,
+    pub(crate) nregs: usize,
+    pub(crate) elem: ScalarType,
+}
+
+/// What is known about one register at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fact {
+    /// Nothing.
+    Bottom,
+    /// The register holds `mem[start + k·step .. +16)` of array `arr`
+    /// — the bytes as memory currently is — at iteration `k` of the
+    /// enclosing loop (`step` is 0 outside loops).
+    Window { arr: u32, start: i64, step: i64 },
+    /// The register holds exactly these bytes, independent of `k`.
+    Known(Reg),
+}
+
+/// Runs the full pass over a kernel's sections. Returns the hoisted
+/// pair and body headers plus the fusion telemetry.
+pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats) {
+    let mut st = FusionStats::default();
+    let mut facts = vec![Fact::Bottom; s.nregs];
+    rewrite(s.prologue, &mut facts, s.elem, &mut st);
+
+    let mut pair_header = Vec::new();
+    if s.pair_iters > 0 {
+        let entry = loop_entry(&facts, s.pair, s.elem);
+        let mut work = entry;
+        rewrite(s.pair, &mut work, s.elem, &mut st);
+        pair_header = hoist(s.pair, s.pair_iters, s.nregs, &mut st);
+        facts = concretize(work, s.pair_iters);
+    }
+    let mut body_header = Vec::new();
+    if s.body_iters > 0 {
+        let entry = loop_entry(&facts, s.body, s.elem);
+        let mut work = entry;
+        rewrite(s.body, &mut work, s.elem, &mut st);
+        body_header = hoist(s.body, s.body_iters, s.nregs, &mut st);
+        facts = concretize(work, s.body_iters);
+    }
+    rewrite(s.epilogue, &mut facts, s.elem, &mut st);
+
+    {
+        let mut segments = [
+            Segment { ops: s.prologue, iters: 1 },
+            Segment { ops: &mut pair_header, iters: 1 },
+            Segment { ops: s.pair, iters: s.pair_iters },
+            Segment { ops: &mut body_header, iters: 1 },
+            Segment { ops: s.body, iters: s.body_iters },
+            Segment { ops: s.epilogue, iters: 1 },
+        ];
+        dce(&mut segments, s.nregs, &mut st);
+    }
+    (pair_header, body_header, st)
+}
+
+/// The defined register of `op`, if any (only `Store` has none).
+fn def(op: &Op) -> Option<u32> {
+    match *op {
+        Op::Load { dst, .. }
+        | Op::LoadFused { dst, .. }
+        | Op::Shift { dst, .. }
+        | Op::Splice { dst, .. }
+        | Op::Perm { dst, .. }
+        | Op::Splat { dst, .. }
+        | Op::Bin { dst, .. }
+        | Op::BinSplat { dst, .. }
+        | Op::Un { dst, .. }
+        | Op::Copy { dst, .. } => Some(dst),
+        Op::Store { .. } => None,
+    }
+}
+
+/// Visits every register `op` reads.
+fn uses(op: &Op, mut f: impl FnMut(u32)) {
+    match *op {
+        Op::Load { .. } | Op::LoadFused { .. } | Op::Splat { .. } => {}
+        Op::Store { src, .. } => f(src),
+        Op::Shift { a, b, .. }
+        | Op::Splice { a, b, .. }
+        | Op::Perm { a, b, .. }
+        | Op::Bin { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Op::BinSplat { a, .. } | Op::Un { a, .. } => f(a),
+        Op::Copy { src, .. } => f(src),
+    }
+}
+
+fn known(facts: &[Fact], r: u32) -> Option<Reg> {
+    match facts[r as usize] {
+        Fact::Known(bytes) => Some(bytes),
+        _ => None,
+    }
+}
+
+fn shift_bytes(a: &Reg, b: &Reg, amt: u8) -> Reg {
+    let amt = amt as usize;
+    let mut out = [0u8; 16];
+    out[..16 - amt].copy_from_slice(&a[amt..]);
+    out[16 - amt..].copy_from_slice(&b[..amt]);
+    out
+}
+
+fn splice_bytes(a: &Reg, b: &Reg, point: u8) -> Reg {
+    let p = point as usize;
+    let mut out = [0u8; 16];
+    out[..p].copy_from_slice(&a[..p]);
+    out[p..].copy_from_slice(&b[p..]);
+    out
+}
+
+fn perm_bytes(a: &Reg, b: &Reg, pattern: &[u8; 16]) -> Reg {
+    let mut pair = [0u8; 32];
+    pair[..16].copy_from_slice(a);
+    pair[16..].copy_from_slice(b);
+    let mut out = [0u8; 16];
+    for (t, &sel) in pattern.iter().enumerate() {
+        out[t] = pair[sel as usize];
+    }
+    out
+}
+
+/// The memory window a `vshiftpair(a, b, amt)` reads, when its
+/// operands hold provably adjacent windows of one array. The fused
+/// range `[s + amt, s + amt + 16)` sits inside the union of the two
+/// operand windows, both of which were bounds-validated at bake time.
+fn shift_window(facts: &[Fact], a: u32, b: u32, amt: u8) -> Option<(u32, i64, i64)> {
+    let (fa, fb) = (&facts[a as usize], &facts[b as usize]);
+    if amt == 0 {
+        if let Fact::Window { arr, start, step } = *fa {
+            return Some((arr, start, step));
+        }
+        return None;
+    }
+    if amt as i64 == 16 {
+        if let Fact::Window { arr, start, step } = *fb {
+            return Some((arr, start, step));
+        }
+        return None;
+    }
+    match (fa, fb) {
+        (
+            &Fact::Window { arr: a1, start: s1, step: t1 },
+            &Fact::Window { arr: a2, start: s2, step: t2 },
+        ) if a1 == a2 && t1 == t2 && s2 == s1 + 16 => Some((a1, s1 + amt as i64, t1)),
+        _ => None,
+    }
+}
+
+/// Transfer function: updates `facts` across one op. Stores kill every
+/// window into the stored array (registers are unaffected; windows are
+/// claims about memory). Cross-array kills are unnecessary because
+/// array guarded regions never overlap.
+fn flow(op: &Op, facts: &mut [Fact], elem: ScalarType) {
+    match *op {
+        Op::Load { dst, arr, start, step } | Op::LoadFused { dst, arr, start, step } => {
+            facts[dst as usize] = Fact::Window { arr, start, step };
+        }
+        Op::Store { arr, .. } => {
+            for f in facts.iter_mut() {
+                if matches!(f, Fact::Window { arr: a, .. } if *a == arr) {
+                    *f = Fact::Bottom;
+                }
+            }
+        }
+        Op::Shift { dst, a, b, amt } => {
+            facts[dst as usize] = if let Some((arr, start, step)) = shift_window(facts, a, b, amt) {
+                Fact::Window { arr, start, step }
+            } else if let (Some(x), Some(y)) = (known(facts, a), known(facts, b)) {
+                Fact::Known(shift_bytes(&x, &y, amt))
+            } else {
+                Fact::Bottom
+            };
+        }
+        Op::Splice { dst, a, b, point } => {
+            facts[dst as usize] = match (known(facts, a), known(facts, b)) {
+                (Some(x), Some(y)) => Fact::Known(splice_bytes(&x, &y, point)),
+                _ => Fact::Bottom,
+            };
+        }
+        Op::Perm { dst, a, b, ref pattern } => {
+            facts[dst as usize] = match (known(facts, a), known(facts, b)) {
+                (Some(x), Some(y)) => Fact::Known(perm_bytes(&x, &y, pattern)),
+                _ => Fact::Bottom,
+            };
+        }
+        Op::Splat { dst, bytes } => facts[dst as usize] = Fact::Known(bytes),
+        Op::Bin { dst, op, a, b } => {
+            facts[dst as usize] = match (known(facts, a), known(facts, b)) {
+                (Some(x), Some(y)) => Fact::Known(lanes::bin(op, elem, &x, &y)),
+                _ => Fact::Bottom,
+            };
+        }
+        Op::BinSplat { dst, op, a, ref imm, imm_left } => {
+            facts[dst as usize] = match known(facts, a) {
+                Some(x) if imm_left => Fact::Known(lanes::bin(op, elem, imm, &x)),
+                Some(x) => Fact::Known(lanes::bin(op, elem, &x, imm)),
+                None => Fact::Bottom,
+            };
+        }
+        Op::Un { dst, op, a } => {
+            facts[dst as usize] = match known(facts, a) {
+                Some(x) => Fact::Known(lanes::un(op, elem, &x)),
+                None => Fact::Bottom,
+            };
+        }
+        Op::Copy { dst, src } => facts[dst as usize] = facts[src as usize],
+    }
+}
+
+/// Meet of the fall-in fact (must hold at iteration 0) and the
+/// back-edge fact (must hold at iterations ≥ 1). A window survives iff
+/// both agree on array and first-iteration start; the step comes from
+/// the back edge (fall-in facts are iteration-independent, step 0).
+fn meet(pre: &Fact, back: &Fact) -> Fact {
+    match (pre, back) {
+        (Fact::Known(x), Fact::Known(y)) if x == y => Fact::Known(*x),
+        (
+            &Fact::Window { arr: a1, start: s1, .. },
+            &Fact::Window { arr: a2, start: s2, step: t2 },
+        ) if a1 == a2 && s1 == s2 => Fact::Window { arr: a1, start: s1, step: t2 },
+        _ => Fact::Bottom,
+    }
+}
+
+/// Loop-entry facts: the greatest assignment satisfying
+/// `entry = meet(pre, translate(flow(entry)))`, where `translate`
+/// re-expresses an end-of-iteration-`k` fact at the start of iteration
+/// `k + 1` (`start -= step`). Any fixed point is sound by induction on
+/// the iteration number: valid at `k = 0` through the fall-in
+/// component, at `k ≥ 1` through the back-edge component. Bails to
+/// all-`Bottom` (no information, no rewrites) if 64 rounds don't
+/// converge.
+fn loop_entry(pre: &[Fact], ops: &[Op], elem: ScalarType) -> Vec<Fact> {
+    let mut entry = pre.to_vec();
+    for _ in 0..64 {
+        let mut end = entry.clone();
+        for op in ops {
+            flow(op, &mut end, elem);
+        }
+        for f in &mut end {
+            if let Fact::Window { start, step, .. } = f {
+                *start -= *step;
+            }
+        }
+        let next: Vec<Fact> = pre.iter().zip(&end).map(|(p, b)| meet(p, b)).collect();
+        if next == entry {
+            return entry;
+        }
+        entry = next;
+    }
+    vec![Fact::Bottom; pre.len()]
+}
+
+/// Re-expresses per-iteration facts as facts that hold after the loop
+/// completes `iters` iterations (windows pinned to the last iteration).
+fn concretize(facts: Vec<Fact>, iters: i64) -> Vec<Fact> {
+    facts
+        .into_iter()
+        .map(|f| match f {
+            Fact::Window { arr, start, step } => Fact::Window {
+                arr,
+                start: start + (iters - 1) * step,
+                step: 0,
+            },
+            other => other,
+        })
+        .collect()
+}
+
+/// One forward pass over a section: rewrites shift chains over adjacent
+/// windows into fused loads and known-operand arithmetic into
+/// splat/immediate forms, threading `facts` through every (rewritten)
+/// op.
+fn rewrite(ops: &mut [Op], facts: &mut [Fact], elem: ScalarType, st: &mut FusionStats) {
+    for op in ops.iter_mut() {
+        let new = match *op {
+            Op::Shift { dst, a, b, amt } => {
+                if let Some((arr, start, step)) = shift_window(facts, a, b, amt) {
+                    Some(Op::LoadFused { dst, arr, start, step })
+                } else if let (Some(x), Some(y)) = (known(facts, a), known(facts, b)) {
+                    Some(Op::Splat { dst, bytes: shift_bytes(&x, &y, amt) })
+                } else {
+                    None
+                }
+            }
+            Op::Bin { dst, op: o, a, b } => match (known(facts, a), known(facts, b)) {
+                (Some(x), Some(y)) => Some(Op::Splat { dst, bytes: lanes::bin(o, elem, &x, &y) }),
+                (Some(x), None) => Some(Op::BinSplat { dst, op: o, a: b, imm: x, imm_left: true }),
+                (None, Some(y)) => Some(Op::BinSplat { dst, op: o, a, imm: y, imm_left: false }),
+                (None, None) => None,
+            },
+            Op::Un { dst, op: o, a } => {
+                known(facts, a).map(|x| Op::Splat { dst, bytes: lanes::un(o, elem, &x) })
+            }
+            _ => None,
+        };
+        if let Some(new) = new {
+            match new {
+                Op::LoadFused { .. } => st.fused_loads += 1,
+                _ => st.splat_ops += 1,
+            }
+            *op = new;
+        }
+        flow(op, facts, elem);
+    }
+}
+
+/// Moves iteration-invariant ops out of a loop section into a header
+/// executed once (the caller guarantees the loop runs at least once).
+/// An op is hoistable when it defines a register exactly once, that
+/// register is not read before its definition (so iteration 0 sees the
+/// same value either way), every operand is loop-invariant (never
+/// defined in the loop, or defined by an already-hoisted op), and — for
+/// loads — the address does not advance and no store in the loop
+/// touches the loaded window during any iteration.
+fn hoist(ops: &mut Vec<Op>, iters: i64, nregs: usize, st: &mut FusionStats) -> Vec<Op> {
+    let mut def_count = vec![0u32; nregs];
+    let mut upward = vec![false; nregs];
+    let mut defined = vec![false; nregs];
+    for op in ops.iter() {
+        uses(op, |r| {
+            if !defined[r as usize] {
+                upward[r as usize] = true;
+            }
+        });
+        if let Some(d) = def(op) {
+            def_count[d as usize] += 1;
+            defined[d as usize] = true;
+        }
+    }
+    // Byte ranges each store covers across the whole loop.
+    let stores: Vec<(u32, i64, i64)> = ops
+        .iter()
+        .filter_map(|op| match *op {
+            Op::Store { arr, start, step, .. } => {
+                let last = start + (iters - 1) * step;
+                Some((arr, start.min(last), start.max(last) + 16))
+            }
+            _ => None,
+        })
+        .collect();
+    let load_invariant = |arr: u32, start: i64, step: i64| {
+        step == 0
+            && !stores
+                .iter()
+                .any(|&(sa, lo, hi)| sa == arr && start < hi && lo < start + 16)
+    };
+
+    let mut header = Vec::new();
+    let mut hoisted = vec![false; nregs];
+    let mut kept = Vec::with_capacity(ops.len());
+    for op in ops.drain(..) {
+        let can = match def(&op) {
+            Some(d) if def_count[d as usize] == 1 && !upward[d as usize] => {
+                let mut invariant_uses = true;
+                uses(&op, |r| {
+                    if def_count[r as usize] != 0 && !hoisted[r as usize] {
+                        invariant_uses = false;
+                    }
+                });
+                invariant_uses
+                    && match op {
+                        Op::Load { arr, start, step, .. }
+                        | Op::LoadFused { arr, start, step, .. } => load_invariant(arr, start, step),
+                        _ => true,
+                    }
+            }
+            _ => false,
+        };
+        if can {
+            hoisted[def(&op).expect("hoisted ops define a register") as usize] = true;
+            st.hoisted += 1;
+            header.push(op);
+        } else {
+            kept.push(op);
+        }
+    }
+    *ops = kept;
+    header
+}
+
+struct Segment<'a> {
+    ops: &'a mut Vec<Op>,
+    iters: i64,
+}
+
+/// Registers a section reads before (re)defining them — the values it
+/// needs live on entry.
+fn upward_uses(ops: &[Op], nregs: usize) -> Vec<bool> {
+    let mut defined = vec![false; nregs];
+    let mut ue = vec![false; nregs];
+    for op in ops {
+        uses(op, |r| {
+            if !defined[r as usize] {
+                ue[r as usize] = true;
+            }
+        });
+        if let Some(d) = def(op) {
+            defined[d as usize] = true;
+        }
+    }
+    ue
+}
+
+/// Global dead-code elimination: one backward liveness sweep over the
+/// kernel's segments in execution order, each segment's live-in feeding
+/// the previous segment's live-out. A looping segment additionally
+/// keeps its own upward-exposed uses live (a value may feed the next
+/// iteration). This sequential propagation is sound because every
+/// non-empty segment executes at least once (empty loops bake to empty
+/// vectors), so a register a segment unconditionally redefines really
+/// does kill the incoming value. Every def-carrying op is pure, so any
+/// op whose result is dead can go; stores define nothing and are never
+/// removed. Iterates to a fixpoint so fused-away load/copy chains
+/// unravel fully.
+fn dce(segments: &mut [Segment<'_>], nregs: usize, st: &mut FusionStats) {
+    loop {
+        let mut removed = 0usize;
+        let mut live = vec![false; nregs]; // nothing is observed after the epilogue
+        for seg in segments.iter_mut().rev() {
+            if seg.iters > 1 {
+                for (l, n) in live.iter_mut().zip(upward_uses(seg.ops, nregs)) {
+                    *l |= n;
+                }
+            }
+            let ops = &mut *seg.ops;
+            let mut keep = vec![true; ops.len()];
+            for (idx, op) in ops.iter().enumerate().rev() {
+                if let Some(d) = def(op) {
+                    if !live[d as usize] {
+                        keep[idx] = false;
+                        removed += 1;
+                        continue;
+                    }
+                    live[d as usize] = false;
+                }
+                uses(op, |r| live[r as usize] = true);
+            }
+            let mut it = keep.iter();
+            ops.retain(|_| *it.next().expect("keep mask matches ops len"));
+        }
+        if removed == 0 {
+            break;
+        }
+        st.eliminated += removed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem() -> ScalarType {
+        ScalarType::ALL
+            .into_iter()
+            .find(|t| t.size() == 4 && t.is_signed())
+            .expect("i32 exists")
+    }
+
+    fn run(
+        prologue: &mut Vec<Op>,
+        pair: &mut Vec<Op>,
+        pair_iters: i64,
+        body: &mut Vec<Op>,
+        body_iters: i64,
+        epilogue: &mut Vec<Op>,
+        nregs: usize,
+    ) -> (Vec<Op>, Vec<Op>, FusionStats) {
+        optimize(Sections {
+            prologue,
+            pair,
+            pair_iters,
+            body,
+            body_iters,
+            epilogue,
+            nregs,
+            elem: elem(),
+        })
+    }
+
+    #[test]
+    fn rotation_loop_fuses_and_sheds_its_loads() {
+        // The software-pipelined misaligned-stream idiom:
+        //   prologue:  v0 = load arr0[100]
+        //   body x4:   v1 = load arr0[116 + 16k]
+        //              v2 = shift(v0, v1, 4)
+        //              store arr1[200 + 16k], v2
+        //              v0 = copy v1
+        // The loop-entry fixpoint proves v0 holds arr0[100 + 16k], the
+        // shift fuses to a load of arr0[104 + 16k], and the raw loads,
+        // the rotation copy and the prologue load all die.
+        let mut prologue = vec![Op::Load { dst: 0, arr: 0, start: 100, step: 0 }];
+        let mut body = vec![
+            Op::Load { dst: 1, arr: 0, start: 116, step: 16 },
+            Op::Shift { dst: 2, a: 0, b: 1, amt: 4 },
+            Op::Store { src: 2, arr: 1, start: 200, step: 16 },
+            Op::Copy { dst: 0, src: 1 },
+        ];
+        let (pair_h, body_h, st) = run(
+            &mut prologue,
+            &mut Vec::new(),
+            0,
+            &mut body,
+            4,
+            &mut Vec::new(),
+            3,
+        );
+        assert_eq!(st.fused_loads, 1);
+        assert_eq!(st.eliminated, 3, "prologue load, body load, rotation copy");
+        assert!(pair_h.is_empty() && body_h.is_empty());
+        assert!(prologue.is_empty());
+        assert_eq!(
+            body,
+            vec![
+                Op::LoadFused { dst: 2, arr: 0, start: 104, step: 16 },
+                Op::Store { src: 2, arr: 1, start: 200, step: 16 },
+            ]
+        );
+    }
+
+    #[test]
+    fn store_to_same_array_blocks_fusion() {
+        // Same rotation idiom, but the loop stores into the array it
+        // reads: the store kills the window facts, so nothing fuses and
+        // nothing is deleted.
+        let mut prologue = vec![Op::Load { dst: 0, arr: 0, start: 100, step: 0 }];
+        let mut body = vec![
+            Op::Load { dst: 1, arr: 0, start: 116, step: 16 },
+            Op::Shift { dst: 2, a: 0, b: 1, amt: 4 },
+            Op::Store { src: 2, arr: 0, start: 200, step: 16 },
+            Op::Copy { dst: 0, src: 1 },
+        ];
+        let before = body.clone();
+        let (_, _, st) = run(
+            &mut prologue,
+            &mut Vec::new(),
+            0,
+            &mut body,
+            4,
+            &mut Vec::new(),
+            3,
+        );
+        assert_eq!(st.fused_loads, 0);
+        assert_eq!(st.eliminated, 0);
+        assert_eq!(body, before);
+        assert_eq!(prologue.len(), 1);
+    }
+
+    #[test]
+    fn known_operand_binop_becomes_immediate_form() {
+        //   body x8: v0 = splat(7)
+        //            v1 = load arr0[96 + 16k]
+        //            v2 = add(v0, v1)
+        //            store arr1[192 + 16k], v2
+        // The splat is a known fact, so the add carries it as an
+        // immediate; the now-unused splat is first hoisted (it is
+        // trivially invariant) and then deleted as dead.
+        let imm = [7u8; 16];
+        let mut body = vec![
+            Op::Splat { dst: 0, bytes: imm },
+            Op::Load { dst: 1, arr: 0, start: 96, step: 16 },
+            Op::Bin { dst: 2, op: simdize_ir::BinOp::Add, a: 0, b: 1 },
+            Op::Store { src: 2, arr: 1, start: 192, step: 16 },
+        ];
+        let (_, body_h, st) = run(
+            &mut Vec::new(),
+            &mut Vec::new(),
+            0,
+            &mut body,
+            8,
+            &mut Vec::new(),
+            3,
+        );
+        assert_eq!(st.splat_ops, 1);
+        assert!(body_h.is_empty(), "dead hoisted splat is deleted");
+        assert_eq!(
+            body,
+            vec![
+                Op::Load { dst: 1, arr: 0, start: 96, step: 16 },
+                Op::BinSplat { dst: 2, op: simdize_ir::BinOp::Add, a: 1, imm, imm_left: true },
+                Op::Store { src: 2, arr: 1, start: 192, step: 16 },
+            ]
+        );
+    }
+
+    #[test]
+    fn invariant_load_hoists_into_header() {
+        //   body x8: v0 = load arr0[100]        (address never advances)
+        //            v1 = load arr1[200 + 16k]
+        //            v2 = max(v0, v1)
+        //            store arr2[300 + 16k], v2
+        let mut body = vec![
+            Op::Load { dst: 0, arr: 0, start: 100, step: 0 },
+            Op::Load { dst: 1, arr: 1, start: 200, step: 16 },
+            Op::Bin { dst: 2, op: simdize_ir::BinOp::Max, a: 0, b: 1 },
+            Op::Store { src: 2, arr: 2, start: 300, step: 16 },
+        ];
+        let (_, body_h, st) = run(
+            &mut Vec::new(),
+            &mut Vec::new(),
+            0,
+            &mut body,
+            8,
+            &mut Vec::new(),
+            3,
+        );
+        assert_eq!(st.hoisted, 1);
+        assert_eq!(body_h, vec![Op::Load { dst: 0, arr: 0, start: 100, step: 0 }]);
+        assert_eq!(body.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_store_pins_invariant_load() {
+        // Same shape, but the loop stores over the "invariant" window:
+        // the load must stay in the loop.
+        let mut body = vec![
+            Op::Load { dst: 0, arr: 0, start: 100, step: 0 },
+            Op::Load { dst: 1, arr: 1, start: 200, step: 16 },
+            Op::Bin { dst: 2, op: simdize_ir::BinOp::Max, a: 0, b: 1 },
+            Op::Store { src: 2, arr: 0, start: 96, step: 16 },
+        ];
+        let (_, body_h, st) = run(
+            &mut Vec::new(),
+            &mut Vec::new(),
+            0,
+            &mut body,
+            8,
+            &mut Vec::new(),
+            3,
+        );
+        assert_eq!(st.hoisted, 0);
+        assert!(body_h.is_empty());
+        assert_eq!(body.len(), 4);
+    }
+
+    #[test]
+    fn epilogue_keeps_loop_results_alive() {
+        // The loop's rotated register feeds the epilogue: the copy (and
+        // its load) must survive DCE even though the loop itself no
+        // longer reads them after fusion.
+        let mut prologue = vec![Op::Load { dst: 0, arr: 0, start: 100, step: 0 }];
+        let mut body = vec![
+            Op::Load { dst: 1, arr: 0, start: 116, step: 16 },
+            Op::Shift { dst: 2, a: 0, b: 1, amt: 4 },
+            Op::Store { src: 2, arr: 1, start: 200, step: 16 },
+            Op::Copy { dst: 0, src: 1 },
+        ];
+        let mut epilogue = vec![Op::Store { src: 0, arr: 1, start: 400, step: 0 }];
+        let (_, _, st) = run(&mut prologue, &mut Vec::new(), 0, &mut body, 4, &mut epilogue, 3);
+        assert_eq!(st.fused_loads, 1);
+        // Only the prologue load dies: the loop's copy unconditionally
+        // redefines v0 before the epilogue reads it, while the copy and
+        // the raw load it reads stay to produce that value.
+        assert_eq!(st.eliminated, 1);
+        assert_eq!(body.len(), 4, "raw load is kept for the rotation copy");
+        assert!(body.contains(&Op::Copy { dst: 0, src: 1 }));
+    }
+}

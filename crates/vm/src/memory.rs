@@ -33,20 +33,41 @@ impl MemoryImage {
     /// multiple of the element size, preserving natural alignment) and
     /// filling every array with pseudo-random element values.
     pub fn with_seed(program: &LoopProgram, shape: VectorShape, seed: u64) -> MemoryImage {
-        let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(2).wrapping_add(1));
-        let d = program.elem().size() as u64;
-        let lanes = (shape.bytes() as u64) / d;
-        let offsets: Vec<u32> = program
-            .arrays()
-            .iter()
-            .map(|a| match a.align() {
-                AlignKind::Known(off) => off % shape.bytes(),
-                AlignKind::Runtime => ((rng.next_u64() % lanes) * d) as u32,
-            })
-            .collect();
+        let offsets = seeded_offsets(program, shape, seed);
         let mut image = MemoryImage::with_offsets(program, shape, &offsets);
         image.fill_random(seed ^ 0x9E37_79B9_7F4A_7C15);
         image
+    }
+
+    /// Re-initializes this image in place to exactly what
+    /// [`MemoryImage::with_seed`]`(program, shape, seed)` would build,
+    /// reusing the existing byte allocation. Sweep workers call this
+    /// once per job instead of allocating a fresh image.
+    pub fn reseed(&mut self, program: &LoopProgram, shape: VectorShape, seed: u64) {
+        let offsets = seeded_offsets(program, shape, seed);
+        let (bases, lens, total) = layout(program, shape, &offsets);
+        self.bases = bases;
+        self.lens = lens;
+        self.elem = program.elem();
+        self.shape = shape;
+        self.bytes.clear();
+        self.bytes.resize(total, 0);
+        self.fill_random(seed ^ 0x9E37_79B9_7F4A_7C15);
+    }
+
+    /// Makes this image an exact copy of `src`, reusing the existing
+    /// byte allocation. Equivalent to `*self = src.clone()` without the
+    /// fresh allocation — sweep workers use it to rebuild the oracle
+    /// image from the engine image once per job.
+    pub fn copy_from(&mut self, src: &MemoryImage) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(&src.bytes);
+        self.bases.clear();
+        self.bases.extend_from_slice(&src.bases);
+        self.lens.clear();
+        self.lens.extend_from_slice(&src.lens);
+        self.elem = src.elem;
+        self.shape = src.shape;
     }
 
     /// Builds an image with explicit per-array misalignments (entries
@@ -58,32 +79,7 @@ impl MemoryImage {
     /// Panics if `offsets` is shorter than the array table, or if an
     /// offset used for a runtime array is not naturally aligned.
     pub fn with_offsets(program: &LoopProgram, shape: VectorShape, offsets: &[u32]) -> MemoryImage {
-        let v = shape.bytes() as u64;
-        let guard = GUARD_CHUNKS * v;
-        let d = program.elem().size() as u64;
-        let mut bases = Vec::new();
-        let mut lens = Vec::new();
-        let mut cursor = v; // never place anything at address 0
-        for (idx, a) in program.arrays().iter().enumerate() {
-            let off = match a.align() {
-                AlignKind::Known(o) => (o % shape.bytes()) as u64,
-                AlignKind::Runtime => {
-                    let o = offsets[idx] as u64 % v;
-                    assert!(
-                        o.is_multiple_of(d),
-                        "runtime misalignment must be naturally aligned"
-                    );
-                    o
-                }
-            };
-            cursor += guard;
-            cursor = cursor.div_ceil(v) * v; // align up to V
-            let base = cursor + off;
-            bases.push(base);
-            lens.push(a.len());
-            cursor = base + a.byte_len() + guard;
-        }
-        let total = (cursor + v) as usize;
+        let (bases, lens, total) = layout(program, shape, offsets);
         MemoryImage {
             bytes: vec![0; total],
             bases,
@@ -287,6 +283,53 @@ impl MemoryImage {
     }
 }
 
+/// The per-array misalignments `with_seed` derives from `seed`: declared
+/// offsets pass through, runtime arrays draw a naturally aligned lane
+/// offset from the seed's stream.
+fn seeded_offsets(program: &LoopProgram, shape: VectorShape, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(2).wrapping_add(1));
+    let d = program.elem().size() as u64;
+    let lanes = (shape.bytes() as u64) / d;
+    program
+        .arrays()
+        .iter()
+        .map(|a| match a.align() {
+            AlignKind::Known(off) => off % shape.bytes(),
+            AlignKind::Runtime => ((rng.next_u64() % lanes) * d) as u32,
+        })
+        .collect()
+}
+
+/// Array placement for one set of misalignments: `(bases, lens, total bytes)`.
+fn layout(program: &LoopProgram, shape: VectorShape, offsets: &[u32]) -> (Vec<u64>, Vec<u64>, usize) {
+    let v = shape.bytes() as u64;
+    let guard = GUARD_CHUNKS * v;
+    let d = program.elem().size() as u64;
+    let mut bases = Vec::new();
+    let mut lens = Vec::new();
+    let mut cursor = v; // never place anything at address 0
+    for (idx, a) in program.arrays().iter().enumerate() {
+        let off = match a.align() {
+            AlignKind::Known(o) => (o % shape.bytes()) as u64,
+            AlignKind::Runtime => {
+                let o = offsets[idx] as u64 % v;
+                assert!(
+                    o.is_multiple_of(d),
+                    "runtime misalignment must be naturally aligned"
+                );
+                o
+            }
+        };
+        cursor += guard;
+        cursor = cursor.div_ceil(v) * v; // align up to V
+        let base = cursor + off;
+        bases.push(base);
+        lens.push(a.len());
+        cursor = base + a.byte_len() + guard;
+    }
+    (bases, lens, (cursor + v) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +426,27 @@ mod tests {
         assert_eq!(a, b);
         b.fill_random(10);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reseed_matches_with_seed() {
+        let p = program();
+        // Start from a different seed so bases, lengths and contents all
+        // have to change, then reseed in place.
+        let mut img = MemoryImage::with_seed(&p, VectorShape::V16, 2);
+        for seed in [0u64, 7, 13, 14] {
+            img.reseed(&p, VectorShape::V16, seed);
+            assert_eq!(img, MemoryImage::with_seed(&p, VectorShape::V16, seed));
+        }
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let p = program();
+        let src = MemoryImage::with_seed(&p, VectorShape::V16, 9);
+        let mut dst = MemoryImage::with_seed(&p, VectorShape::V16, 2);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 # root package's dependency graph), lints with clippy at -D warnings,
 # and finishes with an end-to-end smoke sweep through the CLI binary:
 # eight seeds of Figure 1 compiled by the native engine and verified
-# against the scalar oracle on four worker threads.
+# against the scalar oracle on four worker threads, followed by the
+# engine bench harness in quick mode (floors: engine >= 5x the
+# interpreter, fused >= 1.3x unfused on reorg-dominated kernels).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +29,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== smoke sweep (native engine, 8 seeds) =="
 target/release/simdize sweep loops/figure1.loop --smoke --jobs 4
+
+echo "== bench smoke (engine telemetry, quick mode) =="
+# Re-measures engine-vs-interpreter and fused-vs-unfused on reduced
+# trip counts and rewrites BENCH_engine.json; exits non-zero if the
+# fused engine is under 5x the interpreter or a gated kernel loses
+# its fusion gain.
+target/release/engine --quick --floor 5 --out BENCH_engine.json
 
 echo "== static analysis (all sample loops) =="
 for loop in loops/*.loop; do
