@@ -14,6 +14,9 @@
 //!   compile    print the generated vector code (--asm for AltiVec form)
 //!   analyze    statically check the generated code (lints; --json)
 //!   run        compile, execute, verify against the scalar loop, report
+//!   explain    decision-trace report: every instruction back-linked to
+//!              the placement/codegen/fusion decision that produced it,
+//!              with OPD accounting (--json / --markdown)
 //!   policies   compare all four shift-placement policies on the loop
 //!   sweep      run the loop over many memory seeds on worker threads
 //!
@@ -29,7 +32,8 @@
 //!   --param N (repeatable)              loop parameter values, in order
 //!   --engine interp|native              executor for `run` (default interp)
 //!   --lint NAME=allow|warn|deny         override a lint level (repeatable)
-//!   --json                              JSON diagnostics for `analyze`
+//!   --json                              JSON output for `analyze`/`explain`
+//!   --markdown                          Markdown output for `explain`
 //!   --threads N                         sweep worker threads (default:
 //!                                       available parallelism; --jobs is
 //!                                       an alias)
@@ -46,6 +50,7 @@ use simdize::{
     DiffConfig, Level, Lint, MemoryImage, Policy, ReorgGraph, ReuseMode, RunInput, Scheme,
     SimdizeError, Simdizer, SweepJob, Target, VectorShape,
 };
+use simdize_explain::{render_json, render_markdown, render_text, Explainer};
 use std::error::Error;
 use std::fmt::Write as _;
 
@@ -71,6 +76,7 @@ pub struct Options {
     engine: String,
     lints: Vec<(Lint, Level)>,
     json: bool,
+    markdown: bool,
     threads: usize,
     count: usize,
     smoke: bool,
@@ -93,7 +99,7 @@ pub fn parse_args(
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "check" | "graph" | "compile" | "analyze" | "run" | "policies" | "sweep"
+        "check" | "graph" | "compile" | "analyze" | "run" | "explain" | "policies" | "sweep"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}").into());
     }
@@ -116,6 +122,7 @@ pub fn parse_args(
         engine: "interp".to_string(),
         lints: Vec::new(),
         json: false,
+        markdown: false,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         count: 32,
         smoke: false,
@@ -184,6 +191,7 @@ pub fn parse_args(
                 opts.lints.push((lint, level));
             }
             "--json" => opts.json = true,
+            "--markdown" => opts.markdown = true,
             "--threads" | "--jobs" => {
                 opts.threads = value(arg)?.parse()?;
                 if opts.threads == 0 {
@@ -201,7 +209,7 @@ pub fn parse_args(
 }
 
 const USAGE: &str =
-    "usage: simdize <check|graph|compile|analyze|run|policies|sweep> <file.loop|-> [options]
+    "usage: simdize <check|graph|compile|analyze|run|explain|policies|sweep> <file.loop|-> [options]
 run `simdize` with no arguments for the full option list";
 
 /// Executes the parsed command and returns its printable output.
@@ -340,6 +348,28 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             )?;
             writeln!(out, "verified: {}", report.verified)?;
             writeln!(out, "{report}")?;
+        }
+        "explain" => {
+            let mut explainer = Explainer::new()
+                .shape(opts.shape)
+                .reuse(opts.reuse)
+                .seed(opts.seed)
+                .ub(opts.ub)
+                .params(opts.params.clone());
+            if let Some(p) = opts.policy {
+                explainer = explainer.policy(p);
+            }
+            let report = explainer.explain(&program)?;
+            out.push_str(&if opts.json {
+                render_json(&report)
+            } else if opts.markdown {
+                render_markdown(&report)
+            } else {
+                render_text(&report)
+            });
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
         }
         "sweep" => {
             let compiled = driver.compile(&program)?;
@@ -496,6 +526,17 @@ mod tests {
         let out = run(&opts(&["run", "x.loop", "--seed", "7"])).unwrap();
         assert!(out.contains("verified: true"));
         assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn explain_backlinks_and_formats() {
+        let out = run(&opts(&["explain", "x.loop"])).unwrap();
+        assert!(out.contains("== decisions =="), "{out}");
+        assert!(out.contains('\u{2190}'), "{out}");
+        let json = run(&opts(&["explain", "x.loop", "--json"])).unwrap();
+        assert!(json.starts_with("{\"schema\":\"simdize-explain/v1\""), "{json}");
+        let md = run(&opts(&["explain", "x.loop", "--policy", "zero", "--markdown"])).unwrap();
+        assert!(md.starts_with("# Worked example"), "{md}");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::error::GenCodeError;
 use crate::options::{CodegenOptions, ReuseMode};
 use crate::passes;
 use crate::sexpr::{SCond, SExpr};
+use crate::trace::{BoundFormula, CodegenEvent, CodegenTrace};
 use crate::vir::{Addr, SimdProgram, VInst, VReg};
 use simdize_ir::{AlignKind, ArrayRef, BinOp, Invariant, ScalarType, TripCount};
 use simdize_reorg::{NodeId, Offset, RNode, ReorgGraph, ShiftDir, VOpKind};
@@ -25,10 +26,28 @@ use std::collections::HashMap;
 /// Returns [`GenCodeError::InvalidGraph`] when the graph violates
 /// constraint (C.2) or (C.3); apply a [`simdize_reorg::Policy`] first.
 pub fn generate(graph: &ReorgGraph, options: &CodegenOptions) -> Result<SimdProgram, GenCodeError> {
+    let mut trace = CodegenTrace::new();
+    generate_traced(graph, options, &mut trace)
+}
+
+/// Like [`generate`], but records every structural decision — bound
+/// formula, prologue/epilogue shapes, reuse scheme, post-pass effects —
+/// into `trace`.
+///
+/// # Errors
+///
+/// Same as [`generate`]; on error the trace may hold the events emitted
+/// before the failure.
+pub fn generate_traced(
+    graph: &ReorgGraph,
+    options: &CodegenOptions,
+    trace: &mut CodegenTrace,
+) -> Result<SimdProgram, GenCodeError> {
     graph.validate()?;
     let mut generator = Generator::new(graph, options);
     let mut program = generator.run()?;
-    passes::run_pipeline(&mut program, options);
+    trace.events.append(&mut generator.trace.events);
+    passes::run_pipeline_traced(&mut program, options, trace);
     Ok(program)
 }
 
@@ -59,6 +78,8 @@ struct Generator<'g> {
     v: i64,
     /// Element size in bytes.
     d: i64,
+    /// Structural decisions made while generating.
+    trace: CodegenTrace,
 }
 
 impl<'g> Generator<'g> {
@@ -75,6 +96,7 @@ impl<'g> Generator<'g> {
             b: graph.blocking_factor() as i64,
             v: graph.shape().bytes() as i64,
             d: graph.program().elem().size() as i64,
+            trace: CodegenTrace::new(),
         }
     }
 
@@ -148,6 +170,16 @@ impl<'g> Generator<'g> {
         } else {
             ub_sexpr.clone().sub(SExpr::c(self.b - 1))
         };
+        self.trace.events.push(CodegenEvent::BoundsChosen {
+            lower_bound: self.b as u64,
+            upper_bound: upper_bound.clone(),
+            formula: if use_eq15 {
+                BoundFormula::Eq15
+            } else {
+                BoundFormula::Eq13
+            },
+            guard_min_trip,
+        });
 
         // Loop-carried accumulator registers, one per reduction.
         let mut accs: Vec<Option<VReg>> = vec![None; stmts.len()];
@@ -156,6 +188,13 @@ impl<'g> Generator<'g> {
         // Reductions initialize their accumulator with the first block
         // E(0) here instead of a partial store.
         for (idx, &(store, src, reduction)) in stmts.iter().enumerate() {
+            self.trace.events.push(CodegenEvent::ProloguePeeled {
+                stmt: idx,
+                prosplice: prosplices[idx].clone(),
+                spliced: prosplices[idx]
+                    .as_ref()
+                    .is_some_and(|ps| ps.as_const() != Some(0)),
+            });
             if reduction.is_some() {
                 let mut insts = Vec::new();
                 let first = self.gen_expr(src, 0, &mut insts, Mode::Std);
@@ -222,6 +261,10 @@ impl<'g> Generator<'g> {
             });
         }
         self.body = body;
+        self.trace.events.push(CodegenEvent::ReuseApplied {
+            mode: self.options.reuse_mode(),
+            carried_chains: self.carried.len(),
+        });
 
         // Epilogue (Figure 9, GenSimdStmt-Epilogue; eqs. 14/16),
         // executed with i at the first un-executed steady value.
@@ -230,6 +273,11 @@ impl<'g> Generator<'g> {
                 let acc = accs[idx].expect("initialized in prologue");
                 let ub = ub_sexpr.as_const().expect("reductions have known trips");
                 let residue = (ub % self.b) as usize;
+                self.trace.events.push(CodegenEvent::ReductionEpilogue {
+                    stmt: idx,
+                    residue,
+                    fold_steps: (self.b as u64).ilog2() as usize,
+                });
                 self.gen_reduction_epilogue(store, src, op, acc, residue, &program);
                 continue;
             }
@@ -245,6 +293,12 @@ impl<'g> Generator<'g> {
                     .add(ub_sexpr.clone().rem(SExpr::c(self.b)).mul(SExpr::c(self.d)))
             };
             let episplice = elo.clone().rem(SExpr::c(self.v));
+            self.trace.events.push(CodegenEvent::EpilogueForm {
+                stmt: idx,
+                leftover: elo.clone(),
+                episplice: episplice.clone(),
+                compile_time: elo.as_const().is_some(),
+            });
             let addr = Addr::new(store.array, store.offset);
 
             // Full vector store when a whole chunk is left (ELO >= V),

@@ -56,17 +56,19 @@ mod options;
 mod passes;
 mod sexpr;
 mod strided;
+mod trace;
 mod unaligned;
 mod verify;
 mod vir;
 
 pub use analysis::{max_live_vregs, MACHINE_VREGS};
 pub use error::GenCodeError;
-pub use generate::generate;
+pub use generate::{generate, generate_traced};
 pub use lower::lower_altivec;
 pub use options::{CodegenOptions, ReuseMode};
 pub use sexpr::{SCond, SExpr, ScalarEnv};
 pub use strided::{generate_strided, strided_model_opd, GenStridedError, MAX_STRIDE};
+pub use trace::{BoundFormula, CodegenEvent, CodegenTrace, SectionCounts};
 pub use unaligned::generate_unaligned;
 pub use verify::{verify_program, VerifyProgramError};
 pub use vir::{Addr, SimdProgram, VInst, VReg};

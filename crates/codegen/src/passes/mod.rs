@@ -6,6 +6,7 @@ mod pc;
 mod unroll;
 
 use crate::options::{CodegenOptions, ReuseMode};
+use crate::trace::{CodegenEvent, CodegenTrace, SectionCounts};
 use crate::vir::SimdProgram;
 
 /// Runs the configured pass pipeline in order:
@@ -18,20 +19,33 @@ use crate::vir::SimdProgram;
 /// 3. dead code elimination;
 /// 4. copy-removing unroll-by-2 when enabled and the steady body carries
 ///    registers.
-pub(crate) fn run_pipeline(program: &mut SimdProgram, options: &CodegenOptions) {
-    lvn::run(program, options.memnorm_enabled());
-    debug_verify(program, "lvn");
+///
+/// Each pass appends a [`CodegenEvent::PassApplied`] with before/after
+/// instruction counts to `trace`.
+pub(crate) fn run_pipeline_traced(
+    program: &mut SimdProgram,
+    options: &CodegenOptions,
+    trace: &mut CodegenTrace,
+) {
+    let mut traced = |program: &mut SimdProgram, pass, f: &dyn Fn(&mut SimdProgram)| {
+        let before = SectionCounts::of(program);
+        f(program);
+        debug_verify(program, pass);
+        trace.events.push(CodegenEvent::PassApplied {
+            pass,
+            before,
+            after: SectionCounts::of(program),
+        });
+    };
+    let memnorm = options.memnorm_enabled();
+    traced(program, "lvn", &|p| lvn::run(p, memnorm));
     if options.reuse_mode() == ReuseMode::PredictiveCommoning {
-        pc::run(program);
-        debug_verify(program, "pc");
-        lvn::run(program, options.memnorm_enabled());
-        debug_verify(program, "post-pc lvn");
+        traced(program, "pc", &pc::run);
+        traced(program, "post-pc lvn", &|p| lvn::run(p, memnorm));
     }
-    dce::run(program);
-    debug_verify(program, "dce");
+    traced(program, "dce", &dce::run);
     if options.unroll_enabled() {
-        unroll::run(program);
-        debug_verify(program, "unroll");
+        traced(program, "unroll", &unroll::run);
     }
 }
 

@@ -71,10 +71,10 @@ pub use simdize_analysis::{
     analyze_program, AnalysisFailed, AnalysisReport, AnalyzeOptions, Finding, Level, Lint, Section,
 };
 pub use simdize_codegen::{
-    generate, generate_strided, generate_unaligned, lower_altivec, max_live_vregs,
-    strided_model_opd, verify_program, Addr, CodegenOptions, GenCodeError, GenStridedError,
-    ReuseMode, SCond, SExpr, SimdProgram, VInst, VReg, VerifyProgramError, MACHINE_VREGS,
-    MAX_STRIDE,
+    generate, generate_strided, generate_traced, generate_unaligned, lower_altivec,
+    max_live_vregs, strided_model_opd, verify_program, Addr, BoundFormula, CodegenEvent,
+    CodegenOptions, CodegenTrace, GenCodeError, GenStridedError, ReuseMode, SCond, SExpr,
+    SectionCounts, SimdProgram, VInst, VReg, VerifyProgramError, MACHINE_VREGS, MAX_STRIDE,
 };
 pub use simdize_ir::{
     parse_program, AlignKind, ArrayDecl, ArrayId, ArrayRef, BinOp, Expr, Invariant, LoopBuilder,
@@ -83,11 +83,12 @@ pub use simdize_ir::{
 };
 pub use simdize_reorg::{
     distinct_alignments, reassociate, simdizable_aligned_only, simdizable_by_peeling, to_dot,
-    BuildGraphError, GraphStats, Offset, Policy, PolicyError, ReorgGraph, ValidateGraphError,
+    BuildGraphError, Constraint, GraphStats, Offset, PlacementEvent, PlacementTrace, Policy,
+    PolicyError, ReorgGraph, ValidateGraphError,
 };
 pub use simdize_engine::{
-    run_sweep, run_sweep_with, CompiledKernel, FusionStats, KernelOptions, NativeEngine,
-    PredecodedKernel, SweepJob, SweepOptions, SweepOutcome,
+    run_sweep, run_sweep_with, CompiledKernel, FusionEvent, FusionEventKind, FusionStats,
+    KernelOptions, NativeEngine, PredecodedKernel, SweepJob, SweepOptions, SweepOutcome,
 };
 pub use simdize_vm::{
     run_differential, run_scalar, run_simd, run_simd_traced, scalar_ideal_ops, DiffConfig,

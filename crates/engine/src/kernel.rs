@@ -29,7 +29,7 @@
 //! or stat, since [`RunStats`] are fixed before fusion runs.
 
 use crate::lanes::{self, Reg};
-use crate::trace::{self, FusionStats};
+use crate::trace::{self, FusionEvent, FusionStats};
 use simdize_codegen::{SCond, SExpr, ScalarEnv, SimdProgram, VInst};
 use simdize_ir::{ArrayId, BinOp, LoopProgram, ScalarType, UnOp, Value, VectorShape};
 use simdize_vm::{
@@ -197,6 +197,7 @@ pub struct CompiledKernel {
     fallback: Option<FallbackPlan>,
     disassembly: String,
     fusion: FusionStats,
+    fusion_events: Vec<FusionEvent>,
     fused: bool,
 }
 
@@ -729,6 +730,7 @@ impl PredecodedKernel {
                     self.guard_min_trip
                 ),
                 fusion: FusionStats::default(),
+                fusion_events: Vec::new(),
                 fused: opts.fuse,
             });
         }
@@ -822,7 +824,7 @@ impl PredecodedKernel {
 
         // Stats are final: fusion below only changes how the host
         // executes the trace, never what the machine model charges.
-        let (pair_header, body_header, fusion) = if opts.fuse {
+        let (pair_header, body_header, fusion, fusion_events) = if opts.fuse {
             trace::optimize(trace::Sections {
                 prologue: &mut prologue,
                 pair: &mut pair,
@@ -834,7 +836,7 @@ impl PredecodedKernel {
                 elem: self.elem,
             })
         } else {
-            (Vec::new(), Vec::new(), FusionStats::default())
+            (Vec::new(), Vec::new(), FusionStats::default(), Vec::new())
         };
 
         Ok(CompiledKernel {
@@ -855,6 +857,7 @@ impl PredecodedKernel {
             fallback: None,
             disassembly: bk.dis,
             fusion,
+            fusion_events,
             fused: opts.fuse,
         })
     }
@@ -952,6 +955,13 @@ impl CompiledKernel {
     /// baked with fusion disabled).
     pub fn fusion_stats(&self) -> FusionStats {
         self.fusion
+    }
+
+    /// The individual rewrites the trace fusion pass applied, in order
+    /// (empty when baked with fusion disabled). Each names its section
+    /// and — for fused loads — the array.
+    pub fn fusion_events(&self) -> &[FusionEvent] {
+        &self.fusion_events
     }
 
     /// A human-readable listing of the lowered kernel: baked offsets,

@@ -77,4 +77,4 @@ mod trace;
 
 pub use batch::{run_sweep, run_sweep_with, SweepJob, SweepOptions, SweepOutcome};
 pub use kernel::{CompiledKernel, KernelOptions, NativeEngine, PredecodedKernel};
-pub use trace::FusionStats;
+pub use trace::{FusionEvent, FusionEventKind, FusionStats};

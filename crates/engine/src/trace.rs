@@ -54,6 +54,74 @@ pub struct FusionStats {
     pub eliminated: usize,
 }
 
+/// One rewrite applied by the trace-fusion pass, for the decision
+/// trace (`simdize-explain`). Unlike [`FusionStats`], which only
+/// counts, events name the section and — for fused loads — the array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionEvent {
+    /// The kernel section the rewrite happened in (`"prologue"`,
+    /// `"pair"`, `"body"`, `"epilogue"`, `"pair header"`,
+    /// `"body header"`).
+    pub section: &'static str,
+    /// What happened.
+    pub kind: FusionEventKind,
+}
+
+/// The kind of rewrite a [`FusionEvent`] records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionEventKind {
+    /// A `vload`+`vshiftpair` chain over provably adjacent windows was
+    /// rewritten into one fused load of the array with baked index
+    /// `arr` (the program's declaration order).
+    LoadFused {
+        /// Baked array index.
+        arr: u32,
+    },
+    /// An op whose operands were all compile-time-known folded to a
+    /// splat immediate.
+    FoldedToSplat,
+    /// A binop with exactly one known operand became an
+    /// immediate-carrying form.
+    ImmediateForm,
+    /// Iteration-invariant ops were moved into the section's once-run
+    /// header.
+    Hoisted {
+        /// How many ops moved.
+        count: usize,
+    },
+    /// Dead ops were deleted by the global liveness sweep.
+    Eliminated {
+        /// How many ops died.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for FusionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let section = self.section;
+        match self.kind {
+            FusionEventKind::LoadFused { arr } => write!(
+                f,
+                "{section}: vload+vshiftpair chain fused into one load of array #{arr}"
+            ),
+            FusionEventKind::FoldedToSplat => {
+                write!(f, "{section}: known-operand op folded to a splat immediate")
+            }
+            FusionEventKind::ImmediateForm => write!(
+                f,
+                "{section}: binop with one known operand rewritten to an immediate form"
+            ),
+            FusionEventKind::Hoisted { count } => write!(
+                f,
+                "{section}: {count} iteration-invariant op(s) hoisted into a once-run header"
+            ),
+            FusionEventKind::Eliminated { count } => {
+                write!(f, "{section}: {count} dead op(s) deleted")
+            }
+        }
+    }
+}
+
 /// The baked sections of one kernel, handed over for optimization.
 pub(crate) struct Sections<'a> {
     pub(crate) prologue: &'a mut Vec<Op>,
@@ -80,42 +148,44 @@ enum Fact {
 }
 
 /// Runs the full pass over a kernel's sections. Returns the hoisted
-/// pair and body headers plus the fusion telemetry.
-pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats) {
+/// pair and body headers plus the fusion telemetry: aggregate counts
+/// and the per-rewrite event list.
+pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats, Vec<FusionEvent>) {
     let mut st = FusionStats::default();
+    let mut ev = Vec::new();
     let mut facts = vec![Fact::Bottom; s.nregs];
-    rewrite(s.prologue, &mut facts, s.elem, &mut st);
+    rewrite(s.prologue, &mut facts, s.elem, &mut st, "prologue", &mut ev);
 
     let mut pair_header = Vec::new();
     if s.pair_iters > 0 {
         let entry = loop_entry(&facts, s.pair, s.elem);
         let mut work = entry;
-        rewrite(s.pair, &mut work, s.elem, &mut st);
-        pair_header = hoist(s.pair, s.pair_iters, s.nregs, &mut st);
+        rewrite(s.pair, &mut work, s.elem, &mut st, "pair", &mut ev);
+        pair_header = hoist(s.pair, s.pair_iters, s.nregs, &mut st, "pair", &mut ev);
         facts = concretize(work, s.pair_iters);
     }
     let mut body_header = Vec::new();
     if s.body_iters > 0 {
         let entry = loop_entry(&facts, s.body, s.elem);
         let mut work = entry;
-        rewrite(s.body, &mut work, s.elem, &mut st);
-        body_header = hoist(s.body, s.body_iters, s.nregs, &mut st);
+        rewrite(s.body, &mut work, s.elem, &mut st, "body", &mut ev);
+        body_header = hoist(s.body, s.body_iters, s.nregs, &mut st, "body", &mut ev);
         facts = concretize(work, s.body_iters);
     }
-    rewrite(s.epilogue, &mut facts, s.elem, &mut st);
+    rewrite(s.epilogue, &mut facts, s.elem, &mut st, "epilogue", &mut ev);
 
     {
         let mut segments = [
-            Segment { ops: s.prologue, iters: 1 },
-            Segment { ops: &mut pair_header, iters: 1 },
-            Segment { ops: s.pair, iters: s.pair_iters },
-            Segment { ops: &mut body_header, iters: 1 },
-            Segment { ops: s.body, iters: s.body_iters },
-            Segment { ops: s.epilogue, iters: 1 },
+            Segment { ops: s.prologue, iters: 1, name: "prologue" },
+            Segment { ops: &mut pair_header, iters: 1, name: "pair header" },
+            Segment { ops: s.pair, iters: s.pair_iters, name: "pair" },
+            Segment { ops: &mut body_header, iters: 1, name: "body header" },
+            Segment { ops: s.body, iters: s.body_iters, name: "body" },
+            Segment { ops: s.epilogue, iters: 1, name: "epilogue" },
         ];
-        dce(&mut segments, s.nregs, &mut st);
+        dce(&mut segments, s.nregs, &mut st, &mut ev);
     }
-    (pair_header, body_header, st)
+    (pair_header, body_header, st, ev)
 }
 
 /// The defined register of `op`, if any (only `Store` has none).
@@ -338,7 +408,14 @@ fn concretize(facts: Vec<Fact>, iters: i64) -> Vec<Fact> {
 /// windows into fused loads and known-operand arithmetic into
 /// splat/immediate forms, threading `facts` through every (rewritten)
 /// op.
-fn rewrite(ops: &mut [Op], facts: &mut [Fact], elem: ScalarType, st: &mut FusionStats) {
+fn rewrite(
+    ops: &mut [Op],
+    facts: &mut [Fact],
+    elem: ScalarType,
+    st: &mut FusionStats,
+    section: &'static str,
+    ev: &mut Vec<FusionEvent>,
+) {
     for op in ops.iter_mut() {
         let new = match *op {
             Op::Shift { dst, a, b, amt } => {
@@ -362,10 +439,21 @@ fn rewrite(ops: &mut [Op], facts: &mut [Fact], elem: ScalarType, st: &mut Fusion
             _ => None,
         };
         if let Some(new) = new {
-            match new {
-                Op::LoadFused { .. } => st.fused_loads += 1,
-                _ => st.splat_ops += 1,
-            }
+            let kind = match new {
+                Op::LoadFused { arr, .. } => {
+                    st.fused_loads += 1;
+                    FusionEventKind::LoadFused { arr }
+                }
+                Op::BinSplat { .. } => {
+                    st.splat_ops += 1;
+                    FusionEventKind::ImmediateForm
+                }
+                _ => {
+                    st.splat_ops += 1;
+                    FusionEventKind::FoldedToSplat
+                }
+            };
+            ev.push(FusionEvent { section, kind });
             *op = new;
         }
         flow(op, facts, elem);
@@ -380,7 +468,14 @@ fn rewrite(ops: &mut [Op], facts: &mut [Fact], elem: ScalarType, st: &mut Fusion
 /// defined in the loop, or defined by an already-hoisted op), and — for
 /// loads — the address does not advance and no store in the loop
 /// touches the loaded window during any iteration.
-fn hoist(ops: &mut Vec<Op>, iters: i64, nregs: usize, st: &mut FusionStats) -> Vec<Op> {
+fn hoist(
+    ops: &mut Vec<Op>,
+    iters: i64,
+    nregs: usize,
+    st: &mut FusionStats,
+    section: &'static str,
+    ev: &mut Vec<FusionEvent>,
+) -> Vec<Op> {
     let mut def_count = vec![0u32; nregs];
     let mut upward = vec![false; nregs];
     let mut defined = vec![false; nregs];
@@ -443,12 +538,19 @@ fn hoist(ops: &mut Vec<Op>, iters: i64, nregs: usize, st: &mut FusionStats) -> V
         }
     }
     *ops = kept;
+    if !header.is_empty() {
+        ev.push(FusionEvent {
+            section,
+            kind: FusionEventKind::Hoisted { count: header.len() },
+        });
+    }
     header
 }
 
 struct Segment<'a> {
     ops: &'a mut Vec<Op>,
     iters: i64,
+    name: &'static str,
 }
 
 /// Registers a section reads before (re)defining them — the values it
@@ -480,11 +582,12 @@ fn upward_uses(ops: &[Op], nregs: usize) -> Vec<bool> {
 /// op whose result is dead can go; stores define nothing and are never
 /// removed. Iterates to a fixpoint so fused-away load/copy chains
 /// unravel fully.
-fn dce(segments: &mut [Segment<'_>], nregs: usize, st: &mut FusionStats) {
+fn dce(segments: &mut [Segment<'_>], nregs: usize, st: &mut FusionStats, ev: &mut Vec<FusionEvent>) {
+    let mut per_segment = vec![0usize; segments.len()];
     loop {
         let mut removed = 0usize;
         let mut live = vec![false; nregs]; // nothing is observed after the epilogue
-        for seg in segments.iter_mut().rev() {
+        for (seg_idx, seg) in segments.iter_mut().enumerate().rev() {
             if seg.iters > 1 {
                 for (l, n) in live.iter_mut().zip(upward_uses(seg.ops, nregs)) {
                     *l |= n;
@@ -497,6 +600,7 @@ fn dce(segments: &mut [Segment<'_>], nregs: usize, st: &mut FusionStats) {
                     if !live[d as usize] {
                         keep[idx] = false;
                         removed += 1;
+                        per_segment[seg_idx] += 1;
                         continue;
                     }
                     live[d as usize] = false;
@@ -510,6 +614,14 @@ fn dce(segments: &mut [Segment<'_>], nregs: usize, st: &mut FusionStats) {
             break;
         }
         st.eliminated += removed;
+    }
+    for (seg, count) in segments.iter().zip(per_segment) {
+        if count > 0 {
+            ev.push(FusionEvent {
+                section: seg.name,
+                kind: FusionEventKind::Eliminated { count },
+            });
+        }
     }
 }
 
@@ -533,7 +645,7 @@ mod tests {
         epilogue: &mut Vec<Op>,
         nregs: usize,
     ) -> (Vec<Op>, Vec<Op>, FusionStats) {
-        optimize(Sections {
+        let (ph, bh, st, _) = optimize(Sections {
             prologue,
             pair,
             pair_iters,
@@ -542,7 +654,8 @@ mod tests {
             epilogue,
             nregs,
             elem: elem(),
-        })
+        });
+        (ph, bh, st)
     }
 
     #[test]

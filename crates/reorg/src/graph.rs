@@ -414,7 +414,7 @@ impl ReorgGraph {
         }
     }
 
-    fn ref_str(&self, r: ArrayRef) -> String {
+    pub(crate) fn ref_str(&self, r: ArrayRef) -> String {
         let name = self.program.array(r.array).name();
         match r.offset {
             0 => format!("{name}[i]"),

@@ -57,6 +57,7 @@ mod offset;
 mod policy;
 mod reassoc;
 mod stats;
+mod trace;
 
 pub use applicability::{simdizable_aligned_only, simdizable_by_peeling};
 pub use dot::to_dot;
@@ -66,3 +67,4 @@ pub use offset::{shift_amount, Offset, ShiftDir};
 pub use policy::Policy;
 pub use reassoc::reassociate;
 pub use stats::{distinct_alignments, GraphStats};
+pub use trace::{Constraint, PlacementEvent, PlacementTrace};

@@ -3,6 +3,7 @@
 use crate::error::PolicyError;
 use crate::graph::{NodeId, RNode, ReorgGraph};
 use crate::offset::Offset;
+use crate::trace::{Constraint, PlacementEvent, PlacementTrace};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -82,6 +83,25 @@ impl ReorgGraph {
     ///   than zero-shift is requested and some alignment is unknown at
     ///   compile time.
     pub fn with_policy(&self, policy: Policy) -> Result<ReorgGraph, PolicyError> {
+        let mut trace = PlacementTrace::new();
+        self.with_policy_traced(policy, &mut trace)
+    }
+
+    /// Like [`ReorgGraph::with_policy`], but records every placement
+    /// decision — offsets computed, (C.2)/(C.3) instantiations, shifts
+    /// inserted or elided with the rule that fired — into `trace`.
+    ///
+    /// Node ids in the recorded events refer to the *returned* graph.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReorgGraph::with_policy`]; on error the trace is left
+    /// unchanged.
+    pub fn with_policy_traced(
+        &self,
+        policy: Policy,
+        trace: &mut PlacementTrace,
+    ) -> Result<ReorgGraph, PolicyError> {
         if let Some(existing) = self.policy {
             return Err(PolicyError::AlreadyPlaced { existing });
         }
@@ -103,7 +123,8 @@ impl ReorgGraph {
                 RNode::Store { r, src } => (*r, *src),
                 other => unreachable!("root is not a store: {other:?}"),
             };
-            let store_off = if self.program.stmts()[idx].is_reduction() {
+            let reduction = self.program.stmts()[idx].is_reduction();
+            let store_off = if reduction {
                 Offset::Byte(0)
             } else {
                 Offset::of_ref(r, &self.program, self.shape)
@@ -115,35 +136,37 @@ impl ReorgGraph {
             // shift; see `natural_target`).
             let natural_store = natural_target(store_off, elem_size);
 
+            let placer = Placer {
+                old: self,
+                stmt: idx,
+                policy,
+                elem_size,
+            };
             let (new_src, src_off) = match policy {
-                Policy::Zero => rebuild(
-                    self,
-                    &mut out,
-                    src_old,
-                    ShiftLeavesTo(Offset::Byte(0)),
-                    elem_size,
-                ),
-                Policy::Eager => rebuild(
-                    self,
-                    &mut out,
-                    src_old,
-                    ShiftLeavesTo(natural_store),
-                    elem_size,
-                ),
-                Policy::Lazy => rebuild(
-                    self,
-                    &mut out,
-                    src_old,
-                    ReconcileTo(natural_store),
-                    elem_size,
-                ),
+                Policy::Zero => {
+                    placer.rebuild(&mut out, src_old, ShiftLeavesTo(Offset::Byte(0)), trace)
+                }
+                Policy::Eager => {
+                    placer.rebuild(&mut out, src_old, ShiftLeavesTo(natural_store), trace)
+                }
+                Policy::Lazy => {
+                    placer.rebuild(&mut out, src_old, ReconcileTo(natural_store), trace)
+                }
                 Policy::Dominant => {
-                    let d = dominant_offset(self, src_old, natural_store, elem_size);
-                    rebuild(self, &mut out, src_old, ReconcileTo(d), elem_size)
+                    let (d, histogram) =
+                        dominant_offset(self, src_old, natural_store, elem_size);
+                    trace.events.push(PlacementEvent::DominantChosen {
+                        stmt: idx,
+                        target: d,
+                        histogram,
+                        store: store_off,
+                    });
+                    placer.rebuild(&mut out, src_old, ReconcileTo(d), trace)
                 }
             };
 
-            let final_src = if src_off.matches(store_off) {
+            let satisfied = src_off.matches(store_off);
+            let final_src = if satisfied {
                 new_src
             } else {
                 out.add(RNode::ShiftStream {
@@ -152,6 +175,57 @@ impl ReorgGraph {
                 })
             };
             let new_root = out.add(RNode::Store { r, src: final_src });
+            let desc = if reduction {
+                format!(
+                    "vstore({}) [reduction: accumulator kept at offset 0]",
+                    self.ref_str(r)
+                )
+            } else {
+                format!("vstore({})", self.ref_str(r))
+            };
+            trace.events.push(PlacementEvent::OffsetComputed {
+                stmt: idx,
+                node: new_root,
+                desc,
+                offset: store_off,
+            });
+            trace.events.push(PlacementEvent::ConstraintChecked {
+                stmt: idx,
+                constraint: Constraint::C2,
+                node: new_root,
+                required: store_off,
+                found: src_off,
+                satisfied,
+            });
+            if satisfied {
+                trace.events.push(PlacementEvent::ShiftElided {
+                    stmt: idx,
+                    node: new_src,
+                    offset: src_off,
+                    rule: "source stream already at the store offset; (C.2) holds without a \
+                           shift"
+                        .to_string(),
+                });
+            } else {
+                let rule = if policy == Policy::Zero {
+                    "zero-shift: one right shift from offset 0 to the store offset just \
+                     before the store (§4.4, works for runtime alignments)"
+                        .to_string()
+                } else {
+                    format!(
+                        "final shift to satisfy (C.2): the {policy}-placed stream offset \
+                         differs from the store offset"
+                    )
+                };
+                trace.events.push(PlacementEvent::ShiftInserted {
+                    stmt: idx,
+                    node: final_src,
+                    src: new_src,
+                    from: src_off,
+                    to: store_off,
+                    rule,
+                });
+            }
             out.roots.push(new_root);
         }
         Ok(out)
@@ -179,90 +253,229 @@ fn natural_target(offset: Offset, elem_size: u32) -> Offset {
     }
 }
 
-/// Recursively copies the subtree at `node` from `old` into `out`,
-/// inserting shifts per `strategy`; returns the new node and its stream
-/// offset. All `vop` results end up at natural offsets.
-fn rebuild(
-    old: &ReorgGraph,
-    out: &mut ReorgGraph,
-    node: NodeId,
-    strategy: Strategy,
+/// Per-statement context for the recursive traced rebuild.
+struct Placer<'a> {
+    old: &'a ReorgGraph,
+    stmt: usize,
+    policy: Policy,
     elem_size: u32,
-) -> (NodeId, Offset) {
-    match old.node(node).clone() {
-        RNode::Load { r } => {
-            let off = old.offset_of(node);
-            let loaded = out.add(RNode::Load { r });
-            match strategy {
-                ShiftLeavesTo(target) if !off.matches(target) => {
-                    let s = out.add(RNode::ShiftStream {
-                        src: loaded,
-                        to: target,
-                    });
-                    (s, target)
-                }
-                _ => (loaded, off),
-            }
-        }
-        RNode::Splat { inv } => (out.add(RNode::Splat { inv }), Offset::Any),
-        RNode::Op { kind, srcs } => {
-            let rebuilt: Vec<(NodeId, Offset)> = srcs
-                .iter()
-                .map(|&s| rebuild(old, out, s, strategy, elem_size))
-                .collect();
-            let meet = rebuilt
-                .iter()
-                .try_fold(Offset::Any, |acc, &(_, o)| acc.meet(o));
-            match meet {
-                // A natural agreed offset can be computed on in place;
-                // a non-natural one (possible only with non-naturally
-                // aligned arrays) must still be reconciled.
-                Some(common) if common.is_natural(elem_size) => {
-                    let ids = rebuilt.iter().map(|&(n, _)| n).collect();
-                    (out.add(RNode::Op { kind, srcs: ids }), common)
-                }
-                _ => {
-                    // Conflict: reconcile every operand to the strategy's
-                    // target offset. (Under ShiftLeavesTo the leaves are
-                    // already uniform, so this branch is lazy/dominant.)
-                    let target = match strategy {
-                        ShiftLeavesTo(t) | ReconcileTo(t) => t,
-                    };
-                    let ids = rebuilt
-                        .into_iter()
-                        .map(|(n, o)| {
-                            if o.matches(target) {
-                                n
-                            } else {
-                                out.add(RNode::ShiftStream { src: n, to: target })
+}
+
+impl Placer<'_> {
+    /// Recursively copies the subtree at `node` from `self.old` into
+    /// `out`, inserting shifts per `strategy` and recording each
+    /// decision in `trace`; returns the new node and its stream offset.
+    /// All `vop` results end up at natural offsets.
+    fn rebuild(
+        &self,
+        out: &mut ReorgGraph,
+        node: NodeId,
+        strategy: Strategy,
+        trace: &mut PlacementTrace,
+    ) -> (NodeId, Offset) {
+        let stmt = self.stmt;
+        match self.old.node(node).clone() {
+            RNode::Load { r } => {
+                let off = self.old.offset_of(node);
+                let loaded = out.add(RNode::Load { r });
+                trace.events.push(PlacementEvent::OffsetComputed {
+                    stmt,
+                    node: loaded,
+                    desc: format!("vload({})", self.old.ref_str(r)),
+                    offset: off,
+                });
+                match strategy {
+                    ShiftLeavesTo(target) if !off.matches(target) => {
+                        let s = out.add(RNode::ShiftStream {
+                            src: loaded,
+                            to: target,
+                        });
+                        let rule = match self.policy {
+                            Policy::Zero => {
+                                "zero-shift: every load stream is left-shifted to offset 0 \
+                                 immediately after the load (§3.4; the only policy valid \
+                                 for runtime alignments)"
+                                    .to_string()
                             }
-                        })
-                        .collect();
-                    (out.add(RNode::Op { kind, srcs: ids }), target)
+                            _ => "eager-shift: each load stream is shifted directly to the \
+                                  store's natural offset (§3.4)"
+                                .to_string(),
+                        };
+                        trace.events.push(PlacementEvent::ShiftInserted {
+                            stmt,
+                            node: s,
+                            src: loaded,
+                            from: off,
+                            to: target,
+                            rule,
+                        });
+                        (s, target)
+                    }
+                    ShiftLeavesTo(target) => {
+                        trace.events.push(PlacementEvent::ShiftElided {
+                            stmt,
+                            node: loaded,
+                            offset: off,
+                            rule: format!(
+                                "load stream is already at the {}-shift target offset \
+                                 {target}",
+                                self.policy
+                            ),
+                        });
+                        (loaded, off)
+                    }
+                    ReconcileTo(_) => {
+                        trace.events.push(PlacementEvent::ShiftElided {
+                            stmt,
+                            node: loaded,
+                            offset: off,
+                            rule: format!(
+                                "{}-shift delays shifts: the load is kept at its natural \
+                                 offset until a constraint forces movement",
+                                self.policy
+                            ),
+                        });
+                        (loaded, off)
+                    }
                 }
             }
-        }
-        RNode::ShiftStream { .. } | RNode::Store { .. } => {
-            unreachable!("policies run on unshifted expression subtrees")
+            RNode::Splat { inv } => {
+                let n = out.add(RNode::Splat { inv });
+                trace.events.push(PlacementEvent::OffsetComputed {
+                    stmt,
+                    node: n,
+                    desc: format!("vsplat({inv})"),
+                    offset: Offset::Any,
+                });
+                (n, Offset::Any)
+            }
+            RNode::Op { kind, srcs } => {
+                let rebuilt: Vec<(NodeId, Offset)> = srcs
+                    .iter()
+                    .map(|&s| self.rebuild(out, s, strategy, trace))
+                    .collect();
+                let meet = rebuilt
+                    .iter()
+                    .try_fold(Offset::Any, |acc, &(_, o)| acc.meet(o));
+                match meet {
+                    // A natural agreed offset can be computed on in place;
+                    // a non-natural one (possible only with non-naturally
+                    // aligned arrays) must still be reconciled.
+                    Some(common) if common.is_natural(self.elem_size) => {
+                        let ids = rebuilt.iter().map(|&(n, _)| n).collect();
+                        let op = out.add(RNode::Op { kind, srcs: ids });
+                        trace.events.push(PlacementEvent::ConstraintChecked {
+                            stmt,
+                            constraint: Constraint::C3,
+                            node: op,
+                            required: common,
+                            found: common,
+                            satisfied: true,
+                        });
+                        (op, common)
+                    }
+                    _ => {
+                        // Conflict: reconcile every operand to the strategy's
+                        // target offset. (Under ShiftLeavesTo the leaves are
+                        // already uniform, so this branch is lazy/dominant.)
+                        let target = match strategy {
+                            ShiftLeavesTo(t) | ReconcileTo(t) => t,
+                        };
+                        // The check is the *reason* for the shifts below,
+                        // so it reads first in the trace; remember where
+                        // to insert it once the vop node id is known.
+                        let mark = trace.events.len();
+                        let found = rebuilt
+                            .iter()
+                            .map(|&(_, o)| o)
+                            .find(|o| !o.matches(target))
+                            .unwrap_or(target);
+                        let ids = rebuilt
+                            .into_iter()
+                            .map(|(n, o)| {
+                                if o.matches(target) {
+                                    trace.events.push(PlacementEvent::ShiftElided {
+                                        stmt,
+                                        node: n,
+                                        offset: o,
+                                        rule: format!(
+                                            "operand already at the reconciliation target \
+                                             {target}"
+                                        ),
+                                    });
+                                    n
+                                } else {
+                                    let s =
+                                        out.add(RNode::ShiftStream { src: n, to: target });
+                                    trace.events.push(PlacementEvent::ShiftInserted {
+                                        stmt,
+                                        node: s,
+                                        src: n,
+                                        from: o,
+                                        to: target,
+                                        rule: format!(
+                                            "{}-shift reconciles the (C.3) conflict: \
+                                             operand shifted to {}",
+                                            self.policy,
+                                            match self.policy {
+                                                Policy::Dominant =>
+                                                    "the statement's dominant offset",
+                                                _ => "the store's natural offset",
+                                            }
+                                        ),
+                                    });
+                                    s
+                                }
+                            })
+                            .collect();
+                        let op = out.add(RNode::Op { kind, srcs: ids });
+                        trace.events.insert(
+                            mark,
+                            PlacementEvent::ConstraintChecked {
+                                stmt,
+                                constraint: Constraint::C3,
+                                node: op,
+                                required: target,
+                                found,
+                                satisfied: false,
+                            },
+                        );
+                        (op, target)
+                    }
+                }
+            }
+            RNode::ShiftStream { .. } | RNode::Store { .. } => {
+                unreachable!("policies run on unshifted expression subtrees")
+            }
         }
     }
 }
 
 /// The statement's dominant stream offset: the most frequent offset over
 /// all load streams plus the store stream, preferring the store offset
-/// and then the smallest byte value on ties.
-fn dominant_offset(old: &ReorgGraph, src: NodeId, store_off: Offset, elem_size: u32) -> Offset {
+/// and then the smallest byte value on ties. Also returns the offset
+/// histogram (`(byte, count)` sorted by byte) for the decision trace.
+fn dominant_offset(
+    old: &ReorgGraph,
+    src: NodeId,
+    store_off: Offset,
+    elem_size: u32,
+) -> (Offset, Vec<(u32, usize)>) {
     let mut histogram: HashMap<u32, usize> = HashMap::new();
     collect_load_offsets(old, src, &mut histogram, elem_size);
     if let Offset::Byte(b) = store_off {
         *histogram.entry(b).or_insert(0) += 1;
     }
     let store_byte = store_off.known();
-    histogram
-        .into_iter()
+    let chosen = histogram
+        .iter()
+        .map(|(&byte, &count)| (byte, count))
         .max_by_key(|&(byte, count)| (count, Some(byte) == store_byte, u32::MAX - byte))
         .map(|(byte, _)| Offset::Byte(byte))
-        .unwrap_or(store_off)
+        .unwrap_or(store_off);
+    let mut hist: Vec<(u32, usize)> = histogram.into_iter().collect();
+    hist.sort_unstable();
+    (chosen, hist)
 }
 
 fn collect_load_offsets(

@@ -6,6 +6,9 @@
 # `cargo build`/`cargo test` pair is the tier-1 gate; the rest of the
 # script widens it to the full workspace (bench + cli are not in the
 # root package's dependency graph), lints with clippy at -D warnings,
+# builds rustdoc with warnings denied (every crate warns on
+# missing_docs), runs the doctests, builds the examples, checks that
+# the generated worked-example docs are current,
 # and finishes with an end-to-end smoke sweep through the CLI binary:
 # eight seeds of Figure 1 compiled by the native engine and verified
 # against the scalar oracle on four worker threads, followed by the
@@ -27,6 +30,20 @@ cargo test -q --release --offline --workspace
 echo "== clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== docs (rustdoc builds cleanly, doctests pass) =="
+# Every crate carries #![warn(missing_docs)]; promote rustdoc warnings
+# to errors so public items cannot ship undocumented.
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
+cargo test -q --offline --doc --workspace
+
+echo "== examples build =="
+cargo build -q --release --offline --examples
+
+echo "== worked-example docs are current =="
+# Regenerates docs/worked-examples/ into a temp dir and diffs against
+# the checked-in pages; any drift fails CI (see scripts/gen-docs.sh).
+scripts/gen-docs.sh --check
+
 echo "== smoke sweep (native engine, 8 seeds) =="
 target/release/simdize sweep loops/figure1.loop --smoke --jobs 4
 
@@ -42,5 +59,10 @@ for loop in loops/*.loop; do
     target/release/simdize analyze "$loop"
 done
 target/release/simdize analyze loops/figure1.loop --reuse pc --policy lazy --json
+
+echo "== explain smoke (decision traces render in all three formats) =="
+target/release/simdize explain loops/figure1.loop > /dev/null
+target/release/simdize explain loops/figure1.loop --policy zero --json > /dev/null
+target/release/simdize explain loops/runtime.loop --policy eager --markdown > /dev/null
 
 echo "== ci OK =="
