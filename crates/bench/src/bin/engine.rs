@@ -11,7 +11,17 @@
 //! --floor X      minimum fused-engine speedup vs the interpreter
 //!                (default 5; the harness exits non-zero below it)
 //! --threads N    sweep worker threads (default: available parallelism)
+//! --history-dir DIR   where to append the timestamped history entry
+//!                (default bench_history)
+//! --no-history   skip appending to the bench history
 //! ```
+//!
+//! Besides the flat report, every run appends a
+//! `simdize-bench-history/v1` entry (timestamp + git SHA + host
+//! fingerprint wrapping the report) to the history directory, so
+//! `simdize bench diff` has a trajectory to compare against. The entry
+//! is appended even when a perf gate fails — a regression you can
+//! diff is worth more than a missing data point.
 //!
 //! The kernel set is steady-state dominated by construction: large
 //! trip counts over misaligned streams, where the trace fusion pass
@@ -24,6 +34,7 @@ use simdize::{
     RunInput, Simdizer, SweepJob, SweepOptions, VectorShape,
 };
 use simdize_bench::timing::{black_box, Harness};
+use simdize_telemetry::history;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -223,19 +234,21 @@ fn render_json(mode: &str, floor: f64, kernels: &[KernelRow], sweeps: &[SweepRow
         let _ = writeln!(out, "      \"fused_ns\": {:.0},", k.fused_ns);
         let _ = writeln!(out, "      \"unfused_ns\": {:.0},", k.unfused_ns);
         let _ = writeln!(out, "      \"interp_ns\": {:.0},", k.interp_ns);
+        // Full precision: `{:.3e}` truncated these to three significant
+        // digits, which made history diffs quantize at the 0.1% level.
         let _ = writeln!(
             out,
-            "      \"fused_ops_per_sec\": {:.3e},",
+            "      \"fused_ops_per_sec\": {:.0},",
             ops_per_sec(k.stats_total, k.fused_ns)
         );
         let _ = writeln!(
             out,
-            "      \"unfused_ops_per_sec\": {:.3e},",
+            "      \"unfused_ops_per_sec\": {:.0},",
             ops_per_sec(k.stats_total, k.unfused_ns)
         );
         let _ = writeln!(
             out,
-            "      \"interp_ops_per_sec\": {:.3e},",
+            "      \"interp_ops_per_sec\": {:.0},",
             ops_per_sec(k.stats_total, k.interp_ns)
         );
         let _ = writeln!(out, "      \"speedup_vs_interp\": {:.2},", k.speedup_vs_interp);
@@ -286,11 +299,16 @@ fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut floor = 5.0f64;
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut history_dir = Some("bench_history".to_string());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a value"),
+            "--history-dir" => {
+                history_dir = Some(args.next().expect("--history-dir needs a value"))
+            }
+            "--no-history" => history_dir = None,
             "--floor" => {
                 floor = args
                     .next()
@@ -368,6 +386,13 @@ fn main() {
     let json = render_json(if quick { "quick" } else { "full" }, floor, &kernels, &sweeps);
     std::fs::write(&out_path, &json).expect("write JSON report");
     println!("\nwrote {out_path}");
+
+    if let Some(dir) = history_dir {
+        let meta = history::HistoryMeta::now(std::path::Path::new("."));
+        let entry = history::append_entry(std::path::Path::new(&dir), &meta, &json)
+            .expect("append bench-history entry");
+        println!("appended {}", entry.display());
+    }
 
     let mut failed = false;
     for k in &kernels {

@@ -19,6 +19,12 @@
 //!              with OPD accounting (--json / --markdown)
 //!   policies   compare all four shift-placement policies on the loop
 //!   sweep      run the loop over many memory seeds on worker threads
+//!   profile    instrumented end-to-end pass: span tree over every
+//!              pipeline phase plus engine metrics (--json for the
+//!              versioned simdize-telemetry/v1 document)
+//!   bench diff [old new]   compare two bench-history entries with
+//!              noise-aware thresholds; exits non-zero on regression
+//!              (defaults to the two newest entries in --dir)
 //!
 //! options:
 //!   --policy zero|eager|lazy|dominant   force a placement policy
@@ -39,6 +45,13 @@
 //!                                       an alias)
 //!   --count N                           sweep seeds to cover (default 32)
 //!   --smoke                             quick 8-seed sweep preset
+//!   --telemetry                         collect and print span/metric
+//!                                       telemetry around `run`/`sweep`
+//!   --dir PATH                          bench-history directory for
+//!                                       `bench diff` (default bench_history)
+//!   --threshold F                       allowed relative loss before a
+//!                                       metric counts as regressed
+//!                                       (default 0.25; timings get 2x)
 //!   --dot / --asm                       alternative output formats
 //! ```
 
@@ -46,11 +59,12 @@
 #![warn(missing_docs)]
 
 use simdize::{
-    analyze_program, lower_altivec, run_scalar, run_sweep, to_dot, AnalyzeOptions, CompiledKernel,
-    DiffConfig, Level, Lint, MemoryImage, Policy, ReorgGraph, ReuseMode, RunInput, Scheme,
-    SimdizeError, Simdizer, SweepJob, Target, VectorShape,
+    analyze_program, lower_altivec, run_scalar, run_sweep_collect, to_dot, AnalyzeOptions,
+    CompiledKernel, DiffConfig, Level, Lint, MemoryImage, Policy, ReorgGraph, ReuseMode, RunInput,
+    Scheme, SimdizeError, Simdizer, SweepJob, SweepOptions, Target, VectorShape,
 };
 use simdize_explain::{render_json, render_markdown, render_text, Explainer};
+use simdize_telemetry as telemetry;
 use std::error::Error;
 use std::fmt::Write as _;
 
@@ -80,6 +94,11 @@ pub struct Options {
     threads: usize,
     count: usize,
     smoke: bool,
+    telemetry: bool,
+    dir: String,
+    threshold: f64,
+    bench_old: Option<String>,
+    bench_new: Option<String>,
     dot: bool,
     asm: bool,
 }
@@ -99,12 +118,30 @@ pub fn parse_args(
     let command = it.next().ok_or(USAGE)?.clone();
     if !matches!(
         command.as_str(),
-        "check" | "graph" | "compile" | "analyze" | "run" | "explain" | "policies" | "sweep"
+        "check"
+            | "graph"
+            | "compile"
+            | "analyze"
+            | "run"
+            | "explain"
+            | "policies"
+            | "sweep"
+            | "profile"
+            | "bench"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}").into());
     }
-    let path = it.next().ok_or("missing <file.loop> argument")?;
-    let source = read_file(path)?;
+    // `bench` takes a subcommand and entry paths, not a loop file.
+    let source = if command == "bench" {
+        let sub = it.next().ok_or("bench needs a subcommand: `bench diff`")?;
+        if sub != "diff" {
+            return Err(format!("unknown bench subcommand `{sub}` (expected `diff`)").into());
+        }
+        String::new()
+    } else {
+        let path = it.next().ok_or("missing <file.loop> argument")?;
+        read_file(path)?
+    };
 
     let mut opts = Options {
         command,
@@ -126,6 +163,11 @@ pub fn parse_args(
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         count: 32,
         smoke: false,
+        telemetry: false,
+        dir: "bench_history".to_string(),
+        threshold: 0.25,
+        bench_old: None,
+        bench_new: None,
         dot: false,
         asm: false,
     };
@@ -200,8 +242,25 @@ pub fn parse_args(
             }
             "--count" => opts.count = value("--count")?.parse()?,
             "--smoke" => opts.smoke = true,
+            "--telemetry" => opts.telemetry = true,
+            "--dir" => opts.dir = value("--dir")?,
+            "--threshold" => {
+                opts.threshold = value("--threshold")?.parse()?;
+                if !(0.0..1.0).contains(&opts.threshold) {
+                    return Err("--threshold must be in [0, 1)".into());
+                }
+            }
             "--dot" => opts.dot = true,
             "--asm" => opts.asm = true,
+            other if opts.command == "bench" && !other.starts_with('-') => {
+                if opts.bench_old.is_none() {
+                    opts.bench_old = Some(other.to_string());
+                } else if opts.bench_new.is_none() {
+                    opts.bench_new = Some(other.to_string());
+                } else {
+                    return Err("bench diff takes at most two entry paths".into());
+                }
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}").into()),
         }
     }
@@ -209,7 +268,8 @@ pub fn parse_args(
 }
 
 const USAGE: &str =
-    "usage: simdize <check|graph|compile|analyze|run|explain|policies|sweep> <file.loop|-> [options]
+    "usage: simdize <check|graph|compile|analyze|run|explain|policies|sweep|profile> <file.loop|-> [options]
+       simdize bench diff [old.json new.json] [--dir DIR] [--threshold F]
 run `simdize` with no arguments for the full option list";
 
 /// Executes the parsed command and returns its printable output.
@@ -219,6 +279,12 @@ run `simdize` with no arguments for the full option list";
 /// Propagates parse, pipeline and verification errors with readable
 /// messages.
 pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
+    if opts.command == "bench" {
+        return run_bench_diff(opts);
+    }
+    // --telemetry wraps the whole command in a collection session; the
+    // report is appended to the normal output.
+    let mut session = opts.telemetry.then(telemetry::session);
     let program = simdize::parse_program(&opts.source)?;
     let mut driver = Simdizer::new()
         .shape(opts.shape)
@@ -371,6 +437,28 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                 out.push('\n');
             }
         }
+        "profile" => {
+            let outcome = simdize::profile_source(&opts.source)?;
+            if opts.json {
+                out.push_str(&outcome.report.render_json(false));
+                out.push('\n');
+            } else {
+                writeln!(
+                    out,
+                    "profiled: verified={} sweep {}/{} verified, {:.2}x speedup, \
+                     kernel cache {:.0}% hit rate",
+                    outcome.verified,
+                    outcome.sweep_verified,
+                    outcome.sweep_jobs,
+                    outcome.speedup,
+                    outcome.sweep_stats.cache_hit_rate() * 100.0
+                )?;
+                out.push_str(&outcome.report.render_text());
+            }
+            if !outcome.verified || outcome.sweep_verified != outcome.sweep_jobs {
+                return Err("profiled run diverged from the scalar oracle".into());
+            }
+        }
         "sweep" => {
             let compiled = driver.compile(&program)?;
             let count = if opts.smoke { 8 } else { opts.count };
@@ -378,7 +466,7 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                 .map(|k| SweepJob::new(compiled.clone(), opts.seed.wrapping_add(k), opts.ub))
                 .collect();
             let started = std::time::Instant::now();
-            let outcomes = run_sweep(&jobs, opts.threads);
+            let (outcomes, stats) = run_sweep_collect(&jobs, SweepOptions::new(opts.threads));
             let elapsed = started.elapsed();
             writeln!(
                 out,
@@ -405,8 +493,18 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             writeln!(
                 out,
                 "{ok}/{count} verified on {} worker thread(s), {:.0} jobs/sec",
-                opts.threads.min(count.max(1)),
+                stats.workers,
                 count as f64 / elapsed.as_secs_f64().max(1e-9)
+            )?;
+            writeln!(
+                out,
+                "wall time {:.3} ms, kernel cache {} hit / {} miss ({:.0}% hit rate), \
+                 {} scratch reseed(s)",
+                elapsed.as_secs_f64() * 1e3,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.cache_hit_rate() * 100.0,
+                stats.scratch_reseeds
             )?;
             if ok != count {
                 return Err(format!("sweep failed: {ok}/{count} seeds verified").into());
@@ -451,6 +549,57 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             }
         }
         _ => unreachable!("validated in parse_args"),
+    }
+    if let Some(session) = &mut session {
+        let report = session.finish();
+        writeln!(out, "\n-- telemetry --")?;
+        out.push_str(&report.render_text());
+    }
+    Ok(out)
+}
+
+/// `simdize bench diff`: compare two bench-history entries (explicit
+/// paths, or the two newest in `--dir`) and fail on regression.
+fn run_bench_diff(opts: &Options) -> Result<String, Box<dyn Error>> {
+    use simdize_telemetry::history;
+    let dir = std::path::Path::new(&opts.dir);
+    let (old_path, new_path) = match (&opts.bench_old, &opts.bench_new) {
+        (Some(old), Some(new)) => (old.into(), new.into()),
+        (None, None) => {
+            let entries = history::list_entries(dir);
+            if entries.len() < 2 {
+                return Err(format!(
+                    "bench diff needs two history entries in {} (found {}); \
+                     pass two entry paths explicitly or record more runs",
+                    dir.display(),
+                    entries.len()
+                )
+                .into());
+            }
+            (
+                entries[entries.len() - 2].clone(),
+                entries[entries.len() - 1].clone(),
+            )
+        }
+        _ => return Err("bench diff takes zero or two entry paths, not one".into()),
+    };
+    let old = history::load_entry(&old_path)?;
+    let new = history::load_entry(&new_path)?;
+    let report = history::diff(&old, &new, opts.threshold);
+    if report.rows.is_empty() {
+        return Err("bench diff: no comparable metrics between the two entries".into());
+    }
+    let mut out = String::new();
+    writeln!(out, "old: {}", old_path.display())?;
+    writeln!(out, "new: {}", new_path.display())?;
+    out.push_str(&report.render_text());
+    if report.regressions > 0 {
+        return Err(format!(
+            "{out}bench diff: {} metric(s) regressed past the {:.0}% threshold",
+            report.regressions,
+            opts.threshold * 100.0
+        )
+        .into());
     }
     Ok(out)
 }
@@ -591,6 +740,131 @@ mod tests {
         assert!(parse_args(&args(&["run", "x", "--engine", "jit"]), &read).is_err());
         assert!(parse_args(&args(&["sweep", "x", "--jobs", "0"]), &read).is_err());
         assert!(parse_args(&args(&["sweep", "x", "--threads", "0"]), &read).is_err());
+    }
+
+    #[test]
+    fn profile_text_and_json() {
+        let out = run(&opts(&["profile", "x.loop"])).unwrap();
+        assert!(out.contains("profiled: verified=true"), "{out}");
+        assert!(out.contains("== spans =="), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        let json = run(&opts(&["profile", "x.loop", "--json"])).unwrap();
+        assert!(
+            json.starts_with("{\"schema\":\"simdize-telemetry/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"name\":\"parse\""), "{json}");
+        assert!(json.contains("\"sweep.baked_cache.hit\""), "{json}");
+    }
+
+    #[test]
+    fn telemetry_flag_appends_report() {
+        let out = run(&opts(&[
+            "sweep", "x.loop", "--smoke", "--threads", "1", "--telemetry",
+        ]))
+        .unwrap();
+        assert!(out.contains("8/8 verified"), "{out}");
+        assert!(out.contains("-- telemetry --"), "{out}");
+        assert!(out.contains("== spans =="), "{out}");
+        assert!(out.contains("sweep.baked_cache.hit"), "{out}");
+        // Without the flag, no telemetry section.
+        let plain = run(&opts(&["sweep", "x.loop", "--smoke", "--threads", "1"])).unwrap();
+        assert!(!plain.contains("-- telemetry --"), "{plain}");
+    }
+
+    #[test]
+    fn sweep_summary_reports_cache_and_wall_time() {
+        let out = run(&opts(&["sweep", "x.loop", "--smoke", "--threads", "1"])).unwrap();
+        assert!(out.contains("wall time"), "{out}");
+        assert!(
+            out.contains("kernel cache 7 hit / 1 miss (88% hit rate)"),
+            "{out}"
+        );
+        assert!(out.contains("scratch reseed(s)"), "{out}");
+    }
+
+    fn bench_doc(speedup: f64) -> String {
+        format!(
+            r#"{{ "schema": "simdize-bench-engine/v1",
+  "kernels": [ {{ "name": "fig1", "speedup_vs_interp": {speedup} }} ] }}"#
+        )
+    }
+
+    fn history_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "simdize-cli-bench-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bench_diff_compares_newest_entries() {
+        use simdize_telemetry::history::{append_entry, HistoryMeta, HostFingerprint};
+        let dir = history_dir("ok");
+        let meta = |ms| HistoryMeta {
+            recorded_at_unix_ms: ms,
+            git_sha: "test".into(),
+            host: HostFingerprint::gather(),
+        };
+        append_entry(&dir, &meta(1), &bench_doc(20.0)).unwrap();
+        append_entry(&dir, &meta(2), &bench_doc(21.0)).unwrap();
+        let out = run(&opts(&["bench", "diff", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("kernel.fig1.speedup_vs_interp"), "{out}");
+        assert!(out.contains("1 metric(s) compared, 0 regression(s)"), "{out}");
+
+        // A large drop regresses and the command fails.
+        append_entry(&dir, &meta(3), &bench_doc(5.0)).unwrap();
+        let err = run(&opts(&["bench", "diff", "--dir", dir.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("regressed past the 25% threshold"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_diff_takes_explicit_paths() {
+        use simdize_telemetry::history::{append_entry, HistoryMeta, HostFingerprint};
+        let dir = history_dir("explicit");
+        let meta = HistoryMeta {
+            recorded_at_unix_ms: 7,
+            git_sha: "test".into(),
+            host: HostFingerprint::gather(),
+        };
+        let p1 = append_entry(&dir, &meta, &bench_doc(20.0)).unwrap();
+        let p2 = append_entry(&dir, &meta, &bench_doc(19.0)).unwrap();
+        let args: Vec<String> = ["bench", "diff"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain([p1, p2].iter().map(|p| p.to_str().unwrap().to_string()))
+            .collect();
+        let parsed = parse_args(&args, &|_| unreachable!("bench reads no loop file")).unwrap();
+        let out = run(&parsed).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_diff_argument_errors() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let read = |_: &str| -> Result<String, Box<dyn Error>> { Ok(LOOP.into()) };
+        assert!(parse_args(&args(&["bench"]), &read).is_err());
+        assert!(parse_args(&args(&["bench", "frobnicate"]), &read).is_err());
+        assert!(parse_args(&args(&["bench", "diff", "a", "b", "c"]), &read).is_err());
+        assert!(parse_args(&args(&["bench", "diff", "--threshold", "1.5"]), &read).is_err());
+        assert!(parse_args(&args(&["bench", "diff", "--threshold", "-0.1"]), &read).is_err());
+        // One explicit path is ambiguous; an empty directory has no entries.
+        let one = parse_args(&args(&["bench", "diff", "only.json"]), &read).unwrap();
+        assert!(run(&one).unwrap_err().to_string().contains("zero or two"));
+        let missing = parse_args(
+            &args(&["bench", "diff", "--dir", "/nonexistent/simdize-history"]),
+            &read,
+        )
+        .unwrap();
+        let err = run(&missing).unwrap_err().to_string();
+        assert!(err.contains("needs two history entries"), "{err}");
     }
 
     #[test]

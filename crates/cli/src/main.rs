@@ -10,10 +10,18 @@ fn main() -> ExitCode {
         if path == "-" {
             let mut buf = String::new();
             std::io::stdin().read_to_string(&mut buf)?;
-            Ok(buf)
-        } else {
-            Ok(std::fs::read_to_string(path)?)
+            return Ok(buf);
         }
+        // Bare names resolve against the repo's loops/ directory, so
+        // `simdize profile figure1` works from the checkout root.
+        let direct = std::path::Path::new(path);
+        if !direct.exists() && !path.contains(['/', '.']) {
+            let bundled = std::path::PathBuf::from(format!("loops/{path}.loop"));
+            if bundled.exists() {
+                return Ok(std::fs::read_to_string(bundled)?);
+            }
+        }
+        Ok(std::fs::read_to_string(direct)?)
     };
     match simdize_cli::parse_args(&args, &read_file).and_then(|o| simdize_cli::run(&o)) {
         Ok(output) => {

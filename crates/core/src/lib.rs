@@ -57,11 +57,13 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod profile;
 mod report;
 mod scheme;
 mod simdizer;
 
 pub use error::SimdizeError;
+pub use profile::{profile_source, ProfileOutcome, PROFILE_SWEEP_SEEDS};
 pub use report::Report;
 pub use scheme::Scheme;
 pub use simdizer::{Simdizer, Target};
@@ -87,9 +89,11 @@ pub use simdize_reorg::{
     PolicyError, ReorgGraph, ValidateGraphError,
 };
 pub use simdize_engine::{
-    run_sweep, run_sweep_with, CompiledKernel, FusionEvent, FusionEventKind, FusionStats,
-    KernelOptions, NativeEngine, PredecodedKernel, SweepJob, SweepOptions, SweepOutcome,
+    run_sweep, run_sweep_collect, run_sweep_with, CompiledKernel, FusionEvent, FusionEventKind,
+    FusionStats, KernelOptions, NativeEngine, PredecodedKernel, SweepJob, SweepOptions,
+    SweepOutcome, SweepStats,
 };
+pub use simdize_telemetry::{TelemetryReport, TELEMETRY_SCHEMA};
 pub use simdize_vm::{
     run_differential, run_scalar, run_simd, run_simd_traced, scalar_ideal_ops, DiffConfig,
     DiffOutcome, ExecError, Executor, Interpreter, MemoryImage, RunInput, RunStats, VerifyError,

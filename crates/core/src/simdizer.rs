@@ -10,6 +10,7 @@ use simdize_codegen::{
 };
 use simdize_ir::{LoopProgram, VectorShape};
 use simdize_reorg::{reassociate, Policy, ReorgGraph};
+use simdize_telemetry as telemetry;
 use simdize_vm::UNALIGNED_MEM_COST;
 use simdize_vm::{run_differential, DiffConfig};
 use simdize_workloads::{lower_bound_opd, lower_bound_opd_unaligned};
@@ -158,21 +159,31 @@ impl Simdizer {
         let compiled = if strided {
             // §7 extension: loops with non-unit-stride references go
             // through the gather/scatter permute generator.
+            let _span = telemetry::span("codegen");
             generate_strided(program, self.shape)?
         } else if self.target == Target::Unaligned {
-            let graph = ReorgGraph::build(program, self.shape)?;
+            let graph = {
+                let _span = telemetry::span("reorg");
+                ReorgGraph::build(program, self.shape)?
+            };
+            let _span = telemetry::span("codegen");
             generate_unaligned(&graph)?
         } else {
             let policy = self.policy_for(program);
-            let program = if self.reassoc {
-                reassociate(program, self.shape)
-            } else {
-                program.clone()
+            let graph = {
+                let _span = telemetry::span("reorg");
+                let program = if self.reassoc {
+                    reassociate(program, self.shape)
+                } else {
+                    program.clone()
+                };
+                ReorgGraph::build(&program, self.shape)?.with_policy(policy)?
             };
-            let graph = ReorgGraph::build(&program, self.shape)?.with_policy(policy)?;
+            let _span = telemetry::span("codegen");
             generate(&graph, &self.options)?
         };
         if self.options.analyze_enabled() {
+            let _span = telemetry::span("analysis");
             // The exactly-once reuse lint only applies to the standard
             // stream generator — the strided and hardware-misaligned
             // generators don't pipeline chunks.

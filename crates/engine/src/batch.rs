@@ -28,6 +28,7 @@
 use crate::kernel::{CompiledKernel, KernelOptions, PredecodedKernel};
 use simdize_codegen::SimdProgram;
 use simdize_ir::VectorShape;
+use simdize_telemetry as telemetry;
 use simdize_vm::{run_scalar, ExecError, MemoryImage, RunInput, RunStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -126,6 +127,51 @@ struct Scratch {
     baked: Option<(usize, RunInput, CompiledKernel)>,
 }
 
+/// One worker's job results (tagged with their original indices) plus
+/// its local event tally.
+type WorkerPartial = (Vec<(usize, Result<SweepOutcome, ExecError>)>, WorkerTally);
+
+/// Per-worker event counts, merged into [`SweepStats`] when the sweep
+/// finishes.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerTally {
+    jobs: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    scratch_reseeds: u64,
+}
+
+/// What a sweep's caches and workers actually did, reported by
+/// [`run_sweep_collect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Worker threads actually spawned (after clamping to the job
+    /// count).
+    pub workers: usize,
+    /// Jobs that reused the worker's previously baked kernel.
+    pub cache_hits: u64,
+    /// Jobs that had to bake (or, uncached, fully compile) a kernel.
+    pub cache_misses: u64,
+    /// Jobs that re-seeded an existing scratch image instead of
+    /// allocating a fresh one.
+    pub scratch_reseeds: u64,
+    /// Jobs completed by each worker, one entry per worker — the spread
+    /// shows scheduling imbalance.
+    pub jobs_per_worker: Vec<u64>,
+}
+
+impl SweepStats {
+    /// Baked-kernel cache hits as a fraction of all jobs, or 0 for an
+    /// empty sweep.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
 /// Runs every job with the default caches on, distributing them over
 /// `threads` scoped worker threads, and returns per-job outcomes in job
 /// order. Shorthand for [`run_sweep_with`] with [`SweepOptions::new`].
@@ -141,9 +187,29 @@ pub fn run_sweep_with(
     jobs: &[SweepJob],
     opts: SweepOptions,
 ) -> Vec<Result<SweepOutcome, ExecError>> {
+    run_sweep_collect(jobs, opts).0
+}
+
+/// Like [`run_sweep_with`], but also reports what the sweep's caches
+/// and workers did ([`SweepStats`]) — kernel-cache hits and misses,
+/// scratch-image reseeds and the per-worker job distribution.
+pub fn run_sweep_collect(
+    jobs: &[SweepJob],
+    opts: SweepOptions,
+) -> (Vec<Result<SweepOutcome, ExecError>>, SweepStats) {
     if jobs.is_empty() {
-        return Vec::new();
+        return (
+            Vec::new(),
+            SweepStats {
+                workers: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                scratch_reseeds: 0,
+                jobs_per_worker: Vec::new(),
+            },
+        );
     }
+    let _span = telemetry::span("sweep");
     let threads = opts.threads.clamp(1, jobs.len());
 
     // One pre-decode per distinct program, shared by every worker.
@@ -165,48 +231,77 @@ pub fn run_sweep_with(
     let job_template = &job_template;
 
     let cursor = AtomicUsize::new(0);
-    let partials: Vec<Vec<(usize, Result<SweepOutcome, ExecError>)>> = thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut scratch = Scratch::default();
-                    let mut mine = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= jobs.len() {
-                            break;
+    let partials: Vec<WorkerPartial> = thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut scratch = Scratch::default();
+                        let mut tally = WorkerTally::default();
+                        let mut mine = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= jobs.len() {
+                                break;
+                            }
+                            let _span = telemetry::span("sweep.job");
+                            tally.jobs += 1;
+                            let res = if opts.share_predecode {
+                                run_one_cached(
+                                    &jobs[idx],
+                                    job_template[idx],
+                                    templates,
+                                    &opts,
+                                    &mut scratch,
+                                    &mut tally,
+                                )
+                            } else {
+                                tally.cache_misses += 1;
+                                run_one(&jobs[idx])
+                            };
+                            mine.push((idx, res));
                         }
-                        let res = if opts.share_predecode {
-                            run_one_cached(
-                                &jobs[idx],
-                                job_template[idx],
-                                templates,
-                                &opts,
-                                &mut scratch,
-                            )
-                        } else {
-                            run_one(&jobs[idx])
-                        };
-                        mine.push((idx, res));
-                    }
-                    mine
+                        (mine, tally)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
     let mut results: Vec<Option<Result<SweepOutcome, ExecError>>> =
         (0..jobs.len()).map(|_| None).collect();
-    for (idx, outcome) in partials.into_iter().flatten() {
-        results[idx] = Some(outcome);
+    let mut stats = SweepStats {
+        workers: threads,
+        cache_hits: 0,
+        cache_misses: 0,
+        scratch_reseeds: 0,
+        jobs_per_worker: Vec::with_capacity(threads),
+    };
+    for (outcomes, tally) in partials {
+        for (idx, outcome) in outcomes {
+            results[idx] = Some(outcome);
+        }
+        stats.cache_hits += tally.cache_hits;
+        stats.cache_misses += tally.cache_misses;
+        stats.scratch_reseeds += tally.scratch_reseeds;
+        stats.jobs_per_worker.push(tally.jobs);
     }
-    results
+    if telemetry::enabled() {
+        telemetry::counter("sweep.baked_cache.hit").add(stats.cache_hits);
+        telemetry::counter("sweep.baked_cache.miss").add(stats.cache_misses);
+        telemetry::counter("sweep.scratch.reseed").add(stats.scratch_reseeds);
+        telemetry::gauge("sweep.workers").set(stats.workers as u64);
+        let jobs_hist = telemetry::histogram("sweep.worker.jobs");
+        for &n in &stats.jobs_per_worker {
+            jobs_hist.observe(n);
+        }
+    }
+    let results = results
         .into_iter()
         .map(|r| r.expect("every job index claimed exactly once"))
-        .collect()
+        .collect();
+    (results, stats)
 }
 
 /// The uncached path: fresh images, full compile, per job.
@@ -238,6 +333,7 @@ fn run_one_cached(
     templates: &[(&SimdProgram, Result<PredecodedKernel, ExecError>)],
     opts: &SweepOptions,
     scratch: &mut Scratch,
+    tally: &mut WorkerTally,
 ) -> Result<SweepOutcome, ExecError> {
     let pre = templates[tidx].1.as_ref().map_err(|e| e.clone())?;
     let source = job.program.source();
@@ -246,6 +342,7 @@ fn run_one_cached(
     let engine_img = match &mut scratch.engine {
         Some(img) if opts.reuse_scratch => {
             img.reseed(source, shape, job.seed);
+            tally.scratch_reseeds += 1;
             img
         }
         slot => slot.insert(MemoryImage::with_seed(source, shape, job.seed)),
@@ -265,7 +362,10 @@ fn run_one_cached(
         &scratch.baked,
         Some((t, input, k)) if *t == tidx && input == &job.input && k.layout_matches(engine_img)
     );
-    if !cache_hit {
+    if cache_hit {
+        tally.cache_hits += 1;
+    } else {
+        tally.cache_misses += 1;
         let kernel = pre.bake(
             engine_img,
             &job.input,
@@ -384,5 +484,34 @@ mod tests {
     #[test]
     fn empty_sweep_is_empty() {
         assert!(run_sweep(&[], 4).is_empty());
+        let (outcomes, stats) = run_sweep_collect(&[], SweepOptions::new(4));
+        assert!(outcomes.is_empty());
+        assert_eq!(stats.workers, 0);
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sweep_stats_count_cache_traffic() {
+        // KNOWN alignments on one worker: the first job bakes, every
+        // later job reuses the kernel — 1 miss, N−1 hits, and each job
+        // after the first reseeds the scratch image in place.
+        let prog = program(KNOWN);
+        let jobs: Vec<SweepJob> = (0..12)
+            .map(|seed| SweepJob::new(prog.clone(), seed, 300))
+            .collect();
+        let (outcomes, stats) = run_sweep_collect(&jobs, SweepOptions::new(1));
+        assert!(outcomes.into_iter().all(|o| o.unwrap().verified));
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 11);
+        assert_eq!(stats.scratch_reseeds, 11);
+        assert_eq!(stats.jobs_per_worker, vec![12]);
+        assert!((stats.cache_hit_rate() - 11.0 / 12.0).abs() < 1e-12);
+
+        // The uncached baseline misses every job by definition.
+        let (_, uncached) = run_sweep_collect(&jobs, SweepOptions::uncached(3));
+        assert_eq!(uncached.cache_hits, 0);
+        assert_eq!(uncached.cache_misses, 12);
+        assert_eq!(uncached.jobs_per_worker.iter().sum::<u64>(), 12);
     }
 }

@@ -36,6 +36,7 @@ use simdize_vm::{
     run_scalar, runtime_expr_count, scalar_ideal_ops, ExecError, Executor, MemoryImage, RunInput,
     RunStats, CALL_OVERHEAD, LOOP_OVERHEAD_PER_ITERATION, RUNTIME_SETUP_PER_EXPR,
 };
+use simdize_telemetry as telemetry;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -611,6 +612,7 @@ impl PredecodedKernel {
     /// 16 bytes and [`ExecError::BadShiftAmount`] for malformed
     /// permutation patterns.
     pub fn new(program: &SimdProgram) -> Result<PredecodedKernel, ExecError> {
+        let _span = telemetry::span("predecode");
         if program.shape().bytes() as i64 != V {
             return Err(ExecError::Unsupported {
                 what: "vector shapes other than V16",
@@ -672,6 +674,7 @@ impl PredecodedKernel {
         input: &RunInput,
         opts: &KernelOptions,
     ) -> Result<CompiledKernel, ExecError> {
+        let _span = telemetry::span("bake");
         if image.shape().bytes() as i64 != V {
             return Err(ExecError::Unsupported {
                 what: "vector shapes other than V16",
@@ -825,6 +828,7 @@ impl PredecodedKernel {
         // Stats are final: fusion below only changes how the host
         // executes the trace, never what the machine model charges.
         let (pair_header, body_header, fusion, fusion_events) = if opts.fuse {
+            let _span = telemetry::span("fuse");
             trace::optimize(trace::Sections {
                 prologue: &mut prologue,
                 pair: &mut pair,
@@ -910,6 +914,7 @@ impl CompiledKernel {
     /// than the compile-time one; scalar-fallback kernels propagate
     /// [`run_scalar`] faults.
     pub fn run(&self, image: &mut MemoryImage) -> Result<RunStats, ExecError> {
+        let _span = telemetry::span("run");
         if !self.layout_matches(image) {
             return Err(ExecError::Unsupported {
                 what: "a memory image with a different layout than compiled for",

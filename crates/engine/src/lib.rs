@@ -75,6 +75,8 @@ mod kernel;
 mod lanes;
 mod trace;
 
-pub use batch::{run_sweep, run_sweep_with, SweepJob, SweepOptions, SweepOutcome};
+pub use batch::{
+    run_sweep, run_sweep_collect, run_sweep_with, SweepJob, SweepOptions, SweepOutcome, SweepStats,
+};
 pub use kernel::{CompiledKernel, KernelOptions, NativeEngine, PredecodedKernel};
 pub use trace::{FusionEvent, FusionEventKind, FusionStats};

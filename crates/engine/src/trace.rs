@@ -40,6 +40,7 @@
 use crate::kernel::Op;
 use crate::lanes::{self, Reg};
 use simdize_ir::ScalarType;
+use simdize_telemetry as telemetry;
 
 /// What the trace fusion pass did to one kernel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -154,13 +155,20 @@ pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats, Vec<Fusio
     let mut st = FusionStats::default();
     let mut ev = Vec::new();
     let mut facts = vec![Fact::Bottom; s.nregs];
-    rewrite(s.prologue, &mut facts, s.elem, &mut st, "prologue", &mut ev);
+    {
+        let _span = telemetry::span("rewrite");
+        rewrite(s.prologue, &mut facts, s.elem, &mut st, "prologue", &mut ev);
+    }
 
     let mut pair_header = Vec::new();
     if s.pair_iters > 0 {
         let entry = loop_entry(&facts, s.pair, s.elem);
         let mut work = entry;
-        rewrite(s.pair, &mut work, s.elem, &mut st, "pair", &mut ev);
+        {
+            let _span = telemetry::span("rewrite");
+            rewrite(s.pair, &mut work, s.elem, &mut st, "pair", &mut ev);
+        }
+        let _span = telemetry::span("hoist");
         pair_header = hoist(s.pair, s.pair_iters, s.nregs, &mut st, "pair", &mut ev);
         facts = concretize(work, s.pair_iters);
     }
@@ -168,13 +176,21 @@ pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats, Vec<Fusio
     if s.body_iters > 0 {
         let entry = loop_entry(&facts, s.body, s.elem);
         let mut work = entry;
-        rewrite(s.body, &mut work, s.elem, &mut st, "body", &mut ev);
+        {
+            let _span = telemetry::span("rewrite");
+            rewrite(s.body, &mut work, s.elem, &mut st, "body", &mut ev);
+        }
+        let _span = telemetry::span("hoist");
         body_header = hoist(s.body, s.body_iters, s.nregs, &mut st, "body", &mut ev);
         facts = concretize(work, s.body_iters);
     }
-    rewrite(s.epilogue, &mut facts, s.elem, &mut st, "epilogue", &mut ev);
+    {
+        let _span = telemetry::span("rewrite");
+        rewrite(s.epilogue, &mut facts, s.elem, &mut st, "epilogue", &mut ev);
+    }
 
     {
+        let _span = telemetry::span("dce");
         let mut segments = [
             Segment { ops: s.prologue, iters: 1, name: "prologue" },
             Segment { ops: &mut pair_header, iters: 1, name: "pair header" },
@@ -184,6 +200,12 @@ pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats, Vec<Fusio
             Segment { ops: s.epilogue, iters: 1, name: "epilogue" },
         ];
         dce(&mut segments, s.nregs, &mut st, &mut ev);
+    }
+    if telemetry::enabled() {
+        telemetry::counter("fuse.fused_loads").add(st.fused_loads as u64);
+        telemetry::counter("fuse.splat_ops").add(st.splat_ops as u64);
+        telemetry::counter("fuse.hoisted").add(st.hoisted as u64);
+        telemetry::counter("fuse.eliminated").add(st.eliminated as u64);
     }
     (pair_header, body_header, st, ev)
 }

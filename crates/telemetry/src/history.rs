@@ -1,0 +1,496 @@
+//! The bench-history tracker: append-only, schema-versioned perf
+//! records plus a noise-aware diff, so the repository keeps a
+//! *trajectory* of engine performance instead of a single overwritten
+//! snapshot.
+//!
+//! An entry wraps one `simdize-bench-engine/v1` document with run
+//! metadata — when it was recorded, which commit, and a coarse host
+//! fingerprint — under the `simdize-bench-history/v1` schema:
+//!
+//! ```json
+//! {
+//!   "schema": "simdize-bench-history/v1",
+//!   "recorded_at_unix_ms": 1754000000000,
+//!   "git_sha": "0af516a…",
+//!   "host": { "os": "linux", "arch": "x86_64", "threads": 8 },
+//!   "bench": { …the BENCH_engine.json document… }
+//! }
+//! ```
+//!
+//! [`diff`] compares the flattened metric sets of two entries (either
+//! schema — a bare bench document diffs fine) and flags regressions
+//! past a relative threshold. Thresholds are per-metric-kind because
+//! the noise floors differ: dimensionless ratios (speedups, cache
+//! gain) are stable across runs, raw wall-clock numbers (`*_ns`,
+//! `*_ms`, `*_per_sec`) wobble with machine load, so the latter get
+//! double the allowance.
+
+use crate::json::{escape, parse, Json, JsonError};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier of one history entry.
+pub const HISTORY_SCHEMA: &str = "simdize-bench-history/v1";
+
+/// A coarse host fingerprint: enough to tell entries from different
+/// machines apart, nothing personally identifying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available parallelism at record time.
+    pub threads: usize,
+}
+
+impl HostFingerprint {
+    /// The current machine's fingerprint.
+    pub fn gather() -> HostFingerprint {
+        HostFingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Run metadata attached to one history entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryMeta {
+    /// Milliseconds since the Unix epoch.
+    pub recorded_at_unix_ms: u64,
+    /// `git rev-parse HEAD` at record time, or `"unknown"`.
+    pub git_sha: String,
+    /// The recording machine.
+    pub host: HostFingerprint,
+}
+
+impl HistoryMeta {
+    /// Metadata for a record made right now on this machine, resolving
+    /// the git SHA from `repo_dir` (best effort — `"unknown"` if git
+    /// is unavailable or the directory is not a repository).
+    pub fn now(repo_dir: &Path) -> HistoryMeta {
+        let recorded_at_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis().min(u64::MAX as u128) as u64);
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .current_dir(repo_dir)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        HistoryMeta {
+            recorded_at_unix_ms,
+            git_sha,
+            host: HostFingerprint::gather(),
+        }
+    }
+
+    /// The entry's filename: zero-padded timestamp first so plain
+    /// lexicographic listing is chronological, then the short SHA.
+    pub fn file_name(&self) -> String {
+        let sha7: String = self.git_sha.chars().take(7).collect();
+        format!("{:013}-{sha7}.json", self.recorded_at_unix_ms)
+    }
+}
+
+/// Wraps a `simdize-bench-engine/v1` document in a history entry.
+///
+/// `bench_json` must be a complete JSON document; it is embedded
+/// verbatim (indented for readability) under the `"bench"` key.
+pub fn wrap_entry(meta: &HistoryMeta, bench_json: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{HISTORY_SCHEMA}\",");
+    let _ = writeln!(
+        out,
+        "  \"recorded_at_unix_ms\": {},",
+        meta.recorded_at_unix_ms
+    );
+    let _ = writeln!(out, "  \"git_sha\": \"{}\",", escape(&meta.git_sha));
+    let _ = writeln!(
+        out,
+        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"threads\": {} }},",
+        escape(&meta.host.os),
+        escape(&meta.host.arch),
+        meta.host.threads
+    );
+    let _ = write!(out, "  \"bench\": ");
+    // Re-indent the embedded document two spaces so the entry stays
+    // readable; content is untouched.
+    for (i, line) in bench_json.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("\n  ");
+        }
+        out.push_str(line);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Appends one entry to `dir` (created if missing) and returns the
+/// written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_entry(
+    dir: &Path,
+    meta: &HistoryMeta,
+    bench_json: &str,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut path = dir.join(meta.file_name());
+    // Same-millisecond collisions (tests): disambiguate, never clobber.
+    let mut k = 1;
+    while path.exists() {
+        path = dir.join(format!(
+            "{:013}-{}-{k}.json",
+            meta.recorded_at_unix_ms,
+            meta.git_sha.chars().take(7).collect::<String>()
+        ));
+        k += 1;
+    }
+    std::fs::write(&path, wrap_entry(meta, bench_json))?;
+    Ok(path)
+}
+
+/// All `.json` entries in `dir`, sorted oldest-first by filename
+/// (which is timestamp-prefixed). Missing directory reads as empty.
+pub fn list_entries(dir: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut entries: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    entries
+}
+
+/// How one metric moved between two entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Flattened metric name, e.g. `kernel.fig1.speedup_vs_interp`.
+    pub metric: String,
+    /// Value in the older entry.
+    pub old: f64,
+    /// Value in the newer entry.
+    pub new: f64,
+    /// `new / old` oriented so that > 1 is better (time-like metrics
+    /// are inverted).
+    pub gain: f64,
+    /// Allowed relative loss for this metric.
+    pub threshold: f64,
+    /// Whether the loss exceeded the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Every metric present in both entries, in old-document order.
+    pub rows: Vec<DiffRow>,
+    /// Metrics present in only one entry (schema drift, new kernels).
+    pub unmatched: Vec<String>,
+    /// Number of regressed rows.
+    pub regressions: usize,
+}
+
+impl DiffReport {
+    /// Renders the comparison as an aligned table with a verdict line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>8}  verdict",
+            "metric", "old", "new", "gain"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12.4} {:>12.4} {:>7.3}x  {}",
+                row.metric,
+                row.old,
+                row.new,
+                row.gain,
+                if row.regressed {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                }
+            );
+        }
+        for name in &self.unmatched {
+            let _ = writeln!(out, "{name:<44} (present in only one entry)");
+        }
+        let _ = writeln!(
+            out,
+            "{} metric(s) compared, {} regression(s)",
+            self.rows.len(),
+            self.regressions
+        );
+        out
+    }
+}
+
+/// Whether larger values of this metric are better; `None` means the
+/// metric is informational and excluded from the diff.
+fn orientation(metric: &str) -> Option<bool> {
+    let name = metric.rsplit('.').next().unwrap_or(metric);
+    if name.ends_with("_per_sec")
+        || name.starts_with("speedup")
+        || name == "fused_vs_unfused"
+        || name == "cache_speedup"
+    {
+        return Some(true);
+    }
+    if name.ends_with("_ns") || name.ends_with("_ms") {
+        return Some(false);
+    }
+    None
+}
+
+/// Whether this metric is a raw wall-clock quantity (noisier than a
+/// dimensionless ratio) and gets double the regression allowance.
+fn is_timing(metric: &str) -> bool {
+    let name = metric.rsplit('.').next().unwrap_or(metric);
+    name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_per_sec")
+}
+
+/// Flattens the comparable metrics of an entry (either schema) to
+/// `(name, value)` pairs in document order.
+pub fn extract_metrics(doc: &Json) -> Vec<(String, f64)> {
+    // History entries nest the bench document under "bench".
+    let bench = doc.get("bench").unwrap_or(doc);
+    let mut out = Vec::new();
+    let mut from_rows = |key: &str, prefix: &str| {
+        let Some(rows) = bench.get(key).and_then(Json::as_arr) else {
+            return;
+        };
+        for row in rows {
+            let Some(name) = row.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            if let Json::Obj(members) = row {
+                for (field, value) in members {
+                    let metric = format!("{prefix}.{name}.{field}");
+                    if orientation(&metric).is_none() {
+                        continue;
+                    }
+                    if let Some(v) = value.as_f64() {
+                        out.push((metric, v));
+                    }
+                }
+            }
+        }
+    };
+    from_rows("kernels", "kernel");
+    from_rows("sweeps", "sweep");
+    out
+}
+
+/// Compares two parsed entries. `threshold` is the allowed relative
+/// loss for ratio metrics (e.g. `0.25` = a metric may lose up to 25%
+/// before it counts as a regression); wall-clock metrics get
+/// `2 × threshold`. Gains never regress.
+pub fn diff(old: &Json, new: &Json, threshold: f64) -> DiffReport {
+    let old_metrics = extract_metrics(old);
+    let new_metrics = extract_metrics(new);
+    let mut rows = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for (name, old_v) in &old_metrics {
+        let Some((_, new_v)) = new_metrics.iter().find(|(n, _)| n == name) else {
+            unmatched.push(name.clone());
+            continue;
+        };
+        let higher_better = orientation(name).expect("extract_metrics filters oriented metrics");
+        let allowed = if is_timing(name) {
+            (2.0 * threshold).min(0.95)
+        } else {
+            threshold
+        };
+        let gain = if higher_better {
+            new_v / old_v
+        } else {
+            old_v / new_v
+        };
+        rows.push(DiffRow {
+            metric: name.clone(),
+            old: *old_v,
+            new: *new_v,
+            gain,
+            threshold: allowed,
+            regressed: gain.is_nan() || gain < 1.0 - allowed,
+        });
+    }
+    for (name, _) in &new_metrics {
+        if !old_metrics.iter().any(|(n, _)| n == name) {
+            unmatched.push(name.clone());
+        }
+    }
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+    DiffReport {
+        rows,
+        unmatched,
+        regressions,
+    }
+}
+
+/// Parses an entry file (either schema).
+///
+/// # Errors
+///
+/// I/O errors are stringified; JSON errors pass through as
+/// [`JsonError`] text.
+pub fn load_entry(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e: JsonError| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(fig1_speedup: f64, fig1_ops: f64, cached_ms: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "simdize-bench-engine/v1",
+  "mode": "quick",
+  "kernels": [
+    {{ "name": "fig1", "trip": 100000, "speedup_vs_interp": {fig1_speedup},
+      "fused_vs_unfused": 1.64, "fused_ops_per_sec": {fig1_ops}, "fused_ns": 1000000 }}
+  ],
+  "sweeps": [
+    {{ "name": "known-align", "seeds": 64, "cached_ms": {cached_ms},
+      "cache_speedup": 1.3, "cached_jobs_per_sec": 5000 }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn entry_wraps_and_parses() {
+        let meta = HistoryMeta {
+            recorded_at_unix_ms: 1_754_000_000_000,
+            git_sha: "abcdef0123456789".into(),
+            host: HostFingerprint {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                threads: 8,
+            },
+        };
+        let entry = wrap_entry(&meta, &bench_doc(20.0, 3.0e8, 100.0));
+        let doc = parse(&entry).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(HISTORY_SCHEMA));
+        assert_eq!(
+            doc.get("recorded_at_unix_ms").unwrap().as_f64(),
+            Some(1.754e12)
+        );
+        assert_eq!(
+            doc.get("host").unwrap().get("threads").unwrap().as_f64(),
+            Some(8.0)
+        );
+        assert_eq!(
+            doc.get("bench").unwrap().get("mode").unwrap().as_str(),
+            Some("quick")
+        );
+        assert_eq!(meta.file_name(), "1754000000000-abcdef0.json");
+    }
+
+    #[test]
+    fn metrics_flatten_with_orientation() {
+        let doc = parse(&bench_doc(20.0, 3.0e8, 100.0)).unwrap();
+        let metrics = extract_metrics(&doc);
+        let names: Vec<&str> = metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"kernel.fig1.speedup_vs_interp"));
+        assert!(names.contains(&"kernel.fig1.fused_ops_per_sec"));
+        assert!(names.contains(&"sweep.known-align.cache_speedup"));
+        assert!(names.contains(&"kernel.fig1.fused_ns"));
+        // Non-oriented fields (trip, seeds) are excluded.
+        assert!(!names.iter().any(|n| n.ends_with(".trip")));
+        assert!(!names.iter().any(|n| n.ends_with(".seeds")));
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_past_threshold() {
+        let old = parse(&bench_doc(20.0, 3.0e8, 100.0)).unwrap();
+        // Speedup drops 50% (regression at 25%); ops/sec drops 10%
+        // (within 2×25% timing allowance); cached_ms *improves*.
+        let new = parse(&bench_doc(10.0, 2.7e8, 80.0)).unwrap();
+        let report = diff(&old, &new, 0.25);
+        let by_name = |n: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.metric == n)
+                .unwrap_or_else(|| panic!("missing row {n}"))
+        };
+        assert!(by_name("kernel.fig1.speedup_vs_interp").regressed);
+        assert!(!by_name("kernel.fig1.fused_ops_per_sec").regressed);
+        let ms = by_name("sweep.known-align.cached_ms");
+        assert!(!ms.regressed);
+        assert!(ms.gain > 1.0, "lower cached_ms must read as a gain");
+        assert_eq!(report.regressions, 1);
+        assert!(report.render_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn identical_entries_never_regress() {
+        let doc = parse(&bench_doc(20.0, 3.0e8, 100.0)).unwrap();
+        let report = diff(&doc, &doc, 0.05);
+        assert_eq!(report.regressions, 0);
+        assert!(report.unmatched.is_empty());
+        assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn history_entries_diff_through_the_bench_wrapper() {
+        let meta = HistoryMeta {
+            recorded_at_unix_ms: 1,
+            git_sha: "x".into(),
+            host: HostFingerprint::gather(),
+        };
+        let old = parse(&wrap_entry(&meta, &bench_doc(20.0, 3.0e8, 100.0))).unwrap();
+        let new = parse(&bench_doc(19.0, 3.0e8, 100.0)).unwrap();
+        // History entry vs bare bench document: both flatten.
+        let report = diff(&old, &new, 0.25);
+        assert_eq!(report.regressions, 0);
+        assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn append_and_list_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "simdize-history-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = HistoryMeta {
+            recorded_at_unix_ms: 42,
+            git_sha: "deadbeef".into(),
+            host: HostFingerprint::gather(),
+        };
+        let p1 = append_entry(&dir, &meta, &bench_doc(20.0, 3.0e8, 100.0)).unwrap();
+        let p2 = append_entry(&dir, &meta, &bench_doc(21.0, 3.0e8, 100.0)).unwrap();
+        assert_ne!(p1, p2, "same-timestamp entries must not clobber");
+        let listed = list_entries(&dir);
+        assert_eq!(listed.len(), 2);
+        assert!(listed.contains(&p1) && listed.contains(&p2));
+        let loaded = load_entry(&p2).unwrap();
+        assert_eq!(
+            loaded.get("schema").unwrap().as_str(),
+            Some(HISTORY_SCHEMA)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

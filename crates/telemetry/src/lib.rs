@@ -1,0 +1,152 @@
+//! Runtime telemetry for the simdize stack: a span profiler, a metrics
+//! registry, and a bench-history regression tracker.
+//!
+//! The crate is built around one invariant: **when telemetry is off
+//! (the default), instrumentation costs a single relaxed atomic load
+//! per call site** — no clock reads, no allocation, no locks. The
+//! engine and compiler are instrumented unconditionally; the flag
+//! decides whether any of it does work.
+//!
+//! # Sessions
+//!
+//! Collection is scoped by a [`Session`], obtained from [`session`]:
+//!
+//! ```
+//! use simdize_telemetry as telemetry;
+//!
+//! let mut session = telemetry::session();
+//! {
+//!     let _phase = telemetry::span("parse");
+//!     telemetry::counter("demo.events").inc();
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.spans[0].name, "parse");
+//! assert_eq!(report.metrics.counters["demo.events"], 1);
+//! ```
+//!
+//! A session enables the global flag, resets every registered metric
+//! and discards stale spans on entry; [`Session::finish`] disables the
+//! flag and drains everything collected into a [`TelemetryReport`],
+//! renderable as text or as versioned JSON ([`TELEMETRY_SCHEMA`]).
+//! Sessions serialize on a global lock — the collector is process-wide
+//! state, so concurrent sessions would observe each other.
+//!
+//! # Layers
+//!
+//! - [`span`] / [`SpanNode`] — hierarchical wall-clock phase profiling
+//!   with per-path call counts and exact p50/p95/max.
+//! - [`counter`] / [`gauge`] / [`histogram`] — named metrics for hot
+//!   paths (cache hits, worker imbalance), snapshot-sorted, zeroes
+//!   omitted.
+//! - [`history`] — append-only bench run records and a noise-aware
+//!   regression diff (`simdize bench diff`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod history;
+pub mod json;
+mod metrics;
+mod report;
+mod span;
+
+pub use hist::Histogram;
+pub use metrics::{
+    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, HistogramHandle,
+    HistogramSummary, MetricsSnapshot,
+};
+pub use report::{TelemetryReport, TELEMETRY_SCHEMA};
+pub use span::{build_tree, drain_spans, span, SpanGuard, SpanNode, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a telemetry session is currently collecting. One relaxed
+/// atomic load — this is the disabled path's entire cost.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// An active collection scope. Dropping it (or calling
+/// [`Session::finish`]) disables collection.
+pub struct Session {
+    guard: Option<MutexGuard<'static, ()>>,
+}
+
+/// Starts a telemetry session: resets all metrics, discards stale
+/// spans, and enables collection. Blocks until any other session in
+/// the process has finished.
+pub fn session() -> Session {
+    let guard = session_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let _ = span::drain_spans();
+    metrics::reset_metrics();
+    ENABLED.store(true, Ordering::Relaxed);
+    Session { guard: Some(guard) }
+}
+
+impl Session {
+    /// Stops collection and returns everything the session recorded.
+    /// Calling it twice returns an empty report the second time.
+    pub fn finish(&mut self) -> TelemetryReport {
+        ENABLED.store(false, Ordering::Relaxed);
+        let report = TelemetryReport {
+            spans: span::build_tree(&span::drain_spans()),
+            metrics: metrics::metrics_snapshot(),
+        };
+        self.guard = None;
+        report
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.guard.is_some() {
+            ENABLED.store(false, Ordering::Relaxed);
+            let _ = span::drain_spans();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_scopes_collection() {
+        assert!(!enabled());
+        let mut s = session();
+        assert!(enabled());
+        {
+            let _g = span("lib_test.phase");
+        }
+        let report = s.finish();
+        assert!(!enabled());
+        assert!(report.spans.iter().any(|n| n.name == "lib_test.phase"));
+        // finish() twice: second report is empty, not a panic.
+        let again = s.finish();
+        assert!(again.spans.is_empty());
+    }
+
+    #[test]
+    fn dropped_session_disables_collection() {
+        {
+            let _s = session();
+            assert!(enabled());
+            let _g = span("lib_test.dropped");
+        }
+        assert!(!enabled());
+        // The dropped session's spans must not leak into the next one.
+        let mut s = session();
+        let report = s.finish();
+        assert!(report.spans.iter().all(|n| n.name != "lib_test.dropped"));
+    }
+}

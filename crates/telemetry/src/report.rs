@@ -1,0 +1,246 @@
+//! Rendering a drained telemetry session as text or versioned JSON
+//! (`simdize-telemetry/v1`).
+
+use crate::json::escape;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanNode;
+use std::fmt::Write as _;
+
+/// The versioned schema identifier of the JSON rendering.
+pub const TELEMETRY_SCHEMA: &str = "simdize-telemetry/v1";
+
+/// Everything one telemetry session collected: the hierarchical span
+/// tree and the touched metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Root spans in first-completion order.
+    pub spans: Vec<SpanNode>,
+    /// Counters, gauges and histogram summaries.
+    pub metrics: MetricsSnapshot,
+}
+
+fn format_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn render_span_text(out: &mut String, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{indent}{:<w$} {:>12}  x{:<6} p50 {:>10}  p95 {:>10}  max {:>10}",
+        node.name,
+        format_ns(node.total_ns),
+        node.count,
+        format_ns(node.p50_ns),
+        format_ns(node.p95_ns),
+        format_ns(node.max_ns),
+        w = 24usize.saturating_sub(2 * depth),
+    );
+    for child in &node.children {
+        render_span_text(out, child, depth + 1);
+    }
+}
+
+impl TelemetryReport {
+    /// A human-readable rendering: the indented span tree, then the
+    /// metrics sorted by name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== spans ==");
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "(none recorded)");
+        }
+        for node in &self.spans {
+            render_span_text(&mut out, node, 0);
+        }
+        let _ = writeln!(out, "== metrics ==");
+        let m = &self.metrics;
+        if m.counters.is_empty() && m.gauges.is_empty() && m.histograms.is_empty() {
+            let _ = writeln!(out, "(none touched)");
+        }
+        for (name, v) in &m.counters {
+            let _ = writeln!(out, "{name:<36} {v}");
+        }
+        for (name, v) in &m.gauges {
+            let _ = writeln!(out, "{name:<36} {v} (gauge)");
+        }
+        for (name, h) in &m.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<36} n={} min={} p50={} p95={} max={}",
+                h.count, h.min, h.p50, h.p95, h.max
+            );
+        }
+        out
+    }
+
+    /// The versioned JSON rendering ([`TELEMETRY_SCHEMA`]). With
+    /// `normalize_timings`, every nanosecond field is written as 0 so
+    /// the document is byte-stable across runs — counts, names, tree
+    /// shape and metric values are deterministic on a fixed workload;
+    /// wall-clock durations are not. Golden tests pin the normalized
+    /// form.
+    pub fn render_json(&self, normalize_timings: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(TELEMETRY_SCHEMA);
+        out.push_str("\",\"spans\":[");
+        for (i, node) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_span_json(&mut out, node, normalize_timings);
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"p50\":{},\"p95\":{}}}",
+                escape(name),
+                h.count,
+                h.min,
+                h.max,
+                h.sum,
+                h.p50,
+                h.p95
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn render_span_json(out: &mut String, node: &SpanNode, normalize: bool) {
+    let ns = |v: u64| if normalize { 0 } else { v };
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{},\"children\":[",
+        escape(&node.name),
+        node.count,
+        ns(node.total_ns),
+        ns(node.p50_ns),
+        ns(node.p95_ns),
+        ns(node.max_ns)
+    );
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_span_json(out, child, normalize);
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::metrics::HistogramSummary;
+
+    fn sample_report() -> TelemetryReport {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("sweep.baked_cache.hit".into(), 15);
+        metrics.gauges.insert("sweep.workers".into(), 1);
+        metrics.histograms.insert(
+            "sweep.worker.jobs".into(),
+            HistogramSummary {
+                count: 1,
+                min: 16,
+                max: 16,
+                sum: 16,
+                p50: 16,
+                p95: 16,
+            },
+        );
+        TelemetryReport {
+            spans: vec![SpanNode {
+                name: "bake".into(),
+                count: 2,
+                total_ns: 1000,
+                p50_ns: 400,
+                p95_ns: 600,
+                max_ns: 600,
+                children: vec![SpanNode {
+                    name: "fuse".into(),
+                    count: 2,
+                    total_ns: 300,
+                    p50_ns: 100,
+                    p95_ns: 200,
+                    max_ns: 200,
+                    children: Vec::new(),
+                }],
+            }],
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_versioned() {
+        let report = sample_report();
+        let doc = json::parse(&report.render_json(false)).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(TELEMETRY_SCHEMA));
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("bake"));
+        assert_eq!(spans[0].get("total_ns").unwrap().as_f64(), Some(1000.0));
+        let hit = doc
+            .get("counters")
+            .unwrap()
+            .get("sweep.baked_cache.hit")
+            .unwrap();
+        assert_eq!(hit.as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn normalized_json_zeroes_timings_only() {
+        let report = sample_report();
+        let doc = json::parse(&report.render_json(true)).unwrap();
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans[0].get("total_ns").unwrap().as_f64(), Some(0.0));
+        assert_eq!(spans[0].get("count").unwrap().as_f64(), Some(2.0));
+        let jobs = doc
+            .get("histograms")
+            .unwrap()
+            .get("sweep.worker.jobs")
+            .unwrap();
+        assert_eq!(jobs.get("p50").unwrap().as_f64(), Some(16.0));
+    }
+
+    #[test]
+    fn text_rendering_lists_tree_and_metrics() {
+        let text = sample_report().render_text();
+        assert!(text.contains("== spans =="));
+        assert!(text.contains("bake"));
+        assert!(text.contains("  fuse"));
+        assert!(text.contains("sweep.baked_cache.hit"));
+        assert!(text.contains("p95"));
+        let empty = TelemetryReport::default().render_text();
+        assert!(empty.contains("(none recorded)"));
+        assert!(empty.contains("(none touched)"));
+    }
+}

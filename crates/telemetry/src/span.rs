@@ -1,0 +1,244 @@
+//! The span profiler: monotonic-clock scopes with thread-local
+//! buffers, drained into a hierarchical phase tree.
+//!
+//! Instrumented code calls [`span`] at the top of a scope and holds the
+//! returned guard; nesting is tracked per thread with a name stack, so
+//! a span's identity is its *path* (`"bake/fuse/rewrite"`), not just
+//! its name. Completed spans accumulate in a thread-local buffer that
+//! is flushed to the global collector whenever the thread's span stack
+//! empties — one mutex acquisition per top-level span, none per nested
+//! span. When telemetry is disabled (the default), [`span`] is a single
+//! relaxed atomic load and returns an inert guard: no clock read, no
+//! TLS access, no allocation.
+
+use crate::enabled;
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span: its slash-joined path and duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Slash-joined ancestry, e.g. `"bake/fuse/rewrite"`.
+    pub path: String,
+    /// Wall-clock nanoseconds the span was open.
+    pub ns: u64,
+}
+
+static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static THREAD: RefCell<ThreadSpans> = const {
+        RefCell::new(ThreadSpans { stack: Vec::new(), buf: Vec::new() })
+    };
+}
+
+struct ThreadSpans {
+    stack: Vec<&'static str>,
+    buf: Vec<SpanRecord>,
+}
+
+/// An open profiling scope; records its duration on drop.
+///
+/// Close spans in the order they were opened (ordinary lexical scoping
+/// does this automatically) — the path of a span is derived from the
+/// thread's stack at the moment it closes.
+#[must_use = "a span measures the scope that holds it"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` under the thread's current span path.
+/// Near-zero cost when telemetry is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    THREAD.with(|t| t.borrow_mut().stack.push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            let path = t.stack.join("/");
+            t.stack.pop();
+            t.buf.push(SpanRecord { path, ns });
+            if t.stack.is_empty() {
+                let drained: Vec<SpanRecord> = t.buf.drain(..).collect();
+                COLLECTOR
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(drained);
+            }
+        });
+    }
+}
+
+/// Removes and returns every span completed since the last drain (from
+/// every thread that has flushed; the calling thread's buffer is
+/// flushed first so its completed spans are never stranded).
+pub fn drain_spans() -> Vec<SpanRecord> {
+    THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.buf.is_empty() {
+            let drained: Vec<SpanRecord> = t.buf.drain(..).collect();
+            COLLECTOR
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(drained);
+        }
+    });
+    std::mem::take(&mut *COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// One node of the aggregated span tree: all completions of one path,
+/// with exact order statistics over the recorded durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span's name (the last path component).
+    pub name: String,
+    /// How many times this span completed.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Median duration.
+    pub p50_ns: u64,
+    /// 95th-percentile duration (nearest rank).
+    pub p95_ns: u64,
+    /// Longest single completion.
+    pub max_ns: u64,
+    /// Child spans, in first-completion order.
+    pub children: Vec<SpanNode>,
+}
+
+struct Building {
+    name: String,
+    samples: Vec<u64>,
+    children: Vec<Building>,
+}
+
+fn child_of<'a>(nodes: &'a mut Vec<Building>, name: &str) -> &'a mut Building {
+    if let Some(idx) = nodes.iter().position(|n| n.name == name) {
+        return &mut nodes[idx];
+    }
+    nodes.push(Building {
+        name: name.to_string(),
+        samples: Vec::new(),
+        children: Vec::new(),
+    });
+    nodes.last_mut().expect("just pushed")
+}
+
+fn finish(mut b: Building) -> SpanNode {
+    b.samples.sort_unstable();
+    let rank = |q: f64| -> u64 {
+        if b.samples.is_empty() {
+            return 0;
+        }
+        let r = ((q * b.samples.len() as f64).ceil() as usize).clamp(1, b.samples.len());
+        b.samples[r - 1]
+    };
+    SpanNode {
+        count: b.samples.len() as u64,
+        total_ns: b.samples.iter().sum(),
+        p50_ns: rank(0.5),
+        p95_ns: rank(0.95),
+        max_ns: b.samples.last().copied().unwrap_or(0),
+        name: b.name,
+        children: b.children.into_iter().map(finish).collect(),
+    }
+}
+
+/// Aggregates drained records into a hierarchical phase tree. Nodes
+/// keep first-completion order, so on a single profiling thread the
+/// tree reads in pipeline order. A parent that never completed a span
+/// of its own (only interior path component) reports zero counts.
+pub fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let mut roots: Vec<Building> = Vec::new();
+    for rec in records {
+        let mut level = &mut roots;
+        let parts: Vec<&str> = rec.path.split('/').collect();
+        for (k, part) in parts.iter().enumerate() {
+            let next = child_of(level, part);
+            if k + 1 == parts.len() {
+                next.samples.push(rec.ns);
+            }
+            level = &mut next.children;
+        }
+    }
+    roots.into_iter().map(finish).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session;
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        let mut s = session();
+        {
+            let _a = span("outer");
+            for _ in 0..3 {
+                let _b = span("inner");
+                std::hint::black_box(1 + 1);
+            }
+        }
+        {
+            let _c = span("second");
+        }
+        let report = s.finish();
+        let names: Vec<&str> = report.spans.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, ["outer", "second"]);
+        let outer = &report.spans[0];
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].count, 3);
+        assert!(outer.total_ns >= outer.children[0].total_ns);
+        assert!(outer.children[0].p50_ns <= outer.children[0].p95_ns);
+        assert!(outer.children[0].p95_ns <= outer.children[0].max_ns);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        // No session: telemetry is off, the guard must be inert.
+        {
+            let _g = span("ghost");
+        }
+        let mut s = session();
+        let report = s.finish();
+        assert!(
+            report.spans.iter().all(|n| n.name != "ghost"),
+            "disabled span leaked into the collector"
+        );
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_by_path() {
+        let mut s = session();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _g = span("worker");
+                    let _h = span("step");
+                });
+            }
+        });
+        let report = s.finish();
+        let worker = report
+            .spans
+            .iter()
+            .find(|n| n.name == "worker")
+            .expect("worker spans collected");
+        assert_eq!(worker.count, 4);
+        assert_eq!(worker.children.len(), 1);
+        assert_eq!(worker.children[0].count, 4);
+    }
+}

@@ -11,9 +11,12 @@
 # the generated worked-example docs are current,
 # and finishes with an end-to-end smoke sweep through the CLI binary:
 # eight seeds of Figure 1 compiled by the native engine and verified
-# against the scalar oracle on four worker threads, followed by the
-# engine bench harness in quick mode (floors: engine >= 5x the
-# interpreter, fused >= 1.3x unfused on reorg-dominated kernels).
+# against the scalar oracle on four worker threads (with telemetry
+# collection on), an instrumented `simdize profile` pass, the engine
+# bench harness in quick mode (floors: engine >= 5x the interpreter,
+# fused >= 1.3x unfused on reorg-dominated kernels), and a
+# `simdize bench diff` of that quick run against the checked-in
+# bench-history baseline at a deliberately generous threshold.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,15 +47,31 @@ echo "== worked-example docs are current =="
 # the checked-in pages; any drift fails CI (see scripts/gen-docs.sh).
 scripts/gen-docs.sh --check
 
-echo "== smoke sweep (native engine, 8 seeds) =="
-target/release/simdize sweep loops/figure1.loop --smoke --jobs 4
+echo "== smoke sweep (native engine, 8 seeds, telemetry on) =="
+target/release/simdize sweep loops/figure1.loop --smoke --jobs 4 --telemetry
+
+echo "== profile smoke (span tree + versioned telemetry JSON) =="
+target/release/simdize profile loops/figure1.loop > /dev/null
+target/release/simdize profile loops/figure1.loop --json \
+    | grep -q '"schema":"simdize-telemetry/v1"'
 
 echo "== bench smoke (engine telemetry, quick mode) =="
 # Re-measures engine-vs-interpreter and fused-vs-unfused on reduced
 # trip counts and rewrites BENCH_engine.json; exits non-zero if the
 # fused engine is under 5x the interpreter or a gated kernel loses
-# its fusion gain.
-target/release/engine --quick --floor 5 --out BENCH_engine.json
+# its fusion gain. The history entry goes to a temp dir so CI never
+# dirties the checked-in bench_history/.
+BENCH_TMP=$(mktemp -d)
+trap 'rm -rf "$BENCH_TMP"' EXIT
+target/release/engine --quick --floor 5 --out BENCH_engine.json --history-dir "$BENCH_TMP"
+
+echo "== bench history diff (fresh quick run vs checked-in baseline) =="
+# Generous threshold: quick-mode numbers on a loaded CI machine wobble;
+# this smoke only guards against order-of-magnitude collapses and
+# proves the diff pipeline end to end.
+baseline=$(ls bench_history/*.json | tail -1)
+fresh=$(ls "$BENCH_TMP"/*.json | tail -1)
+target/release/simdize bench diff "$baseline" "$fresh" --threshold 0.9
 
 echo "== static analysis (all sample loops) =="
 for loop in loops/*.loop; do

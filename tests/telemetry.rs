@@ -1,0 +1,135 @@
+//! Telemetry tier contract tests: the `simdize-telemetry/v1` document
+//! for a Figure 1 profile is golden-pinned (timings normalized), the
+//! span tree covers every pipeline phase, and the disabled
+//! instrumentation path costs a negligible fraction of a kernel run.
+
+use simdize::{
+    parse_program, profile_source, KernelOptions, MemoryImage, PredecodedKernel, RunInput,
+    Simdizer, VectorShape, PROFILE_SWEEP_SEEDS,
+};
+use simdize_telemetry as telemetry;
+use simdize_telemetry::json;
+
+fn repo(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn figure1() -> String {
+    let path = repo("loops/figure1.loop");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"))
+}
+
+/// Pins the normalized `simdize-telemetry/v1` JSON for a Figure 1
+/// profile, byte for byte. Counts, tree shape and cache metrics are
+/// deterministic on this loop (single worker, compile-time-known
+/// alignments); wall-clock fields are normalized to zero. Regenerate
+/// after an intentional pipeline change with
+/// `UPDATE_GOLDEN=1 cargo test --test telemetry`.
+#[test]
+fn figure1_profile_json_golden() {
+    let outcome = profile_source(&figure1()).unwrap();
+    assert!(outcome.verified);
+    let json = outcome.report.render_json(true);
+    let path = repo("tests/golden/telemetry-figure1.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{json}\n")).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert_eq!(
+        expected.trim_end(),
+        json,
+        "telemetry schema drift; if intended, UPDATE_GOLDEN=1 and re-review"
+    );
+}
+
+/// The acceptance contract, independent of the golden bytes: the JSON
+/// document is versioned, its span tree names every pipeline phase,
+/// and the sweep-cache counters show the expected one-miss pattern.
+#[test]
+fn figure1_profile_document_covers_every_phase() {
+    let outcome = profile_source(&figure1()).unwrap();
+    let doc = json::parse(&outcome.report.render_json(false)).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("simdize-telemetry/v1")
+    );
+    let spans = doc.get("spans").unwrap().as_arr().unwrap();
+    let roots: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(json::Json::as_str))
+        .collect();
+    for phase in [
+        "parse",
+        "reorg",
+        "codegen",
+        "analysis",
+        "predecode",
+        "bake",
+        "run",
+        "sweep",
+        "sweep.job",
+    ] {
+        assert!(roots.contains(&phase), "missing phase {phase} in {roots:?}");
+    }
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(
+        counters.get("sweep.baked_cache.miss").unwrap().as_f64(),
+        Some(1.0)
+    );
+    assert_eq!(
+        counters.get("sweep.baked_cache.hit").unwrap().as_f64(),
+        Some((PROFILE_SWEEP_SEEDS - 1) as f64)
+    );
+}
+
+/// With telemetry disabled (the default), one instrumentation call is
+/// a relaxed atomic load and must cost well under 2% of a Figure 1
+/// kernel run. Timing-sensitive, so gated: set `TELEMETRY_OVERHEAD=1`
+/// to run it (alone, on a quiet machine).
+#[test]
+fn disabled_instrumentation_overhead_under_two_percent() {
+    if std::env::var_os("TELEMETRY_OVERHEAD").is_none() {
+        eprintln!("skipped: set TELEMETRY_OVERHEAD=1 to measure instrumentation overhead");
+        return;
+    }
+    assert!(!telemetry::enabled());
+    let program = parse_program(&figure1()).unwrap();
+    let compiled = Simdizer::new().compile(&program).unwrap();
+    let ub = program.trip().known().unwrap_or(256);
+    let input = RunInput::with_ub(ub);
+    let image = MemoryImage::with_seed(&program, VectorShape::V16, 1);
+    let kernel = PredecodedKernel::new(&compiled)
+        .unwrap()
+        .bake(&image, &input, &KernelOptions::default())
+        .unwrap();
+
+    // Median-of-runs kernel wall time, the denominator.
+    let mut runs: Vec<u64> = (0..32)
+        .map(|_| {
+            let mut img = image.clone();
+            let t0 = std::time::Instant::now();
+            kernel.run(&mut img).unwrap();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    let run_ns = runs[runs.len() / 2] as f64;
+
+    // Per-call cost of a disabled span — the engine adds one per
+    // `CompiledKernel::run`, so this *is* the added overhead.
+    const CALLS: u32 = 1_000_000;
+    let t0 = std::time::Instant::now();
+    for _ in 0..CALLS {
+        let _g = telemetry::span("overhead.probe");
+    }
+    let per_call_ns = t0.elapsed().as_nanos() as f64 / f64::from(CALLS);
+
+    assert!(
+        per_call_ns < 0.02 * run_ns,
+        "disabled span costs {per_call_ns:.1} ns vs {run_ns:.0} ns kernel run (>= 2%)"
+    );
+    // Nothing may have been recorded while disabled.
+    assert!(telemetry::drain_spans().is_empty());
+}
