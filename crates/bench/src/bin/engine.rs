@@ -30,8 +30,9 @@
 //! exits non-zero.
 
 use simdize::{
-    parse_program, run_simd, run_sweep_with, KernelOptions, MemoryImage, PredecodedKernel,
-    RunInput, Simdizer, SweepJob, SweepOptions, VectorShape,
+    parse_program, run_simd, run_sweep_collect, run_sweep_with, CacheMode, KernelOptions,
+    MemoryImage, PredecodedKernel, RunInput, Simdizer, SweepJob, SweepOptions, SweepStats,
+    VectorShape,
 };
 use simdize_bench::timing::{black_box, Harness};
 use simdize_telemetry::history;
@@ -218,7 +219,93 @@ fn bench_sweep(
     }
 }
 
-fn render_json(mode: &str, floor: f64, kernels: &[KernelRow], sweeps: &[SweepRow]) -> String {
+/// The 128-job mixed-program sweep: interleaved distinct programs are
+/// the worst case for the legacy per-worker single-slot cache (every
+/// program switch re-bakes) and the best case for the sharded shared
+/// cache (each program bakes once, process-wide).
+struct MixedRow {
+    programs: usize,
+    seeds: u64,
+    threads: usize,
+    shared_ms: f64,
+    slot_ms: f64,
+    shared: SweepStats,
+    slot: SweepStats,
+}
+
+/// Best-of-3 wall clock plus the stats of the fastest run.
+fn time_sweep_collect(jobs: &[SweepJob], opts: SweepOptions) -> (f64, SweepStats) {
+    let mut best: Option<(f64, SweepStats)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let (outcomes, stats) = run_sweep_collect(black_box(jobs), opts);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            outcomes.iter().all(|o| o.as_ref().unwrap().verified),
+            "mixed sweep seed failed verification"
+        );
+        if best.as_ref().is_none_or(|(b, _)| dt < *b) {
+            best = Some((dt, stats));
+        }
+    }
+    best.expect("three timed runs")
+}
+
+fn bench_mixed(quick: bool, threads: usize) -> MixedRow {
+    // Short trips keep the O(ub) execute/verify work from drowning the
+    // O(program) bake work the cache exists to amortize — this is the
+    // regime the serve workload lives in (many small requests).
+    let ub = 150u64;
+    let len = ub + 16;
+    // Eight structurally distinct Figure-1-style programs (offsets and
+    // alignments rotated), all with compile-time-known alignments so
+    // each program needs exactly one bake per layout.
+    let programs: Vec<_> = (0..8)
+        .map(|k| {
+            let (x, y, z) = (k % 4, (k + 1) % 4, (k + 2) % 4);
+            let source = format!(
+                "arrays {{ a: i32[{len}] @ {}; b: i32[{len}] @ {}; c: i32[{len}] @ {}; }}
+                 for i in 0..{ub} {{ a[i+{z}] = b[i+{x}] + c[i+{y}]; }}",
+                4 * x,
+                4 * y,
+                4 * z
+            );
+            let program = parse_program(&source).expect("mixed program parses");
+            Simdizer::new().compile(&program).expect("mixed program compiles")
+        })
+        .collect();
+    let seeds_per_program = if quick { 8 } else { 16 };
+    let jobs: Vec<SweepJob> = (0..seeds_per_program)
+        .flat_map(|s| {
+            programs
+                .iter()
+                .map(move |p| (s, p.clone()))
+                .map(|(s, p)| SweepJob::new(p, s, ub))
+        })
+        .collect();
+    let (shared_ms, shared) = time_sweep_collect(&jobs, SweepOptions::new(threads));
+    let (slot_ms, slot) = time_sweep_collect(
+        &jobs,
+        SweepOptions::new(threads).cache_mode(CacheMode::SlotPerWorker),
+    );
+    MixedRow {
+        programs: programs.len(),
+        seeds: jobs.len() as u64,
+        threads,
+        shared_ms,
+        slot_ms,
+        shared,
+        slot,
+    }
+}
+
+fn render_json(
+    mode: &str,
+    floor: f64,
+    kernels: &[KernelRow],
+    sweeps: &[SweepRow],
+    mixed: &MixedRow,
+) -> String {
     let ops_per_sec = |total: u64, ns: f64| total as f64 / (ns * 1e-9);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -264,7 +351,7 @@ fn render_json(mode: &str, floor: f64, kernels: &[KernelRow], sweeps: &[SweepRow
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"sweeps\": [");
-    for (i, s) in sweeps.iter().enumerate() {
+    for s in sweeps {
         let jobs_per_sec = |ms: f64| s.seeds as f64 / (ms * 1e-3);
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
@@ -287,8 +374,41 @@ fn render_json(mode: &str, floor: f64, kernels: &[KernelRow], sweeps: &[SweepRow
             "      \"uncached_jobs_per_sec\": {:.0}",
             jobs_per_sec(s.uncached_ms)
         );
-        let _ = writeln!(out, "    }}{}", if i + 1 < sweeps.len() { "," } else { "" });
+        let _ = writeln!(out, "    }},");
     }
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"name\": \"mixed-programs\",");
+    let _ = writeln!(out, "      \"programs\": {},", mixed.programs);
+    let _ = writeln!(out, "      \"seeds\": {},", mixed.seeds);
+    let _ = writeln!(out, "      \"threads\": {},", mixed.threads);
+    let _ = writeln!(out, "      \"shared_ms\": {:.2},", mixed.shared_ms);
+    let _ = writeln!(out, "      \"slot_ms\": {:.2},", mixed.slot_ms);
+    let _ = writeln!(
+        out,
+        "      \"shared_vs_slot\": {:.3},",
+        mixed.slot_ms / mixed.shared_ms
+    );
+    let _ = writeln!(
+        out,
+        "      \"shared_hit_rate\": {:.4},",
+        mixed.shared.cache_hit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "      \"slot_hit_rate\": {:.4},",
+        mixed.slot.cache_hit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "      \"shared_evictions\": {},",
+        mixed.shared.cache_evictions
+    );
+    let _ = writeln!(
+        out,
+        "      \"shared_occupied\": {}",
+        mixed.shared.cache_occupied()
+    );
+    let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
@@ -363,6 +483,7 @@ fn main() {
             threads,
         ),
     ];
+    let mixed = bench_mixed(quick, threads);
     c.final_summary();
 
     println!();
@@ -382,8 +503,25 @@ fn main() {
             s.uncached_ms / s.cached_ms
         );
     }
+    println!(
+        "sweep mixed-programs {} jobs ({} programs): shared {:.1} ms ({:.0}% hits) vs \
+         slot {:.1} ms ({:.0}% hits) => {:.2}x",
+        mixed.seeds,
+        mixed.programs,
+        mixed.shared_ms,
+        mixed.shared.cache_hit_rate() * 100.0,
+        mixed.slot_ms,
+        mixed.slot.cache_hit_rate() * 100.0,
+        mixed.slot_ms / mixed.shared_ms
+    );
 
-    let json = render_json(if quick { "quick" } else { "full" }, floor, &kernels, &sweeps);
+    let json = render_json(
+        if quick { "quick" } else { "full" },
+        floor,
+        &kernels,
+        &sweeps,
+        &mixed,
+    );
     std::fs::write(&out_path, &json).expect("write JSON report");
     println!("\nwrote {out_path}");
 
@@ -423,6 +561,23 @@ fn main() {
             );
             failed = true;
         }
+    }
+    // The sharded cache must beat the legacy single-slot cache on the
+    // interleaved mixed-program sweep, on both hit rate and wall time.
+    if mixed.shared.cache_hit_rate() <= mixed.slot.cache_hit_rate() {
+        eprintln!(
+            "FAIL: mixed-programs sharded cache hit rate {:.0}% <= single-slot {:.0}%",
+            mixed.shared.cache_hit_rate() * 100.0,
+            mixed.slot.cache_hit_rate() * 100.0
+        );
+        failed = true;
+    }
+    if mixed.shared_ms >= mixed.slot_ms {
+        eprintln!(
+            "FAIL: mixed-programs sharded cache slower than single-slot ({:.1} ms vs {:.1} ms)",
+            mixed.shared_ms, mixed.slot_ms
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -1,0 +1,338 @@
+//! Load generator for `simdize serve`: drives an in-process server
+//! with thousands of concurrent client connections over a deterministic
+//! loop/policy/seed mix and writes `BENCH_server.json`
+//! (`simdize-bench-server/v1`, appended to the bench history) with
+//! throughput, client-observed p50/p95 latency (recorded into
+//! `simdize-telemetry` histograms) and the shared kernel cache's hit
+//! rate.
+//!
+//! Run with: `cargo run -p simdize-bench --bin loadgen --release -- [options]`
+//!
+//! ```text
+//! --quick             64 connections (CI smoke mode; default 1200)
+//! --connections N     concurrent client connections
+//! --requests N        requests per connection (default 4)
+//! --out PATH          JSON report path (default BENCH_server.json)
+//! --history-dir DIR   bench-history directory (default bench_history)
+//! --no-history        skip appending to the bench history
+//! ```
+//!
+//! Every client holds its connection open for the whole run, so the
+//! configured connection count is the *sustained* concurrency, not a
+//! total. Requests that hit backpressure (`busy`) are retried with a
+//! short backoff and counted separately; any other failure aborts the
+//! bench.
+
+use simdize_server::{Server, ServerConfig};
+use simdize_telemetry::history;
+use simdize_telemetry::json::{self, Json};
+use simdize_telemetry::Histogram;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const FIG1: &str = "arrays { a: i32[216] @ 0; b: i32[216] @ 4; c: i32[216] @ 8; } \
+                    for i in 0..200 { a[i+3] = b[i+1] + c[i+2]; }";
+const RUNTIME: &str = "arrays { a: i32[216] @ ?; b: i32[216] @ ?; } \
+                       for i in 0..ub { a[i] = b[i+1]; }";
+const FIR: &str = "arrays { a: i32[216] @ 0; b: i32[216] @ 0; } \
+                   for i in 0..200 { a[i] = b[i] + b[i+1] + b[i+2] + b[i+3]; }";
+
+/// The deterministic request mix; `pick(k)` cycles it per connection
+/// and request index so every run issues the identical workload.
+fn request_mix() -> Vec<String> {
+    let fig1 = json::escape(FIG1);
+    let runtime = json::escape(RUNTIME);
+    let fir = json::escape(FIR);
+    vec![
+        format!(r#"{{"v":1,"id":1,"cmd":"run","source":"{fig1}","seed":1}}"#),
+        format!(r#"{{"v":1,"id":2,"cmd":"run","source":"{runtime}","seed":2,"ub":200}}"#),
+        format!(r#"{{"v":1,"id":3,"cmd":"run","source":"{fir}","policy":"zero","seed":3}}"#),
+        format!(r#"{{"v":1,"id":4,"cmd":"compile","source":"{fig1}","policy":"eager"}}"#),
+        format!(r#"{{"v":1,"id":5,"cmd":"sweep","source":"{runtime}","seed":0,"ub":150,"count":4}}"#),
+        format!(r#"{{"v":1,"id":6,"cmd":"run","source":"{fig1}","seed":4}}"#),
+        r#"{"v":1,"id":7,"cmd":"ping"}"#.to_string(),
+        format!(r#"{{"v":1,"id":8,"cmd":"run","source":"{runtime}","seed":5,"ub":200}}"#),
+    ]
+}
+
+struct ClientOutcome {
+    latency_us: Histogram,
+    ok: u64,
+    busy_retries: u64,
+}
+
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..10 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+    TcpStream::connect(addr).expect("connect to in-process server")
+}
+
+/// Connects and proves the connection live with a ping round-trip.
+///
+/// A burst of hundreds of simultaneous SYNs can overflow the listen
+/// backlog; the kernel then drops the final ACK, leaving the client
+/// with a socket that looks connected but was never accepted (it dies
+/// with a reset at first use). Validating with a ping before the
+/// barrier guarantees every connection counted by the bench is fully
+/// established server-side before the measured window opens.
+fn establish(addr: SocketAddr) -> TcpStream {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..20 {
+        let conn = connect_with_retry(addr);
+        let _ = conn.set_nodelay(true);
+        let mut writer = match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+        let mut line = String::new();
+        let alive = writeln!(writer, r#"{{"v":1,"id":0,"cmd":"ping"}}"#).is_ok()
+            && matches!(reader.read_line(&mut line), Ok(n) if n > 0)
+            && line.contains("\"ok\":true");
+        if alive {
+            return conn;
+        }
+        std::thread::sleep(delay);
+        delay = (delay * 2).min(Duration::from_millis(100));
+    }
+    panic!("could not establish a validated connection to {addr}");
+}
+
+/// One client: connect, wait for the barrier, then issue `requests`
+/// picks from the mix, retrying busy rejections with backoff.
+fn client(
+    addr: SocketAddr,
+    k: usize,
+    requests: usize,
+    mix: &[String],
+    barrier: &Barrier,
+) -> ClientOutcome {
+    let conn = establish(addr);
+    let mut writer = conn.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    let mut outcome = ClientOutcome {
+        latency_us: Histogram::new(),
+        ok: 0,
+        busy_retries: 0,
+    };
+    barrier.wait();
+    for i in 0..requests {
+        let request = &mix[(k.wrapping_mul(7).wrapping_add(i)) % mix.len()];
+        let mut backoff = Duration::from_micros(500);
+        loop {
+            let t0 = Instant::now();
+            writeln!(writer, "{request}").expect("send request");
+            line.clear();
+            reader.read_line(&mut line).expect("read response");
+            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            if line.contains("\"busy\":true") {
+                outcome.busy_retries += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(20));
+                continue;
+            }
+            assert!(
+                line.contains("\"ok\":true"),
+                "request failed: {request} -> {}",
+                line.trim_end()
+            );
+            outcome.latency_us.observe(us);
+            outcome.ok += 1;
+            break;
+        }
+    }
+    outcome
+}
+
+/// Sends one request on a fresh control connection and returns the
+/// parsed response.
+fn control(addr: SocketAddr, request: &str) -> Json {
+    let conn = connect_with_retry(addr);
+    let mut writer = conn.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(conn);
+    writeln!(writer, "{request}").expect("send control request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read control response");
+    json::parse(&line).expect("parse control response")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    mode: &str,
+    connections: usize,
+    requests_total: u64,
+    busy_retries: u64,
+    elapsed_s: f64,
+    latency: &Histogram,
+    cache_hit_rate: f64,
+    workers: usize,
+) -> String {
+    format!(
+        "{{\n  \"schema\": \"simdize-bench-server/v1\",\n  \"mode\": \"{mode}\",\n  \"server\": [\n    {{\n      \
+         \"name\": \"mixed\",\n      \
+         \"connections\": {connections},\n      \
+         \"workers\": {workers},\n      \
+         \"requests\": {requests_total},\n      \
+         \"busy_retries\": {busy_retries},\n      \
+         \"requests_per_sec\": {:.0},\n      \
+         \"p50_us\": {},\n      \
+         \"p95_us\": {},\n      \
+         \"mean_us\": {:.1},\n      \
+         \"max_us\": {},\n      \
+         \"cache_hit_rate\": {:.4}\n    }}\n  ]\n}}\n",
+        requests_total as f64 / elapsed_s.max(1e-9),
+        latency.quantile(0.5),
+        latency.quantile(0.95),
+        latency.mean(),
+        latency.max(),
+        cache_hit_rate,
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut connections: Option<usize> = None;
+    let mut requests = 4usize;
+    let mut out_path = "BENCH_server.json".to_string();
+    let mut history_dir = Some("bench_history".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--connections" => {
+                connections = Some(
+                    args.next()
+                        .expect("--connections needs a value")
+                        .parse()
+                        .expect("--connections expects a number"),
+                )
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .expect("--requests needs a value")
+                    .parse()
+                    .expect("--requests expects a number")
+            }
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            "--history-dir" => {
+                history_dir = Some(args.next().expect("--history-dir needs a value"))
+            }
+            "--no-history" => history_dir = None,
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+    let connections = connections.unwrap_or(if quick { 64 } else { 1200 });
+
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    // Each connection has at most one request in flight, so a queue as
+    // deep as the connection count never rejects; anything smaller
+    // turns the bench into a busy-retry storm that measures the
+    // backpressure path instead of request throughput (that path is
+    // covered by tests/server.rs).
+    let config = ServerConfig {
+        workers,
+        queue_depth: connections + 16,
+        sweep_threads: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind in-process server");
+    let addr = server.local_addr();
+    let serve_thread = std::thread::spawn(move || server.serve());
+
+    println!(
+        "loadgen: {connections} concurrent connection(s) x {requests} request(s) \
+         against {addr} ({workers} worker(s))"
+    );
+    let mix = Arc::new(request_mix());
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let clients: Vec<_> = (0..connections)
+        .map(|k| {
+            let mix = Arc::clone(&mix);
+            let barrier = Arc::clone(&barrier);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{k}"))
+                .stack_size(128 * 1024)
+                .spawn(move || client(addr, k, requests, &mix, &barrier))
+                .expect("spawn client thread")
+        })
+        .collect();
+    // Every client is connected before the clock starts: the barrier
+    // releases all of them at once, so the connection count is held
+    // for the whole measured window.
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut latency = Histogram::new();
+    let mut ok_total = 0u64;
+    let mut busy_retries = 0u64;
+    for handle in clients {
+        let outcome = handle.join().expect("client thread panicked");
+        latency.merge(&outcome.latency_us);
+        ok_total += outcome.ok;
+        busy_retries += outcome.busy_retries;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let stats = control(addr, r#"{"v":1,"id":1,"cmd":"stats"}"#);
+    let cache = stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .expect("stats response carries cache block");
+    let cache_hit_rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+    let shutdown = control(addr, r#"{"v":1,"id":2,"cmd":"shutdown"}"#);
+    assert_eq!(shutdown.get("ok"), Some(&Json::Bool(true)));
+    let summary = serve_thread
+        .join()
+        .expect("server thread panicked")
+        .expect("server failed");
+
+    println!(
+        "{ok_total} request(s) in {elapsed_s:.2} s ({:.0} req/s), p50 {} us, p95 {} us, \
+         {busy_retries} busy retries, cache hit rate {:.0}%",
+        ok_total as f64 / elapsed_s.max(1e-9),
+        latency.quantile(0.5),
+        latency.quantile(0.95),
+        cache_hit_rate * 100.0
+    );
+    println!(
+        "server summary: {} request(s), {} connection(s), {} busy, {} error(s)",
+        summary.requests, summary.connections, summary.busy, summary.errors
+    );
+    assert_eq!(summary.errors, 0, "server reported request errors");
+    assert_eq!(ok_total, (connections * requests) as u64);
+    assert!(
+        summary.connections >= connections as u64,
+        "server saw fewer connections than the loadgen opened"
+    );
+
+    let json = render_json(
+        if quick { "quick" } else { "full" },
+        connections,
+        ok_total,
+        busy_retries,
+        elapsed_s,
+        &latency,
+        cache_hit_rate,
+        workers,
+    );
+    std::fs::write(&out_path, &json).expect("write JSON report");
+    println!("wrote {out_path}");
+
+    if let Some(dir) = history_dir {
+        let meta = history::HistoryMeta::now(std::path::Path::new("."));
+        let entry = history::append_entry(std::path::Path::new(&dir), &meta, &json)
+            .expect("append bench-history entry");
+        println!("appended {}", entry.display());
+    }
+}

@@ -22,9 +22,17 @@
 //!   profile    instrumented end-to-end pass: span tree over every
 //!              pipeline phase plus engine metrics (--json for the
 //!              versioned simdize-telemetry/v1 document)
+//!   serve <addr>   long-running simdization server speaking the
+//!              simdize-wire/v1 JSONL-over-TCP protocol; prints
+//!              `listening on ADDR` (with the resolved port) before
+//!              accepting, shuts down on SIGINT or a shutdown request
 //!   bench diff [old new]   compare two bench-history entries with
 //!              noise-aware thresholds; exits non-zero on regression
 //!              (defaults to the two newest entries in --dir)
+//!
+//! Every command that takes `<file.loop>` also accepts a bare loop
+//! name: `simdize run figure1` resolves to `loops/figure1.loop`,
+//! searched upward from the current directory.
 //!
 //! options:
 //!   --policy zero|eager|lazy|dominant   force a placement policy
@@ -49,6 +57,12 @@
 //!                                       telemetry around `run`/`sweep`
 //!   --dir PATH                          bench-history directory for
 //!                                       `bench diff` (default bench_history)
+//!   --workers N                         serve: worker pool size (default 2)
+//!   --queue N                           serve: bounded job-queue depth
+//!                                       (default 64; full queue => busy)
+//!   --shards N / --cache-cap N          serve: kernel-cache shard count
+//!                                       (default 8) and per-shard LRU
+//!                                       capacity (default 32)
 //!   --threshold F                       allowed relative loss before a
 //!                                       metric counts as regressed
 //!                                       (default 0.25; timings get 2x)
@@ -101,6 +115,11 @@ pub struct Options {
     bench_new: Option<String>,
     dot: bool,
     asm: bool,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    shards: usize,
+    cache_cap: usize,
 }
 
 /// Parses argv-style arguments (`args` excludes the program name) and
@@ -127,16 +146,25 @@ pub fn parse_args(
             | "policies"
             | "sweep"
             | "profile"
+            | "serve"
             | "bench"
     ) {
         return Err(format!("unknown command `{command}`\n{USAGE}").into());
     }
-    // `bench` takes a subcommand and entry paths, not a loop file.
+    // `bench` takes a subcommand and entry paths, and `serve` a listen
+    // address — neither reads a loop file.
+    let mut addr = String::new();
     let source = if command == "bench" {
         let sub = it.next().ok_or("bench needs a subcommand: `bench diff`")?;
         if sub != "diff" {
             return Err(format!("unknown bench subcommand `{sub}` (expected `diff`)").into());
         }
+        String::new()
+    } else if command == "serve" {
+        addr = it
+            .next()
+            .ok_or("serve needs a listen address, e.g. `serve 127.0.0.1:4910` (port 0 = ephemeral)")?
+            .clone();
         String::new()
     } else {
         let path = it.next().ok_or("missing <file.loop> argument")?;
@@ -170,6 +198,11 @@ pub fn parse_args(
         bench_new: None,
         dot: false,
         asm: false,
+        addr,
+        workers: 2,
+        queue: 64,
+        shards: 8,
+        cache_cap: 32,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, Box<dyn Error>> {
@@ -252,6 +285,20 @@ pub fn parse_args(
             }
             "--dot" => opts.dot = true,
             "--asm" => opts.asm = true,
+            "--workers" => {
+                opts.workers = value("--workers")?.parse()?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue" => {
+                opts.queue = value("--queue")?.parse()?;
+                if opts.queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--shards" => opts.shards = value("--shards")?.parse()?,
+            "--cache-cap" => opts.cache_cap = value("--cache-cap")?.parse()?,
             other if opts.command == "bench" && !other.starts_with('-') => {
                 if opts.bench_old.is_none() {
                     opts.bench_old = Some(other.to_string());
@@ -269,8 +316,35 @@ pub fn parse_args(
 
 const USAGE: &str =
     "usage: simdize <check|graph|compile|analyze|run|explain|policies|sweep|profile> <file.loop|-> [options]
+       simdize serve <addr> [--workers N] [--queue N] [--shards N] [--cache-cap N]
        simdize bench diff [old.json new.json] [--dir DIR] [--threshold F]
 run `simdize` with no arguments for the full option list";
+
+/// Resolves a `<file.loop>` argument: an existing path (or anything
+/// path-like, containing `/` or `.`) is used as-is; a bare loop name
+/// like `figure1` falls back to `loops/figure1.loop`, searched in the
+/// current directory and then each ancestor, so bare names work from
+/// anywhere inside the checkout. Returns the bare name unchanged when
+/// no bundled loop matches (the caller's read then reports the usual
+/// not-found error).
+pub fn resolve_loop_path(path: &str) -> std::path::PathBuf {
+    let direct = std::path::Path::new(path);
+    if direct.exists() || path.contains(['/', '.']) {
+        return direct.to_path_buf();
+    }
+    let rel = format!("loops/{path}.loop");
+    let mut dir = std::env::current_dir().unwrap_or_default();
+    loop {
+        let candidate = dir.join(&rel);
+        if candidate.exists() {
+            return candidate;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    direct.to_path_buf()
+}
 
 /// Executes the parsed command and returns its printable output.
 ///
@@ -281,6 +355,9 @@ run `simdize` with no arguments for the full option list";
 pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
     if opts.command == "bench" {
         return run_bench_diff(opts);
+    }
+    if opts.command == "serve" {
+        return run_serve(opts);
     }
     // --telemetry wraps the whole command in a collection session; the
     // report is appended to the normal output.
@@ -498,12 +575,15 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             )?;
             writeln!(
                 out,
-                "wall time {:.3} ms, kernel cache {} hit / {} miss ({:.0}% hit rate), \
-                 {} scratch reseed(s)",
+                "wall time {:.3} ms, kernel cache {} hit / {} miss / {} evict \
+                 ({:.0}% hit rate, {} resident over {} shard(s)), {} scratch reseed(s)",
                 elapsed.as_secs_f64() * 1e3,
                 stats.cache_hits,
                 stats.cache_misses,
+                stats.cache_evictions,
                 stats.cache_hit_rate() * 100.0,
+                stats.cache_occupied(),
+                stats.cache_occupancy.len(),
                 stats.scratch_reseeds
             )?;
             if ok != count {
@@ -556,6 +636,34 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
         out.push_str(&report.render_text());
     }
     Ok(out)
+}
+
+/// `simdize serve <addr>`: bind, announce the resolved address on
+/// stdout (so scripts can bind port 0 and discover the port), then
+/// block serving the simdize-wire/v1 protocol until a `shutdown`
+/// request or SIGINT. The returned string summarizes the traffic once
+/// the server has drained.
+fn run_serve(opts: &Options) -> Result<String, Box<dyn Error>> {
+    use simdize_server::{Server, ServerConfig};
+    let config = ServerConfig {
+        workers: opts.workers,
+        queue_depth: opts.queue,
+        cache_shards: opts.shards,
+        cache_capacity: opts.cache_cap,
+        sweep_threads: opts.threads.max(1),
+        handle_sigint: true,
+    };
+    let server = Server::bind(&opts.addr, config)?;
+    // Printed (and flushed) before blocking: this line is the contract
+    // scripts use to learn an ephemeral port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let summary = server.serve()?;
+    Ok(format!(
+        "served {} request(s) over {} connection(s): {} busy rejection(s), {} error(s)\n",
+        summary.requests, summary.connections, summary.busy, summary.errors
+    ))
 }
 
 /// `simdize bench diff`: compare two bench-history entries (explicit
@@ -754,7 +862,7 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"name\":\"parse\""), "{json}");
-        assert!(json.contains("\"sweep.baked_cache.hit\""), "{json}");
+        assert!(json.contains("\"sweep.kernel_cache.hit\""), "{json}");
     }
 
     #[test]
@@ -766,7 +874,7 @@ mod tests {
         assert!(out.contains("8/8 verified"), "{out}");
         assert!(out.contains("-- telemetry --"), "{out}");
         assert!(out.contains("== spans =="), "{out}");
-        assert!(out.contains("sweep.baked_cache.hit"), "{out}");
+        assert!(out.contains("sweep.kernel_cache.hit"), "{out}");
         // Without the flag, no telemetry section.
         let plain = run(&opts(&["sweep", "x.loop", "--smoke", "--threads", "1"])).unwrap();
         assert!(!plain.contains("-- telemetry --"), "{plain}");
@@ -777,7 +885,7 @@ mod tests {
         let out = run(&opts(&["sweep", "x.loop", "--smoke", "--threads", "1"])).unwrap();
         assert!(out.contains("wall time"), "{out}");
         assert!(
-            out.contains("kernel cache 7 hit / 1 miss (88% hit rate)"),
+            out.contains("kernel cache 7 hit / 1 miss / 0 evict (88% hit rate, 1 resident"),
             "{out}"
         );
         assert!(out.contains("scratch reseed(s)"), "{out}");
@@ -865,6 +973,70 @@ mod tests {
         .unwrap();
         let err = run(&missing).unwrap_err().to_string();
         assert!(err.contains("needs two history entries"), "{err}");
+    }
+
+    #[test]
+    fn serve_argument_parsing() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let read = |_: &str| -> Result<String, Box<dyn Error>> { unreachable!("serve reads no loop") };
+        let parsed = parse_args(
+            &args(&["serve", "127.0.0.1:0", "--workers", "3", "--queue", "7"]),
+            &read,
+        )
+        .unwrap();
+        assert_eq!(parsed.addr, "127.0.0.1:0");
+        assert_eq!((parsed.workers, parsed.queue), (3, 7));
+        assert!(parse_args(&args(&["serve"]), &read).is_err());
+        assert!(parse_args(&args(&["serve", "a:1", "--workers", "0"]), &read).is_err());
+        assert!(parse_args(&args(&["serve", "a:1", "--queue", "0"]), &read).is_err());
+    }
+
+    #[test]
+    fn serve_round_trip_over_tcp() {
+        use std::io::{BufRead, BufReader, Write};
+        let parsed = opts(&["serve", "127.0.0.1:0", "--workers", "1"]);
+        // run() prints the listening line to stdout and blocks; drive
+        // it from a second thread through a real socket. Port 0 means
+        // we must learn the port from the server — bind ourselves via
+        // the library to keep the test deterministic instead.
+        use simdize_server::{Server, ServerConfig};
+        let server = Server::bind(&parsed.addr, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.serve().unwrap());
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        writeln!(conn, r#"{{"v":1,"id":1,"cmd":"ping"}}"#).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\":true"), "{line}");
+        writeln!(conn, r#"{{"v":1,"id":2,"cmd":"shutdown"}}"#).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.requests, 2);
+    }
+
+    #[test]
+    fn bare_loop_names_resolve_from_subdirectories() {
+        // Path-like arguments pass through untouched.
+        assert_eq!(
+            resolve_loop_path("loops/figure1.loop"),
+            std::path::PathBuf::from("loops/figure1.loop")
+        );
+        assert_eq!(
+            resolve_loop_path("./x"),
+            std::path::PathBuf::from("./x")
+        );
+        // A bare name resolves against loops/ in an ancestor of the
+        // current directory (tests run somewhere inside the checkout).
+        let resolved = resolve_loop_path("figure1");
+        assert!(
+            resolved.ends_with("loops/figure1.loop") && resolved.exists(),
+            "{resolved:?}"
+        );
+        // An unknown bare name falls through unchanged.
+        assert_eq!(
+            resolve_loop_path("no-such-loop-anywhere"),
+            std::path::PathBuf::from("no-such-loop-anywhere")
+        );
     }
 
     #[test]

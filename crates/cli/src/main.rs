@@ -12,16 +12,12 @@ fn main() -> ExitCode {
             std::io::stdin().read_to_string(&mut buf)?;
             return Ok(buf);
         }
-        // Bare names resolve against the repo's loops/ directory, so
-        // `simdize profile figure1` works from the checkout root.
-        let direct = std::path::Path::new(path);
-        if !direct.exists() && !path.contains(['/', '.']) {
-            let bundled = std::path::PathBuf::from(format!("loops/{path}.loop"));
-            if bundled.exists() {
-                return Ok(std::fs::read_to_string(bundled)?);
-            }
-        }
-        Ok(std::fs::read_to_string(direct)?)
+        // Bare names resolve against the repo's loops/ directory
+        // (searched upward), so `simdize run figure1` works from
+        // anywhere inside the checkout, for every subcommand.
+        Ok(std::fs::read_to_string(simdize_cli::resolve_loop_path(
+            path,
+        ))?)
     };
     match simdize_cli::parse_args(&args, &read_file).and_then(|o| simdize_cli::run(&o)) {
         Ok(output) => {

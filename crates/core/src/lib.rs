@@ -89,9 +89,10 @@ pub use simdize_reorg::{
     PolicyError, ReorgGraph, ValidateGraphError,
 };
 pub use simdize_engine::{
-    run_sweep, run_sweep_collect, run_sweep_with, CompiledKernel, FusionEvent, FusionEventKind,
-    FusionStats, KernelOptions, NativeEngine, PredecodedKernel, SweepJob, SweepOptions,
-    SweepOutcome, SweepStats,
+    program_fingerprint, run_sweep, run_sweep_collect, run_sweep_shared, run_sweep_with, CacheMode,
+    CacheStats, CompiledKernel, FusionEvent, FusionEventKind, FusionStats, KernelCache,
+    KernelOptions, NativeEngine, PredecodedKernel, SweepJob, SweepOptions, SweepOutcome,
+    SweepStats,
 };
 pub use simdize_telemetry::{TelemetryReport, TELEMETRY_SCHEMA};
 pub use simdize_vm::{

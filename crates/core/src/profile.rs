@@ -148,9 +148,9 @@ mod tests {
         // Known alignments + one worker: the sweep bakes once and hits
         // the cache on every remaining seed.
         let counters = &outcome.report.metrics.counters;
-        assert_eq!(counters["sweep.baked_cache.miss"], 1);
+        assert_eq!(counters["sweep.kernel_cache.miss"], 1);
         assert_eq!(
-            counters["sweep.baked_cache.hit"],
+            counters["sweep.kernel_cache.hit"],
             PROFILE_SWEEP_SEEDS - 1
         );
         assert_eq!(outcome.sweep_stats.workers, 1);

@@ -15,16 +15,21 @@
 //! * each worker keeps one scratch engine image and one scratch oracle
 //!   image, re-seeded in place per job ([`MemoryImage::reseed`])
 //!   instead of allocating fresh images;
-//! * each worker caches its last baked [`CompiledKernel`] and reuses it
-//!   whenever the next job has the same program, the same runtime
-//!   input and an identical memory layout — which is every remaining
-//!   job of a seed sweep over a program with compile-time-known
-//!   alignments, since only the image *contents* change with the seed.
+//! * baked [`CompiledKernel`]s live in a sharded, LRU-bounded
+//!   [`KernelCache`] keyed by *(program fingerprint, runtime input,
+//!   memory layout)* and shared by **every** worker — the first worker
+//!   to bake a kernel makes it a hit for all of them, so mixed-program
+//!   sweeps no longer thrash the way the old per-worker single-slot
+//!   cache did. [`run_sweep_shared`] accepts an external cache so a
+//!   long-running caller (the `simdize serve` server) can reuse baked
+//!   kernels *across* sweeps too.
 //!
-//! [`SweepOptions::uncached`] turns all of that off (full per-job
-//! compilation, fresh allocations) — the engine bench harness uses it
-//! to measure what the cache is worth.
+//! [`CacheMode::SlotPerWorker`] restores the legacy single-slot
+//! per-worker cache — kept as the bench baseline the sharded cache is
+//! measured against — and [`SweepOptions::uncached`] turns all sharing
+//! off (full per-job compilation, fresh allocations).
 
+use crate::cache::{program_fingerprint, KernelCache};
 use crate::kernel::{CompiledKernel, KernelOptions, PredecodedKernel};
 use simdize_codegen::SimdProgram;
 use simdize_ir::VectorShape;
@@ -84,27 +89,45 @@ impl SweepOutcome {
     }
 }
 
+/// Which baked-kernel cache a sweep's workers consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// The sharded concurrent [`KernelCache`], shared by every worker
+    /// (and, via [`run_sweep_shared`], across sweeps).
+    #[default]
+    Shared,
+    /// The legacy cache: each worker remembers only its own last baked
+    /// kernel. Kept as the baseline the sharded cache is benchmarked
+    /// against.
+    SlotPerWorker,
+}
+
 /// How [`run_sweep_with`] schedules and caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
     /// Worker thread count (clamped to `[1, jobs.len()]`).
     pub threads: usize,
     /// Pre-decode each distinct program once before the workers start
-    /// and let every worker cache its last baked kernel.
+    /// and cache baked kernels (per `cache`).
     pub share_predecode: bool,
     /// Reuse one scratch engine image and one scratch oracle image per
     /// worker, re-seeded in place per job. Only effective together with
     /// `share_predecode`.
     pub reuse_scratch: bool,
+    /// Which baked-kernel cache to use. Only effective together with
+    /// `share_predecode`.
+    pub cache: CacheMode,
 }
 
 impl SweepOptions {
-    /// The default sweep configuration: every cache on.
+    /// The default sweep configuration: every cache on, baked kernels
+    /// in the sharded shared cache.
     pub fn new(threads: usize) -> SweepOptions {
         SweepOptions {
             threads,
             share_predecode: true,
             reuse_scratch: true,
+            cache: CacheMode::Shared,
         }
     }
 
@@ -115,7 +138,14 @@ impl SweepOptions {
             threads,
             share_predecode: false,
             reuse_scratch: false,
+            cache: CacheMode::Shared,
         }
+    }
+
+    /// Selects the baked-kernel cache mode.
+    pub fn cache_mode(mut self, cache: CacheMode) -> SweepOptions {
+        self.cache = cache;
+        self
     }
 }
 
@@ -124,6 +154,8 @@ impl SweepOptions {
 struct Scratch {
     engine: Option<MemoryImage>,
     oracle: Option<MemoryImage>,
+    /// Legacy single-slot cache, used only in
+    /// [`CacheMode::SlotPerWorker`].
     baked: Option<(usize, RunInput, CompiledKernel)>,
 }
 
@@ -138,6 +170,7 @@ struct WorkerTally {
     jobs: u64,
     cache_hits: u64,
     cache_misses: u64,
+    cache_evictions: u64,
     scratch_reseeds: u64,
 }
 
@@ -148,10 +181,16 @@ pub struct SweepStats {
     /// Worker threads actually spawned (after clamping to the job
     /// count).
     pub workers: usize,
-    /// Jobs that reused the worker's previously baked kernel.
+    /// Jobs whose baked kernel came out of the cache.
     pub cache_hits: u64,
     /// Jobs that had to bake (or, uncached, fully compile) a kernel.
     pub cache_misses: u64,
+    /// Kernels displaced by LRU eviction during this sweep (always 0
+    /// for the legacy single-slot and uncached modes).
+    pub cache_evictions: u64,
+    /// Kernels resident per cache shard when the sweep finished (empty
+    /// unless the sharded cache was used).
+    pub cache_occupancy: Vec<usize>,
     /// Jobs that re-seeded an existing scratch image instead of
     /// allocating a fresh one.
     pub scratch_reseeds: u64,
@@ -169,6 +208,23 @@ impl SweepStats {
             return 0.0;
         }
         self.cache_hits as f64 / total as f64
+    }
+
+    /// Kernels resident across every shard when the sweep finished.
+    pub fn cache_occupied(&self) -> usize {
+        self.cache_occupancy.iter().sum()
+    }
+
+    fn empty() -> SweepStats {
+        SweepStats {
+            workers: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_occupancy: Vec::new(),
+            scratch_reseeds: 0,
+            jobs_per_worker: Vec::new(),
+        }
     }
 }
 
@@ -191,36 +247,64 @@ pub fn run_sweep_with(
 }
 
 /// Like [`run_sweep_with`], but also reports what the sweep's caches
-/// and workers did ([`SweepStats`]) — kernel-cache hits and misses,
-/// scratch-image reseeds and the per-worker job distribution.
+/// and workers did ([`SweepStats`]) — kernel-cache hits, misses and
+/// evictions, shard occupancy, scratch-image reseeds and the
+/// per-worker job distribution.
+///
+/// In [`CacheMode::Shared`] (the default) a fresh sweep-local
+/// [`KernelCache`] is built; use [`run_sweep_shared`] to reuse kernels
+/// across sweeps.
 pub fn run_sweep_collect(
     jobs: &[SweepJob],
     opts: SweepOptions,
 ) -> (Vec<Result<SweepOutcome, ExecError>>, SweepStats) {
+    if opts.share_predecode && opts.cache == CacheMode::Shared {
+        let cache = KernelCache::new(opts.threads.clamp(1, 16), 32);
+        sweep_inner(jobs, opts, Some(&cache))
+    } else {
+        sweep_inner(jobs, opts, None)
+    }
+}
+
+/// Like [`run_sweep_collect`], but baked kernels go through `cache`,
+/// which outlives the sweep: a server handling many sweep requests (or
+/// a bench repeating a sweep) hits on every kernel the previous
+/// request already baked. The reported [`SweepStats`] count only this
+/// sweep's hits/misses/evictions; `cache_occupancy` reflects the
+/// cache's (global) state as the sweep finished.
+pub fn run_sweep_shared(
+    jobs: &[SweepJob],
+    opts: SweepOptions,
+    cache: &KernelCache,
+) -> (Vec<Result<SweepOutcome, ExecError>>, SweepStats) {
+    sweep_inner(jobs, opts, Some(cache))
+}
+
+fn sweep_inner(
+    jobs: &[SweepJob],
+    opts: SweepOptions,
+    cache: Option<&KernelCache>,
+) -> (Vec<Result<SweepOutcome, ExecError>>, SweepStats) {
     if jobs.is_empty() {
-        return (
-            Vec::new(),
-            SweepStats {
-                workers: 0,
-                cache_hits: 0,
-                cache_misses: 0,
-                scratch_reseeds: 0,
-                jobs_per_worker: Vec::new(),
-            },
-        );
+        return (Vec::new(), SweepStats::empty());
     }
     let _span = telemetry::span("sweep");
     let threads = opts.threads.clamp(1, jobs.len());
 
-    // One pre-decode per distinct program, shared by every worker.
-    let mut templates: Vec<(&SimdProgram, Result<PredecodedKernel, ExecError>)> = Vec::new();
+    // One pre-decode (and one fingerprint) per distinct program, shared
+    // by every worker.
+    let mut templates: Vec<(&SimdProgram, u64, Result<PredecodedKernel, ExecError>)> = Vec::new();
     let mut job_template: Vec<usize> = Vec::with_capacity(jobs.len());
     if opts.share_predecode {
         for job in jobs {
-            let idx = match templates.iter().position(|(p, _)| *p == &job.program) {
+            let idx = match templates.iter().position(|(p, _, _)| *p == &job.program) {
                 Some(idx) => idx,
                 None => {
-                    templates.push((&job.program, PredecodedKernel::new(&job.program)));
+                    templates.push((
+                        &job.program,
+                        program_fingerprint(&job.program),
+                        PredecodedKernel::new(&job.program),
+                    ));
                     templates.len() - 1
                 }
             };
@@ -251,6 +335,7 @@ pub fn run_sweep_collect(
                                     job_template[idx],
                                     templates,
                                     &opts,
+                                    cache,
                                     &mut scratch,
                                     &mut tally,
                                 )
@@ -273,10 +358,8 @@ pub fn run_sweep_collect(
         (0..jobs.len()).map(|_| None).collect();
     let mut stats = SweepStats {
         workers: threads,
-        cache_hits: 0,
-        cache_misses: 0,
-        scratch_reseeds: 0,
         jobs_per_worker: Vec::with_capacity(threads),
+        ..SweepStats::empty()
     };
     for (outcomes, tally) in partials {
         for (idx, outcome) in outcomes {
@@ -284,14 +367,20 @@ pub fn run_sweep_collect(
         }
         stats.cache_hits += tally.cache_hits;
         stats.cache_misses += tally.cache_misses;
+        stats.cache_evictions += tally.cache_evictions;
         stats.scratch_reseeds += tally.scratch_reseeds;
         stats.jobs_per_worker.push(tally.jobs);
     }
+    if let Some(cache) = cache {
+        stats.cache_occupancy = cache.stats().occupancy;
+    }
     if telemetry::enabled() {
-        telemetry::counter("sweep.baked_cache.hit").add(stats.cache_hits);
-        telemetry::counter("sweep.baked_cache.miss").add(stats.cache_misses);
+        telemetry::counter("sweep.kernel_cache.hit").add(stats.cache_hits);
+        telemetry::counter("sweep.kernel_cache.miss").add(stats.cache_misses);
+        telemetry::counter("sweep.kernel_cache.evict").add(stats.cache_evictions);
         telemetry::counter("sweep.scratch.reseed").add(stats.scratch_reseeds);
         telemetry::gauge("sweep.workers").set(stats.workers as u64);
+        telemetry::gauge("sweep.kernel_cache.occupied").set(stats.cache_occupied() as u64);
         let jobs_hist = telemetry::histogram("sweep.worker.jobs");
         for &n in &stats.jobs_per_worker {
             jobs_hist.observe(n);
@@ -323,19 +412,22 @@ fn run_one(job: &SweepJob) -> Result<SweepOutcome, ExecError> {
 }
 
 /// The cached path: shared pre-decode, per-worker scratch images and a
-/// single-slot baked-kernel cache. Produces outcomes identical to
-/// [`run_one`] — `MemoryImage::reseed` rebuilds exactly the image
-/// `with_seed` would, and a cached kernel is only reused when the
-/// program, the runtime input and the memory layout all match.
+/// baked-kernel cache (sharded-shared or legacy per-worker slot).
+/// Produces outcomes identical to [`run_one`] — `MemoryImage::reseed`
+/// rebuilds exactly the image `with_seed` would, and a cached kernel is
+/// only reused when the program, the runtime input and the memory
+/// layout all match.
 fn run_one_cached(
     job: &SweepJob,
     tidx: usize,
-    templates: &[(&SimdProgram, Result<PredecodedKernel, ExecError>)],
+    templates: &[(&SimdProgram, u64, Result<PredecodedKernel, ExecError>)],
     opts: &SweepOptions,
+    cache: Option<&KernelCache>,
     scratch: &mut Scratch,
     tally: &mut WorkerTally,
 ) -> Result<SweepOutcome, ExecError> {
-    let pre = templates[tidx].1.as_ref().map_err(|e| e.clone())?;
+    let (_, fingerprint, pre) = &templates[tidx];
+    let pre = pre.as_ref().map_err(|e| e.clone())?;
     let source = job.program.source();
     let shape = VectorShape::V16;
 
@@ -358,24 +450,36 @@ fn run_one_cached(
         slot => slot.insert(engine_img.clone()),
     };
 
-    let cache_hit = matches!(
-        &scratch.baked,
-        Some((t, input, k)) if *t == tidx && input == &job.input && k.layout_matches(engine_img)
-    );
-    if cache_hit {
-        tally.cache_hits += 1;
-    } else {
-        tally.cache_misses += 1;
-        let kernel = pre.bake(
-            engine_img,
-            &job.input,
-            &KernelOptions::new().disassembly(false),
-        )?;
-        scratch.baked = Some((tidx, job.input.clone(), kernel));
-    }
-    let kernel = &scratch.baked.as_ref().expect("just populated").2;
+    let bake_opts = KernelOptions::new().disassembly(false);
+    let stats = match cache {
+        Some(cache) => {
+            let (kernel, lookup) =
+                cache.get_or_bake(*fingerprint, pre, engine_img, &job.input, &bake_opts)?;
+            if lookup.hit {
+                tally.cache_hits += 1;
+            } else {
+                tally.cache_misses += 1;
+            }
+            tally.cache_evictions += u64::from(lookup.evicted);
+            kernel.run(engine_img)?
+        }
+        None => {
+            let cache_hit = matches!(
+                &scratch.baked,
+                Some((t, input, k)) if *t == tidx && input == &job.input && k.layout_matches(engine_img)
+            );
+            if cache_hit {
+                tally.cache_hits += 1;
+            } else {
+                tally.cache_misses += 1;
+                let kernel = pre.bake(engine_img, &job.input, &bake_opts)?;
+                scratch.baked = Some((tidx, job.input.clone(), kernel));
+            }
+            let kernel = &scratch.baked.as_ref().expect("just populated").2;
+            kernel.run(engine_img)?
+        }
+    };
 
-    let stats = kernel.run(engine_img)?;
     let ub = source.trip().known().unwrap_or(job.input.ub);
     let scalar_ideal = run_scalar(source, oracle_img, ub, &job.input.params)?;
     Ok(SweepOutcome {
@@ -443,19 +547,24 @@ mod tests {
     }
 
     #[test]
-    fn cached_and_uncached_sweeps_agree() {
-        // KNOWN alignments: every seed shares one layout, so the baked
-        // kernel is reused across jobs. RUNTIME alignments: layouts
+    fn all_cache_modes_agree() {
+        // KNOWN alignments: every seed shares one layout, so baked
+        // kernels are reused across jobs. RUNTIME alignments: layouts
         // differ per seed, exercising re-bake over reseeded scratch.
         for src in [KNOWN, RUNTIME] {
             let prog = program(src);
             let jobs: Vec<SweepJob> = (0..16)
                 .map(|seed| SweepJob::new(prog.clone(), seed * 3 + 1, 300))
                 .collect();
-            let cached = run_sweep_with(&jobs, SweepOptions::new(3));
+            let shared = run_sweep_with(&jobs, SweepOptions::new(3));
+            let slot = run_sweep_with(
+                &jobs,
+                SweepOptions::new(3).cache_mode(CacheMode::SlotPerWorker),
+            );
             let uncached = run_sweep_with(&jobs, SweepOptions::uncached(3));
-            assert_eq!(cached, uncached);
-            for o in cached {
+            assert_eq!(shared, uncached);
+            assert_eq!(slot, uncached);
+            for o in shared {
                 assert!(o.unwrap().verified);
             }
         }
@@ -464,7 +573,8 @@ mod tests {
     #[test]
     fn mixed_program_sweep_interleaves_templates() {
         // Alternating templates on one worker force the scratch images
-        // to be re-laid-out between jobs and the kernel cache to miss.
+        // to be re-laid-out between jobs; the legacy slot cache misses
+        // every job while the sharded cache holds both kernels.
         let a = program(KNOWN);
         let b = program(RUNTIME);
         let jobs: Vec<SweepJob> = (0..10)
@@ -473,10 +583,55 @@ mod tests {
                 SweepJob::new(prog, k as u64, 250)
             })
             .collect();
-        let cached = run_sweep_with(&jobs, SweepOptions::new(1));
+        let shared = run_sweep_with(&jobs, SweepOptions::new(1));
         let uncached = run_sweep_with(&jobs, SweepOptions::uncached(1));
-        assert_eq!(cached, uncached);
-        for o in cached {
+        assert_eq!(shared, uncached);
+        for o in shared {
+            assert!(o.unwrap().verified);
+        }
+    }
+
+    #[test]
+    fn shared_cache_beats_slot_on_mixed_programs() {
+        // Two interleaved KNOWN-layout programs on one worker: the slot
+        // cache misses every program switch; the sharded cache bakes
+        // each (program, layout) once and hits everything after.
+        let a = program(KNOWN);
+        let b = program("arrays { a: i32[512] @ 0; c: i32[512] @ 8; }
+                         for i in 0..ub { a[i] = c[i+2]; }");
+        let jobs: Vec<SweepJob> = (0..12)
+            .map(|k| {
+                let prog = if k % 2 == 0 { a.clone() } else { b.clone() };
+                SweepJob::new(prog, k as u64, 250)
+            })
+            .collect();
+        let (_, slot) = run_sweep_collect(
+            &jobs,
+            SweepOptions::new(1).cache_mode(CacheMode::SlotPerWorker),
+        );
+        assert_eq!(slot.cache_misses, 12, "slot cache thrashes");
+        let (_, shared) = run_sweep_collect(&jobs, SweepOptions::new(1));
+        assert_eq!(shared.cache_misses, 2, "one bake per program");
+        assert_eq!(shared.cache_hits, 10);
+        assert_eq!(shared.cache_occupied(), 2);
+        assert!(shared.cache_hit_rate() > slot.cache_hit_rate());
+    }
+
+    #[test]
+    fn external_cache_carries_hits_across_sweeps() {
+        let prog = program(KNOWN);
+        let jobs: Vec<SweepJob> = (0..6)
+            .map(|seed| SweepJob::new(prog.clone(), seed, 300))
+            .collect();
+        let cache = KernelCache::new(4, 16);
+        let (_, first) = run_sweep_shared(&jobs, SweepOptions::new(2), &cache);
+        assert_eq!(first.cache_misses, 1);
+        // The second sweep over the same program misses nothing: the
+        // kernel survived in the shared cache.
+        let (outcomes, second) = run_sweep_shared(&jobs, SweepOptions::new(2), &cache);
+        assert_eq!(second.cache_misses, 0, "{second:?}");
+        assert_eq!(second.cache_hits, 6);
+        for o in outcomes {
             assert!(o.unwrap().verified);
         }
     }
@@ -488,6 +643,7 @@ mod tests {
         assert!(outcomes.is_empty());
         assert_eq!(stats.workers, 0);
         assert_eq!(stats.cache_hit_rate(), 0.0);
+        assert_eq!(stats.cache_occupied(), 0);
     }
 
     #[test]
@@ -504,6 +660,8 @@ mod tests {
         assert_eq!(stats.workers, 1);
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 11);
+        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(stats.cache_occupied(), 1);
         assert_eq!(stats.scratch_reseeds, 11);
         assert_eq!(stats.jobs_per_worker, vec![12]);
         assert!((stats.cache_hit_rate() - 11.0 / 12.0).abs() < 1e-12);
@@ -512,6 +670,7 @@ mod tests {
         let (_, uncached) = run_sweep_collect(&jobs, SweepOptions::uncached(3));
         assert_eq!(uncached.cache_hits, 0);
         assert_eq!(uncached.cache_misses, 12);
+        assert!(uncached.cache_occupancy.is_empty());
         assert_eq!(uncached.jobs_per_worker.iter().sum::<u64>(), 12);
     }
 }

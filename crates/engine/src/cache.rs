@@ -1,0 +1,502 @@
+//! A sharded, lock-striped, LRU-bounded cache of baked
+//! [`CompiledKernel`]s, shared across sweep workers and server threads.
+//!
+//! The paper's pipeline front-loads all alignment reasoning into
+//! compile time, which makes the baked kernel the natural unit to
+//! cache: it depends only on *(program, runtime input, memory layout)*
+//! and never on the image contents, so any job with the same key can
+//! reuse it byte-for-byte. Earlier revisions kept one slot per sweep
+//! worker; this module replaces that with a process-wide concurrent
+//! cache so hits cross worker — and, in `simdize serve`, request —
+//! boundaries:
+//!
+//! * **Keying.** A [`CacheKey`] is a 64-bit program fingerprint (FNV-1a
+//!   over the structural [`SimdProgram`] listing, which embeds the
+//!   placement policy and codegen scheme), the [`RunInput`], and a
+//!   [`LayoutSig`] (shape, element type, image length, every array
+//!   base). Equality is checked on the full key, so fingerprint
+//!   collisions degrade to misses of correctness-irrelevant cost.
+//! * **Sharding.** Entries are striped over `shards` independent
+//!   mutexes selected by key hash; concurrent workers only contend
+//!   when they touch the same stripe.
+//! * **Bounding.** Each shard holds at most `capacity_per_shard`
+//!   entries and evicts least-recently-used. Sweeps over runtime
+//!   alignments produce one layout per seed, so an unbounded cache
+//!   would grow linearly with the seed count.
+//! * **Counters.** Hits, misses, evictions and per-shard occupancy are
+//!   exposed via [`KernelCache::stats`] and surfaced through
+//!   `SweepStats`, the sweep summary line and the server's `stats`
+//!   response.
+//!
+//! Bakes happen *outside* the shard lock: two workers missing the same
+//! key concurrently both bake and the second insert wins, trading a
+//! rare duplicated compile for never blocking a stripe on compilation.
+
+use crate::kernel::{CompiledKernel, KernelOptions, PredecodedKernel};
+use simdize_codegen::SimdProgram;
+use simdize_ir::{ArrayId, ScalarType};
+use simdize_vm::{ExecError, MemoryImage, RunInput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A 64-bit structural fingerprint of a [`SimdProgram`]: FNV-1a over
+/// its canonical listing, which encodes the source loop, the placement
+/// policy's shift choices and every codegen decision. Structurally
+/// equal programs fingerprint equal; the cache still compares full
+/// keys, so a collision can only cost a duplicated bake.
+pub fn program_fingerprint(program: &SimdProgram) -> u64 {
+    fnv1a(program.to_string().as_bytes(), FNV_OFFSET)
+}
+
+/// The layout half of a cache key: everything
+/// [`CompiledKernel::layout_matches`] checks, captured by value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutSig {
+    shape_bytes: u32,
+    elem: ScalarType,
+    image_len: usize,
+    bases: Vec<u64>,
+}
+
+impl LayoutSig {
+    /// Captures the placement of the first `narrays` arrays of `image`.
+    pub fn of(image: &MemoryImage, narrays: usize) -> LayoutSig {
+        LayoutSig {
+            shape_bytes: image.shape().bytes(),
+            elem: image.elem(),
+            image_len: image.bytes().len(),
+            bases: (0..narrays)
+                .map(|k| image.base_of(ArrayId::from_index(k)))
+                .collect(),
+        }
+    }
+}
+
+/// What one baked kernel was compiled for. Two jobs with equal keys
+/// produce byte-identical kernels (the image *contents* are not part
+/// of the key because baking never reads them — only array placement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    program: u64,
+    input: RunInput,
+    layout: LayoutSig,
+}
+
+impl CacheKey {
+    /// A key for `program_fingerprint` baked against `input` on the
+    /// layout of `image` (first `narrays` arrays).
+    pub fn new(
+        program_fingerprint: u64,
+        input: &RunInput,
+        image: &MemoryImage,
+        narrays: usize,
+    ) -> CacheKey {
+        CacheKey {
+            program: program_fingerprint,
+            input: input.clone(),
+            layout: LayoutSig::of(image, narrays),
+        }
+    }
+
+    /// The shard-selection hash: FNV-1a over every key component.
+    fn mix(&self) -> u64 {
+        let mut h = fnv1a(&self.program.to_le_bytes(), FNV_OFFSET);
+        h = fnv1a(&self.input.ub.to_le_bytes(), h);
+        for p in &self.input.params {
+            h = fnv1a(&p.to_le_bytes(), h);
+        }
+        h = fnv1a(&self.layout.shape_bytes.to_le_bytes(), h);
+        h = fnv1a(&(self.layout.image_len as u64).to_le_bytes(), h);
+        for b in &self.layout.bases {
+            h = fnv1a(&b.to_le_bytes(), h);
+        }
+        h
+    }
+}
+
+/// What a [`KernelCache::get_or_bake`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The kernel came out of the cache.
+    pub hit: bool,
+    /// Inserting the freshly baked kernel evicted an LRU entry.
+    pub evicted: bool,
+}
+
+struct Entry {
+    key: CacheKey,
+    kernel: Arc<CompiledKernel>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+/// A point-in-time summary of the cache's counters and occupancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to bake.
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Per-shard entry counts at snapshot time.
+    pub occupancy: Vec<usize>,
+    /// Per-shard capacity.
+    pub capacity_per_shard: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups, or 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Total entries resident across every shard.
+    pub fn occupied(&self) -> usize {
+        self.occupancy.iter().sum()
+    }
+}
+
+/// The sharded concurrent baked-kernel cache.
+pub struct KernelCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for KernelCache {
+    fn default() -> KernelCache {
+        KernelCache::new(8, 32)
+    }
+}
+
+impl KernelCache {
+    /// A cache striped over `shards` mutexes holding at most
+    /// `capacity_per_shard` kernels each. Both are clamped to ≥ 1.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> KernelCache {
+        let shards = shards.max(1);
+        KernelCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.mix() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up, bumping its LRU stamp on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledKernel>> {
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.iter_mut().find(|e| &e.key == key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.kernel))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the shard's LRU entry when
+    /// full. Returns whether an eviction happened.
+    pub fn insert(&self, key: CacheKey, kernel: Arc<CompiledKernel>) -> bool {
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.entries.iter_mut().find(|e| e.key == key) {
+            // A racing worker baked the same key first; refresh it.
+            entry.kernel = kernel;
+            entry.last_used = tick;
+            return false;
+        }
+        let mut evicted = false;
+        if shard.entries.len() >= self.capacity_per_shard {
+            let lru = shard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("full shard is nonempty");
+            shard.entries.swap_remove(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted = true;
+        }
+        shard.entries.push(Entry {
+            key,
+            kernel,
+            last_used: tick,
+        });
+        evicted
+    }
+
+    /// The cached kernel for *(program, input, layout)*, baking and
+    /// inserting on a miss. The bake runs outside the shard lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PredecodedKernel::bake`] failures; nothing is
+    /// inserted on error.
+    pub fn get_or_bake(
+        &self,
+        program_fingerprint: u64,
+        pre: &PredecodedKernel,
+        image: &MemoryImage,
+        input: &RunInput,
+        opts: &KernelOptions,
+    ) -> Result<(Arc<CompiledKernel>, Lookup), ExecError> {
+        let key = CacheKey::new(program_fingerprint, input, image, pre.narrays());
+        if let Some(kernel) = self.get(&key) {
+            return Ok((
+                kernel,
+                Lookup {
+                    hit: true,
+                    evicted: false,
+                },
+            ));
+        }
+        let kernel = Arc::new(pre.bake(image, input, opts)?);
+        let evicted = self.insert(key, Arc::clone(&kernel));
+        Ok((kernel, Lookup { hit: false, evicted }))
+    }
+
+    /// Current counters and per-shard occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            occupancy: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len())
+                .collect(),
+            capacity_per_shard: self.capacity_per_shard,
+        }
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            shard.entries.clear();
+            shard.tick = 0;
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    fn program(src: &str, policy: Policy) -> SimdProgram {
+        let p = parse_program(src).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(policy)
+            .unwrap();
+        generate(
+            &g,
+            &CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline),
+        )
+        .unwrap()
+    }
+
+    const SRC: &str = "arrays { a: i32[256] @ 0; b: i32[256] @ 4; }
+                       for i in 0..ub { a[i] = b[i+1]; }";
+
+    fn setup(seed: u64) -> (SimdProgram, PredecodedKernel, MemoryImage, RunInput) {
+        let prog = program(SRC, Policy::Zero);
+        let pre = PredecodedKernel::new(&prog).unwrap();
+        let image = MemoryImage::with_seed(prog.source(), VectorShape::V16, seed);
+        (prog, pre, image, RunInput::with_ub(100))
+    }
+
+    #[test]
+    fn fingerprints_distinguish_policies_not_clones() {
+        // Distinct known misalignments: Zero normalizes every stream to
+        // offset 0 while Eager shifts straight to the store alignment,
+        // so the generated programs (and fingerprints) must differ.
+        let src = "arrays { a: i32[256] @ 8; b: i32[256] @ 4; c: i32[256] @ 12; }
+                   for i in 0..ub { a[i] = b[i+1] + c[i+3]; }";
+        let a = program(src, Policy::Zero);
+        let b = a.clone();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+        let eager = program(src, Policy::Eager);
+        assert_ne!(
+            program_fingerprint(&a),
+            program_fingerprint(&eager),
+            "policies generate different programs and must key separately"
+        );
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_kernel() {
+        let (prog, pre, image, input) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(4, 8);
+        let opts = KernelOptions::new().disassembly(false);
+        let (k1, l1) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        assert!(!l1.hit);
+        let (k2, l2) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        assert!(l2.hit);
+        assert!(Arc::ptr_eq(&k1, &k2), "hit must share the baked kernel");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!(stats.occupied(), 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_inputs_and_layouts_key_separately() {
+        let (prog, pre, image, input) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(4, 8);
+        let opts = KernelOptions::new().disassembly(false);
+        cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        // Different trip count: distinct key.
+        let (_, l) = cache
+            .get_or_bake(fp, &pre, &image, &RunInput::with_ub(60), &opts)
+            .unwrap();
+        assert!(!l.hit);
+        // Same program and input, same layout (known alignments): hit
+        // even from a *different* image with the same placement.
+        let refill = MemoryImage::with_seed(prog.source(), VectorShape::V16, 999);
+        let (_, l) = cache.get_or_bake(fp, &pre, &refill, &input, &opts).unwrap();
+        assert!(l.hit, "layout-equal image must hit");
+        assert_eq!(cache.stats().occupied(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        let (prog, pre, image, _) = setup(1);
+        let fp = program_fingerprint(&prog);
+        // One shard, capacity 2: the third distinct input evicts the
+        // least recently used of the first two.
+        let cache = KernelCache::new(1, 2);
+        let opts = KernelOptions::new().disassembly(false);
+        let inputs: Vec<RunInput> = (0..3).map(|k| RunInput::with_ub(50 + k)).collect();
+        cache.get_or_bake(fp, &pre, &image, &inputs[0], &opts).unwrap();
+        cache.get_or_bake(fp, &pre, &image, &inputs[1], &opts).unwrap();
+        // Touch input 0 so input 1 is LRU.
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &inputs[0], &opts).unwrap();
+        assert!(l.hit);
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &inputs[2], &opts).unwrap();
+        assert!(!l.hit && l.evicted);
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &inputs[0], &opts).unwrap();
+        assert!(l.hit, "recently used entry must survive eviction");
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &inputs[1], &opts).unwrap();
+        assert!(!l.hit, "LRU entry must have been evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.occupancy, vec![2]);
+        assert_eq!(stats.capacity_per_shard, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_bake_per_key() {
+        let (prog, pre, image, _) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(8, 32);
+        let opts = KernelOptions::new().disassembly(false);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..32u64 {
+                        let input = RunInput::with_ub(50 + (k % 4));
+                        let (kernel, _) = cache
+                            .get_or_bake(fp, &pre, &image, &input, &opts)
+                            .unwrap();
+                        let mut img = image.clone();
+                        kernel.run(&mut img).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 32);
+        assert_eq!(stats.occupied(), 4, "4 distinct keys resident");
+        // Racing first-touch bakes may duplicate, but never exceed one
+        // per thread per key.
+        assert!(stats.misses >= 4 && stats.misses <= 32, "{stats:?}");
+        cache.clear();
+        let cleared = cache.stats();
+        assert_eq!(cleared.occupied(), 0);
+        assert_eq!(cleared.hits + cleared.misses + cleared.evictions, 0);
+    }
+
+    #[test]
+    fn bake_errors_do_not_populate() {
+        let (prog, pre, image, _) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(2, 4);
+        let opts = KernelOptions::new();
+        // figure-style loop with a declared runtime ub has no params;
+        // force a trip mismatch via a fixed-trip program instead.
+        let fixed = program(
+            "arrays { a: i32[256] @ 0; b: i32[256] @ 4; }
+             for i in 0..100 { a[i] = b[i+1]; }",
+            Policy::Zero,
+        );
+        let fixed_pre = PredecodedKernel::new(&fixed).unwrap();
+        let fixed_img = MemoryImage::with_seed(fixed.source(), VectorShape::V16, 3);
+        let bad = RunInput::with_ub(7);
+        assert!(cache
+            .get_or_bake(program_fingerprint(&fixed), &fixed_pre, &fixed_img, &bad, &opts)
+            .is_err());
+        assert_eq!(cache.stats().occupied(), 0);
+        // The good path still works afterwards.
+        let (_, l) = cache
+            .get_or_bake(fp, &pre, &image, &RunInput::with_ub(100), &opts)
+            .unwrap();
+        assert!(!l.hit);
+        assert_eq!(cache.stats().occupied(), 1);
+    }
+}

@@ -655,6 +655,12 @@ impl PredecodedKernel {
         })
     }
 
+    /// Number of arrays in the source loop (the cache keys a layout by
+    /// this many base addresses).
+    pub(crate) fn narrays(&self) -> usize {
+        self.narrays
+    }
+
     /// Bakes a [`CompiledKernel`] for the layout of `image` and the
     /// runtime inputs in `input`. The image's *contents* do not matter —
     /// only its array placement — so one kernel may run over many

@@ -41,7 +41,12 @@
 //! jobs distributed over scoped worker threads, each job compiled,
 //! executed and differentially verified, with per-job [`RunStats`].
 //! Sweeps pre-decode each distinct program once ([`SweepOptions`]) and
-//! reuse per-worker scratch images across jobs.
+//! reuse per-worker scratch images across jobs. Baked kernels live in
+//! a sharded, LRU-bounded [`cache::KernelCache`] keyed by *(program
+//! fingerprint, runtime input, memory layout)* — shared across workers
+//! within a sweep and, through [`batch::run_sweep_shared`], across
+//! sweeps entirely (the `simdize serve` server keeps one process-wide
+//! cache for every request it handles).
 //!
 //! # Example
 //!
@@ -71,12 +76,15 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 mod kernel;
 mod lanes;
 mod trace;
 
 pub use batch::{
-    run_sweep, run_sweep_collect, run_sweep_with, SweepJob, SweepOptions, SweepOutcome, SweepStats,
+    run_sweep, run_sweep_collect, run_sweep_shared, run_sweep_with, CacheMode, SweepJob,
+    SweepOptions, SweepOutcome, SweepStats,
 };
+pub use cache::{program_fingerprint, CacheKey, CacheStats, KernelCache, LayoutSig, Lookup};
 pub use kernel::{CompiledKernel, KernelOptions, NativeEngine, PredecodedKernel};
 pub use trace::{FusionEvent, FusionEventKind, FusionStats};

@@ -1,0 +1,162 @@
+//! Executes pipeline requests against the simdize toolchain.
+//!
+//! Every handler is deterministic for a given request: responses carry
+//! no timestamps, wall-clock numbers or cache-hit markers, so a reply
+//! served from the kernel cache is byte-identical to one that baked
+//! from scratch (the stress tests assert exactly this). Observability
+//! lives in the `stats` verb instead.
+
+use crate::protocol::{Command, ExecRequest};
+use crate::server::ServerConfig;
+use simdize::{
+    analyze_program, parse_program, run_sweep_shared, AnalyzeOptions, KernelCache, ReuseMode,
+    RunInput, Simdizer, SweepJob, SweepOptions, Target, VectorShape,
+};
+use simdize_explain::{render_json, Explainer};
+use simdize_telemetry::json;
+
+/// Runs one pipeline command to completion, using `cache` for baked
+/// kernels. Returns the rendered `result` JSON on success, a readable
+/// message on failure.
+pub fn execute(
+    cmd: &Command,
+    cache: &KernelCache,
+    config: &ServerConfig,
+) -> Result<String, String> {
+    match cmd {
+        Command::Compile(req) => compile(req),
+        Command::Analyze(req) => analyze(req),
+        Command::Run(req) => run(req, cache),
+        Command::Sweep(req) => sweep(req, cache, config),
+        Command::Explain(req) => explain(req),
+        // Control-plane verbs never reach the worker pool.
+        Command::Ping | Command::Stats | Command::Shutdown => {
+            Err("internal: control command on worker pool".to_string())
+        }
+    }
+}
+
+fn driver(req: &ExecRequest) -> Simdizer {
+    let mut driver = Simdizer::new()
+        .shape(VectorShape::V16)
+        .reuse(ReuseMode::SoftwarePipeline)
+        .target(Target::Aligned);
+    if let Some(p) = req.policy {
+        driver = driver.policy(p);
+    }
+    driver
+}
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+fn compile(req: &ExecRequest) -> Result<String, String> {
+    let program = parse_program(&req.source).map_err(err)?;
+    let compiled = driver(req).compile(&program).map_err(err)?;
+    Ok(format!(
+        "{{\"code\":\"{}\",\"sections\":{{\"prologue\":{},\"body\":{},\"epilogue\":{}}}}}",
+        json::escape(&compiled.to_string()),
+        compiled.prologue().len(),
+        compiled.body().len(),
+        compiled.epilogue().len()
+    ))
+}
+
+fn analyze(req: &ExecRequest) -> Result<String, String> {
+    let program = parse_program(&req.source).map_err(err)?;
+    let compiled = driver(req).compile(&program).map_err(err)?;
+    // The exactly-once lint only applies to the standard unit-stride
+    // stream generator (mirrors the CLI's `analyze`).
+    let mut aopts = AnalyzeOptions::new();
+    if program.all_refs().iter().all(|r| r.is_unit_stride()) {
+        aopts = aopts.reuse(ReuseMode::SoftwarePipeline);
+    }
+    let report = analyze_program(&compiled, &aopts);
+    Ok(format!(
+        "{{\"deny\":{},\"warn\":{},\"report\":{}}}",
+        report.deny_count(),
+        report.warn_count(),
+        report.render_json()
+    ))
+}
+
+fn run(req: &ExecRequest, cache: &KernelCache) -> Result<String, String> {
+    let program = parse_program(&req.source).map_err(err)?;
+    let compiled = driver(req).compile(&program).map_err(err)?;
+    let ub = compiled.source().trip().known().unwrap_or(req.ub);
+    let job = SweepJob {
+        program: compiled,
+        seed: req.seed,
+        input: RunInput {
+            ub,
+            params: req.params.clone(),
+        },
+    };
+    let (outcomes, _) = run_sweep_shared(&[job], SweepOptions::new(1), cache);
+    let outcome = outcomes
+        .into_iter()
+        .next()
+        .expect("one job in, one outcome out")
+        .map_err(err)?;
+    Ok(format!(
+        "{{\"verified\":{},\"seed\":{},\"engine_ops\":{},\"scalar_ideal\":{},\
+         \"opd\":{:.3},\"speedup\":{:.3}}}",
+        outcome.verified,
+        outcome.seed,
+        outcome.stats.total(),
+        outcome.scalar_ideal,
+        outcome.stats.opd(outcome.data_produced),
+        outcome.speedup()
+    ))
+}
+
+fn sweep(req: &ExecRequest, cache: &KernelCache, config: &ServerConfig) -> Result<String, String> {
+    let program = parse_program(&req.source).map_err(err)?;
+    let compiled = driver(req).compile(&program).map_err(err)?;
+    let count = req.count.clamp(1, 4096);
+    let ub = compiled.source().trip().known().unwrap_or(req.ub);
+    let jobs: Vec<SweepJob> = (0..count as u64)
+        .map(|k| SweepJob {
+            program: compiled.clone(),
+            seed: req.seed.wrapping_add(k),
+            input: RunInput {
+                ub,
+                params: req.params.clone(),
+            },
+        })
+        .collect();
+    let threads = config.sweep_threads.max(1);
+    let (outcomes, _) = run_sweep_shared(&jobs, SweepOptions::new(threads), cache);
+    let mut verified = 0usize;
+    let mut speedup_sum = 0.0;
+    let mut min_speedup = f64::INFINITY;
+    for outcome in outcomes {
+        let o = outcome.map_err(err)?;
+        verified += usize::from(o.verified);
+        let s = o.speedup();
+        speedup_sum += s;
+        min_speedup = min_speedup.min(s);
+    }
+    Ok(format!(
+        "{{\"count\":{count},\"verified\":{verified},\
+         \"mean_speedup\":{:.3},\"min_speedup\":{:.3}}}",
+        speedup_sum / count as f64,
+        min_speedup
+    ))
+}
+
+fn explain(req: &ExecRequest) -> Result<String, String> {
+    let program = parse_program(&req.source).map_err(err)?;
+    let mut explainer = Explainer::new()
+        .shape(VectorShape::V16)
+        .reuse(ReuseMode::SoftwarePipeline)
+        .seed(req.seed)
+        .ub(req.ub)
+        .params(req.params.clone());
+    if let Some(p) = req.policy {
+        explainer = explainer.policy(p);
+    }
+    let report = explainer.explain(&program).map_err(err)?;
+    Ok(format!("{{\"report\":{}}}", render_json(&report)))
+}

@@ -1,0 +1,511 @@
+//! The long-running `simdize serve` server.
+//!
+//! Architecture (std::net + threads only — the workspace is offline,
+//! no async runtime):
+//!
+//! * one **accept loop** on a nonblocking listener, polled every few
+//!   milliseconds so a shutdown request or SIGINT is observed promptly;
+//! * one **connection thread** per client, reading JSONL requests with
+//!   a short read timeout (so idle connections also observe shutdown),
+//!   answering control-plane requests (`ping`/`stats`/`shutdown`)
+//!   inline and handing pipeline requests to the worker pool;
+//! * a fixed **worker pool** popping jobs from a bounded
+//!   `Mutex<VecDeque>` + `Condvar` queue. When the queue is full the
+//!   connection thread answers with the `busy` envelope immediately —
+//!   explicit backpressure instead of unbounded buffering;
+//! * one process-wide sharded [`KernelCache`]: every `run` and `sweep`
+//!   request executes through [`run_sweep_shared`], so a kernel baked
+//!   for one request is a cache hit for every later request (and every
+//!   worker) with the same (program, input, layout).
+//!
+//! Per-request latency lands in [`simdize_telemetry::Histogram`]s (one
+//! per verb plus an aggregate), which is what `stats` reports p50/p95
+//! and requests/sec from.
+
+use crate::handlers;
+use crate::protocol::{
+    busy_response, error_response, ok_response, parse_request, Command, WireError, WIRE_SCHEMA,
+};
+use crate::signal;
+use simdize::KernelCache;
+use simdize_telemetry as telemetry;
+use simdize_telemetry::Histogram;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is sized. All knobs have serve-sensible defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads executing pipeline requests.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue answers `busy`.
+    pub queue_depth: usize,
+    /// Lock-striped shards in the kernel cache.
+    pub cache_shards: usize,
+    /// LRU capacity per cache shard.
+    pub cache_capacity: usize,
+    /// Worker threads used *inside* one `sweep` request.
+    pub sweep_threads: usize,
+    /// Install a SIGINT handler so Ctrl-C shuts the server down
+    /// (process-global; off by default so embedding tests and benches
+    /// don't hijack the signal).
+    pub handle_sigint: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 64,
+            cache_shards: 8,
+            cache_capacity: 32,
+            sweep_threads: 2,
+            handle_sigint: false,
+        }
+    }
+}
+
+/// One queued pipeline job: the parsed request plus the channel its
+/// rendered response line goes back on.
+struct Job {
+    id: u64,
+    cmd: Command,
+    accepted_at: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// Bounded MPMC job queue with explicit rejection when full.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> JobQueue {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues unless the queue is at capacity (the job is dropped
+    /// and `false` returned — the caller answers `busy`). Never
+    /// blocks.
+    fn try_push(&self, job: Job) -> bool {
+        let mut jobs = self.jobs.lock().expect("job queue poisoned");
+        if jobs.len() >= self.depth {
+            return false;
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Pops the next job, waiting in short slices so `stop` is
+    /// observed; `None` once stopping and drained.
+    fn pop(&self, stop: &AtomicBool) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(jobs, Duration::from_millis(25))
+                .expect("job queue poisoned");
+            jobs = guard;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.lock().expect("job queue poisoned").len()
+    }
+
+    /// Removes and returns everything still queued (shutdown path:
+    /// jobs that raced past the stopping workers get error replies so
+    /// no connection thread blocks on `recv` forever).
+    fn drain(&self) -> Vec<Job> {
+        self.jobs
+            .lock()
+            .expect("job queue poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+/// Latency + traffic metrics, one histogram per verb plus an
+/// aggregate, all in microseconds.
+struct Metrics {
+    all_us: Histogram,
+    per_cmd: Vec<(&'static str, Histogram)>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            all_us: Histogram::new(),
+            per_cmd: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, cmd: &'static str, us: u64) {
+        self.all_us.observe(us);
+        match self.per_cmd.iter_mut().find(|(name, _)| *name == cmd) {
+            Some((_, h)) => h.observe(us),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(us);
+                self.per_cmd.push((cmd, h));
+            }
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    config: ServerConfig,
+    cache: KernelCache,
+    queue: JobQueue,
+    metrics: Mutex<Metrics>,
+    started: Instant,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    /// Record one finished request of `cmd` that took `elapsed`.
+    fn record(&self, cmd: &'static str, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.metrics
+            .lock()
+            .expect("metrics poisoned")
+            .record(cmd, us);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if telemetry::enabled() {
+            telemetry::counter("server.request").add(1);
+            telemetry::histogram("server.latency_us").observe(us);
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || (self.config.handle_sigint && signal::sigint_received())
+    }
+
+    /// The `stats` response body.
+    fn stats_json(&self) -> String {
+        let uptime = self.started.elapsed();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let metrics = self.metrics.lock().expect("metrics poisoned");
+        let mut per_cmd = String::new();
+        for (k, (name, h)) in metrics.per_cmd.iter().enumerate() {
+            if k > 0 {
+                per_cmd.push(',');
+            }
+            per_cmd.push_str(&format!(
+                "{{\"cmd\":\"{name}\",\"count\":{},\"p50_us\":{},\"p95_us\":{}}}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.95)
+            ));
+        }
+        let cache = self.cache.stats();
+        let occupancy: Vec<String> = cache.occupancy.iter().map(usize::to_string).collect();
+        format!(
+            "{{\"schema\":\"{WIRE_SCHEMA}\",\"uptime_ms\":{},\"requests\":{requests},\
+             \"busy\":{},\"errors\":{},\"connections\":{},\
+             \"requests_per_sec\":{:.2},\
+             \"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p95_us\":{},\"max_us\":{}}},\
+             \"commands\":[{per_cmd}],\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4},\
+             \"occupied\":{},\"capacity_per_shard\":{},\"occupancy\":[{}]}},\
+             \"queue\":{{\"depth\":{},\"capacity\":{}}},\"workers\":{}}}",
+            uptime.as_millis(),
+            self.busy.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.connections.load(Ordering::Relaxed),
+            requests as f64 / uptime.as_secs_f64().max(1e-9),
+            metrics.all_us.count(),
+            metrics.all_us.mean(),
+            metrics.all_us.quantile(0.5),
+            metrics.all_us.quantile(0.95),
+            metrics.all_us.max(),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
+            cache.occupied(),
+            cache.capacity_per_shard,
+            occupancy.join(","),
+            self.queue.len(),
+            self.config.queue_depth,
+            self.config.workers,
+        )
+    }
+}
+
+/// What [`Server::serve`] reports once the server has drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Total requests answered (including errors and `busy`).
+    pub requests: u64,
+    /// Requests rejected with the `busy` envelope.
+    pub busy: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+}
+
+/// A bound (but not yet serving) simdization server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: KernelCache::new(config.cache_shards, config.cache_capacity),
+            queue: JobQueue::new(config.queue_depth),
+            metrics: Mutex::new(Metrics::new()),
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            config,
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The actually-bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a `shutdown` request (or SIGINT, when configured)
+    /// arrives, then drains workers and connections and returns the
+    /// traffic summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the accept loop.
+    pub fn serve(self) -> std::io::Result<ServeSummary> {
+        if self.shared.config.handle_sigint {
+            signal::install_sigint_handler();
+        }
+        self.listener.set_nonblocking(true)?;
+        let workers: Vec<thread::JoinHandle<()>> = (0..self.shared.config.workers.max(1))
+            .map(|k| {
+                let shared = Arc::clone(&self.shared);
+                thread::Builder::new()
+                    .name(format!("simdize-worker-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    // Thousands of concurrent connections on small
+                    // stacks: the connection loop only parses and
+                    // forwards, heavy work happens on the worker pool.
+                    let handle = thread::Builder::new()
+                        .name("simdize-conn".to_string())
+                        .stack_size(256 * 1024)
+                        .spawn(move || connection_loop(stream, &shared))
+                        .expect("spawn connection thread");
+                    conns.push(handle);
+                    // Opportunistically reap finished connections so
+                    // the handle list doesn't grow without bound.
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: stop is set; wake the workers, let connections notice
+        // via their read timeouts.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.ready.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Connections still mid-request may enqueue after the workers
+        // exited; keep draining (answering "shutting down") until every
+        // connection thread has returned.
+        loop {
+            for job in self.shared.queue.drain() {
+                let _ = job.reply.send(error_response(job.id, "server shutting down"));
+            }
+            conns.retain(|c| !c.is_finished());
+            if conns.is_empty() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        Ok(ServeSummary {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            busy: self.shared.busy.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop(&shared.stop) {
+        let cmd_name = job.cmd.name();
+        let line = match handlers::execute(&job.cmd, &shared.cache, &shared.config) {
+            Ok(result) => ok_response(job.id, &result),
+            Err(message) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(job.id, &message)
+            }
+        };
+        shared.record(cmd_name, job.accepted_at.elapsed());
+        // A send error means the client hung up; nothing to do.
+        let _ = job.reply.send(line);
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // The short read timeout doubles as the shutdown poll: on
+        // timeout any partially-read bytes stay buffered in `line`
+        // only if read_line appended them — so we must not clear the
+        // buffer between retries of the same line.
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    if shared.stopping() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        if n == 0 {
+            return; // client closed
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = handle_line(trimmed, shared);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            return;
+        }
+        if shared.stopping() {
+            return;
+        }
+    }
+}
+
+/// Parses and answers one request line (inline for control-plane
+/// verbs, via the worker pool for pipeline verbs).
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let started = Instant::now();
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(WireError { id, message }) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.record("error", started.elapsed());
+            return error_response(id.unwrap_or(0), &message);
+        }
+    };
+    match &request.cmd {
+        Command::Ping => {
+            let out = ok_response(
+                request.id,
+                &format!("{{\"pong\":true,\"schema\":\"{WIRE_SCHEMA}\"}}"),
+            );
+            shared.record("ping", started.elapsed());
+            out
+        }
+        Command::Stats => {
+            let out = ok_response(request.id, &shared.stats_json());
+            shared.record("stats", started.elapsed());
+            out
+        }
+        Command::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.record("shutdown", started.elapsed());
+            ok_response(request.id, "{\"stopping\":true}")
+        }
+        _ => {
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                id: request.id,
+                cmd: request.cmd,
+                accepted_at: started,
+                reply: tx,
+            };
+            if shared.queue.try_push(job) {
+                rx.recv()
+                    .unwrap_or_else(|_| error_response(request.id, "server shutting down"))
+            } else {
+                shared.busy.fetch_add(1, Ordering::Relaxed);
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if telemetry::enabled() {
+                    telemetry::counter("server.busy").add(1);
+                }
+                busy_response(request.id)
+            }
+        }
+    }
+}

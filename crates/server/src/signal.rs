@@ -1,0 +1,54 @@
+//! Minimal SIGINT hook so `simdize serve` shuts down cleanly on
+//! Ctrl-C.
+//!
+//! The workspace is offline-only (no `libc`, no `signal-hook`), so
+//! this is a direct FFI declaration of POSIX `signal(2)`. The handler
+//! does the only thing that is async-signal-safe here: it stores into
+//! a process-wide atomic flag, which the server's accept loop polls.
+//! This is the single `unsafe` block in the workspace; everything else
+//! remains `#![forbid(unsafe_code)]`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    /// POSIX signal number for SIGINT (Ctrl-C).
+    const SIGINT: i32 = 2;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        /// `signal(2)`. The return value (the previous handler) is
+        /// deliberately ignored.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::SIGINT_SEEN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGINT handler (idempotent). On non-Unix targets this
+/// is a no-op and only a `shutdown` request stops the server.
+pub fn install_sigint_handler() {
+    imp::install();
+}
+
+/// Whether SIGINT has been delivered since the handler was installed.
+pub fn sigint_received() -> bool {
+    SIGINT_SEEN.load(Ordering::SeqCst)
+}

@@ -246,13 +246,15 @@ impl DiffReport {
 fn orientation(metric: &str) -> Option<bool> {
     let name = metric.rsplit('.').next().unwrap_or(metric);
     if name.ends_with("_per_sec")
+        || name.ends_with("_hit_rate")
         || name.starts_with("speedup")
         || name == "fused_vs_unfused"
         || name == "cache_speedup"
+        || name == "shared_vs_slot"
     {
         return Some(true);
     }
-    if name.ends_with("_ns") || name.ends_with("_ms") {
+    if name.ends_with("_ns") || name.ends_with("_us") || name.ends_with("_ms") {
         return Some(false);
     }
     None
@@ -262,7 +264,10 @@ fn orientation(metric: &str) -> Option<bool> {
 /// dimensionless ratio) and gets double the regression allowance.
 fn is_timing(metric: &str) -> bool {
     let name = metric.rsplit('.').next().unwrap_or(metric);
-    name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_per_sec")
+    name.ends_with("_ns")
+        || name.ends_with("_us")
+        || name.ends_with("_ms")
+        || name.ends_with("_per_sec")
 }
 
 /// Flattens the comparable metrics of an entry (either schema) to
@@ -294,6 +299,7 @@ pub fn extract_metrics(doc: &Json) -> Vec<(String, f64)> {
     };
     from_rows("kernels", "kernel");
     from_rows("sweeps", "sweep");
+    from_rows("server", "server");
     out
 }
 
@@ -317,7 +323,13 @@ pub fn diff(old: &Json, new: &Json, threshold: f64) -> DiffReport {
         } else {
             threshold
         };
-        let gain = if higher_better {
+        // Equal values are never a regression — in particular 0 → 0
+        // (a metric that is legitimately zero on both sides, like the
+        // slot-cache hit rate on a mixed-program sweep) must not be
+        // flagged via the NaN of 0/0.
+        let gain = if old_v == new_v {
+            1.0
+        } else if higher_better {
             new_v / old_v
         } else {
             old_v / new_v
@@ -450,6 +462,22 @@ mod tests {
         assert_eq!(report.regressions, 0);
         assert!(report.unmatched.is_empty());
         assert!(!report.rows.is_empty());
+    }
+
+    #[test]
+    fn zero_on_both_sides_is_not_a_regression() {
+        // A metric that is legitimately zero in baseline and fresh run
+        // (e.g. the slot cache's hit rate on a mixed-program sweep)
+        // must read as gain 1.0, not the NaN of 0/0.
+        let doc = parse(
+            r#"{ "schema": "simdize-bench-server/v1",
+                 "server": [ { "name": "mixed", "cache_hit_rate": 0.0 } ] }"#,
+        )
+        .unwrap();
+        let report = diff(&doc, &doc, 0.25);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].gain, 1.0);
     }
 
     #[test]

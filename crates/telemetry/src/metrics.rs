@@ -5,7 +5,7 @@
 //! (per worker, per phase) and then updates lock-free; every update
 //! first checks the global enabled flag with one relaxed atomic load,
 //! so a disabled build path costs a predictable branch and nothing
-//! else. Names are dotted lowercase (`sweep.baked_cache.hit`); the
+//! else. Names are dotted lowercase (`sweep.kernel_cache.hit`); the
 //! snapshot reports them sorted, and omits metrics still at zero so a
 //! session only exports what it actually touched.
 

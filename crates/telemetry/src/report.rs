@@ -165,7 +165,7 @@ mod tests {
 
     fn sample_report() -> TelemetryReport {
         let mut metrics = MetricsSnapshot::default();
-        metrics.counters.insert("sweep.baked_cache.hit".into(), 15);
+        metrics.counters.insert("sweep.kernel_cache.hit".into(), 15);
         metrics.gauges.insert("sweep.workers".into(), 1);
         metrics.histograms.insert(
             "sweep.worker.jobs".into(),
@@ -211,7 +211,7 @@ mod tests {
         let hit = doc
             .get("counters")
             .unwrap()
-            .get("sweep.baked_cache.hit")
+            .get("sweep.kernel_cache.hit")
             .unwrap();
         assert_eq!(hit.as_f64(), Some(15.0));
     }
@@ -237,7 +237,7 @@ mod tests {
         assert!(text.contains("== spans =="));
         assert!(text.contains("bake"));
         assert!(text.contains("  fuse"));
-        assert!(text.contains("sweep.baked_cache.hit"));
+        assert!(text.contains("sweep.kernel_cache.hit"));
         assert!(text.contains("p95"));
         let empty = TelemetryReport::default().render_text();
         assert!(empty.contains("(none recorded)"));

@@ -68,10 +68,53 @@ target/release/engine --quick --floor 5 --out BENCH_engine.json --history-dir "$
 echo "== bench history diff (fresh quick run vs checked-in baseline) =="
 # Generous threshold: quick-mode numbers on a loaded CI machine wobble;
 # this smoke only guards against order-of-magnitude collapses and
-# proves the diff pipeline end to end.
-baseline=$(ls bench_history/*.json | tail -1)
+# proves the diff pipeline end to end. The history now carries two
+# schemas (engine and server), so each diff picks its baseline by
+# schema, not just recency.
+baseline=$(grep -l '"schema": "simdize-bench-engine/v1"' bench_history/*.json | tail -1)
 fresh=$(ls "$BENCH_TMP"/*.json | tail -1)
 target/release/simdize bench diff "$baseline" "$fresh" --threshold 0.9
+
+echo "== server smoke (serve round-trip on an ephemeral port) =="
+# Boots `simdize serve` on port 0, drives one compile/run/sweep/stats
+# round-trip over /dev/tcp, then requests shutdown and insists on a
+# clean exit. The loop source is quote-free so it embeds in the JSON
+# request lines without escaping.
+target/release/simdize serve 127.0.0.1:0 > "$BENCH_TMP/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 200); do
+    grep -q '^listening on ' "$BENCH_TMP/serve.log" && break
+    sleep 0.05
+done
+addr=$(sed -n 's/^listening on //p' "$BENCH_TMP/serve.log")
+port=${addr##*:}
+src='arrays { a: i32[64] @ 0; b: i32[64] @ 4; } for i in 0..40 { a[i+1] = b[i]; }'
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+{
+    printf '{"v":1,"id":1,"cmd":"compile","source":"%s"}\n' "$src"
+    printf '{"v":1,"id":2,"cmd":"run","source":"%s","seed":7}\n' "$src"
+    printf '{"v":1,"id":3,"cmd":"sweep","source":"%s","count":4}\n' "$src"
+    printf '{"v":1,"id":4,"cmd":"stats"}\n'
+    printf '{"v":1,"id":5,"cmd":"shutdown"}\n'
+} >&3
+for id in 1 2 3 4 5; do
+    IFS= read -r line <&3
+    echo "$line" | grep -q "\"id\":$id,\"ok\":true" \
+        || { echo "server smoke: request $id failed: $line" >&2; exit 1; }
+done
+exec 3<&- 3>&-
+wait "$serve_pid"
+grep -Eq 'served [0-9]+ request' "$BENCH_TMP/serve.log" \
+    || { echo "server smoke: missing serve summary" >&2; exit 1; }
+
+echo "== loadgen smoke (quick mode vs checked-in server baseline) =="
+# 64 concurrent connections against an in-process server; writes the
+# simdize-bench-server/v1 document and diffs it against the checked-in
+# baseline at the same generous threshold as the engine bench.
+target/release/loadgen --quick --out "$BENCH_TMP/BENCH_server.json" --history-dir "$BENCH_TMP/server_hist"
+server_baseline=$(grep -l '"schema": "simdize-bench-server/v1"' bench_history/*.json | tail -1)
+server_fresh=$(ls "$BENCH_TMP"/server_hist/*.json | tail -1)
+target/release/simdize bench diff "$server_baseline" "$server_fresh" --threshold 0.9
 
 echo "== static analysis (all sample loops) =="
 for loop in loops/*.loop; do

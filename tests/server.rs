@@ -1,0 +1,337 @@
+//! Wire-protocol contract tests for `simdize serve`: golden-pinned
+//! request/response round-trips over a real TCP connection (timing
+//! fields normalized), malformed-request error paths, backpressure,
+//! and a concurrent-client stress test asserting that responses served
+//! from the kernel cache are byte-identical to cold ones.
+
+use simdize_server::{Server, ServerConfig};
+use simdize_telemetry::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+fn repo(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn sample(name: &str) -> String {
+    let path = repo(&format!("loops/{name}.loop"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"))
+}
+
+/// A running server plus a helper to open request/response clients.
+struct Harness {
+    addr: std::net::SocketAddr,
+    handle: Option<std::thread::JoinHandle<std::io::Result<simdize_server::ServeSummary>>>,
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(conn.try_clone().unwrap());
+        Client { conn, reader }
+    }
+
+    /// Sends one request line and reads the one response line.
+    fn roundtrip(&mut self, request: &str) -> String {
+        writeln!(self.conn, "{request}").unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(line.ends_with('\n'), "response not newline-terminated");
+        line.trim_end().to_string()
+    }
+}
+
+impl Harness {
+    fn start(config: ServerConfig) -> Harness {
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.serve());
+        Harness {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr)
+    }
+
+    fn shutdown(mut self) -> simdize_server::ServeSummary {
+        let mut client = self.client();
+        let resp = client.roundtrip(r#"{"v":1,"id":9999,"cmd":"shutdown"}"#);
+        assert!(resp.contains("\"stopping\":true"), "{resp}");
+        self.handle.take().unwrap().join().unwrap().unwrap()
+    }
+}
+
+/// Escapes loop source for embedding in a request line.
+fn inline(source: &str) -> String {
+    json::escape(source)
+}
+
+/// The golden round-trip corpus: deterministic request/response pairs
+/// (everything except `stats`, whose latency numbers necessarily
+/// differ run to run).
+fn golden_corpus() -> Vec<String> {
+    let fig1 = inline(&sample("figure1"));
+    let runtime = inline(&sample("runtime"));
+    vec![
+        r#"{"v":1,"id":1,"cmd":"ping"}"#.to_string(),
+        format!(r#"{{"v":1,"id":2,"cmd":"compile","source":"{fig1}"}}"#),
+        format!(r#"{{"v":1,"id":3,"cmd":"analyze","source":"{fig1}"}}"#),
+        format!(r#"{{"v":1,"id":4,"cmd":"run","source":"{fig1}","seed":7}}"#),
+        format!(r#"{{"v":1,"id":5,"cmd":"run","source":"{runtime}","seed":3,"ub":500}}"#),
+        format!(r#"{{"v":1,"id":6,"cmd":"sweep","source":"{runtime}","seed":1,"ub":300,"count":6}}"#),
+        format!(r#"{{"v":1,"id":7,"cmd":"explain","source":"{fig1}","policy":"zero"}}"#),
+        format!(r#"{{"v":1,"id":8,"cmd":"compile","source":"{runtime}","policy":"eager"}}"#),
+        r#"{"v":1,"id":9,"cmd":"frobnicate"}"#.to_string(),
+        r#"{"v":2,"id":10,"cmd":"ping"}"#.to_string(),
+        format!(r#"{{"v":1,"id":11,"cmd":"run","source":"{fig1}","policy":"unknown"}}"#),
+        r#"{"v":1,"id":12,"cmd":"run","source":"arrays { broken"}"#.to_string(),
+    ]
+}
+
+/// Pins the wire protocol byte for byte: each corpus request's
+/// response over a live server must match `tests/golden/server-wire.txt`
+/// (alternating request/response lines). Regenerate after an
+/// intentional protocol change with
+/// `UPDATE_GOLDEN=1 cargo test --test server`.
+#[test]
+fn wire_round_trips_golden() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    let mut transcript = String::new();
+    for request in golden_corpus() {
+        let response = client.roundtrip(&request);
+        transcript.push_str(&request);
+        transcript.push('\n');
+        transcript.push_str(&response);
+        transcript.push('\n');
+    }
+    harness.shutdown();
+
+    let path = repo("tests/golden/server-wire.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &transcript).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert_eq!(
+        expected, transcript,
+        "wire-protocol drift; if intended, UPDATE_GOLDEN=1 and re-review"
+    );
+}
+
+/// Malformed requests get error envelopes (with the id echoed whenever
+/// it was recoverable) and never kill the connection.
+#[test]
+fn malformed_requests_answer_errors_and_keep_the_connection() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    for (request, expect) in [
+        ("this is not json", "bad JSON"),
+        (r#"{"v":1,"cmd":"ping"}"#, "missing request `id`"),
+        (r#"{"id":1,"cmd":"ping"}"#, "missing protocol version"),
+        (r#"{"v":9,"id":1,"cmd":"ping"}"#, "unsupported protocol version"),
+        (r#"{"v":1,"id":1}"#, "missing `cmd`"),
+        (r#"{"v":1,"id":1,"cmd":"nope"}"#, "unknown cmd"),
+        (r#"{"v":1,"id":1,"cmd":"run"}"#, "missing `source`"),
+        (
+            r#"{"v":1,"id":1,"cmd":"run","source":"x","params":5}"#,
+            "`params` must be an array",
+        ),
+    ] {
+        let response = client.roundtrip(request);
+        let doc = json::parse(&response).unwrap_or_else(|e| panic!("{response}: {e}"));
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)), "{response}");
+        let error = doc.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains(expect), "{response} missing {expect:?}");
+    }
+    // The connection survived all of it.
+    let pong = client.roundtrip(r#"{"v":1,"id":42,"cmd":"ping"}"#);
+    assert!(pong.contains("\"pong\":true"), "{pong}");
+    harness.shutdown();
+}
+
+/// `stats` reports latency percentiles from the telemetry histograms
+/// plus the shared cache's counters, and repeated identical `run`
+/// requests hit the cache.
+#[test]
+fn stats_report_latency_and_cache_counters() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    let run = format!(
+        r#"{{"v":1,"id":1,"cmd":"run","source":"{}","seed":5}}"#,
+        inline(&sample("figure1"))
+    );
+    let first = client.roundtrip(&run);
+    assert!(first.contains("\"verified\":true"), "{first}");
+    for _ in 0..4 {
+        assert_eq!(client.roundtrip(&run), first, "responses must not drift");
+    }
+    let stats = client.roundtrip(r#"{"v":1,"id":2,"cmd":"stats"}"#);
+    let doc = json::parse(&stats).unwrap();
+    let result = doc.get("result").unwrap();
+    assert_eq!(
+        result.get("schema").and_then(Json::as_str),
+        Some("simdize-wire/v1")
+    );
+    let latency = result.get("latency").unwrap();
+    assert_eq!(latency.get("count").and_then(Json::as_f64), Some(5.0));
+    assert!(latency.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(
+        latency.get("p95_us").and_then(Json::as_f64).unwrap()
+            >= latency.get("p50_us").and_then(Json::as_f64).unwrap()
+    );
+    assert!(
+        result
+            .get("requests_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    let cache = result.get("cache").unwrap();
+    // One bake on the first run, four hits after.
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(cache.get("occupied").and_then(Json::as_f64), Some(1.0));
+    harness.shutdown();
+}
+
+/// A queue of depth 1 with a single worker under a burst of parallel
+/// exec requests must reject some with the `busy` envelope — explicit
+/// backpressure instead of unbounded buffering — while every accepted
+/// request still completes correctly.
+#[test]
+fn full_queue_answers_busy() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let harness = Harness::start(config);
+    let source = inline(&sample("runtime"));
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let addr = harness.addr;
+    let results: Vec<(u64, u64)> = (0..clients)
+        .map(|k| {
+            let barrier = Arc::clone(&barrier);
+            let request = format!(
+                r#"{{"v":1,"id":{k},"cmd":"sweep","source":"{source}","seed":{k},"ub":400,"count":8}}"#
+            );
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                barrier.wait();
+                let mut done = 0u64;
+                let mut busy = 0u64;
+                for _ in 0..3 {
+                    let response = client.roundtrip(&request);
+                    let doc = json::parse(&response).unwrap();
+                    if doc.get("busy") == Some(&Json::Bool(true)) {
+                        busy += 1;
+                    } else {
+                        assert!(response.contains("\"verified\":8"), "{response}");
+                        done += 1;
+                    }
+                }
+                (done, busy)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let done: u64 = results.iter().map(|(d, _)| d).sum();
+    let busy: u64 = results.iter().map(|(_, b)| b).sum();
+    assert!(busy > 0, "no backpressure observed (done={done})");
+    assert!(done > 0, "no request ever completed");
+    let summary = harness.shutdown();
+    assert_eq!(summary.busy, busy);
+    harness_requests_check(summary.requests, done + busy);
+}
+
+fn harness_requests_check(total: u64, workload: u64) {
+    // The shutdown request itself is also counted.
+    assert_eq!(total, workload + 1);
+}
+
+/// Many concurrent clients issuing an identical mix of requests: every
+/// response must be byte-identical across clients and across
+/// cache-cold/cache-warm servers. This is the contract that lets the
+/// kernel cache be transparent.
+#[test]
+fn concurrent_clients_get_byte_identical_cached_responses() {
+    let harness = Harness::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let fig1 = inline(&sample("figure1"));
+    let runtime = inline(&sample("runtime"));
+    let requests: Vec<String> = vec![
+        format!(r#"{{"v":1,"id":1,"cmd":"run","source":"{fig1}","seed":11}}"#),
+        format!(r#"{{"v":1,"id":2,"cmd":"run","source":"{runtime}","seed":4,"ub":350}}"#),
+        format!(r#"{{"v":1,"id":3,"cmd":"sweep","source":"{fig1}","seed":0,"count":5}}"#),
+        format!(r#"{{"v":1,"id":4,"cmd":"compile","source":"{runtime}"}}"#),
+    ];
+
+    // Cache-cold reference: a dedicated server answering each request
+    // exactly once.
+    let reference: Vec<String> = {
+        let cold = Harness::start(ServerConfig::default());
+        let mut client = cold.client();
+        let out = requests.iter().map(|r| client.roundtrip(r)).collect();
+        cold.shutdown();
+        out
+    };
+
+    let clients = 16;
+    let rounds = 3;
+    let barrier = Arc::new(Barrier::new(clients));
+    let addr = harness.addr;
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let requests = requests.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                barrier.wait();
+                for _ in 0..rounds {
+                    for (request, expected) in requests.iter().zip(&reference) {
+                        let response = client.roundtrip(request);
+                        assert_eq!(
+                            &response, expected,
+                            "cached response differs from cache-cold response"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = {
+        let mut client = harness.client();
+        client.roundtrip(r#"{"v":1,"id":99,"cmd":"stats"}"#)
+    };
+    let doc = json::parse(&stats).unwrap();
+    let cache = doc.get("result").unwrap().get("cache").unwrap();
+    let hits = cache.get("hits").and_then(Json::as_f64).unwrap();
+    let misses = cache.get("misses").and_then(Json::as_f64).unwrap();
+    // 16 clients × 3 rounds of the same kernels: all but the first
+    // bakes must hit.
+    assert!(
+        hits > misses,
+        "expected warm cache, got {hits} hits / {misses} misses"
+    );
+    harness.shutdown();
+}

@@ -75,11 +75,11 @@ fn figure1_profile_document_covers_every_phase() {
     }
     let counters = doc.get("counters").unwrap();
     assert_eq!(
-        counters.get("sweep.baked_cache.miss").unwrap().as_f64(),
+        counters.get("sweep.kernel_cache.miss").unwrap().as_f64(),
         Some(1.0)
     );
     assert_eq!(
-        counters.get("sweep.baked_cache.hit").unwrap().as_f64(),
+        counters.get("sweep.kernel_cache.hit").unwrap().as_f64(),
         Some((PROFILE_SWEEP_SEEDS - 1) as f64)
     );
 }
