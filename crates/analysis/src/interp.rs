@@ -170,6 +170,9 @@ struct Analyzer<'a> {
     sites: Vec<SiteInfo>,
     site_ids: HashMap<(Section, Vec<usize>), u32>,
     live: BTreeSet<u32>,
+    /// Instructions (by section and guard-nested path) the interpreter
+    /// evaluated in at least one scenario — the coverage numerator.
+    reached: BTreeSet<(Section, Vec<usize>)>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -229,6 +232,7 @@ impl<'a> Analyzer<'a> {
             sites: Vec::new(),
             site_ids: HashMap::new(),
             live: BTreeSet::new(),
+            reached: BTreeSet::new(),
         }
     }
 
@@ -296,13 +300,23 @@ impl<'a> Analyzer<'a> {
     }
 
     fn report(self) -> AnalysisReport {
+        let prog = self.prog;
+        let insts_total = count_insts(prog.prologue())
+            + count_insts(prog.body())
+            + prog.body_pair().map_or(0, count_insts)
+            + count_insts(prog.epilogue());
+        let insts_reached = self.reached.len().min(insts_total);
         let mut findings: Vec<Finding> = self.findings.into_values().collect();
         findings.sort_by(|a, b| {
             (a.section, a.index, a.lint)
                 .cmp(&(b.section, b.index, b.lint))
                 .then_with(|| a.message.cmp(&b.message))
         });
-        AnalysisReport { findings }
+        AnalysisReport {
+            findings,
+            insts_total,
+            insts_reached,
+        }
     }
 
     // ---- scenario construction -------------------------------------
@@ -519,6 +533,7 @@ impl<'a> Analyzer<'a> {
         i_val: Option<i64>,
         path: &mut Vec<usize>,
     ) {
+        self.reached.insert((sec, path.clone()));
         let v = self.v as usize;
         match inst {
             VInst::LoadA { dst, addr } | VInst::LoadU { dst, addr } => {
@@ -1003,4 +1018,16 @@ impl<'a> Analyzer<'a> {
             );
         }
     }
+}
+
+/// Counts generated instructions recursively through `Guarded` bodies —
+/// the denominator of the `chunk-never-verified` coverage counter.
+fn count_insts(insts: &[VInst]) -> usize {
+    insts
+        .iter()
+        .map(|i| match i {
+            VInst::Guarded { body, .. } => 1 + count_insts(body),
+            _ => 1,
+        })
+        .sum()
 }

@@ -188,16 +188,44 @@ impl fmt::Display for Finding {
 }
 
 /// The analyzer's verdict: every finding, ordered by section then
-/// instruction index.
+/// instruction index, plus the coverage counters saying how much of the
+/// generated program the abstract interpreter actually evaluated.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AnalysisReport {
     pub(crate) findings: Vec<Finding>,
+    /// Generated instructions in the program, counted recursively
+    /// through `Guarded` bodies.
+    pub(crate) insts_total: usize,
+    /// Instructions the abstract interpreter evaluated in at least one
+    /// scenario.
+    pub(crate) insts_reached: usize,
 }
 
 impl AnalysisReport {
     /// All findings, ordered.
     pub fn findings(&self) -> &[Finding] {
         &self.findings
+    }
+
+    /// Generated instructions in the analyzed program (recursively
+    /// through guard bodies).
+    pub fn coverage_total(&self) -> usize {
+        self.insts_total
+    }
+
+    /// Instructions the abstract interpreter evaluated in at least one
+    /// scenario.
+    pub fn coverage_reached(&self) -> usize {
+        self.insts_reached
+    }
+
+    /// The `chunk-never-verified` counter: generated instructions no
+    /// evaluated scenario ever reached (guard bodies whose condition
+    /// held in no scenario, or a program whose every sampled trip count
+    /// fell below the `ub > 3B` guard). A non-zero count means the
+    /// lints above are silent about those instructions.
+    pub fn chunk_never_verified(&self) -> usize {
+        self.insts_total.saturating_sub(self.insts_reached)
     }
 
     /// Number of deny-level findings.
@@ -239,17 +267,29 @@ impl AnalysisReport {
                 self.warn_count()
             ));
         }
+        if self.chunk_never_verified() > 0 {
+            out.push_str(&format!(
+                "warning: coverage {}/{} — {} generated instruction(s) never verified \
+                 (no evaluated scenario reached them)\n",
+                self.insts_reached,
+                self.insts_total,
+                self.chunk_never_verified()
+            ));
+        }
         out
     }
 
     /// Machine-readable JSON rendering (a single object with `deny`,
-    /// `warn` and a `findings` array).
+    /// `warn`, a `coverage` object and a `findings` array).
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"deny\":{},\"warn\":{},\"findings\":[",
+            "{{\"deny\":{},\"warn\":{},\"coverage\":{{\"insts\":{},\"reached\":{},\"chunk_never_verified\":{}}},\"findings\":[",
             self.deny_count(),
-            self.warn_count()
+            self.warn_count(),
+            self.insts_total,
+            self.insts_reached,
+            self.chunk_never_verified()
         ));
         for (k, f) in self.findings.iter().enumerate() {
             if k > 0 {
@@ -320,18 +360,27 @@ mod tests {
                 register: None,
                 message: "shift by 0 is a \"no-op\"".to_string(),
             }],
+            insts_total: 10,
+            insts_reached: 8,
         };
         let text = report.render_text();
         assert!(text.contains("warn[redundant-shift] body[3]:"));
         assert!(text.contains("1 finding(s): 0 deny, 1 warn"));
+        assert!(text.contains("coverage 8/10"));
+        assert_eq!(report.chunk_never_verified(), 2);
         let json = report.render_json();
         assert!(json.contains("\"deny\":0"));
+        assert!(json.contains("\"coverage\":{\"insts\":10,\"reached\":8,\"chunk_never_verified\":2}"));
         assert!(json.contains("\\\"no-op\\\""));
         assert!(json.contains("\"register\":null"));
         assert!(report.is_clean());
 
         let empty = AnalysisReport::default();
         assert!(empty.render_text().contains("analysis clean"));
-        assert_eq!(empty.render_json(), "{\"deny\":0,\"warn\":0,\"findings\":[]}");
+        assert!(!empty.render_text().contains("coverage"));
+        assert_eq!(
+            empty.render_json(),
+            "{\"deny\":0,\"warn\":0,\"coverage\":{\"insts\":0,\"reached\":0,\"chunk_never_verified\":0},\"findings\":[]}"
+        );
     }
 }

@@ -299,12 +299,47 @@ fn bench_mixed(quick: bool, threads: usize) -> MixedRow {
     }
 }
 
+/// Wall-clock of one quick bounded-equivalence proof — the cost CI
+/// pays per loop in its `verify --quick` step, tracked in the history
+/// so prover slowdowns show up in `bench diff`.
+struct VerifyRow {
+    wall_ms: f64,
+    units: u64,
+    runs: u64,
+    proved: bool,
+}
+
+fn bench_verify(threads: usize) -> VerifyRow {
+    let source = "arrays { a: i32[80] @ 0; b: i32[80] @ 4; c: i32[80] @ 8; }
+                  for i in 0..64 { a[i+1] = b[i] + c[i+2]; }";
+    let mut vopts = simdize::VerifyOptions::quick();
+    vopts.threads = threads;
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let report =
+            simdize::prove_source("bench", black_box(source), &vopts).expect("verify parses");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(report);
+    }
+    let report = last.expect("three timed proofs");
+    assert!(report.proved, "bench verify loop must prove");
+    VerifyRow {
+        wall_ms: best,
+        units: report.units_compiled,
+        runs: report.runs,
+        proved: report.proved,
+    }
+}
+
 fn render_json(
     mode: &str,
     floor: f64,
     kernels: &[KernelRow],
     sweeps: &[SweepRow],
     mixed: &MixedRow,
+    verify: &VerifyRow,
 ) -> String {
     let ops_per_sec = |total: u64, ns: f64| total as f64 / (ns * 1e-9);
     let mut out = String::new();
@@ -409,7 +444,18 @@ fn render_json(
         mixed.shared.cache_occupied()
     );
     let _ = writeln!(out, "    }}");
-    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"verify\": {{");
+    let _ = writeln!(out, "    \"proved\": {},", verify.proved);
+    let _ = writeln!(out, "    \"units\": {},", verify.units);
+    let _ = writeln!(out, "    \"runs\": {},", verify.runs);
+    let _ = writeln!(out, "    \"quick_ms\": {:.2},", verify.wall_ms);
+    let _ = writeln!(
+        out,
+        "    \"runs_per_sec\": {:.0}",
+        verify.runs as f64 / (verify.wall_ms * 1e-3)
+    );
+    let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
 }
@@ -484,6 +530,7 @@ fn main() {
         ),
     ];
     let mixed = bench_mixed(quick, threads);
+    let verify = bench_verify(threads);
     c.final_summary();
 
     println!();
@@ -514,6 +561,13 @@ fn main() {
         mixed.slot.cache_hit_rate() * 100.0,
         mixed.slot_ms / mixed.shared_ms
     );
+    println!(
+        "verify quick proof: {} units, {} harness runs in {:.1} ms ({:.0} runs/sec)",
+        verify.units,
+        verify.runs,
+        verify.wall_ms,
+        verify.runs as f64 / (verify.wall_ms * 1e-3)
+    );
 
     let json = render_json(
         if quick { "quick" } else { "full" },
@@ -521,6 +575,7 @@ fn main() {
         &kernels,
         &sweeps,
         &mixed,
+        &verify,
     );
     std::fs::write(&out_path, &json).expect("write JSON report");
     println!("\nwrote {out_path}");

@@ -14,6 +14,11 @@
 //!   compile    print the generated vector code (--asm for AltiVec form)
 //!   analyze    statically check the generated code (lints; --json)
 //!   run        compile, execute, verify against the scalar loop, report
+//!   verify     bounded-equivalence prover: exhaustively prove the
+//!              generated, fused and cached kernels byte-equivalent to
+//!              the scalar oracle over every realizable alignment x
+//!              trip count x policy/reuse/unroll configuration
+//!              (--quick, --json; exits non-zero on a violation)
 //!   explain    decision-trace report: every instruction back-linked to
 //!              the placement/codegen/fusion decision that produced it,
 //!              with OPD accounting (--json / --markdown)
@@ -66,6 +71,15 @@
 //!   --threshold F                       allowed relative loss before a
 //!                                       metric counts as regressed
 //!                                       (default 0.25; timings get 2x)
+//!   --quick                             verify: smoke-sized domain preset
+//!                                       (sampled alignments, boundary trips)
+//!   --trip-bound N                      verify: prove trip counts 1..=N
+//!                                       (default 64, quick 16)
+//!   --budget N                          verify: max harness executions
+//!                                       before reporting INCOMPLETE
+//!   --mutate splice|shift               verify: inject a known-bad
+//!                                       mutation — the prover must fail
+//!                                       (the mutate-and-catch meta-test)
 //!   --dot / --asm                       alternative output formats
 //! ```
 
@@ -74,8 +88,9 @@
 
 use simdize::{
     analyze_program, lower_altivec, run_scalar, run_sweep_collect, to_dot, AnalyzeOptions,
-    CompiledKernel, DiffConfig, Level, Lint, MemoryImage, Policy, ReorgGraph, ReuseMode, RunInput,
-    Scheme, SimdizeError, Simdizer, SweepJob, SweepOptions, Target, VectorShape,
+    CompiledKernel, DiffConfig, Level, Lint, MemoryImage, MutationKind, Policy, ReorgGraph,
+    ReuseMode, RunInput, Scheme, SimdizeError, Simdizer, SweepJob, SweepOptions, Target,
+    VectorShape, VerifyOptions,
 };
 use simdize_explain::{render_json, render_markdown, render_text, Explainer};
 use simdize_telemetry as telemetry;
@@ -91,6 +106,7 @@ pub type ReadSource = dyn Fn(&str) -> Result<String, Box<dyn Error>>;
 pub struct Options {
     command: String,
     source: String,
+    loop_name: String,
     policy: Option<Policy>,
     reuse: ReuseMode,
     reassoc: bool,
@@ -120,6 +136,10 @@ pub struct Options {
     queue: usize,
     shards: usize,
     cache_cap: usize,
+    quick: bool,
+    trip_bound: Option<u64>,
+    budget: Option<u64>,
+    mutate: Option<MutationKind>,
 }
 
 /// Parses argv-style arguments (`args` excludes the program name) and
@@ -142,6 +162,7 @@ pub fn parse_args(
             | "compile"
             | "analyze"
             | "run"
+            | "verify"
             | "explain"
             | "policies"
             | "sweep"
@@ -154,6 +175,7 @@ pub fn parse_args(
     // `bench` takes a subcommand and entry paths, and `serve` a listen
     // address — neither reads a loop file.
     let mut addr = String::new();
+    let mut loop_name = String::new();
     let source = if command == "bench" {
         let sub = it.next().ok_or("bench needs a subcommand: `bench diff`")?;
         if sub != "diff" {
@@ -168,12 +190,21 @@ pub fn parse_args(
         String::new()
     } else {
         let path = it.next().ok_or("missing <file.loop> argument")?;
+        loop_name = if path == "-" {
+            "stdin".to_string()
+        } else {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone())
+        };
         read_file(path)?
     };
 
     let mut opts = Options {
         command,
         source,
+        loop_name,
         policy: None,
         reuse: ReuseMode::SoftwarePipeline,
         reassoc: false,
@@ -203,6 +234,10 @@ pub fn parse_args(
         queue: 64,
         shards: 8,
         cache_cap: 32,
+        quick: false,
+        trip_bound: None,
+        budget: None,
+        mutate: None,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, Box<dyn Error>> {
@@ -299,6 +334,27 @@ pub fn parse_args(
             }
             "--shards" => opts.shards = value("--shards")?.parse()?,
             "--cache-cap" => opts.cache_cap = value("--cache-cap")?.parse()?,
+            "--quick" => opts.quick = true,
+            "--trip-bound" => {
+                let bound: u64 = value("--trip-bound")?.parse()?;
+                if bound == 0 {
+                    return Err("--trip-bound must be at least 1".into());
+                }
+                opts.trip_bound = Some(bound);
+            }
+            "--budget" => {
+                let budget: u64 = value("--budget")?.parse()?;
+                if budget == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+                opts.budget = Some(budget);
+            }
+            "--mutate" => {
+                let name = value("--mutate")?;
+                opts.mutate = Some(MutationKind::from_name(&name).ok_or_else(|| {
+                    format!("unknown mutation `{name}` (expected `splice` or `shift`)")
+                })?);
+            }
             other if opts.command == "bench" && !other.starts_with('-') => {
                 if opts.bench_old.is_none() {
                     opts.bench_old = Some(other.to_string());
@@ -315,7 +371,7 @@ pub fn parse_args(
 }
 
 const USAGE: &str =
-    "usage: simdize <check|graph|compile|analyze|run|explain|policies|sweep|profile> <file.loop|-> [options]
+    "usage: simdize <check|graph|compile|analyze|run|verify|explain|policies|sweep|profile> <file.loop|-> [options]
        simdize serve <addr> [--workers N] [--queue N] [--shards N] [--cache-cap N]
        simdize bench diff [old.json new.json] [--dir DIR] [--threshold F]
 run `simdize` with no arguments for the full option list";
@@ -491,6 +547,42 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             )?;
             writeln!(out, "verified: {}", report.verified)?;
             writeln!(out, "{report}")?;
+        }
+        "verify" => {
+            let mut vopts = if opts.quick {
+                VerifyOptions::quick()
+            } else {
+                VerifyOptions::new()
+            };
+            if let Some(bound) = opts.trip_bound {
+                vopts.trip_bound = bound;
+            }
+            if let Some(budget) = opts.budget {
+                vopts.budget = budget;
+            }
+            vopts.threads = opts.threads.max(1);
+            if let Some(p) = opts.policy {
+                vopts.policies = vec![p];
+            }
+            vopts.mutation = opts.mutate;
+            let report = simdize::prove_loop(&opts.loop_name, &program, &vopts);
+            let rendered = if opts.json {
+                report.render_json()
+            } else {
+                report.render_text()
+            };
+            out.push_str(&rendered);
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            if report.violations_total > 0 {
+                return Err(format!(
+                    "verification found {} violated propert{}\n{rendered}",
+                    report.violations_total,
+                    if report.violations_total == 1 { "y" } else { "ies" }
+                )
+                .into());
+            }
         }
         "explain" => {
             let mut explainer = Explainer::new()
@@ -783,6 +875,42 @@ mod tests {
         let out = run(&opts(&["run", "x.loop", "--seed", "7"])).unwrap();
         assert!(out.contains("verified: true"));
         assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn verify_quick_proves() {
+        let out = run(&opts(&["verify", "x.loop", "--quick", "--threads", "2"])).unwrap();
+        assert!(out.starts_with("PROVED: x"), "{out}");
+        assert!(out.contains("harness_codegen_equiv"), "{out}");
+        let json = run(&opts(&[
+            "verify", "x.loop", "--quick", "--json", "--threads", "2",
+        ]))
+        .unwrap();
+        assert!(
+            json.starts_with("{\"schema\":\"simdize-verify/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"proved\":true"), "{json}");
+    }
+
+    #[test]
+    fn verify_mutate_and_catch_exits_nonzero() {
+        let err = run(&opts(&[
+            "verify", "x.loop", "--quick", "--mutate", "splice", "--threads", "2",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("violated propert"), "{err}");
+        assert!(err.contains("simdize run"), "{err}");
+    }
+
+    #[test]
+    fn verify_argument_errors() {
+        let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let read = |_: &str| -> Result<String, Box<dyn Error>> { Ok(LOOP.into()) };
+        assert!(parse_args(&args(&["verify", "x", "--mutate", "bogus"]), &read).is_err());
+        assert!(parse_args(&args(&["verify", "x", "--trip-bound", "0"]), &read).is_err());
+        assert!(parse_args(&args(&["verify", "x", "--budget", "0"]), &read).is_err());
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!    as a tight dispatch loop — byte- and stat-identical to the
 //!    interpreter, orders of magnitude faster — plus parallel batch
 //!    sweeps ([`run_sweep`]) over many memory seeds.
+//! 5. **Bounded verification** ([`simdize_verify`], re-exported here):
+//!    a model-checking tier ([`prove_loop`]) that proves
+//!    byte-equivalence to the scalar oracle by exhaustive enumeration
+//!    over every realizable alignment, trip counts up to a bound, and
+//!    all policy/reuse/unroll configurations, with counterexample
+//!    shrinking and seeded fault injection ([`MutationKind`]).
 //!
 //! # Quick start
 //!
@@ -95,6 +101,10 @@ pub use simdize_engine::{
     SweepStats,
 };
 pub use simdize_telemetry::{TelemetryReport, TELEMETRY_SCHEMA};
+pub use simdize_verify::{
+    apply_mutation, prove_loop, prove_source, Counterexample, HarnessSummary, Mode as VerifyMode,
+    MutationKind, Probe, ProveError, TripStyle, VerifyOptions, VerifyReport, HARNESS_NAMES,
+};
 pub use simdize_vm::{
     run_differential, run_scalar, run_simd, run_simd_traced, scalar_ideal_ops, DiffConfig,
     DiffOutcome, ExecError, Executor, Interpreter, MemoryImage, RunInput, RunStats, VerifyError,

@@ -499,4 +499,98 @@ mod tests {
         assert!(!l.hit);
         assert_eq!(cache.stats().occupied(), 1);
     }
+
+    #[test]
+    fn capacity_one_evicts_in_strict_alternation() {
+        // The degenerate LRU: capacity 1 means every distinct key
+        // displaces the previous one, so an A/B/A/B access pattern
+        // never hits and evicts on every insert after the first.
+        let (prog, pre, image, _) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(1, 1);
+        let opts = KernelOptions::new().disassembly(false);
+        let a = RunInput::with_ub(50);
+        let b = RunInput::with_ub(60);
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &a, &opts).unwrap();
+        assert!(!l.hit && !l.evicted, "first insert fills the empty slot");
+        for round in 0..3 {
+            for input in [&b, &a] {
+                let (_, l) = cache.get_or_bake(fp, &pre, &image, input, &opts).unwrap();
+                assert!(!l.hit && l.evicted, "round {round}: thrashing never hits");
+            }
+        }
+        // Re-touching the key that is actually resident does hit.
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &a, &opts).unwrap();
+        assert!(l.hit);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 7, 6));
+        assert_eq!(stats.occupied(), 1);
+    }
+
+    #[test]
+    fn same_key_race_converges_to_one_entry_with_identical_bytes() {
+        // Two threads race get_or_bake on the *same* key: at most both
+        // bake (the insert refreshes), exactly one entry stays
+        // resident, and whichever kernel each thread got produces
+        // byte-identical output.
+        let (prog, pre, image, input) = setup(5);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(1, 4);
+        let opts = KernelOptions::new().disassembly(false);
+        let results: Vec<MemoryImage> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        let (kernel, _) = cache
+                            .get_or_bake(fp, &pre, &image, &input, &opts)
+                            .unwrap();
+                        let mut img = image.clone();
+                        kernel.run(&mut img).unwrap();
+                        img
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            results[0].first_difference(&results[1]),
+            None,
+            "racing bakes of one key must produce identical bytes"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.occupied(), 1, "one key, one resident entry");
+        assert_eq!(stats.hits + stats.misses, 2);
+        assert_eq!(stats.evictions, 0, "a same-key refresh is not an eviction");
+        // The surviving entry serves subsequent lookups.
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        assert!(l.hit);
+    }
+
+    #[test]
+    fn eviction_counter_matches_occupancy_delta() {
+        // Inserts minus evictions must equal residents at every step:
+        // the counters and the occupancy snapshot describe the same
+        // history.
+        let (prog, pre, image, _) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(1, 3);
+        let opts = KernelOptions::new().disassembly(false);
+        for k in 0..10u64 {
+            let input = RunInput::with_ub(40 + k);
+            let (_, l) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+            assert!(!l.hit, "all keys distinct");
+            let stats = cache.stats();
+            assert_eq!(
+                stats.misses - stats.evictions,
+                stats.occupied() as u64,
+                "after insert {k}: {stats:?}"
+            );
+            assert_eq!(l.evicted, k >= 3, "evictions start when capacity fills");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.occupied(), 3);
+        assert_eq!(stats.evictions, 7);
+        cache.clear();
+        assert_eq!(cache.stats().occupied(), 0);
+    }
 }

@@ -29,6 +29,7 @@ pub fn execute(
         Command::Run(req) => run(req, cache),
         Command::Sweep(req) => sweep(req, cache, config),
         Command::Explain(req) => explain(req),
+        Command::Verify(req) => verify(req, config),
         // Control-plane verbs never reach the worker pool.
         Command::Ping | Command::Stats | Command::Shutdown => {
             Err("internal: control command on worker pool".to_string())
@@ -144,6 +145,19 @@ fn sweep(req: &ExecRequest, cache: &KernelCache, config: &ServerConfig) -> Resul
         speedup_sum / count as f64,
         min_speedup
     ))
+}
+
+fn verify(req: &ExecRequest, config: &ServerConfig) -> Result<String, String> {
+    let program = parse_program(&req.source).map_err(err)?;
+    let mut vopts = simdize::VerifyOptions::quick();
+    vopts.threads = config.sweep_threads.max(1);
+    if let Some(p) = req.policy {
+        vopts.policies = vec![p];
+    }
+    let mut report = simdize::prove_loop("wire", &program, &vopts);
+    // Deterministic responses: no wall-clock numbers on the wire.
+    report.wall_ms = 0;
+    Ok(format!("{{\"verify\":{}}}", report.render_json()))
 }
 
 fn explain(req: &ExecRequest) -> Result<String, String> {

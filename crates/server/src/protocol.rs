@@ -25,10 +25,13 @@
 //!
 //! Commands: `ping`, `stats` and `shutdown` are control-plane and are
 //! answered inline by the connection thread; `compile`, `analyze`,
-//! `run`, `sweep` and `explain` carry an inline loop `source` and are
-//! executed on the worker pool. Optional fields: `policy`
-//! (`zero|eager|lazy|dominant`), `seed`, `ub`, `params` (array of
-//! integers) and, for `sweep`, `count`.
+//! `run`, `sweep`, `explain` and `verify` carry an inline loop
+//! `source` and are executed on the worker pool. Optional fields:
+//! `policy` (`zero|eager|lazy|dominant`), `seed`, `ub`, `params`
+//! (array of integers) and, for `sweep`, `count`. `verify` runs the
+//! bounded-equivalence prover over its quick domain and returns the
+//! `simdize-verify/v1` report (with `wall_ms` zeroed so responses stay
+//! deterministic).
 
 use simdize::Policy;
 use simdize_telemetry::json::{self, Json};
@@ -78,6 +81,9 @@ pub enum Command {
     Sweep(ExecRequest),
     /// Full decision-trace report for the loop.
     Explain(ExecRequest),
+    /// Quick bounded-equivalence proof of the loop (the
+    /// `simdize-verify/v1` prover over its smoke-sized domain).
+    Verify(ExecRequest),
 }
 
 impl Command {
@@ -98,6 +104,7 @@ impl Command {
             Command::Run(_) => "run",
             Command::Sweep(_) => "sweep",
             Command::Explain(_) => "explain",
+            Command::Verify(_) => "verify",
         }
     }
 }
@@ -174,11 +181,12 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         "run" => Command::Run(parse_exec(&doc, id)?),
         "sweep" => Command::Sweep(parse_exec(&doc, id)?),
         "explain" => Command::Explain(parse_exec(&doc, id)?),
+        "verify" => Command::Verify(parse_exec(&doc, id)?),
         other => {
             return Err(WireError::new(
                 Some(id),
                 format!(
-                    "unknown cmd `{other}` (expected ping|stats|shutdown|compile|analyze|run|sweep|explain)"
+                    "unknown cmd `{other}` (expected ping|stats|shutdown|compile|analyze|run|sweep|explain|verify)"
                 ),
             ))
         }

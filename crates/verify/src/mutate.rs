@@ -1,0 +1,131 @@
+//! Seeded fault injection: known-bad mutations of generated programs,
+//! used to prove the prover itself catches what it claims to catch.
+//!
+//! A mutation perturbs one loop-invariant scalar expression of the
+//! generated code — a `vsplice` point or a `vshiftpair` amount — by one
+//! element width (modulo `V`, so the expression stays in its valid
+//! range and the program still *executes*, just wrongly). The
+//! mutate-and-catch meta-test injects one of these and asserts the
+//! prover reports a violated property with a shrunk counterexample.
+
+use simdize_codegen::{SExpr, SimdProgram, VInst};
+
+/// The catalog of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Move the first `vsplice` point by one element width (mod `V`):
+    /// the prologue/epilogue partial store preserves or overwrites the
+    /// wrong window — the classic eq. 8/9 off-by-one.
+    SpliceOffByOne,
+    /// Move the first `vshiftpair` amount by one element width (mod
+    /// `V`): a stream is realigned to the wrong offset — the classic
+    /// (C.2)/(C.3) violation.
+    ShiftOffByOne,
+}
+
+impl MutationKind {
+    /// Kebab-case name (`splice`, `shift`) used by `--mutate`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::SpliceOffByOne => "splice",
+            MutationKind::ShiftOffByOne => "shift",
+        }
+    }
+
+    /// Parses `splice` / `shift`.
+    pub fn from_name(name: &str) -> Option<MutationKind> {
+        match name {
+            "splice" => Some(MutationKind::SpliceOffByOne),
+            "shift" => Some(MutationKind::ShiftOffByOne),
+            _ => None,
+        }
+    }
+}
+
+/// Applies `kind` to the first matching instruction of `program`
+/// (searching prologue, body, unrolled pair, then epilogue, recursing
+/// through guard bodies). Returns whether a site was found — a fully
+/// aligned configuration may have no shift or splice to corrupt.
+pub fn apply(program: &mut SimdProgram, kind: MutationKind) -> bool {
+    let d = program.elem().size() as i64;
+    let v = program.shape().bytes() as i64;
+    if mutate_insts(program.prologue_mut(), kind, d, v)
+        || mutate_insts(program.body_mut(), kind, d, v)
+    {
+        return true;
+    }
+    if let Some(pair) = program.body_pair_mut() {
+        if mutate_insts(pair, kind, d, v) {
+            return true;
+        }
+    }
+    mutate_insts(program.epilogue_mut(), kind, d, v)
+}
+
+fn mutate_insts(insts: &mut [VInst], kind: MutationKind, d: i64, v: i64) -> bool {
+    for inst in insts.iter_mut() {
+        match (kind, inst) {
+            (MutationKind::SpliceOffByOne, VInst::Splice { point, .. }) => {
+                *point = point.clone().add(SExpr::c(d)).rem(SExpr::c(v));
+                return true;
+            }
+            (MutationKind::ShiftOffByOne, VInst::ShiftPair { amt, .. }) => {
+                *amt = amt.clone().add(SExpr::c(d)).rem(SExpr::c(v));
+                return true;
+            }
+            // Not collapsible into a pattern guard: the recursion
+            // needs `body` mutably, and guard bindings are immutable.
+            #[allow(clippy::collapsible_match)]
+            (_, VInst::Guarded { body, .. }) => {
+                if mutate_insts(body, kind, d, v) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    fn compiled() -> SimdProgram {
+        let p = parse_program(
+            "arrays { a: i32[64] @ 0; b: i32[64] @ 4; }
+             for i in 0..40 { a[i+1] = b[i]; }",
+        )
+        .unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(Policy::Zero)
+            .unwrap();
+        generate(
+            &g,
+            &CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mutations_change_the_program() {
+        for kind in [MutationKind::SpliceOffByOne, MutationKind::ShiftOffByOne] {
+            let clean = compiled();
+            let mut bad = clean.clone();
+            assert!(apply(&mut bad, kind), "no site for {kind:?}");
+            assert_ne!(clean, bad, "{kind:?} must alter the program");
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in [MutationKind::SpliceOffByOne, MutationKind::ShiftOffByOne] {
+            assert_eq!(MutationKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(MutationKind::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,680 @@
+//! The shared enumeration driver and the three named harnesses.
+//!
+//! One *unit* is a `(configuration, alignment-vector)` pair; the driver
+//! compiles each unit's program once and sweeps it over every trip
+//! count and value probe, running each enabled harness and charging one
+//! budget token per harness execution. Units are distributed over
+//! scoped worker threads through an atomic cursor (long units don't
+//! stall a static partition), and results are merged in unit order so
+//! the report is deterministic regardless of thread count.
+
+use crate::domain::{
+    alignment_vectors, configs, known_trips, params_for, probes, realizable_offsets, rebuild,
+    trip_cap, trips, Config, Mode, Probe, TripStyle, VerifyOptions,
+};
+use crate::mutate::{self, MutationKind};
+use crate::report::{HarnessSummary, VerifyReport};
+use crate::shrink;
+use simdize_analysis::{analyze_program, AnalyzeOptions};
+use simdize_codegen::{generate, generate_strided, CodegenOptions, ReuseMode, SimdProgram};
+use simdize_engine::{
+    program_fingerprint, CompiledKernel, KernelCache, KernelOptions, PredecodedKernel,
+};
+use simdize_ir::{LoopProgram, TripCount, VectorShape};
+use simdize_reorg::{Policy, ReorgGraph};
+use simdize_vm::{run_scalar, run_simd, MemoryImage, RunInput, RunStats};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+/// The Kani-style property names, indexed by harness id.
+pub const HARNESS_NAMES: [&str; 3] = [
+    "harness_codegen_equiv",
+    "harness_fusion_equiv",
+    "harness_cache_coherence",
+];
+
+pub(crate) const H_CODEGEN: usize = 0;
+pub(crate) const H_FUSION: usize = 1;
+pub(crate) const H_CACHE: usize = 2;
+
+/// The verdict of one harness execution.
+pub(crate) enum Verdict {
+    /// The property held.
+    Pass,
+    /// The property is violated; the string says how.
+    Violation(String),
+}
+
+/// One un-shrunk counterexample, as found by the sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct RawCe {
+    pub cfg: Config,
+    pub aligns: Vec<u32>,
+    pub trip: u64,
+    pub style: TripStyle,
+    pub probe: Probe,
+    pub harness: usize,
+    pub detail: String,
+}
+
+/// Compiles the loop variant a unit proves: alignments per `cfg.mode`,
+/// the given trip form, the unit's reuse/unroll options, plus the
+/// requested mutation. `None` means the configuration does not apply
+/// (e.g. a compile-time-shift policy over runtime alignments, §4.4, or
+/// a runtime trip count on a reduction or strided loop). Loops with a
+/// non-unit-stride reference take the §7 pack/scatter generator, which
+/// has no policy/reuse/unroll knobs.
+pub(crate) fn compile_variant(
+    base: &LoopProgram,
+    cfg: Config,
+    aligns: &[u32],
+    trip: TripCount,
+    mutation: Option<MutationKind>,
+    shape: VectorShape,
+) -> Option<(SimdProgram, bool)> {
+    let src = rebuild(base, aligns, cfg.mode, trip);
+    let mut prog = if is_strided(&src) {
+        generate_strided(&src, shape).ok()?
+    } else {
+        let graph = ReorgGraph::build(&src, shape).ok()?.with_policy(cfg.policy).ok()?;
+        let opts = CodegenOptions::default().reuse(cfg.reuse).unroll(cfg.unroll);
+        generate(&graph, &opts).ok()?
+    };
+    let mutated = match mutation {
+        Some(kind) => mutate::apply(&mut prog, kind),
+        None => false,
+    };
+    Some((prog, mutated))
+}
+
+/// Whether any reference steps by more than one element (§7 extension).
+pub(crate) fn is_strided(p: &LoopProgram) -> bool {
+    p.all_refs().iter().any(|r| !r.is_unit_stride())
+}
+
+/// `harness_codegen_equiv`: the generated program, run by the VIR
+/// interpreter, leaves memory byte-identical to the scalar oracle —
+/// including the guard padding around every array.
+pub(crate) fn harness_codegen_equiv(
+    prog: &SimdProgram,
+    img: &MemoryImage,
+    oracle: &MemoryImage,
+    input: &RunInput,
+) -> (Verdict, Option<RunStats>) {
+    let mut mem = img.clone();
+    match run_simd(prog, &mut mem, input) {
+        Ok(stats) => match mem.first_difference(oracle) {
+            None => (Verdict::Pass, Some(stats)),
+            Some(off) => (
+                Verdict::Violation(format!(
+                    "interpreter output differs from the scalar oracle at byte {off}"
+                )),
+                Some(stats),
+            ),
+        },
+        Err(e) => (Verdict::Violation(format!("interpreter fault: {e}")), None),
+    }
+}
+
+/// `harness_fusion_equiv`: the trace-fused compiled kernel produces the
+/// oracle's bytes and (when the interpreter also ran) the interpreter's
+/// exact [`RunStats`] — the fused/unfused accounting invariant.
+pub(crate) fn harness_fusion_equiv(
+    prog: &SimdProgram,
+    img: &MemoryImage,
+    oracle: &MemoryImage,
+    input: &RunInput,
+    interp_stats: Option<RunStats>,
+) -> Verdict {
+    let mut mem = img.clone();
+    let kernel = match CompiledKernel::compile(prog, &mem, input) {
+        Ok(k) => k,
+        Err(e) => return Verdict::Violation(format!("bake fault: {e}")),
+    };
+    match kernel.run(&mut mem) {
+        Ok(stats) => {
+            if let Some(off) = mem.first_difference(oracle) {
+                return Verdict::Violation(format!(
+                    "fused engine output differs from the scalar oracle at byte {off}"
+                ));
+            }
+            if let Some(is) = interp_stats {
+                if is != stats {
+                    return Verdict::Violation(format!(
+                        "fused RunStats diverge from the interpreter ({} vs {} total ops)",
+                        stats.total(),
+                        is.total()
+                    ));
+                }
+            }
+            Verdict::Pass
+        }
+        Err(e) => Verdict::Violation(format!("fused engine fault: {e}")),
+    }
+}
+
+/// `harness_cache_coherence`: for one `(program, input, layout)` key, a
+/// [`KernelCache`] hit runs byte-identically to a fresh bake, and the
+/// second lookup of the key actually hits.
+pub(crate) fn harness_cache_coherence(
+    fingerprint: u64,
+    pre: &PredecodedKernel,
+    cache: &KernelCache,
+    img: &MemoryImage,
+    oracle: &MemoryImage,
+    input: &RunInput,
+    kopts: &KernelOptions,
+) -> Verdict {
+    let (k1, _) = match cache.get_or_bake(fingerprint, pre, img, input, kopts) {
+        Ok(r) => r,
+        Err(e) => return Verdict::Violation(format!("cache bake fault: {e}")),
+    };
+    let mut m1 = img.clone();
+    let s1 = match k1.run(&mut m1) {
+        Ok(s) => s,
+        Err(e) => return Verdict::Violation(format!("cached kernel fault: {e}")),
+    };
+    let (k2, l2) = match cache.get_or_bake(fingerprint, pre, img, input, kopts) {
+        Ok(r) => r,
+        Err(e) => return Verdict::Violation(format!("cache bake fault: {e}")),
+    };
+    if !l2.hit {
+        return Verdict::Violation(
+            "second lookup of an identical (program, input, layout) key missed the cache"
+                .to_string(),
+        );
+    }
+    let mut m2 = img.clone();
+    let s2 = match k2.run(&mut m2) {
+        Ok(s) => s,
+        Err(e) => return Verdict::Violation(format!("cache-hit kernel fault: {e}")),
+    };
+    let fresh = match pre.bake(img, input, kopts) {
+        Ok(k) => k,
+        Err(e) => return Verdict::Violation(format!("fresh bake fault: {e}")),
+    };
+    let mut m3 = img.clone();
+    let s3 = match fresh.run(&mut m3) {
+        Ok(s) => s,
+        Err(e) => return Verdict::Violation(format!("fresh kernel fault: {e}")),
+    };
+    if let Some(off) = m2.first_difference(&m3) {
+        return Verdict::Violation(format!(
+            "cache hit differs from a fresh bake at byte {off}"
+        ));
+    }
+    if m1.first_difference(&m2).is_some() || s1 != s2 || s2 != s3 {
+        return Verdict::Violation(
+            "cached and fresh kernels disagree on outputs or stats".to_string(),
+        );
+    }
+    if let Some(off) = m3.first_difference(oracle) {
+        return Verdict::Violation(format!(
+            "fresh bake differs from the scalar oracle at byte {off}"
+        ));
+    }
+    Verdict::Pass
+}
+
+/// Per-unit sweep results, merged into the report in unit order.
+#[derive(Default)]
+struct UnitOutcome {
+    compiled: bool,
+    mutated: bool,
+    points: u64,
+    points_skipped: u64,
+    harness_runs: [u64; 3],
+    harness_viol: [u64; 3],
+    lint_deny: usize,
+    violations: Vec<RawCe>,
+    exhausted: bool,
+}
+
+/// Takes one budget token; `false` means the budget is spent.
+fn take(spent: &AtomicU64, budget: u64) -> bool {
+    spent.fetch_add(1, Ordering::Relaxed) < budget
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    base: &LoopProgram,
+    cfg: Config,
+    aligns: &[u32],
+    opts: &VerifyOptions,
+    shape: VectorShape,
+    block: u64,
+    trips_ub: &[u64],
+    trips_known: &[u64],
+    spent: &AtomicU64,
+) -> UnitOutcome {
+    let mut out = UnitOutcome::default();
+    let params = params_for(base);
+    let kopts = KernelOptions::new().disassembly(false);
+    let cache = KernelCache::new(1, 4);
+    // One violation per harness per unit is recorded; the rest of the
+    // unit's sweep for that harness is redundant evidence.
+    let mut found = [false; 3];
+    let mut lint_done = false;
+    // The reuse-discipline lint only applies to the stream generator;
+    // the §7 strided generator does not pipeline chunks.
+    let lint_deny_count = |prog: &SimdProgram| {
+        let mut lopts = AnalyzeOptions::new().memnorm(true);
+        if !is_strided(base) {
+            lopts = lopts.reuse(cfg.reuse);
+        }
+        analyze_program(prog, &lopts).deny_count()
+    };
+
+    // Runtime-`ub` pass (eqs 13/15). Reductions and strided loops have
+    // no runtime-trip compilation; `trips_ub` arrives empty for them
+    // and the known-trip pass below carries the whole proof.
+    let mut cache_proved_here = false;
+    let runtime_variant = if trips_ub.is_empty() {
+        None
+    } else {
+        compile_variant(base, cfg, aligns, TripCount::Runtime, opts.mutation, shape)
+    };
+    if let Some((prog, mutated)) = runtime_variant {
+    out.compiled = true;
+    out.mutated = mutated;
+    out.lint_deny = lint_deny_count(&prog);
+    lint_done = true;
+
+    let fingerprint = program_fingerprint(&prog);
+    let pre = PredecodedKernel::new(&prog).ok();
+    cache_proved_here = pre.is_some();
+    let src = prog.source().clone();
+
+    'sweep: for &trip in trips_ub {
+        let input = RunInput {
+            ub: trip,
+            params: params.clone(),
+        };
+        for (pi, probe) in probes(trip, block, opts.trip_bound, opts.quick, trip)
+            .into_iter()
+            .enumerate()
+        {
+            let img = probe.build_image(&src, shape, aligns);
+            let mut oracle = img.clone();
+            if run_scalar(&src, &mut oracle, trip, &params).is_err() {
+                out.points_skipped += 1;
+                continue;
+            }
+            out.points += 1;
+
+            let mut interp_stats = None;
+            if !found[H_CODEGEN] {
+                if !take(spent, opts.budget) {
+                    out.exhausted = true;
+                    break 'sweep;
+                }
+                out.harness_runs[H_CODEGEN] += 1;
+                let (verdict, stats) = harness_codegen_equiv(&prog, &img, &oracle, &input);
+                interp_stats = stats;
+                if let Verdict::Violation(detail) = verdict {
+                    found[H_CODEGEN] = true;
+                    out.harness_viol[H_CODEGEN] += 1;
+                    out.violations.push(RawCe {
+                        cfg,
+                        aligns: aligns.to_vec(),
+                        trip,
+                        style: TripStyle::RuntimeUb,
+                        probe,
+                        harness: H_CODEGEN,
+                        detail,
+                    });
+                }
+            }
+            if !found[H_FUSION] {
+                if !take(spent, opts.budget) {
+                    out.exhausted = true;
+                    break 'sweep;
+                }
+                out.harness_runs[H_FUSION] += 1;
+                if let Verdict::Violation(detail) =
+                    harness_fusion_equiv(&prog, &img, &oracle, &input, interp_stats)
+                {
+                    found[H_FUSION] = true;
+                    out.harness_viol[H_FUSION] += 1;
+                    out.violations.push(RawCe {
+                        cfg,
+                        aligns: aligns.to_vec(),
+                        trip,
+                        style: TripStyle::RuntimeUb,
+                        probe,
+                        harness: H_FUSION,
+                        detail,
+                    });
+                }
+            }
+            if pi == 0 && !found[H_CACHE] {
+                if let Some(pre) = &pre {
+                    if !take(spent, opts.budget) {
+                        out.exhausted = true;
+                        break 'sweep;
+                    }
+                    out.harness_runs[H_CACHE] += 1;
+                    if let Verdict::Violation(detail) = harness_cache_coherence(
+                        fingerprint,
+                        pre,
+                        &cache,
+                        &img,
+                        &oracle,
+                        &input,
+                        &kopts,
+                    ) {
+                        found[H_CACHE] = true;
+                        out.harness_viol[H_CACHE] += 1;
+                        out.violations.push(RawCe {
+                            cfg,
+                            aligns: aligns.to_vec(),
+                            trip,
+                            style: TripStyle::RuntimeUb,
+                            probe,
+                            harness: H_CACHE,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    }
+
+    // Compile-time-known trip counts take the other bound formulas
+    // (eqs 12/14): a small subset, each its own compilation. For
+    // reduction and strided loops this pass is the entire proof, so it
+    // also takes over the cache-coherence harness.
+    if !out.exhausted {
+        'known: for &trip in trips_known {
+            if found[H_CODEGEN] && found[H_FUSION] && (cache_proved_here || found[H_CACHE]) {
+                break;
+            }
+            let Some((kprog, kmutated)) = compile_variant(
+                base,
+                cfg,
+                aligns,
+                TripCount::Known(trip),
+                opts.mutation,
+                shape,
+            ) else {
+                continue;
+            };
+            out.compiled = true;
+            out.mutated |= kmutated;
+            if !lint_done {
+                out.lint_deny = lint_deny_count(&kprog);
+                lint_done = true;
+            }
+            let kpre = if cache_proved_here {
+                None
+            } else {
+                PredecodedKernel::new(&kprog).ok()
+            };
+            let kfp = program_fingerprint(&kprog);
+            let ksrc = kprog.source().clone();
+            let input = RunInput {
+                ub: trip,
+                params: params.clone(),
+            };
+            for (pi, probe) in [Probe::Seeded(trip), Probe::LaneRamp].into_iter().enumerate() {
+                let img = probe.build_image(&ksrc, shape, aligns);
+                let mut oracle = img.clone();
+                if run_scalar(&ksrc, &mut oracle, trip, &params).is_err() {
+                    out.points_skipped += 1;
+                    continue;
+                }
+                out.points += 1;
+                let mut interp_stats = None;
+                if !found[H_CODEGEN] {
+                    if !take(spent, opts.budget) {
+                        out.exhausted = true;
+                        break 'known;
+                    }
+                    out.harness_runs[H_CODEGEN] += 1;
+                    let (verdict, stats) = harness_codegen_equiv(&kprog, &img, &oracle, &input);
+                    interp_stats = stats;
+                    if let Verdict::Violation(detail) = verdict {
+                        found[H_CODEGEN] = true;
+                        out.harness_viol[H_CODEGEN] += 1;
+                        out.violations.push(RawCe {
+                            cfg,
+                            aligns: aligns.to_vec(),
+                            trip,
+                            style: TripStyle::KnownTrip,
+                            probe,
+                            harness: H_CODEGEN,
+                            detail,
+                        });
+                    }
+                }
+                if !found[H_FUSION] {
+                    if !take(spent, opts.budget) {
+                        out.exhausted = true;
+                        break 'known;
+                    }
+                    out.harness_runs[H_FUSION] += 1;
+                    if let Verdict::Violation(detail) =
+                        harness_fusion_equiv(&kprog, &img, &oracle, &input, interp_stats)
+                    {
+                        found[H_FUSION] = true;
+                        out.harness_viol[H_FUSION] += 1;
+                        out.violations.push(RawCe {
+                            cfg,
+                            aligns: aligns.to_vec(),
+                            trip,
+                            style: TripStyle::KnownTrip,
+                            probe,
+                            harness: H_FUSION,
+                            detail,
+                        });
+                    }
+                }
+                if pi == 0 && !found[H_CACHE] {
+                    if let Some(kpre) = &kpre {
+                        if !take(spent, opts.budget) {
+                            out.exhausted = true;
+                            break 'known;
+                        }
+                        out.harness_runs[H_CACHE] += 1;
+                        if let Verdict::Violation(detail) = harness_cache_coherence(
+                            kfp, kpre, &cache, &img, &oracle, &input, &kopts,
+                        ) {
+                            found[H_CACHE] = true;
+                            out.harness_viol[H_CACHE] += 1;
+                            out.violations.push(RawCe {
+                                cfg,
+                                aligns: aligns.to_vec(),
+                                trip,
+                                style: TripStyle::KnownTrip,
+                                probe,
+                                harness: H_CACHE,
+                                detail,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Proves the loop over the full bounded domain and returns the
+/// verdict. This is the entry point behind `simdize verify`.
+pub fn prove_loop(name: &str, base: &LoopProgram, opts: &VerifyOptions) -> VerifyReport {
+    let start = Instant::now();
+    let shape = VectorShape::V16;
+    let d = base.elem().size() as u32;
+    let block = (shape.bytes() / d) as u64;
+    let cands = realizable_offsets(shape, d);
+    let narrays = base.arrays().len();
+    let (vectors, capped) = alignment_vectors(narrays, &cands, opts.quick);
+    let strided = is_strided(base);
+    let reduction = base.stmts().iter().any(|s| s.is_reduction());
+    // Strided loops take the §7 pack/scatter generator, which has no
+    // policy/reuse/unroll or runtime-alignment knobs — one canonical
+    // configuration covers them.
+    let cfgs = if strided {
+        vec![Config {
+            policy: Policy::Zero,
+            reuse: ReuseMode::None,
+            unroll: false,
+            mode: Mode::Declared,
+        }]
+    } else {
+        configs(opts)
+    };
+    // Reductions and strided loops only compile with a known trip
+    // count; the runtime-`ub` pass is empty and the known-trip pass
+    // carries the whole proof.
+    let trips_ub = if strided || reduction {
+        Vec::new()
+    } else {
+        trips(base, opts.trip_bound, block, opts.quick)
+    };
+    let trips_known = known_trips(base, opts.trip_bound, block, opts.quick);
+
+    let units: Vec<(Config, &Vec<u32>)> = cfgs
+        .iter()
+        .flat_map(|c| vectors.iter().map(move |v| (*c, v)))
+        .collect();
+
+    let spent = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let threads = opts.threads.clamp(1, units.len().max(1));
+    let mut outcomes: Vec<(usize, UnitOutcome)> = Vec::with_capacity(units.len());
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let units = &units;
+            let spent = &spent;
+            let cursor = &cursor;
+            let trips_ub = &trips_ub;
+            let trips_known = &trips_known;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= units.len() {
+                        return mine;
+                    }
+                    let (cfg, aligns) = units[idx];
+                    mine.push((
+                        idx,
+                        run_unit(
+                            base, cfg, aligns, opts, shape, block, trips_ub, trips_known, spent,
+                        ),
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            outcomes.extend(h.join().expect("verify worker panicked"));
+        }
+    });
+    outcomes.sort_by_key(|(idx, _)| *idx);
+
+    let mut report = VerifyReport {
+        loop_name: name.to_string(),
+        proved: false,
+        quick: opts.quick,
+        trip_bound: opts.trip_bound,
+        trip_cap: trip_cap(base).min(opts.trip_bound),
+        align_candidates: shape.bytes(),
+        align_realizable: cands.len() as u32,
+        streams: narrays as u32,
+        align_vectors: vectors.len() as u64,
+        align_capped: capped,
+        configs_enumerated: cfgs.len() as u64,
+        units_compiled: 0,
+        units_skipped: 0,
+        units_mutated: 0,
+        points: 0,
+        points_skipped: 0,
+        runs: 0,
+        budget: opts.budget,
+        budget_exhausted: false,
+        harnesses: HARNESS_NAMES
+            .iter()
+            .map(|&name| HarnessSummary {
+                name,
+                runs: 0,
+                violations: 0,
+            })
+            .collect(),
+        violations_total: 0,
+        violations: Vec::new(),
+        inconsistencies: Vec::new(),
+        inconsistencies_total: 0,
+        wall_ms: 0,
+    };
+
+    let mut raw_ces: Vec<RawCe> = Vec::new();
+    for (_, u) in &outcomes {
+        if u.compiled {
+            report.units_compiled += 1;
+        } else {
+            report.units_skipped += 1;
+        }
+        if u.mutated {
+            report.units_mutated += 1;
+        }
+        report.points += u.points;
+        report.points_skipped += u.points_skipped;
+        report.budget_exhausted |= u.exhausted;
+        for h in 0..3 {
+            report.harnesses[h].runs += u.harness_runs[h];
+            report.harnesses[h].violations += u.harness_viol[h];
+            report.runs += u.harness_runs[h];
+        }
+        report.violations_total += u.violations.len() as u64;
+
+        // Lint cross-check: the abstract interpreter's deny verdict and
+        // the prover's concrete verdict must agree on program-semantics
+        // properties (cache coherence is invisible to lints).
+        if u.compiled {
+            let sem_viol = u.harness_viol[H_CODEGEN] + u.harness_viol[H_FUSION] > 0;
+            let lint_deny = u.lint_deny > 0;
+            if sem_viol != lint_deny {
+                report.inconsistencies_total += 1;
+                if report.inconsistencies.len() < 8 {
+                    let cfg_desc = u
+                        .violations
+                        .first()
+                        .map(|c| c.cfg.describe())
+                        .unwrap_or_else(|| "passing unit".to_string());
+                    report.inconsistencies.push(if lint_deny {
+                        format!(
+                            "{} deny-level lint finding(s) on a program the prover passed ({cfg_desc})",
+                            u.lint_deny
+                        )
+                    } else {
+                        format!(
+                            "prover violation on a lint-clean program ({cfg_desc})"
+                        )
+                    });
+                }
+            }
+        }
+        raw_ces.extend(u.violations.iter().cloned());
+    }
+
+    // Shrink the first counterexample of each harness to its minimal
+    // (alignment, trip, seed) triple with a replayable command line.
+    for h in 0..3 {
+        if let Some(raw) = raw_ces.iter().find(|c| c.harness == h) {
+            report
+                .violations
+                .push(shrink::shrink_and_replay(base, opts, shape, raw.clone()));
+        }
+    }
+
+    report.proved = report.violations_total == 0
+        && !report.budget_exhausted
+        && report.units_compiled > 0;
+    report.wall_ms = start.elapsed().as_millis() as u64;
+    report
+}

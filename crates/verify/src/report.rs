@@ -1,0 +1,359 @@
+//! The prover's verdict: aggregate counters, per-harness summaries,
+//! shrunk counterexamples, and the text / `simdize-verify/v1` JSON
+//! renderings.
+
+use std::fmt::Write as _;
+
+/// What one named harness did across the whole enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessSummary {
+    /// The harness name (`harness_codegen_equiv`, ...).
+    pub name: &'static str,
+    /// Harness executions (each counts one unit of budget).
+    pub runs: u64,
+    /// Violated properties found.
+    pub violations: u64,
+}
+
+/// One violated property, shrunk (when shrinking succeeded) to the
+/// minimal `(alignment, trip, seed)` triple that still fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The harness that failed.
+    pub harness: &'static str,
+    /// Shift policy of the failing configuration.
+    pub policy: String,
+    /// Reuse scheme (`none`/`sp`/`pc`).
+    pub reuse: String,
+    /// Whether unroll-by-2 ran.
+    pub unroll: bool,
+    /// Declared or runtime alignments.
+    pub mode: String,
+    /// Per-stream byte offsets.
+    pub aligns: Vec<u32>,
+    /// The failing trip count.
+    pub trip: u64,
+    /// `runtime-ub` or `known-trip` compilation of the trip count.
+    pub trip_style: String,
+    /// The value probe (`seeded:3`, `lane-ramp`, ...).
+    pub probe: String,
+    /// What went wrong (first differing byte, stats divergence, fault).
+    pub detail: String,
+    /// Whether shrinking ran to completion on this counterexample.
+    pub shrunk: bool,
+    /// Re-executions the shrinker spent minimizing it.
+    pub shrink_steps: u64,
+    /// A replayable `simdize run` command line reproducing the
+    /// configuration (exact for seeded probes on declared alignments).
+    pub replay: String,
+}
+
+/// The full verdict of one `simdize verify` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// The loop's display name.
+    pub loop_name: String,
+    /// Whether every enumerated property held *and* the enumeration
+    /// completed within budget.
+    pub proved: bool,
+    /// Whether the quick (sampled) domain was used.
+    pub quick: bool,
+    /// The requested trip bound.
+    pub trip_bound: u64,
+    /// The effective bound after capping by array lengths.
+    pub trip_cap: u64,
+    /// Candidate byte offsets per stream (always `V` = 16).
+    pub align_candidates: u32,
+    /// Offsets realizable under natural element alignment (`V/d`).
+    pub align_realizable: u32,
+    /// Streams (arrays) crossed.
+    pub streams: u32,
+    /// Alignment vectors enumerated per configuration.
+    pub align_vectors: u64,
+    /// Whether the cross product was sampled rather than exhaustive.
+    pub align_capped: bool,
+    /// Compile configurations enumerated (policy × reuse × unroll ×
+    /// mode).
+    pub configs_enumerated: u64,
+    /// `(config, alignment-vector)` units that compiled.
+    pub units_compiled: u64,
+    /// Units skipped because the policy does not apply (§4.4).
+    pub units_skipped: u64,
+    /// Units whose generated program received the requested mutation.
+    pub units_mutated: u64,
+    /// Distinct `(config, aligns, trip, probe)` points evaluated.
+    pub points: u64,
+    /// Points skipped because the scalar oracle itself faults there
+    /// (out of the loop's domain).
+    pub points_skipped: u64,
+    /// Total harness executions (the budget currency).
+    pub runs: u64,
+    /// The run budget.
+    pub budget: u64,
+    /// Whether the enumeration stopped on budget exhaustion.
+    pub budget_exhausted: bool,
+    /// Per-harness totals.
+    pub harnesses: Vec<HarnessSummary>,
+    /// Total violated properties (counterexamples below are capped).
+    pub violations_total: u64,
+    /// Shrunk counterexamples, at most one per `(unit, harness)`.
+    pub violations: Vec<Counterexample>,
+    /// Lint-vs-prover inconsistencies: a deny-level lint on a program
+    /// the prover passed, or a prover violation on a lint-clean
+    /// program.
+    pub inconsistencies: Vec<String>,
+    /// Total inconsistencies (the list above is capped).
+    pub inconsistencies_total: u64,
+    /// Wall-clock time of the enumeration in milliseconds (zeroed in
+    /// deterministic contexts such as the wire protocol).
+    pub wall_ms: u64,
+}
+
+impl VerifyReport {
+    /// The JSON schema identifier.
+    pub const SCHEMA: &'static str = "simdize-verify/v1";
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.proved {
+            "PROVED"
+        } else if self.violations_total > 0 {
+            "VIOLATED"
+        } else {
+            "INCOMPLETE"
+        };
+        let _ = writeln!(
+            out,
+            "{verdict}: {} — {} alignments/stream ({} realizable) x {} streams, trips 1..={}, {} configs",
+            self.loop_name,
+            self.align_candidates,
+            self.align_realizable,
+            self.streams,
+            self.trip_cap,
+            self.configs_enumerated,
+        );
+        let _ = writeln!(
+            out,
+            "  units: {} compiled, {} skipped (inapplicable policy), {} mutated; {} alignment vectors{}",
+            self.units_compiled,
+            self.units_skipped,
+            self.units_mutated,
+            self.align_vectors,
+            if self.align_capped { " (sampled)" } else { "" },
+        );
+        let _ = writeln!(
+            out,
+            "  runs: {} of budget {} across {} points ({} skipped){}",
+            self.runs,
+            self.budget,
+            self.points,
+            self.points_skipped,
+            if self.budget_exhausted {
+                " — BUDGET EXHAUSTED, proof incomplete"
+            } else {
+                ""
+            },
+        );
+        for h in &self.harnesses {
+            let _ = writeln!(
+                out,
+                "  {}: {} runs, {} violation(s)",
+                h.name, h.runs, h.violations
+            );
+        }
+        for (k, ce) in self.violations.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  counterexample {}: {} policy={} reuse={} unroll={} mode={} aligns={:?} trip={} ({}) probe={}",
+                k + 1,
+                ce.harness,
+                ce.policy,
+                ce.reuse,
+                if ce.unroll { "on" } else { "off" },
+                ce.mode,
+                ce.aligns,
+                ce.trip,
+                ce.trip_style,
+                ce.probe,
+            );
+            let _ = writeln!(out, "    {}", ce.detail);
+            let _ = writeln!(
+                out,
+                "    {}via: {}",
+                if ce.shrunk { "shrunk; replay " } else { "replay " },
+                ce.replay
+            );
+        }
+        if self.violations_total > self.violations.len() as u64 {
+            let _ = writeln!(
+                out,
+                "  ({} further violation(s) not shown)",
+                self.violations_total - self.violations.len() as u64
+            );
+        }
+        for inc in &self.inconsistencies {
+            let _ = writeln!(out, "  lint/prover inconsistency: {inc}");
+        }
+        if self.inconsistencies_total > self.inconsistencies.len() as u64 {
+            let _ = writeln!(
+                out,
+                "  ({} further inconsistency(ies) not shown)",
+                self.inconsistencies_total - self.inconsistencies.len() as u64
+            );
+        }
+        if self.wall_ms > 0 {
+            let _ = writeln!(out, "  wall time: {} ms", self.wall_ms);
+        }
+        out
+    }
+
+    /// The `simdize-verify/v1` JSON rendering: one object, stable key
+    /// order, no whitespace.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{}\",\"loop\":\"{}\",\"proved\":{},\"quick\":{},\
+             \"trip_bound\":{},\"trip_cap\":{},\
+             \"alignments\":{{\"candidates\":{},\"realizable\":{},\"streams\":{},\"vectors\":{},\"capped\":{}}},\
+             \"units\":{{\"configs\":{},\"compiled\":{},\"skipped\":{},\"mutated\":{}}},\
+             \"runs\":{{\"points\":{},\"points_skipped\":{},\"executed\":{},\"budget\":{},\"budget_exhausted\":{}}},\
+             \"harnesses\":[",
+            Self::SCHEMA,
+            esc(&self.loop_name),
+            self.proved,
+            self.quick,
+            self.trip_bound,
+            self.trip_cap,
+            self.align_candidates,
+            self.align_realizable,
+            self.streams,
+            self.align_vectors,
+            self.align_capped,
+            self.configs_enumerated,
+            self.units_compiled,
+            self.units_skipped,
+            self.units_mutated,
+            self.points,
+            self.points_skipped,
+            self.runs,
+            self.budget,
+            self.budget_exhausted,
+        );
+        for (k, h) in self.harnesses.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"runs\":{},\"violations\":{}}}",
+                h.name, h.runs, h.violations
+            );
+        }
+        let _ = write!(out, "],\"violations_total\":{},\"violations\":[", self.violations_total);
+        for (k, ce) in self.violations.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let aligns: Vec<String> = ce.aligns.iter().map(|a| a.to_string()).collect();
+            let _ = write!(
+                out,
+                "{{\"harness\":\"{}\",\"policy\":\"{}\",\"reuse\":\"{}\",\"unroll\":{},\"mode\":\"{}\",\
+                 \"aligns\":[{}],\"trip\":{},\"trip_style\":\"{}\",\"probe\":\"{}\",\
+                 \"detail\":\"{}\",\"shrunk\":{},\"shrink_steps\":{},\"replay\":\"{}\"}}",
+                ce.harness,
+                esc(&ce.policy),
+                esc(&ce.reuse),
+                ce.unroll,
+                esc(&ce.mode),
+                aligns.join(","),
+                ce.trip,
+                esc(&ce.trip_style),
+                esc(&ce.probe),
+                esc(&ce.detail),
+                ce.shrunk,
+                ce.shrink_steps,
+                esc(&ce.replay),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"inconsistencies_total\":{},\"inconsistencies\":[",
+            self.inconsistencies_total
+        );
+        for (k, inc) in self.inconsistencies.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(inc));
+        }
+        let _ = write!(out, "],\"wall_ms\":{}}}", self.wall_ms);
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the report embeds loop sources and
+/// shell replay lines).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_schema_and_stable_shape() {
+        let report = VerifyReport {
+            loop_name: "figure1".to_string(),
+            proved: true,
+            quick: false,
+            trip_bound: 64,
+            trip_cap: 62,
+            align_candidates: 16,
+            align_realizable: 4,
+            streams: 3,
+            align_vectors: 64,
+            align_capped: false,
+            configs_enumerated: 30,
+            units_compiled: 1920,
+            units_skipped: 0,
+            units_mutated: 0,
+            points: 100,
+            points_skipped: 0,
+            runs: 250,
+            budget: 1000,
+            budget_exhausted: false,
+            harnesses: vec![HarnessSummary {
+                name: "harness_codegen_equiv",
+                runs: 100,
+                violations: 0,
+            }],
+            violations_total: 0,
+            violations: Vec::new(),
+            inconsistencies: Vec::new(),
+            inconsistencies_total: 0,
+            wall_ms: 0,
+        };
+        let json = report.render_json();
+        assert!(json.starts_with("{\"schema\":\"simdize-verify/v1\""));
+        assert!(json.contains("\"proved\":true"));
+        assert!(json.contains("\"harnesses\":[{\"name\":\"harness_codegen_equiv\""));
+        assert!(json.ends_with("\"wall_ms\":0}"));
+        let text = report.render_text();
+        assert!(text.starts_with("PROVED: figure1"));
+    }
+}

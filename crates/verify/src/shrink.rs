@@ -1,0 +1,235 @@
+//! Counterexample shrinking: reduce a raw violation to the minimal
+//! `(alignment, trip, seed)` triple that still fails, and render it as
+//! a replayable `simdize run` command line.
+//!
+//! The shrinker is greedy and only ever accepts a candidate after
+//! re-compiling the variant and re-running the single failing harness —
+//! so every intermediate it keeps is itself a true counterexample, and
+//! the final triple is guaranteed to still violate the property.
+
+use crate::domain::{params_for, rebuild, reuse_name, Config, Mode, Probe, TripStyle, VerifyOptions};
+use crate::prover::{
+    compile_variant, harness_cache_coherence, harness_codegen_equiv, harness_fusion_equiv, RawCe,
+    Verdict, H_CACHE, H_CODEGEN, HARNESS_NAMES,
+};
+use crate::report::Counterexample;
+use simdize_engine::{program_fingerprint, KernelCache, KernelOptions, PredecodedKernel};
+use simdize_ir::{LoopProgram, TripCount, VectorShape};
+use simdize_vm::{run_scalar, RunInput};
+use std::fmt::Write as _;
+
+/// Re-runs the single failing harness at one candidate point. `true`
+/// means the property is still violated there.
+#[allow(clippy::too_many_arguments)]
+fn fails(
+    base: &LoopProgram,
+    opts: &VerifyOptions,
+    shape: VectorShape,
+    cfg: Config,
+    aligns: &[u32],
+    trip: u64,
+    style: TripStyle,
+    probe: Probe,
+    harness: usize,
+    steps: &mut u64,
+) -> bool {
+    *steps += 1;
+    let tripc = match style {
+        TripStyle::RuntimeUb => TripCount::Runtime,
+        TripStyle::KnownTrip => TripCount::Known(trip),
+    };
+    let Some((prog, _)) = compile_variant(base, cfg, aligns, tripc, opts.mutation, shape) else {
+        return false;
+    };
+    let src = prog.source().clone();
+    let params = params_for(base);
+    let img = probe.build_image(&src, shape, aligns);
+    let mut oracle = img.clone();
+    if run_scalar(&src, &mut oracle, trip, &params).is_err() {
+        return false;
+    }
+    let input = RunInput { ub: trip, params };
+    match harness {
+        H_CODEGEN => matches!(
+            harness_codegen_equiv(&prog, &img, &oracle, &input).0,
+            Verdict::Violation(_)
+        ),
+        H_CACHE => {
+            let Ok(pre) = PredecodedKernel::new(&prog) else {
+                return false;
+            };
+            let cache = KernelCache::new(1, 4);
+            let kopts = KernelOptions::new().disassembly(false);
+            matches!(
+                harness_cache_coherence(
+                    program_fingerprint(&prog),
+                    &pre,
+                    &cache,
+                    &img,
+                    &oracle,
+                    &input,
+                    &kopts,
+                ),
+                Verdict::Violation(_)
+            )
+        }
+        _ => {
+            // Fusion: run the interpreter first so the RunStats cross
+            // check — one of the properties this harness proves — still
+            // applies during shrinking.
+            let (_, stats) = harness_codegen_equiv(&prog, &img, &oracle, &input);
+            matches!(
+                harness_fusion_equiv(&prog, &img, &oracle, &input, stats),
+                Verdict::Violation(_)
+            )
+        }
+    }
+}
+
+/// Shrinks `raw` and renders the replayable counterexample.
+pub(crate) fn shrink_and_replay(
+    base: &LoopProgram,
+    opts: &VerifyOptions,
+    shape: VectorShape,
+    raw: RawCe,
+) -> Counterexample {
+    let cfg = raw.cfg;
+    let mut steps = 0u64;
+    let mut trip = raw.trip;
+    let mut aligns = raw.aligns.clone();
+    let mut probe = raw.probe;
+    let budget_ok = |steps: u64| steps < 512;
+
+    // 1. Minimal failing trip count.
+    for t in 1..trip {
+        if !budget_ok(steps) {
+            break;
+        }
+        if fails(
+            base, opts, shape, cfg, &aligns, t, raw.style, probe, raw.harness, &mut steps,
+        ) {
+            trip = t;
+            break;
+        }
+    }
+    // 2. Zero out per-stream offsets greedily (smaller alignments are
+    // easier to reason about in the replay).
+    for s in 0..aligns.len() {
+        if aligns[s] == 0 || !budget_ok(steps) {
+            continue;
+        }
+        let mut cand = aligns.clone();
+        cand[s] = 0;
+        if fails(
+            base, opts, shape, cfg, &cand, trip, raw.style, probe, raw.harness, &mut steps,
+        ) {
+            aligns = cand;
+        }
+    }
+    // 3. Canonicalize the probe to a small seed so the CLI replay is
+    // exact (`simdize run --seed`).
+    if !matches!(probe, Probe::Seeded(s) if s < 8) && budget_ok(steps) {
+        for s in 0..8u64 {
+            if fails(
+                base,
+                opts,
+                shape,
+                cfg,
+                &aligns,
+                trip,
+                raw.style,
+                Probe::Seeded(s),
+                raw.harness,
+                &mut steps,
+            ) {
+                probe = Probe::Seeded(s);
+                break;
+            }
+        }
+    }
+    // Confirmation replay: the minimized triple must itself reproduce
+    // the violation (also guarantees every counterexample was
+    // re-executed at least once after minimization).
+    let shrunk = fails(
+        base, opts, shape, cfg, &aligns, trip, raw.style, probe, raw.harness, &mut steps,
+    );
+
+    // The replay declares the shrunk alignments, so a runtime-mode
+    // counterexample is only exact if the declared compilation fails at
+    // the same point.
+    let exact_mode = cfg.mode == Mode::Declared
+        || fails(
+            base,
+            opts,
+            shape,
+            Config {
+                mode: Mode::Declared,
+                ..cfg
+            },
+            &aligns,
+            trip,
+            raw.style,
+            probe,
+            raw.harness,
+            &mut steps,
+        );
+
+    let tripc = match raw.style {
+        TripStyle::RuntimeUb => TripCount::Runtime,
+        TripStyle::KnownTrip => TripCount::Known(trip),
+    };
+    let src_mode = if exact_mode { Mode::Declared } else { cfg.mode };
+    let src = rebuild(base, &aligns, src_mode, tripc)
+        .to_source()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let mut cmd = format!("echo '{src}' | simdize run -");
+    let _ = write!(cmd, " --policy {}", cfg.policy.name());
+    let _ = write!(cmd, " --reuse {}", reuse_name(cfg.reuse));
+    if !cfg.unroll {
+        cmd.push_str(" --no-unroll");
+    }
+    if raw.style == TripStyle::RuntimeUb {
+        let _ = write!(cmd, " --ub {trip}");
+    }
+    for p in params_for(base) {
+        let _ = write!(cmd, " --param {p}");
+    }
+    if let Probe::Seeded(s) = probe {
+        let _ = write!(cmd, " --seed {s}");
+    }
+    if raw.harness != H_CODEGEN {
+        cmd.push_str(" --engine native");
+    }
+    if let Some(kind) = opts.mutation {
+        let _ = write!(cmd, "  # with --mutate {} injected", kind.name());
+    }
+    if !matches!(probe, Probe::Seeded(_)) {
+        let _ = write!(
+            cmd,
+            "  # probe {} has no --seed equivalent; rerun simdize verify",
+            probe.label()
+        );
+    }
+    if !exact_mode {
+        cmd.push_str("  # runtime-alignment compilation; rerun simdize verify to reproduce");
+    }
+
+    Counterexample {
+        harness: HARNESS_NAMES[raw.harness.min(2)],
+        policy: cfg.policy.name().to_string(),
+        reuse: reuse_name(cfg.reuse).to_string(),
+        unroll: cfg.unroll,
+        mode: cfg.mode.name().to_string(),
+        aligns,
+        trip,
+        trip_style: raw.style.name().to_string(),
+        probe: probe.label(),
+        detail: raw.detail,
+        shrunk,
+        shrink_steps: steps,
+        replay: cmd,
+    }
+}

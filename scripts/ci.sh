@@ -14,9 +14,12 @@
 # against the scalar oracle on four worker threads (with telemetry
 # collection on), an instrumented `simdize profile` pass, the engine
 # bench harness in quick mode (floors: engine >= 5x the interpreter,
-# fused >= 1.3x unfused on reorg-dominated kernels), and a
+# fused >= 1.3x unfused on reorg-dominated kernels), a
 # `simdize bench diff` of that quick run against the checked-in
-# bench-history baseline at a deliberately generous threshold.
+# bench-history baseline at a deliberately generous threshold, and the
+# bounded-equivalence prover: a quick proof of every sample loop plus
+# the mutate-and-catch meta-test (an injected off-by-one must be
+# caught and shrunk to a replayable counterexample).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -126,5 +129,28 @@ echo "== explain smoke (decision traces render in all three formats) =="
 target/release/simdize explain loops/figure1.loop > /dev/null
 target/release/simdize explain loops/figure1.loop --policy zero --json > /dev/null
 target/release/simdize explain loops/runtime.loop --policy eager --markdown > /dev/null
+
+echo "== bounded verification (quick proofs over every sample loop) =="
+# The --quick domain still crosses alignments x policies x trip
+# regimes; a non-PROVED verdict (violation or 0 compiled units) means
+# the prover or the pipeline regressed.
+for loop in loops/*.loop; do
+    target/release/simdize verify "$loop" --quick | grep -q '^PROVED:' \
+        || { echo "verify: $loop did not prove" >&2; exit 1; }
+done
+target/release/simdize verify loops/figure1.loop --quick --json \
+    | grep -q '"schema":"simdize-verify/v1"'
+
+echo "== mutate-and-catch (an injected fault must fail with a replay) =="
+# Meta-test of the prover itself: a seeded off-by-one in the generated
+# code must produce a non-zero exit and a shrunk counterexample with a
+# replayable `simdize run` command line.
+if target/release/simdize verify loops/figure1.loop --quick --mutate splice \
+    > "$BENCH_TMP/mutate.log" 2>&1; then
+    echo "mutate-and-catch: injected mutation went uncaught" >&2; exit 1
+fi
+grep -q '| simdize run -' "$BENCH_TMP/mutate.log" \
+    || { echo "mutate-and-catch: no replayable counterexample" >&2
+         cat "$BENCH_TMP/mutate.log" >&2; exit 1; }
 
 echo "== ci OK =="

@@ -94,6 +94,7 @@ fn golden_corpus() -> Vec<String> {
         r#"{"v":2,"id":10,"cmd":"ping"}"#.to_string(),
         format!(r#"{{"v":1,"id":11,"cmd":"run","source":"{fig1}","policy":"unknown"}}"#),
         r#"{"v":1,"id":12,"cmd":"run","source":"arrays { broken"}"#.to_string(),
+        format!(r#"{{"v":1,"id":13,"cmd":"verify","source":"{fig1}"}}"#),
     ]
 }
 
