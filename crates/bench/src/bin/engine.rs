@@ -26,13 +26,15 @@
 //! The kernel set is steady-state dominated by construction: large
 //! trip counts over misaligned streams, where the trace fusion pass
 //! collapses `vload`+`vshiftpair` chains. Kernels marked
-//! `expect_fused_gain` must show fused ≥ 1.3× unfused or the harness
+//! `expect_fused_gain` must show fused ≥ 1.3× unfused — and, when a
+//! real SIMD ISA dispatched, the `std::arch` intrinsics backend
+//! (`native_*` columns) ≥ 1.5× the fused interpreter — or the harness
 //! exits non-zero.
 
 use simdize::{
-    parse_program, run_simd, run_sweep_collect, run_sweep_with, CacheMode, KernelOptions,
-    MemoryImage, PredecodedKernel, RunInput, Simdizer, SweepJob, SweepOptions, SweepStats,
-    VectorShape,
+    parse_program, run_simd, run_sweep_collect, run_sweep_with, CacheMode, IsaLevel,
+    KernelOptions, MemoryImage, PredecodedKernel, RunInput, SimdKernel, Simdizer, SweepJob,
+    SweepOptions, SweepStats, VectorShape,
 };
 use simdize_bench::timing::{black_box, Harness};
 use simdize_telemetry::history;
@@ -112,8 +114,12 @@ struct KernelRow {
     fused_ns: f64,
     unfused_ns: f64,
     interp_ns: f64,
+    native_ns: f64,
     speedup_vs_interp: f64,
     fused_vs_unfused: f64,
+    /// How much faster the `std::arch` intrinsics backend runs than the
+    /// fused interpreter it was lowered from.
+    native_vs_fused: f64,
     expect_fused_gain: bool,
     fusion: simdize::FusionStats,
 }
@@ -156,6 +162,14 @@ fn bench_kernel(c: &mut Harness, spec: &KernelSpec) -> KernelRow {
         })
         .median_ns
     };
+    let native_ns = {
+        let lowered = SimdKernel::lower_detected(&fused);
+        let mut img = image.clone();
+        c.bench_function(&format!("{}/native", spec.name), |b| {
+            b.iter(|| lowered.run(black_box(&mut img)).unwrap())
+        })
+        .median_ns
+    };
 
     KernelRow {
         name: spec.name,
@@ -164,8 +178,10 @@ fn bench_kernel(c: &mut Harness, spec: &KernelSpec) -> KernelRow {
         fused_ns,
         unfused_ns,
         interp_ns,
+        native_ns,
         speedup_vs_interp: interp_ns / fused_ns,
         fused_vs_unfused: unfused_ns / fused_ns,
+        native_vs_fused: fused_ns / native_ns,
         expect_fused_gain: spec.expect_fused_gain,
         fusion: fused.fusion_stats(),
     }
@@ -346,6 +362,7 @@ fn render_json(
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"simdize-bench-engine/v1\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"isa\": \"{}\",", IsaLevel::detect());
     let _ = writeln!(out, "  \"floor_vs_interp\": {floor},");
     let _ = writeln!(out, "  \"kernels\": [");
     for (i, k) in kernels.iter().enumerate() {
@@ -356,6 +373,7 @@ fn render_json(
         let _ = writeln!(out, "      \"fused_ns\": {:.0},", k.fused_ns);
         let _ = writeln!(out, "      \"unfused_ns\": {:.0},", k.unfused_ns);
         let _ = writeln!(out, "      \"interp_ns\": {:.0},", k.interp_ns);
+        let _ = writeln!(out, "      \"native_ns\": {:.0},", k.native_ns);
         // Full precision: `{:.3e}` truncated these to three significant
         // digits, which made history diffs quantize at the 0.1% level.
         let _ = writeln!(
@@ -373,8 +391,14 @@ fn render_json(
             "      \"interp_ops_per_sec\": {:.0},",
             ops_per_sec(k.stats_total, k.interp_ns)
         );
+        let _ = writeln!(
+            out,
+            "      \"native_ops_per_sec\": {:.0},",
+            ops_per_sec(k.stats_total, k.native_ns)
+        );
         let _ = writeln!(out, "      \"speedup_vs_interp\": {:.2},", k.speedup_vs_interp);
         let _ = writeln!(out, "      \"fused_vs_unfused\": {:.3},", k.fused_vs_unfused);
+        let _ = writeln!(out, "      \"native_vs_fused\": {:.3},", k.native_vs_fused);
         let _ = writeln!(out, "      \"expect_fused_gain\": {},", k.expect_fused_gain);
         let f = k.fusion;
         let _ = writeln!(
@@ -534,10 +558,17 @@ fn main() {
     c.final_summary();
 
     println!();
+    println!("backend: simd/{}", IsaLevel::detect());
     for k in &kernels {
         println!(
-            "{:<8} {:>7.2}x vs interp, {:>6.3}x fused-vs-unfused  (fused loads {}, eliminated {})",
-            k.name, k.speedup_vs_interp, k.fused_vs_unfused, k.fusion.fused_loads, k.fusion.eliminated
+            "{:<8} {:>7.2}x vs interp, {:>6.3}x fused-vs-unfused, {:>6.3}x native-vs-fused  \
+             (fused loads {}, eliminated {})",
+            k.name,
+            k.speedup_vs_interp,
+            k.fused_vs_unfused,
+            k.native_vs_fused,
+            k.fusion.fused_loads,
+            k.fusion.eliminated
         );
     }
     for s in &sweeps {
@@ -605,6 +636,18 @@ fn main() {
         }
         if k.fusion.fused_loads == 0 {
             eprintln!("FAIL: {} fused no loads at all", k.name);
+            failed = true;
+        }
+        // The intrinsics backend earns its keep on reorg-dominated
+        // kernels: at least 1.5x over the fused interpreter it lowers.
+        // (The scalar tier can't hit this — the gate only applies when
+        // a real SIMD ISA dispatched, so non-SIMD hosts still pass.)
+        if k.expect_fused_gain && IsaLevel::detect() != IsaLevel::Scalar && k.native_vs_fused < 1.5
+        {
+            eprintln!(
+                "FAIL: {} simd backend only {:.3}x vs fused interpreter (need >= 1.5x)",
+                k.name, k.native_vs_fused
+            );
             failed = true;
         }
     }

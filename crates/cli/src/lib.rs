@@ -49,7 +49,10 @@
 //!   --seed N                            memory image seed (default 2004)
 //!   --ub N                              trip count for runtime-`ub` loops
 //!   --param N (repeatable)              loop parameter values, in order
-//!   --engine interp|native              executor for `run` (default interp)
+//!   --engine interp|native|simd         executor for `run` (default
+//!                                       interp); `simd` lowers the baked
+//!                                       plan to std::arch intrinsics and
+//!                                       also selects the sweep backend
 //!   --lint NAME=allow|warn|deny         override a lint level (repeatable)
 //!   --json                              JSON output for `analyze`/`explain`
 //!   --markdown                          Markdown output for `explain`
@@ -88,9 +91,9 @@
 
 use simdize::{
     analyze_program, lower_altivec, run_scalar, run_sweep_collect, to_dot, AnalyzeOptions,
-    CompiledKernel, DiffConfig, Level, Lint, MemoryImage, MutationKind, Policy, ReorgGraph,
-    ReuseMode, RunInput, Scheme, SimdizeError, Simdizer, SweepJob, SweepOptions, Target,
-    VectorShape, VerifyOptions,
+    CompiledKernel, DiffConfig, IsaLevel, Level, Lint, MemoryImage, MutationKind, Policy,
+    ReorgGraph, ReuseMode, RunInput, Scheme, SimdKernel, SimdizeError, Simdizer, SweepBackend,
+    SweepJob, SweepOptions, Target, VectorShape, VerifyOptions,
 };
 use simdize_explain::{render_json, render_markdown, render_text, Explainer};
 use simdize_telemetry as telemetry;
@@ -283,8 +286,11 @@ pub fn parse_args(
             "--param" => opts.params.push(value("--param")?.parse()?),
             "--engine" => {
                 let name = value("--engine")?;
-                if !matches!(name.as_str(), "interp" | "native") {
-                    return Err(format!("unknown engine `{name}` (expected `interp` or `native`)").into());
+                if !matches!(name.as_str(), "interp" | "native" | "simd") {
+                    return Err(format!(
+                        "unknown engine `{name}` (expected `interp`, `native` or `simd`)"
+                    )
+                    .into());
                 }
                 opts.engine = name;
             }
@@ -496,6 +502,50 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                 .into());
             }
         }
+        "run" if opts.engine == "simd" => {
+            let compiled = driver.compile(&program)?;
+            let source = compiled.source().clone();
+            let ub = source.trip().known().unwrap_or(opts.ub);
+            let input = RunInput {
+                ub,
+                params: opts.params.clone(),
+            };
+            let mut image = MemoryImage::with_seed(&source, opts.shape, opts.seed);
+            let mut oracle = image.clone();
+            let kernel = CompiledKernel::compile(&compiled, &image, &input)?;
+            let lowered = SimdKernel::lower_detected(&kernel);
+            let stats = lowered.run(&mut image)?;
+            let ideal = run_scalar(&source, &mut oracle, ub, &opts.params)?;
+            let verified = image.first_difference(&oracle).is_none();
+            let data = source.stmts().len() as u64 * ub;
+            writeln!(out, "verified: {verified}")?;
+            writeln!(
+                out,
+                "engine: simd (std::arch intrinsics{})",
+                if lowered.is_fallback() {
+                    ", scalar fallback"
+                } else {
+                    ""
+                }
+            )?;
+            writeln!(out, "backend: simd/{}", lowered.isa())?;
+            let fusion = kernel.fusion_stats();
+            writeln!(
+                out,
+                "trace: {} fused load(s), {} splat op(s), {} hoisted, {} eliminated",
+                fusion.fused_loads, fusion.splat_ops, fusion.hoisted, fusion.eliminated
+            )?;
+            writeln!(
+                out,
+                "opd: {:.3}  speedup: {:.2}x over idealistic scalar",
+                stats.opd(data),
+                ideal as f64 / stats.total() as f64
+            )?;
+            writeln!(out, "stats: {stats}")?;
+            if !verified {
+                return Err("simd engine diverged from the scalar oracle".into());
+            }
+        }
         "run" if opts.engine == "native" => {
             let compiled = driver.compile(&program)?;
             let source = compiled.source().clone();
@@ -605,6 +655,12 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             if !out.ends_with('\n') {
                 out.push('\n');
             }
+            // Text mode is interactive, so the host's dispatched ISA is
+            // useful context; JSON/Markdown feed goldens and generated
+            // docs, which must stay byte-identical across hosts.
+            if !opts.json && !opts.markdown {
+                writeln!(out, "backend: simd/{} (std::arch dispatch)", IsaLevel::detect())?;
+            }
         }
         "profile" => {
             let outcome = simdize::profile_source(&opts.source)?;
@@ -634,9 +690,21 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
             let jobs: Vec<SweepJob> = (0..count as u64)
                 .map(|k| SweepJob::new(compiled.clone(), opts.seed.wrapping_add(k), opts.ub))
                 .collect();
+            let backend = if opts.engine == "simd" {
+                SweepBackend::Simd
+            } else {
+                SweepBackend::Baked
+            };
             let started = std::time::Instant::now();
-            let (outcomes, stats) = run_sweep_collect(&jobs, SweepOptions::new(opts.threads));
+            let (outcomes, stats) =
+                run_sweep_collect(&jobs, SweepOptions::new(opts.threads).backend(backend));
             let elapsed = started.elapsed();
+            match backend {
+                SweepBackend::Simd => {
+                    writeln!(out, "backend: simd/{}", IsaLevel::detect())?
+                }
+                SweepBackend::Baked => writeln!(out, "backend: fused interpreter")?,
+            }
             writeln!(
                 out,
                 "{:>6} {:>9} {:>9} {:>9}",
@@ -918,10 +986,18 @@ mod tests {
         let out = run(&opts(&["explain", "x.loop"])).unwrap();
         assert!(out.contains("== decisions =="), "{out}");
         assert!(out.contains('\u{2190}'), "{out}");
+        // Text mode reports the host's dispatched ISA; the golden-backed
+        // JSON/Markdown forms must stay host-independent.
+        assert!(
+            out.contains(&format!("backend: simd/{}", IsaLevel::detect())),
+            "{out}"
+        );
         let json = run(&opts(&["explain", "x.loop", "--json"])).unwrap();
         assert!(json.starts_with("{\"schema\":\"simdize-explain/v1\""), "{json}");
+        assert!(!json.contains("backend: simd/"), "{json}");
         let md = run(&opts(&["explain", "x.loop", "--policy", "zero", "--markdown"])).unwrap();
         assert!(md.starts_with("# Worked example"), "{md}");
+        assert!(!md.contains("backend: simd/"), "{md}");
     }
 
     #[test]
@@ -941,11 +1017,37 @@ mod tests {
     }
 
     #[test]
+    fn run_simd_engine_verifies_and_reports_isa() {
+        let out = run(&opts(&["run", "x.loop", "--engine", "simd", "--seed", "7"])).unwrap();
+        assert!(out.contains("verified: true"), "{out}");
+        assert!(out.contains("engine: simd (std::arch intrinsics)"), "{out}");
+        assert!(
+            out.contains(&format!("backend: simd/{}", IsaLevel::detect())),
+            "{out}"
+        );
+        assert!(out.contains("speedup"), "{out}");
+    }
+
+    #[test]
     fn sweep_smoke_reports_all_seeds() {
         let out = run(&opts(&["sweep", "x.loop", "--smoke", "--jobs", "2"])).unwrap();
+        assert!(out.contains("backend: fused interpreter"), "{out}");
         assert!(out.contains("8/8 verified"));
         assert!(out.contains("jobs/sec"));
         assert!(out.lines().count() >= 10); // header + 8 rows + summary
+    }
+
+    #[test]
+    fn sweep_simd_backend_reports_isa_and_verifies() {
+        let out = run(&opts(&[
+            "sweep", "x.loop", "--smoke", "--jobs", "2", "--engine", "simd",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains(&format!("backend: simd/{}", IsaLevel::detect())),
+            "{out}"
+        );
+        assert!(out.contains("8/8 verified"), "{out}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use crate::cache::{program_fingerprint, KernelCache};
 use crate::kernel::{CompiledKernel, KernelOptions, PredecodedKernel};
+use crate::native::{IsaLevel, SimdKernel};
 use simdize_codegen::SimdProgram;
 use simdize_ir::VectorShape;
 use simdize_telemetry as telemetry;
@@ -102,6 +103,17 @@ pub enum CacheMode {
     SlotPerWorker,
 }
 
+/// Which execution tier a sweep's jobs run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepBackend {
+    /// The trace-fused interpreter tier ([`CompiledKernel`]).
+    #[default]
+    Baked,
+    /// The `std::arch` intrinsics tier ([`SimdKernel`]) at the ISA
+    /// level [`IsaLevel::detect`] reports when the sweep starts.
+    Simd,
+}
+
 /// How [`run_sweep_with`] schedules and caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
@@ -117,17 +129,20 @@ pub struct SweepOptions {
     /// Which baked-kernel cache to use. Only effective together with
     /// `share_predecode`.
     pub cache: CacheMode,
+    /// Which execution tier runs the jobs.
+    pub backend: SweepBackend,
 }
 
 impl SweepOptions {
     /// The default sweep configuration: every cache on, baked kernels
-    /// in the sharded shared cache.
+    /// in the sharded shared cache, fused-interpreter backend.
     pub fn new(threads: usize) -> SweepOptions {
         SweepOptions {
             threads,
             share_predecode: true,
             reuse_scratch: true,
             cache: CacheMode::Shared,
+            backend: SweepBackend::Baked,
         }
     }
 
@@ -135,10 +150,9 @@ impl SweepOptions {
     /// the compilation cache is measured against.
     pub fn uncached(threads: usize) -> SweepOptions {
         SweepOptions {
-            threads,
             share_predecode: false,
             reuse_scratch: false,
-            cache: CacheMode::Shared,
+            ..SweepOptions::new(threads)
         }
     }
 
@@ -146,6 +160,34 @@ impl SweepOptions {
     pub fn cache_mode(mut self, cache: CacheMode) -> SweepOptions {
         self.cache = cache;
         self
+    }
+
+    /// Selects the execution tier.
+    pub fn backend(mut self, backend: SweepBackend) -> SweepOptions {
+        self.backend = backend;
+        self
+    }
+}
+
+/// The legacy single-slot cached artifact, one per worker.
+enum SlotKernel {
+    Baked(CompiledKernel),
+    Simd(SimdKernel),
+}
+
+impl SlotKernel {
+    fn layout_matches(&self, image: &MemoryImage) -> bool {
+        match self {
+            SlotKernel::Baked(k) => k.layout_matches(image),
+            SlotKernel::Simd(k) => k.layout_matches(image),
+        }
+    }
+
+    fn run(&self, image: &mut MemoryImage) -> Result<RunStats, ExecError> {
+        match self {
+            SlotKernel::Baked(k) => k.run(image),
+            SlotKernel::Simd(k) => k.run(image),
+        }
     }
 }
 
@@ -156,7 +198,7 @@ struct Scratch {
     oracle: Option<MemoryImage>,
     /// Legacy single-slot cache, used only in
     /// [`CacheMode::SlotPerWorker`].
-    baked: Option<(usize, RunInput, CompiledKernel)>,
+    baked: Option<(usize, RunInput, SlotKernel)>,
 }
 
 /// One worker's job results (tagged with their original indices) plus
@@ -313,6 +355,9 @@ fn sweep_inner(
     }
     let templates = &templates;
     let job_template = &job_template;
+    // One ISA detection per sweep, not per job: the env override and
+    // feature probes are stable for the process lifetime.
+    let isa = IsaLevel::detect();
 
     let cursor = AtomicUsize::new(0);
     let partials: Vec<WorkerPartial> = thread::scope(|s| {
@@ -336,12 +381,13 @@ fn sweep_inner(
                                     templates,
                                     &opts,
                                     cache,
+                                    isa,
                                     &mut scratch,
                                     &mut tally,
                                 )
                             } else {
                                 tally.cache_misses += 1;
-                                run_one(&jobs[idx])
+                                run_one(&jobs[idx], opts.backend, isa)
                             };
                             mine.push((idx, res));
                         }
@@ -394,13 +440,20 @@ fn sweep_inner(
 }
 
 /// The uncached path: fresh images, full compile, per job.
-fn run_one(job: &SweepJob) -> Result<SweepOutcome, ExecError> {
+fn run_one(
+    job: &SweepJob,
+    backend: SweepBackend,
+    isa: IsaLevel,
+) -> Result<SweepOutcome, ExecError> {
     let source = job.program.source();
     let mut engine_img = MemoryImage::with_seed(source, VectorShape::V16, job.seed);
     let mut oracle_img = engine_img.clone();
     let ub = source.trip().known().unwrap_or(job.input.ub);
     let kernel = CompiledKernel::compile(&job.program, &engine_img, &job.input)?;
-    let stats = kernel.run(&mut engine_img)?;
+    let stats = match backend {
+        SweepBackend::Baked => kernel.run(&mut engine_img)?,
+        SweepBackend::Simd => SimdKernel::lower(&kernel, isa).run(&mut engine_img)?,
+    };
     let scalar_ideal = run_scalar(source, &mut oracle_img, ub, &job.input.params)?;
     Ok(SweepOutcome {
         seed: job.seed,
@@ -417,12 +470,14 @@ fn run_one(job: &SweepJob) -> Result<SweepOutcome, ExecError> {
 /// rebuilds exactly the image `with_seed` would, and a cached kernel is
 /// only reused when the program, the runtime input and the memory
 /// layout all match.
+#[allow(clippy::too_many_arguments)]
 fn run_one_cached(
     job: &SweepJob,
     tidx: usize,
     templates: &[(&SimdProgram, u64, Result<PredecodedKernel, ExecError>)],
     opts: &SweepOptions,
     cache: Option<&KernelCache>,
+    isa: IsaLevel,
     scratch: &mut Scratch,
     tally: &mut WorkerTally,
 ) -> Result<SweepOutcome, ExecError> {
@@ -453,15 +508,31 @@ fn run_one_cached(
     let bake_opts = KernelOptions::new().disassembly(false);
     let stats = match cache {
         Some(cache) => {
-            let (kernel, lookup) =
-                cache.get_or_bake(*fingerprint, pre, engine_img, &job.input, &bake_opts)?;
+            let (stats, lookup) = match opts.backend {
+                SweepBackend::Baked => {
+                    let (kernel, lookup) =
+                        cache.get_or_bake(*fingerprint, pre, engine_img, &job.input, &bake_opts)?;
+                    (kernel.run(engine_img)?, lookup)
+                }
+                SweepBackend::Simd => {
+                    let (kernel, lookup) = cache.get_or_bake_simd(
+                        *fingerprint,
+                        pre,
+                        engine_img,
+                        &job.input,
+                        &bake_opts,
+                        isa,
+                    )?;
+                    (kernel.run(engine_img)?, lookup)
+                }
+            };
             if lookup.hit {
                 tally.cache_hits += 1;
             } else {
                 tally.cache_misses += 1;
             }
             tally.cache_evictions += u64::from(lookup.evicted);
-            kernel.run(engine_img)?
+            stats
         }
         None => {
             let cache_hit = matches!(
@@ -473,7 +544,11 @@ fn run_one_cached(
             } else {
                 tally.cache_misses += 1;
                 let kernel = pre.bake(engine_img, &job.input, &bake_opts)?;
-                scratch.baked = Some((tidx, job.input.clone(), kernel));
+                let slot = match opts.backend {
+                    SweepBackend::Baked => SlotKernel::Baked(kernel),
+                    SweepBackend::Simd => SlotKernel::Simd(SimdKernel::lower(&kernel, isa)),
+                };
+                scratch.baked = Some((tidx, job.input.clone(), slot));
             }
             let kernel = &scratch.baked.as_ref().expect("just populated").2;
             kernel.run(engine_img)?
@@ -568,6 +643,52 @@ mod tests {
                 assert!(o.unwrap().verified);
             }
         }
+    }
+
+    #[test]
+    fn simd_backend_agrees_with_baked_across_modes() {
+        // The intrinsics backend must produce exactly the outcomes of
+        // the fused interpreter — stats included, since they are fixed
+        // analytically — in every cache configuration.
+        for src in [KNOWN, RUNTIME] {
+            let prog = program(src);
+            let jobs: Vec<SweepJob> = (0..12)
+                .map(|seed| SweepJob::new(prog.clone(), seed * 5 + 2, 300))
+                .collect();
+            let baked = run_sweep_with(&jobs, SweepOptions::new(3));
+            for opts in [
+                SweepOptions::new(3).backend(SweepBackend::Simd),
+                SweepOptions::new(3)
+                    .backend(SweepBackend::Simd)
+                    .cache_mode(CacheMode::SlotPerWorker),
+                SweepOptions::uncached(3).backend(SweepBackend::Simd),
+            ] {
+                assert_eq!(run_sweep_with(&jobs, opts), baked, "{opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_backend_caches_lowered_kernels() {
+        // A shared-cache simd sweep bakes+lowers once per (program,
+        // layout) and hits afterwards, exactly like the baked backend —
+        // and a subsequent *baked* sweep over the same external cache
+        // does not collide with the simd entries.
+        let prog = program(KNOWN);
+        let jobs: Vec<SweepJob> = (0..8)
+            .map(|seed| SweepJob::new(prog.clone(), seed, 300))
+            .collect();
+        let cache = KernelCache::new(2, 16);
+        let opts = SweepOptions::new(2).backend(SweepBackend::Simd);
+        let (outcomes, stats) = run_sweep_shared(&jobs, opts, &cache);
+        assert!(outcomes.into_iter().all(|o| o.unwrap().verified));
+        assert_eq!(stats.cache_misses, 1, "one lowering per program");
+        assert_eq!(stats.cache_hits, 7);
+        // Same cache, baked backend: distinct key space, so it misses
+        // once more instead of picking up the simd entry.
+        let (_, baked) = run_sweep_shared(&jobs, SweepOptions::new(2), &cache);
+        assert_eq!(baked.cache_misses, 1);
+        assert_eq!(cache.stats().occupied(), 2);
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //!
 //! * **Keying.** A [`CacheKey`] is a 64-bit program fingerprint (FNV-1a
 //!   over the structural [`SimdProgram`] listing, which embeds the
-//!   placement policy and codegen scheme), the [`RunInput`], and a
+//!   placement policy and codegen scheme), the [`RunInput`], a
 //!   [`LayoutSig`] (shape, element type, image length, every array
-//!   base). Equality is checked on the full key, so fingerprint
-//!   collisions degrade to misses of correctness-irrelevant cost.
+//!   base), and the execution [`KernelBackend`] — for the intrinsics
+//!   backend that includes the dispatched [`IsaLevel`], so an AVX2
+//!   lowering and an SSE2 lowering of the same program never collide,
+//!   within a sweep or across server requests. Equality is checked on
+//!   the full key, so fingerprint collisions degrade to misses of
+//!   correctness-irrelevant cost.
 //! * **Sharding.** Entries are striped over `shards` independent
 //!   mutexes selected by key hash; concurrent workers only contend
 //!   when they touch the same stripe.
@@ -33,6 +37,7 @@
 //! rare duplicated compile for never blocking a stripe on compilation.
 
 use crate::kernel::{CompiledKernel, KernelOptions, PredecodedKernel};
+use crate::native::{IsaLevel, SimdKernel};
 use simdize_codegen::SimdProgram;
 use simdize_ir::{ArrayId, ScalarType};
 use simdize_vm::{ExecError, MemoryImage, RunInput};
@@ -84,6 +89,36 @@ impl LayoutSig {
     }
 }
 
+/// Which execution backend a cached kernel was lowered for. The
+/// intrinsics backend carries its dispatched [`IsaLevel`]: the same
+/// program lowered at two tiers is two different artifacts and must
+/// occupy two cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The trace-fused interpreter tier ([`CompiledKernel`]).
+    Baked,
+    /// The `std::arch` intrinsics tier ([`SimdKernel`]) at one ISA.
+    Simd(IsaLevel),
+}
+
+impl KernelBackend {
+    /// Stable bytes for the shard-selection hash.
+    fn tag(self) -> [u8; 2] {
+        match self {
+            KernelBackend::Baked => [0xB0, 0x00],
+            KernelBackend::Simd(isa) => {
+                let level = match isa {
+                    IsaLevel::Scalar => 0,
+                    IsaLevel::Sse2 => 1,
+                    IsaLevel::Avx2 => 2,
+                    IsaLevel::Neon => 3,
+                };
+                [0x51, level]
+            }
+        }
+    }
+}
+
 /// What one baked kernel was compiled for. Two jobs with equal keys
 /// produce byte-identical kernels (the image *contents* are not part
 /// of the key because baking never reads them — only array placement).
@@ -92,21 +127,41 @@ pub struct CacheKey {
     program: u64,
     input: RunInput,
     layout: LayoutSig,
+    backend: KernelBackend,
 }
 
 impl CacheKey {
     /// A key for `program_fingerprint` baked against `input` on the
-    /// layout of `image` (first `narrays` arrays).
+    /// layout of `image` (first `narrays` arrays), for the trace-fused
+    /// interpreter backend.
     pub fn new(
         program_fingerprint: u64,
         input: &RunInput,
         image: &MemoryImage,
         narrays: usize,
     ) -> CacheKey {
+        CacheKey::for_backend(
+            program_fingerprint,
+            input,
+            image,
+            narrays,
+            KernelBackend::Baked,
+        )
+    }
+
+    /// [`new`](CacheKey::new) with an explicit [`KernelBackend`].
+    pub fn for_backend(
+        program_fingerprint: u64,
+        input: &RunInput,
+        image: &MemoryImage,
+        narrays: usize,
+        backend: KernelBackend,
+    ) -> CacheKey {
         CacheKey {
             program: program_fingerprint,
             input: input.clone(),
             layout: LayoutSig::of(image, narrays),
+            backend,
         }
     }
 
@@ -122,7 +177,7 @@ impl CacheKey {
         for b in &self.layout.bases {
             h = fnv1a(&b.to_le_bytes(), h);
         }
-        h
+        fnv1a(&self.backend.tag(), h)
     }
 }
 
@@ -135,9 +190,17 @@ pub struct Lookup {
     pub evicted: bool,
 }
 
+/// The cached artifact: which one is resident always agrees with the
+/// key's [`KernelBackend`] (the insert paths pair them up).
+#[derive(Clone)]
+enum Payload {
+    Baked(Arc<CompiledKernel>),
+    Simd(Arc<SimdKernel>),
+}
+
 struct Entry {
     key: CacheKey,
-    kernel: Arc<CompiledKernel>,
+    kernel: Payload,
     last_used: u64,
 }
 
@@ -220,8 +283,7 @@ impl KernelCache {
         &self.shards[(key.mix() % self.shards.len() as u64) as usize]
     }
 
-    /// Looks `key` up, bumping its LRU stamp on a hit.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledKernel>> {
+    fn get_payload(&self, key: &CacheKey) -> Option<Payload> {
         let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
@@ -229,7 +291,7 @@ impl KernelCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.kernel))
+                Some(entry.kernel.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -238,9 +300,38 @@ impl KernelCache {
         }
     }
 
+    /// Looks a trace-fused-backend `key` up, bumping its LRU stamp on
+    /// a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledKernel>> {
+        match self.get_payload(key)? {
+            Payload::Baked(kernel) => Some(kernel),
+            // Key backends and payloads are paired by the insert
+            // paths; a Simd payload under a Baked key cannot happen.
+            Payload::Simd(_) => None,
+        }
+    }
+
+    /// Looks an intrinsics-backend `key` up, bumping its LRU stamp on
+    /// a hit.
+    pub fn get_simd(&self, key: &CacheKey) -> Option<Arc<SimdKernel>> {
+        match self.get_payload(key)? {
+            Payload::Simd(kernel) => Some(kernel),
+            Payload::Baked(_) => None,
+        }
+    }
+
     /// Inserts (or replaces) `key`, evicting the shard's LRU entry when
     /// full. Returns whether an eviction happened.
     pub fn insert(&self, key: CacheKey, kernel: Arc<CompiledKernel>) -> bool {
+        self.insert_payload(key, Payload::Baked(kernel))
+    }
+
+    /// [`insert`](KernelCache::insert) for an intrinsics-tier kernel.
+    pub fn insert_simd(&self, key: CacheKey, kernel: Arc<SimdKernel>) -> bool {
+        self.insert_payload(key, Payload::Simd(kernel))
+    }
+
+    fn insert_payload(&self, key: CacheKey, kernel: Payload) -> bool {
         let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
@@ -298,6 +389,45 @@ impl KernelCache {
         }
         let kernel = Arc::new(pre.bake(image, input, opts)?);
         let evicted = self.insert(key, Arc::clone(&kernel));
+        Ok((kernel, Lookup { hit: false, evicted }))
+    }
+
+    /// The cached *intrinsics-lowered* kernel for *(program, input,
+    /// layout, ISA)*, baking, lowering for `isa` and inserting on a
+    /// miss. Distinct ISA tiers occupy distinct entries — a request
+    /// dispatched at AVX2 never reuses an SSE2 lowering or vice versa.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PredecodedKernel::bake`] failures; nothing is
+    /// inserted on error.
+    pub fn get_or_bake_simd(
+        &self,
+        program_fingerprint: u64,
+        pre: &PredecodedKernel,
+        image: &MemoryImage,
+        input: &RunInput,
+        opts: &KernelOptions,
+        isa: IsaLevel,
+    ) -> Result<(Arc<SimdKernel>, Lookup), ExecError> {
+        let key = CacheKey::for_backend(
+            program_fingerprint,
+            input,
+            image,
+            pre.narrays(),
+            KernelBackend::Simd(isa),
+        );
+        if let Some(kernel) = self.get_simd(&key) {
+            return Ok((
+                kernel,
+                Lookup {
+                    hit: true,
+                    evicted: false,
+                },
+            ));
+        }
+        let kernel = Arc::new(SimdKernel::lower(&pre.bake(image, input, opts)?, isa));
+        let evicted = self.insert_simd(key, Arc::clone(&kernel));
         Ok((kernel, Lookup { hit: false, evicted }))
     }
 
@@ -564,6 +694,82 @@ mod tests {
         // The surviving entry serves subsequent lookups.
         let (_, l) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
         assert!(l.hit);
+    }
+
+    #[test]
+    fn backends_and_isa_levels_key_separately() {
+        // The same (program, input, layout) cached for the fused
+        // interpreter, the scalar-tier lowering and the best host tier
+        // must be three distinct residents — and the two lowerings must
+        // pin their distinct ISA levels. Occupancy/eviction invariants
+        // from the plain-backend tests keep holding throughout.
+        let (prog, pre, image, input) = setup(1);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(1, 8);
+        let opts = KernelOptions::new().disassembly(false);
+        let (baked, l) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        assert!(!l.hit);
+        let (scalar, l) = cache
+            .get_or_bake_simd(fp, &pre, &image, &input, &opts, IsaLevel::Scalar)
+            .unwrap();
+        assert!(!l.hit, "scalar lowering is not the baked kernel");
+        let best = IsaLevel::host_best();
+        let (fast, l) = cache
+            .get_or_bake_simd(fp, &pre, &image, &input, &opts, best)
+            .unwrap();
+        if best == IsaLevel::Scalar {
+            assert!(l.hit, "scalar-only host: same tier, same entry");
+        } else {
+            assert!(!l.hit, "two ISA levels are two entries");
+            assert_ne!(scalar.isa(), fast.isa());
+        }
+        let expected = if best == IsaLevel::Scalar { 2 } else { 3 };
+        let stats = cache.stats();
+        assert_eq!(stats.occupied(), expected);
+        assert_eq!(stats.misses - stats.evictions, stats.occupied() as u64);
+        // Every variant hits its own entry on re-lookup and all three
+        // execute to identical bytes.
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        assert!(l.hit);
+        let (_, l) = cache
+            .get_or_bake_simd(fp, &pre, &image, &input, &opts, IsaLevel::Scalar)
+            .unwrap();
+        assert!(l.hit);
+        let mut want = image.clone();
+        baked.run(&mut want).unwrap();
+        for kernel in [&scalar, &fast] {
+            let mut got = image.clone();
+            kernel.run(&mut got).unwrap();
+            assert_eq!(got.first_difference(&want), None, "{}", kernel.isa());
+        }
+    }
+
+    #[test]
+    fn simd_entries_participate_in_lru_eviction() {
+        // Mixed-backend entries share the same LRU arena: with capacity
+        // 2, inserting baked + two lowerings evicts the oldest.
+        let (prog, pre, image, input) = setup(2);
+        let fp = program_fingerprint(&prog);
+        let cache = KernelCache::new(1, 2);
+        let opts = KernelOptions::new().disassembly(false);
+        cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        let (_, l) = cache
+            .get_or_bake_simd(fp, &pre, &image, &input, &opts, IsaLevel::Scalar)
+            .unwrap();
+        assert!(!l.hit && !l.evicted);
+        let best = IsaLevel::host_best();
+        if best == IsaLevel::Scalar {
+            return; // no third distinct key available on this host
+        }
+        let (_, l) = cache
+            .get_or_bake_simd(fp, &pre, &image, &input, &opts, best)
+            .unwrap();
+        assert!(!l.hit && l.evicted, "third key evicts the LRU baked entry");
+        let (_, l) = cache.get_or_bake(fp, &pre, &image, &input, &opts).unwrap();
+        assert!(!l.hit, "baked entry was the eviction victim");
+        let stats = cache.stats();
+        assert_eq!(stats.occupied(), 2);
+        assert_eq!(stats.misses - stats.evictions, stats.occupied() as u64);
     }
 
     #[test]

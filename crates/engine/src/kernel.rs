@@ -181,16 +181,18 @@ pub struct PredecodedKernel {
 /// [`stats`]: CompiledKernel::stats
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
-    prologue: Vec<Op>,
-    pair_header: Vec<Op>,
-    pair: Vec<Op>,
-    pair_iters: i64,
-    body_header: Vec<Op>,
-    body: Vec<Op>,
-    body_iters: i64,
-    epilogue: Vec<Op>,
-    nregs: usize,
-    elem: ScalarType,
+    // Section fields are crate-visible so the `native` lowering pass can
+    // translate the baked plan without re-deriving it.
+    pub(crate) prologue: Vec<Op>,
+    pub(crate) pair_header: Vec<Op>,
+    pub(crate) pair: Vec<Op>,
+    pub(crate) pair_iters: i64,
+    pub(crate) body_header: Vec<Op>,
+    pub(crate) body: Vec<Op>,
+    pub(crate) body_iters: i64,
+    pub(crate) epilogue: Vec<Op>,
+    pub(crate) nregs: usize,
+    pub(crate) elem: ScalarType,
     shape: VectorShape,
     stats: RunStats,
     bases: Vec<u64>,

@@ -33,9 +33,17 @@
 //! before fusion). The engine is byte-for-byte and stat-for-stat
 //! identical to [`simdize_vm::run_simd`] (the differential tests
 //! enforce it, fused and unfused) while running orders of magnitude
-//! faster, and it keeps the workspace-wide `#![forbid(unsafe_code)]`
-//! guarantee: the hot loop's safety comes from compile-time
-//! validation, not from `unsafe`.
+//! faster. The interpreter tiers stay `unsafe`-free — their hot-loop
+//! safety comes from compile-time validation — while the [`native`]
+//! intrinsics backend confines its `unsafe` to two audited
+//! per-architecture modules (`x86`, `neon`) behind the crate-wide
+//! `#![deny(unsafe_code)]` lint.
+//!
+//! The [`native`] module adds the third tier: [`SimdKernel`] lowers a
+//! baked (and trace-fused) plan to real `std::arch` intrinsics —
+//! SSE2 always on x86_64, AVX2 by runtime feature detection, NEON on
+//! aarch64, and a portable scalar tier everywhere — selected once per
+//! kernel by [`IsaLevel::detect`] and replayed as straight-line SIMD.
 //!
 //! The [`batch`] module scales this to sweeps: many (program, seed)
 //! jobs distributed over scoped worker threads, each job compiled,
@@ -72,19 +80,26 @@
 //!
 //! [`RunStats`]: simdize_vm::RunStats
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the two per-architecture intrinsics modules
+// under `native/` opt back in with `#[allow(unsafe_code)]`; everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod cache;
 mod kernel;
 mod lanes;
+pub mod native;
 mod trace;
 
 pub use batch::{
-    run_sweep, run_sweep_collect, run_sweep_shared, run_sweep_with, CacheMode, SweepJob,
-    SweepOptions, SweepOutcome, SweepStats,
+    run_sweep, run_sweep_collect, run_sweep_shared, run_sweep_with, CacheMode, SweepBackend,
+    SweepJob, SweepOptions, SweepOutcome, SweepStats,
 };
-pub use cache::{program_fingerprint, CacheKey, CacheStats, KernelCache, LayoutSig, Lookup};
+pub use cache::{
+    program_fingerprint, CacheKey, CacheStats, KernelBackend, KernelCache, LayoutSig, Lookup,
+};
 pub use kernel::{CompiledKernel, KernelOptions, NativeEngine, PredecodedKernel};
+pub use native::{IsaLevel, SimdEngine, SimdKernel};
 pub use trace::{FusionEvent, FusionEventKind, FusionStats};

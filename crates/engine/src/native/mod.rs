@@ -1,0 +1,657 @@
+//! The real-intrinsics backend: lowering baked plans to `std::arch`.
+//!
+//! [`SimdKernel::lower`] translates a baked (and trace-fused)
+//! [`CompiledKernel`] into a flat `NOp` program whose every operand
+//! is ready for a 128-bit register file — splice points expanded to
+//! byte-select masks, permutation patterns split into the two
+//! `pshufb`-style half-tables — then replays it through one of four
+//! instruction tiers picked by [`IsaLevel`]:
+//!
+//! | VIR form        | SSE2                               | AVX2 tier                | NEON            |
+//! |-----------------|------------------------------------|--------------------------|-----------------|
+//! | `vload`/`.fused`| `movdqu` (chunk-aligned address)   | same                     | `vld1q_u8`      |
+//! | `vshiftpair`    | `psrldq`+`pslldq`+`por`            | `palignr`                | `vextq_u8`      |
+//! | `vsplice`       | `pand`/`pandn`/`por` mask select   | `pblendvb`               | `vbslq_u8`      |
+//! | `vperm`         | scalar byte gather                 | 2×`pshufb`+`por`         | `vqtbl2q_u8`    |
+//! | `vsplat`        | immediate register image           | same                     | same            |
+//! | arithmetic      | `padd*`/`psub*`/`pmullw`/…         | + `pmulld`, full min/max | `vaddq`/`vsubq`/…|
+//!
+//! The fused `vload.fused` forms from the trace pass are already
+//! single loads, so they lower to one `movdqu` — the paper's whole
+//! lowering table lands on real instructions. Operation/width pairs a
+//! tier has no instruction for (64-bit multiply, for example) fall
+//! back per-op to the `crate::lanes` reference loops on
+//! register copies, so every tier is total and byte-identical to the
+//! interpreter by construction.
+//!
+//! `unsafe` lives only in the two per-architecture modules; the
+//! portable tier and everything here stay safe. Stats come straight
+//! from the base kernel (they are computed analytically before fusion),
+//! so interpreter, fused engine and intrinsics backend agree on
+//! [`RunStats`] by construction too.
+
+use crate::kernel::{CompiledKernel, Op};
+use crate::lanes::Reg;
+use simdize_codegen::SimdProgram;
+use simdize_ir::{BinOp, ScalarType, UnOp};
+use simdize_telemetry as telemetry;
+use simdize_vm::{ExecError, Executor, MemoryImage, RunInput, RunStats};
+
+mod isa;
+mod portable;
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86;
+
+pub use isa::IsaLevel;
+
+/// One lowered native instruction. Compared to the interpreter's
+/// [`Op`], everything an intrinsic wants precomputed is precomputed at
+/// lowering time: splices carry their byte-select mask, permutations
+/// carry the two half-register shuffle tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum NOp {
+    Load {
+        dst: u32,
+        start: i64,
+        step: i64,
+    },
+    Store {
+        src: u32,
+        start: i64,
+        step: i64,
+    },
+    Shift {
+        dst: u32,
+        a: u32,
+        b: u32,
+        amt: u8,
+    },
+    Splice {
+        dst: u32,
+        a: u32,
+        b: u32,
+        /// `0xFF` where the output byte comes from `a` (index < point),
+        /// `0x00` where it comes from `b` — the operand `pblendvb` /
+        /// `vbslq_u8` take directly.
+        mask: Reg,
+    },
+    Perm {
+        dst: u32,
+        a: u32,
+        b: u32,
+        /// The original 0..32 selector, for the scalar tiers.
+        pattern: [u8; 16],
+        /// `pshufb` table over `a`: selector when < 16, else `0x80`
+        /// (shuffle-to-zero).
+        lo: Reg,
+        /// `pshufb` table over `b`: selector − 16 when ≥ 16, else `0x80`.
+        hi: Reg,
+    },
+    Splat {
+        dst: u32,
+        bytes: Reg,
+    },
+    Bin {
+        dst: u32,
+        op: BinOp,
+        a: u32,
+        b: u32,
+    },
+    BinImm {
+        dst: u32,
+        op: BinOp,
+        a: u32,
+        imm: Reg,
+        imm_left: bool,
+    },
+    Un {
+        dst: u32,
+        op: UnOp,
+        a: u32,
+    },
+    Copy {
+        dst: u32,
+        src: u32,
+    },
+}
+
+/// A borrowed view of one lowered kernel, handed to the per-tier
+/// executors so each tier is a single monomorphic function.
+pub(crate) struct Plan<'a> {
+    pub(crate) prologue: &'a [NOp],
+    pub(crate) pair_header: &'a [NOp],
+    pub(crate) pair: &'a [NOp],
+    pub(crate) pair_iters: i64,
+    pub(crate) body_header: &'a [NOp],
+    pub(crate) body: &'a [NOp],
+    pub(crate) body_iters: i64,
+    pub(crate) epilogue: &'a [NOp],
+    pub(crate) nregs: usize,
+    pub(crate) elem: ScalarType,
+    /// Whether the unrolled pair loop may run [`BANK`] iterations per
+    /// op dispatch (see [`body_is_bankable`]).
+    pub(crate) pair_banked: bool,
+    /// Same, for the steady-state body loop.
+    pub(crate) body_banked: bool,
+}
+
+/// How many body iterations a banked executor runs per op dispatch.
+///
+/// Banking is the backend's answer to dispatch overhead: an
+/// interpreter loop pays the match-and-branch cost once per op per
+/// iteration, which on a four-op body is most of the cycle budget.
+/// When [`body_is_bankable`] proves the body free of loop-carried
+/// register and memory dependences, the executors keep `BANK`
+/// independent register files and dispatch each op once per `BANK`
+/// iterations — amortizing the dispatch 4× and handing the CPU four
+/// independent dependency chains to overlap.
+pub(crate) const BANK: usize = 4;
+
+/// The registers an op reads (before it writes its destination).
+fn op_sources(op: &NOp) -> [Option<u32>; 2] {
+    match *op {
+        NOp::Load { .. } | NOp::Splat { .. } => [None, None],
+        NOp::Store { src, .. } | NOp::Copy { src, .. } => [Some(src), None],
+        NOp::Shift { a, b, .. }
+        | NOp::Splice { a, b, .. }
+        | NOp::Perm { a, b, .. }
+        | NOp::Bin { a, b, .. } => [Some(a), Some(b)],
+        NOp::BinImm { a, .. } | NOp::Un { a, .. } => [Some(a), None],
+    }
+}
+
+/// The register an op writes, if any.
+fn op_dst(op: &NOp) -> Option<u32> {
+    match *op {
+        NOp::Load { dst, .. }
+        | NOp::Shift { dst, .. }
+        | NOp::Splice { dst, .. }
+        | NOp::Perm { dst, .. }
+        | NOp::Splat { dst, .. }
+        | NOp::Bin { dst, .. }
+        | NOp::BinImm { dst, .. }
+        | NOp::Un { dst, .. }
+        | NOp::Copy { dst, .. } => Some(dst),
+        NOp::Store { .. } => None,
+    }
+}
+
+/// Whether a loop section (the unrolled pair loop or the steady-state
+/// body) can legally run [`BANK`] iterations per op dispatch with
+/// per-iteration register files.
+///
+/// Banking reorders execution: op `i` runs for iterations `k..k+BANK`
+/// before op `i+1` runs for any of them. That is observationally
+/// equivalent to the sequential schedule exactly when
+///
+/// 1. no register carries a value between body iterations — every
+///    register the body reads is either written earlier *in the same
+///    iteration* or never written by the body at all (a loop
+///    invariant, replicated identically into every bank), and
+/// 2. no two memory accesses from *different* iterations inside one
+///    bank window overlap, unless both are loads. All accesses must
+///    share one step for the window algebra below to close the check.
+///
+/// Software-pipelined bodies (a register reused from the previous
+/// iteration) fail condition 1 and run on the sequential schedule;
+/// loops with a dependence distance under `BANK` vectors fail
+/// condition 2.
+fn body_is_bankable(body: &[NOp]) -> bool {
+    let mut written: Vec<u32> = Vec::new();
+    let mut live_in: Vec<u32> = Vec::new();
+    for op in body {
+        for src in op_sources(op).into_iter().flatten() {
+            if !written.contains(&src) && !live_in.contains(&src) {
+                live_in.push(src);
+            }
+        }
+        if let Some(dst) = op_dst(op) {
+            written.push(dst);
+        }
+    }
+    if live_in.iter().any(|r| written.contains(r)) {
+        return false;
+    }
+    let mut accesses: Vec<(i64, i64, bool)> = Vec::new();
+    for op in body {
+        match *op {
+            NOp::Load { start, step, .. } => accesses.push((start, step, false)),
+            NOp::Store { src: _, start, step } => accesses.push((start, step, true)),
+            _ => {}
+        }
+    }
+    let Some(&(_, step, _)) = accesses.first() else {
+        return true;
+    };
+    if accesses.iter().any(|&(_, s, _)| s != step) {
+        return false;
+    }
+    for &(s1, _, store1) in &accesses {
+        for &(s2, _, store2) in &accesses {
+            if !store1 && !store2 {
+                continue;
+            }
+            // `s1` at iteration `k + delta` against `s2` at `k`; the
+            // ordered double loop covers negative deltas by symmetry.
+            for delta in 1..BANK as i64 {
+                if (s1 + delta * step - s2).abs() < 16 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn lower_op(op: &Op) -> NOp {
+    match *op {
+        // Fused shifted loads are already single loads; the backend
+        // keeps them as one movdqu/vld1q each.
+        Op::Load { dst, start, step, .. } | Op::LoadFused { dst, start, step, .. } => {
+            NOp::Load { dst, start, step }
+        }
+        Op::Store { src, start, step, .. } => NOp::Store { src, start, step },
+        Op::Shift { dst, a, b, amt } => NOp::Shift { dst, a, b, amt },
+        Op::Splice { dst, a, b, point } => {
+            let mut mask = [0u8; 16];
+            for byte in mask.iter_mut().take(point as usize) {
+                *byte = 0xFF;
+            }
+            NOp::Splice { dst, a, b, mask }
+        }
+        Op::Perm { dst, a, b, ref pattern } => {
+            let mut lo = [0x80u8; 16];
+            let mut hi = [0x80u8; 16];
+            for (t, &sel) in pattern.iter().enumerate() {
+                if sel < 16 {
+                    lo[t] = sel;
+                } else {
+                    hi[t] = sel - 16;
+                }
+            }
+            NOp::Perm { dst, a, b, pattern: *pattern, lo, hi }
+        }
+        Op::Splat { dst, bytes } => NOp::Splat { dst, bytes },
+        Op::Bin { dst, op, a, b } => NOp::Bin { dst, op, a, b },
+        Op::BinSplat { dst, op, a, ref imm, imm_left } => NOp::BinImm {
+            dst,
+            op,
+            a,
+            imm: *imm,
+            imm_left,
+        },
+        Op::Un { dst, op, a } => NOp::Un { dst, op, a },
+        Op::Copy { dst, src } => NOp::Copy { dst, src },
+    }
+}
+
+fn lower_section(ops: &[Op]) -> Vec<NOp> {
+    ops.iter().map(lower_op).collect()
+}
+
+/// A baked kernel lowered to real SIMD, pinned to one [`IsaLevel`].
+///
+/// Built with [`lower`](SimdKernel::lower) from any [`CompiledKernel`]
+/// (typically a trace-fused one); [`run`](SimdKernel::run) replays the
+/// lowered program through the tier's `std::arch` executor. Scalar
+/// fallback kernels (the `ub ≤ 3B` guard) delegate to the base kernel
+/// unchanged — there is no vector section to lower.
+#[derive(Debug, Clone)]
+pub struct SimdKernel {
+    base: CompiledKernel,
+    isa: IsaLevel,
+    prologue: Vec<NOp>,
+    pair_header: Vec<NOp>,
+    pair: Vec<NOp>,
+    body_header: Vec<NOp>,
+    body: Vec<NOp>,
+    epilogue: Vec<NOp>,
+    pair_banked: bool,
+    body_banked: bool,
+}
+
+impl SimdKernel {
+    /// Lowers `kernel` for `isa`. A tier the current host cannot
+    /// execute (wrong architecture, failed AVX2 probe) is clamped to
+    /// the portable scalar tier, so lowering is total and `run` can
+    /// never dispatch into unsupported instructions.
+    pub fn lower(kernel: &CompiledKernel, isa: IsaLevel) -> SimdKernel {
+        let _span = telemetry::span("lower");
+        let isa = if isa.available() { isa } else { IsaLevel::Scalar };
+        let pair = lower_section(&kernel.pair);
+        let body = lower_section(&kernel.body);
+        let pair_banked = body_is_bankable(&pair);
+        let body_banked = body_is_bankable(&body);
+        SimdKernel {
+            prologue: lower_section(&kernel.prologue),
+            pair_header: lower_section(&kernel.pair_header),
+            pair,
+            body_header: lower_section(&kernel.body_header),
+            body,
+            epilogue: lower_section(&kernel.epilogue),
+            base: kernel.clone(),
+            isa,
+            pair_banked,
+            body_banked,
+        }
+    }
+
+    /// [`lower`](SimdKernel::lower) at the host's detected tier
+    /// ([`IsaLevel::detect`], honoring the `SIMDIZE_ISA` override).
+    pub fn lower_detected(kernel: &CompiledKernel) -> SimdKernel {
+        SimdKernel::lower(kernel, IsaLevel::detect())
+    }
+
+    /// Compiles `program` and lowers it at the detected tier — the
+    /// one-shot counterpart of [`CompiledKernel::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CompiledKernel::compile`].
+    pub fn compile(
+        program: &SimdProgram,
+        image: &MemoryImage,
+        input: &RunInput,
+    ) -> Result<SimdKernel, ExecError> {
+        Ok(SimdKernel::lower_detected(&CompiledKernel::compile(
+            program, image, input,
+        )?))
+    }
+
+    /// The instruction tier `run` dispatches to.
+    pub fn isa(&self) -> IsaLevel {
+        self.isa
+    }
+
+    /// The baked kernel this lowering came from.
+    pub fn base(&self) -> &CompiledKernel {
+        &self.base
+    }
+
+    /// The base kernel's analytic [`RunStats`] — identical across
+    /// interpreter, fused engine and this backend by construction.
+    pub fn stats(&self) -> RunStats {
+        self.base.stats()
+    }
+
+    /// Whether the base kernel resolved to the scalar fallback path.
+    pub fn is_fallback(&self) -> bool {
+        self.base.is_fallback()
+    }
+
+    /// Whether `image` has the layout this kernel was baked for.
+    pub fn layout_matches(&self, image: &MemoryImage) -> bool {
+        self.base.layout_matches(image)
+    }
+
+    /// Executes the lowered kernel against `image`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Unsupported`] when `image` has a different layout
+    /// than compiled for; scalar-fallback kernels propagate the base
+    /// kernel's faults.
+    pub fn run(&self, image: &mut MemoryImage) -> Result<RunStats, ExecError> {
+        if self.base.is_fallback() {
+            return self.base.run(image);
+        }
+        let _span = telemetry::span("run");
+        if !self.base.layout_matches(image) {
+            return Err(ExecError::Unsupported {
+                what: "a memory image with a different layout than compiled for",
+            });
+        }
+        let plan = Plan {
+            prologue: &self.prologue,
+            pair_header: &self.pair_header,
+            pair: &self.pair,
+            pair_iters: self.base.pair_iters,
+            body_header: &self.body_header,
+            body: &self.body,
+            body_iters: self.base.body_iters,
+            epilogue: &self.epilogue,
+            nregs: self.base.nregs,
+            elem: self.base.elem,
+            pair_banked: self.pair_banked,
+            body_banked: self.body_banked,
+        };
+        let mem = image.bytes_mut();
+        match self.isa {
+            IsaLevel::Scalar => portable::exec(&plan, mem),
+            #[cfg(target_arch = "x86_64")]
+            IsaLevel::Sse2 => x86::exec(&plan, mem, false),
+            #[cfg(target_arch = "x86_64")]
+            IsaLevel::Avx2 => x86::exec(&plan, mem, true),
+            #[cfg(target_arch = "aarch64")]
+            IsaLevel::Neon => neon::exec(&plan, mem),
+            // `lower` clamps foreign-architecture tiers to Scalar, so
+            // this arm is only a totality backstop.
+            #[allow(unreachable_patterns)]
+            _ => portable::exec(&plan, mem),
+        }
+        Ok(self.base.stats())
+    }
+}
+
+/// [`Executor`] running every program through the intrinsics backend
+/// at the detected ISA tier — `simdize run --engine simd`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdEngine;
+
+impl Executor for SimdEngine {
+    fn execute(
+        &self,
+        program: &SimdProgram,
+        image: &mut MemoryImage,
+        input: &RunInput,
+    ) -> Result<RunStats, ExecError> {
+        SimdKernel::compile(program, image, input)?.run(image)
+    }
+
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_codegen::{generate, CodegenOptions, ReuseMode};
+    use simdize_ir::{parse_program, VectorShape};
+    use simdize_reorg::{Policy, ReorgGraph};
+
+    const FIG1: &str = "arrays { a: i32[128] @ 0; b: i32[128] @ 4; c: i32[128] @ 8; }
+                        for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }";
+
+    fn compile_at(src: &str, policy: Policy, ub: u64) -> (CompiledKernel, MemoryImage) {
+        let p = parse_program(src).unwrap();
+        let g = ReorgGraph::build(&p, VectorShape::V16)
+            .unwrap()
+            .with_policy(policy)
+            .unwrap();
+        let prog = generate(
+            &g,
+            &CodegenOptions::default().reuse(ReuseMode::SoftwarePipeline),
+        )
+        .unwrap();
+        let image = MemoryImage::with_seed(&p, VectorShape::V16, 0xC0FFEE);
+        let kernel = CompiledKernel::compile(&prog, &image, &RunInput::with_ub(ub)).unwrap();
+        (kernel, image)
+    }
+
+    fn tiers() -> Vec<IsaLevel> {
+        IsaLevel::ALL
+            .into_iter()
+            .filter(|l| l.available())
+            .collect()
+    }
+
+    #[test]
+    fn every_available_tier_matches_the_fused_engine() {
+        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant] {
+            let (kernel, image) = compile_at(FIG1, policy, 100);
+            let mut reference = image.clone();
+            let want_stats = kernel.run(&mut reference).unwrap();
+            for isa in tiers() {
+                let lowered = SimdKernel::lower(&kernel, isa);
+                assert_eq!(lowered.isa(), isa);
+                let mut got = image.clone();
+                let stats = lowered.run(&mut got).unwrap();
+                assert_eq!(stats, want_stats, "{policy:?} {isa}");
+                assert_eq!(got.bytes(), reference.bytes(), "{policy:?} {isa}");
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_tier_clamps_to_scalar() {
+        let (kernel, _) = compile_at(FIG1, Policy::Zero, 100);
+        let foreign = if cfg!(target_arch = "x86_64") {
+            IsaLevel::Neon
+        } else {
+            IsaLevel::Avx2
+        };
+        if !foreign.available() {
+            let lowered = SimdKernel::lower(&kernel, foreign);
+            assert_eq!(lowered.isa(), IsaLevel::Scalar);
+        }
+    }
+
+    const RUNTIME_UB: &str = "arrays { a: i32[128] @ 0; b: i32[128] @ 4; c: i32[128] @ 8; }
+                              for i in 0..ub { a[i+3] = b[i+1] + c[i+2]; }";
+
+    #[test]
+    fn fallback_kernels_delegate_to_the_base_path() {
+        // ub below the guard minimum trips the scalar fallback.
+        let (kernel, image) = compile_at(RUNTIME_UB, Policy::Zero, 2);
+        assert!(kernel.is_fallback());
+        let lowered = SimdKernel::lower_detected(&kernel);
+        assert!(lowered.is_fallback());
+        let mut reference = image.clone();
+        kernel.run(&mut reference).unwrap();
+        let mut got = image.clone();
+        lowered.run(&mut got).unwrap();
+        assert_eq!(got.bytes(), reference.bytes());
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected() {
+        let (kernel, _) = compile_at(FIG1, Policy::Zero, 100);
+        let other = parse_program(
+            "arrays { a: i32[256] @ 0; b: i32[256] @ 4; c: i32[256] @ 8; }
+             for i in 0..100 { a[i+3] = b[i+1] + c[i+2]; }",
+        )
+        .unwrap();
+        let mut foreign = MemoryImage::with_seed(&other, VectorShape::V16, 1);
+        let lowered = SimdKernel::lower_detected(&kernel);
+        assert!(lowered.run(&mut foreign).is_err());
+    }
+
+    #[test]
+    fn bankability_analysis_separates_independent_bodies_from_carried_ones() {
+        // A misaligned-copy body: load, store, disjoint streams.
+        let copy = [
+            NOp::Load { dst: 0, start: 1024, step: 16 },
+            NOp::Store { src: 0, start: 65536, step: 16 },
+        ];
+        assert!(body_is_bankable(&copy));
+
+        // Software-pipelined shift: r1 is read before the body rewrites
+        // it — a value carried across iterations.
+        let pipelined = [
+            NOp::Load { dst: 0, start: 1024, step: 16 },
+            NOp::Shift { dst: 2, a: 1, b: 0, amt: 4 },
+            NOp::Copy { dst: 1, src: 0 },
+            NOp::Store { src: 2, start: 65536, step: 16 },
+        ];
+        assert!(!body_is_bankable(&pipelined));
+
+        // A loop-invariant register (written by the header, only read
+        // here) does not block banking.
+        let invariant = [
+            NOp::Load { dst: 0, start: 1024, step: 16 },
+            NOp::Bin { dst: 2, op: BinOp::Add, a: 0, b: 7 },
+            NOp::Store { src: 2, start: 65536, step: 16 },
+        ];
+        assert!(body_is_bankable(&invariant));
+
+        // Store feeding a load one vector later: a dependence distance
+        // inside the bank window.
+        let close_dep = [
+            NOp::Load { dst: 0, start: 1040, step: 16 },
+            NOp::Store { src: 0, start: 1024, step: 16 },
+        ];
+        assert!(!body_is_bankable(&close_dep));
+
+        // Same shape but BANK vectors apart — outside the window.
+        let far_dep = [
+            NOp::Load { dst: 0, start: 1024 + 16 * BANK as i64, step: 16 },
+            NOp::Store { src: 0, start: 1024, step: 16 },
+        ];
+        assert!(body_is_bankable(&far_dep));
+
+        // Mixed steps defeat the window algebra: conservatively refuse.
+        let mixed_steps = [
+            NOp::Load { dst: 0, start: 1024, step: 16 },
+            NOp::Store { src: 0, start: 65536, step: 32 },
+        ];
+        assert!(!body_is_bankable(&mixed_steps));
+    }
+
+    #[test]
+    fn banked_and_sequential_schedules_agree_on_long_trips() {
+        // Long enough for banked windows plus a non-empty remainder on
+        // every policy's body count.
+        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant] {
+            let (kernel, image) = compile_at(FIG1, policy, 100);
+            let mut reference = image.clone();
+            kernel.run(&mut reference).unwrap();
+            let lowered = SimdKernel::lower(&kernel, IsaLevel::Scalar);
+            let mut got = image.clone();
+            lowered.run(&mut got).unwrap();
+            assert_eq!(
+                got.bytes(),
+                reference.bytes(),
+                "{policy:?} banked={}/{}",
+                lowered.pair_banked,
+                lowered.body_banked
+            );
+        }
+    }
+
+    #[test]
+    fn splice_masks_and_perm_tables_are_consistent() {
+        let op = Op::Splice { dst: 0, a: 1, b: 2, point: 5 };
+        match lower_op(&op) {
+            NOp::Splice { mask, .. } => {
+                for (i, byte) in mask.iter().enumerate() {
+                    assert_eq!(*byte, if i < 5 { 0xFF } else { 0x00 });
+                }
+            }
+            other => panic!("unexpected lowering: {other:?}"),
+        }
+        let mut pattern = [0u8; 16];
+        for (i, sel) in pattern.iter_mut().enumerate() {
+            *sel = (31 - i) as u8; // alternating halves, reversed
+        }
+        let op = Op::Perm { dst: 0, a: 1, b: 2, pattern };
+        match lower_op(&op) {
+            NOp::Perm { lo, hi, .. } => {
+                for i in 0..16 {
+                    let sel = pattern[i];
+                    if sel < 16 {
+                        assert_eq!((lo[i], hi[i]), (sel, 0x80));
+                    } else {
+                        assert_eq!((lo[i], hi[i]), (0x80, sel - 16));
+                    }
+                }
+            }
+            other => panic!("unexpected lowering: {other:?}"),
+        }
+    }
+}

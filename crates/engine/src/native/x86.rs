@@ -1,0 +1,551 @@
+//! x86_64 intrinsic tiers: SSE2 baseline and the AVX2 tier.
+//!
+//! Each tier is one `#[target_feature]` function pair (section
+//! executor + plan driver) stamped from a macro, plus per-operation
+//! helpers carrying the same feature set so every call between them is
+//! a safe same-context call (rustc's implied-feature rules make the
+//! SSE2-attributed helpers callable from the AVX2 tier).
+//!
+//! The AVX2 tier works on 128-bit registers — the engine's vector
+//! shape is V16 — but the runtime `avx2` probe is what guarantees the
+//! SSSE3/SSE4.1 forms it leans on: `palignr` for `vshiftpair`,
+//! `pblendvb` for `vsplice`, dual `pshufb` for `vperm`, `pmulld` and
+//! the full min/max family for arithmetic. The SSE2 tier synthesizes
+//! the same results from the guaranteed baseline: shift as
+//! `psrldq`/`pslldq`/`por`, splice as `pand`/`pandn`/`por`, and a
+//! scalar byte gather for the (rare, strided-only) `vperm`.
+//!
+//! Operation/width pairs with no instruction in a tier fall back to
+//! the [`lanes`] reference loops on register copies — bit-identical by
+//! definition, and only ever hit for combinations the paper's kernels
+//! do not emit in hot loops (64-bit multiply, cross-signedness
+//! min/max on SSE2, …).
+//!
+//! This module and `neon` are the only two places in the crate allowed
+//! to use `unsafe`; every block is a load/store intrinsic on an
+//! exactly-16-byte slice or a feature-checked tier entry.
+
+use super::{IsaLevel, NOp, Plan, BANK};
+use crate::lanes::{self, Reg};
+use core::arch::x86_64::*;
+use simdize_ir::{BinOp, ScalarType, UnOp};
+
+/// Safe dispatch into the x86 tiers. `wide` asks for the AVX2 tier;
+/// the runtime probe is re-checked here so this safe function cannot
+/// reach unsupported instructions even if called with a stale flag.
+pub(super) fn exec(plan: &Plan<'_>, mem: &mut [u8], wide: bool) {
+    if wide && IsaLevel::Avx2.available() {
+        // SAFETY: the `avx2` branch of `available` just confirmed
+        // ssse3, sse4.1 and avx2 via `is_x86_feature_detected!`.
+        unsafe { run_avx2(plan, mem) }
+    } else {
+        // SAFETY: SSE2 is architecturally guaranteed on x86_64.
+        unsafe { run_sse2(plan, mem) }
+    }
+}
+
+#[inline]
+#[target_feature(enable = "sse2")]
+fn to_bytes(v: __m128i) -> Reg {
+    let mut out = [0u8; 16];
+    // SAFETY: `out` is exactly 16 writable bytes; movdqu has no
+    // alignment requirement.
+    unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), v) };
+    out
+}
+
+#[inline]
+#[target_feature(enable = "sse2")]
+fn from_bytes(r: &Reg) -> __m128i {
+    // SAFETY: `r` is exactly 16 readable bytes; movdqu has no
+    // alignment requirement.
+    unsafe { _mm_loadu_si128(r.as_ptr().cast()) }
+}
+
+/// Reference-loop fallback for operation/width pairs the tier has no
+/// instruction for: round-trip through byte registers.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn emul_bin(op: BinOp, elem: ScalarType, a: __m128i, b: __m128i) -> __m128i {
+    from_bytes(&lanes::bin(op, elem, &to_bytes(a), &to_bytes(b)))
+}
+
+#[inline]
+#[target_feature(enable = "sse2")]
+fn emul_un(op: UnOp, elem: ScalarType, a: __m128i) -> __m128i {
+    from_bytes(&lanes::un(op, elem, &to_bytes(a)))
+}
+
+/// `vshiftpair` on the SSE2 baseline: no `palignr`, so synthesize the
+/// byte rotate from the two whole-register byte shifts. The shift
+/// amount is a const immediate on both instructions, hence the match
+/// table over all 17 legal amounts.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn shift_sse2(a: __m128i, b: __m128i, amt: u8) -> __m128i {
+    macro_rules! arm {
+        ($n:literal) => {
+            _mm_or_si128(_mm_srli_si128::<$n>(a), _mm_slli_si128::<{ 16 - $n }>(b))
+        };
+    }
+    match amt {
+        0 => a,
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        10 => arm!(10),
+        11 => arm!(11),
+        12 => arm!(12),
+        13 => arm!(13),
+        14 => arm!(14),
+        15 => arm!(15),
+        _ => b,
+    }
+}
+
+/// `vshiftpair` as the paper lowers it: one `palignr` per amount.
+/// `palignr(b, a, n)` reads the concatenation `b:a` shifted right `n`
+/// bytes — exactly `out[i] = (a ++ b)[i + n]`.
+#[inline]
+#[target_feature(enable = "ssse3,sse4.1,avx2")]
+fn shift_avx2(a: __m128i, b: __m128i, amt: u8) -> __m128i {
+    macro_rules! arm {
+        ($n:literal) => {
+            _mm_alignr_epi8::<$n>(b, a)
+        };
+    }
+    match amt {
+        0 => a,
+        1 => arm!(1),
+        2 => arm!(2),
+        3 => arm!(3),
+        4 => arm!(4),
+        5 => arm!(5),
+        6 => arm!(6),
+        7 => arm!(7),
+        8 => arm!(8),
+        9 => arm!(9),
+        10 => arm!(10),
+        11 => arm!(11),
+        12 => arm!(12),
+        13 => arm!(13),
+        14 => arm!(14),
+        15 => arm!(15),
+        _ => b,
+    }
+}
+
+/// `vsplice` select: mask byte `0xFF` takes `a`, `0x00` takes `b`.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn splice_sse2(a: __m128i, b: __m128i, mask: &Reg) -> __m128i {
+    let m = from_bytes(mask);
+    _mm_or_si128(_mm_and_si128(m, a), _mm_andnot_si128(m, b))
+}
+
+#[inline]
+#[target_feature(enable = "ssse3,sse4.1,avx2")]
+fn splice_avx2(a: __m128i, b: __m128i, mask: &Reg) -> __m128i {
+    // blendv picks its *second* source where the mask byte's high bit
+    // is set; our mask is 0xFF-on-`a`.
+    _mm_blendv_epi8(b, a, from_bytes(mask))
+}
+
+/// `vperm` without `pshufb`: scalar byte gather over the 32-byte pair.
+#[inline]
+#[target_feature(enable = "sse2")]
+fn perm_sse2(a: __m128i, b: __m128i, pattern: &[u8; 16], _lo: &Reg, _hi: &Reg) -> __m128i {
+    let mut pair = [0u8; 32];
+    pair[..16].copy_from_slice(&to_bytes(a));
+    pair[16..].copy_from_slice(&to_bytes(b));
+    let mut out = [0u8; 16];
+    for (t, &sel) in pattern.iter().enumerate() {
+        out[t] = pair[sel as usize];
+    }
+    from_bytes(&out)
+}
+
+/// `vperm` as dual `pshufb`: each half-table selects from one source
+/// register (0x80 lanes shuffle to zero), OR merges the halves.
+#[inline]
+#[target_feature(enable = "ssse3,sse4.1,avx2")]
+fn perm_avx2(a: __m128i, b: __m128i, _pattern: &[u8; 16], lo: &Reg, hi: &Reg) -> __m128i {
+    _mm_or_si128(
+        _mm_shuffle_epi8(a, from_bytes(lo)),
+        _mm_shuffle_epi8(b, from_bytes(hi)),
+    )
+}
+
+#[inline]
+#[target_feature(enable = "sse2")]
+fn bin_sse2(op: BinOp, elem: ScalarType, a: __m128i, b: __m128i) -> __m128i {
+    let signed = elem.is_signed();
+    match (op, elem.size()) {
+        (BinOp::Add, 1) => _mm_add_epi8(a, b),
+        (BinOp::Add, 2) => _mm_add_epi16(a, b),
+        (BinOp::Add, 4) => _mm_add_epi32(a, b),
+        (BinOp::Add, _) => _mm_add_epi64(a, b),
+        (BinOp::Sub, 1) => _mm_sub_epi8(a, b),
+        (BinOp::Sub, 2) => _mm_sub_epi16(a, b),
+        (BinOp::Sub, 4) => _mm_sub_epi32(a, b),
+        (BinOp::Sub, _) => _mm_sub_epi64(a, b),
+        (BinOp::Mul, 2) => _mm_mullo_epi16(a, b),
+        (BinOp::And, _) => _mm_and_si128(a, b),
+        (BinOp::Or, _) => _mm_or_si128(a, b),
+        (BinOp::Xor, _) => _mm_xor_si128(a, b),
+        (BinOp::Min, 1) if !signed => _mm_min_epu8(a, b),
+        (BinOp::Min, 2) if signed => _mm_min_epi16(a, b),
+        (BinOp::Max, 1) if !signed => _mm_max_epu8(a, b),
+        (BinOp::Max, 2) if signed => _mm_max_epi16(a, b),
+        _ => emul_bin(op, elem, a, b),
+    }
+}
+
+#[inline]
+#[target_feature(enable = "ssse3,sse4.1,avx2")]
+fn bin_avx2(op: BinOp, elem: ScalarType, a: __m128i, b: __m128i) -> __m128i {
+    let signed = elem.is_signed();
+    match (op, elem.size()) {
+        (BinOp::Mul, 4) => _mm_mullo_epi32(a, b),
+        (BinOp::Min, 1) if signed => _mm_min_epi8(a, b),
+        (BinOp::Min, 2) if !signed => _mm_min_epu16(a, b),
+        (BinOp::Min, 4) if signed => _mm_min_epi32(a, b),
+        (BinOp::Min, 4) => _mm_min_epu32(a, b),
+        (BinOp::Max, 1) if signed => _mm_max_epi8(a, b),
+        (BinOp::Max, 2) if !signed => _mm_max_epu16(a, b),
+        (BinOp::Max, 4) if signed => _mm_max_epi32(a, b),
+        (BinOp::Max, 4) => _mm_max_epu32(a, b),
+        _ => bin_sse2(op, elem, a, b),
+    }
+}
+
+#[inline]
+#[target_feature(enable = "sse2")]
+fn un_sse2(op: UnOp, elem: ScalarType, a: __m128i) -> __m128i {
+    let signed = elem.is_signed();
+    let zero = _mm_setzero_si128();
+    match (op, elem.size()) {
+        (UnOp::Neg, 1) => _mm_sub_epi8(zero, a),
+        (UnOp::Neg, 2) => _mm_sub_epi16(zero, a),
+        (UnOp::Neg, 4) => _mm_sub_epi32(zero, a),
+        (UnOp::Neg, _) => _mm_sub_epi64(zero, a),
+        (UnOp::Not, _) => _mm_xor_si128(a, _mm_cmpeq_epi32(zero, zero)),
+        // abs on an unsigned type is the identity (lanes semantics).
+        (UnOp::Abs, _) if !signed => a,
+        // pabsw is SSSE3; max(a, -a) matches wrapping_abs (MIN → MIN).
+        (UnOp::Abs, 2) => _mm_max_epi16(a, _mm_sub_epi16(zero, a)),
+        _ => emul_un(op, elem, a),
+    }
+}
+
+#[inline]
+#[target_feature(enable = "ssse3,sse4.1,avx2")]
+fn un_avx2(op: UnOp, elem: ScalarType, a: __m128i) -> __m128i {
+    match (op, elem.size()) {
+        // pabs* keeps MIN as MIN — exactly `wrapping_abs`.
+        (UnOp::Abs, 1) if elem.is_signed() => _mm_abs_epi8(a),
+        (UnOp::Abs, 2) if elem.is_signed() => _mm_abs_epi16(a),
+        (UnOp::Abs, 4) if elem.is_signed() => _mm_abs_epi32(a),
+        _ => un_sse2(op, elem, a),
+    }
+}
+
+macro_rules! tier {
+    ($run:ident, $sect:ident, $looped:ident, $features:literal, $shift:ident, $splice:ident,
+     $perm:ident, $bin:ident, $un:ident) => {
+        /// One straight-line section for `LANES` consecutive
+        /// iterations: each op is dispatched once and executed against
+        /// `LANES` independent register files (`regs` holds
+        /// `LANES * nregs` registers, bank-major). `LANES == 1` is the
+        /// plain sequential schedule; [`BANK`] is the banked one,
+        /// legal only when the lowering proved the body bankable.
+        #[target_feature(enable = $features)]
+        fn $sect<const LANES: usize>(
+            ops: &[NOp],
+            k0: i64,
+            elem: ScalarType,
+            nregs: usize,
+            regs: &mut [__m128i],
+            mem: &mut [u8],
+        ) {
+            for op in ops {
+                match *op {
+                    NOp::Load { dst, start, step } => {
+                        for u in 0..LANES {
+                            let at = (start + (k0 + u as i64) * step) as usize;
+                            let src = &mem[at..at + 16];
+                            // SAFETY: the slice is exactly 16 readable bytes.
+                            regs[u * nregs + dst as usize] =
+                                unsafe { _mm_loadu_si128(src.as_ptr().cast()) };
+                        }
+                    }
+                    NOp::Store { src, start, step } => {
+                        for u in 0..LANES {
+                            let at = (start + (k0 + u as i64) * step) as usize;
+                            let v = regs[u * nregs + src as usize];
+                            let out = &mut mem[at..at + 16];
+                            // SAFETY: the slice is exactly 16 writable bytes.
+                            unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), v) };
+                        }
+                    }
+                    NOp::Shift { dst, a, b, amt } => {
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            regs[o + dst as usize] =
+                                $shift(regs[o + a as usize], regs[o + b as usize], amt);
+                        }
+                    }
+                    NOp::Splice { dst, a, b, ref mask } => {
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            regs[o + dst as usize] =
+                                $splice(regs[o + a as usize], regs[o + b as usize], mask);
+                        }
+                    }
+                    NOp::Perm { dst, a, b, ref pattern, ref lo, ref hi } => {
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            regs[o + dst as usize] =
+                                $perm(regs[o + a as usize], regs[o + b as usize], pattern, lo, hi);
+                        }
+                    }
+                    NOp::Splat { dst, ref bytes } => {
+                        let v = from_bytes(bytes);
+                        for u in 0..LANES {
+                            regs[u * nregs + dst as usize] = v;
+                        }
+                    }
+                    NOp::Bin { dst, op, a, b } => {
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            regs[o + dst as usize] =
+                                $bin(op, elem, regs[o + a as usize], regs[o + b as usize]);
+                        }
+                    }
+                    NOp::BinImm { dst, op, a, ref imm, imm_left } => {
+                        let iv = from_bytes(imm);
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            let av = regs[o + a as usize];
+                            regs[o + dst as usize] = if imm_left {
+                                $bin(op, elem, iv, av)
+                            } else {
+                                $bin(op, elem, av, iv)
+                            };
+                        }
+                    }
+                    NOp::Un { dst, op, a } => {
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            regs[o + dst as usize] = $un(op, elem, regs[o + a as usize]);
+                        }
+                    }
+                    NOp::Copy { dst, src } => {
+                        for u in 0..LANES {
+                            let o = u * nregs;
+                            regs[o + dst as usize] = regs[o + src as usize];
+                        }
+                    }
+                }
+            }
+        }
+
+        /// One loop section, banked when the lowering proved it legal
+        /// and the trip is long enough to fill a window.
+        #[target_feature(enable = $features)]
+        fn $looped(
+            ops: &[NOp],
+            iters: i64,
+            banked: bool,
+            elem: ScalarType,
+            nregs: usize,
+            regs: &mut [__m128i],
+            mem: &mut [u8],
+        ) {
+            let mut k = 0;
+            if banked && iters >= BANK as i64 {
+                // Every bank starts from the sequential register state
+                // (loop invariants included); bank `BANK-1` runs the
+                // last iteration of each window, so its file is the
+                // sequential state the remainder and later sections
+                // expect.
+                let mut banks = vec![_mm_setzero_si128(); BANK * nregs];
+                for u in 0..BANK {
+                    banks[u * nregs..(u + 1) * nregs].copy_from_slice(regs);
+                }
+                while k + BANK as i64 <= iters {
+                    $sect::<BANK>(ops, k, elem, nregs, &mut banks, mem);
+                    k += BANK as i64;
+                }
+                regs.copy_from_slice(&banks[(BANK - 1) * nregs..]);
+            }
+            for kk in k..iters {
+                $sect::<1>(ops, kk, elem, nregs, regs, mem);
+            }
+        }
+
+        #[target_feature(enable = $features)]
+        fn $run(plan: &Plan<'_>, mem: &mut [u8]) {
+            let nregs = plan.nregs;
+            let mut regs = vec![_mm_setzero_si128(); nregs];
+            let elem = plan.elem;
+            $sect::<1>(plan.prologue, 0, elem, nregs, &mut regs, mem);
+            if plan.pair_iters > 0 {
+                $sect::<1>(plan.pair_header, 0, elem, nregs, &mut regs, mem);
+                $looped(plan.pair, plan.pair_iters, plan.pair_banked, elem, nregs, &mut regs, mem);
+            }
+            if plan.body_iters > 0 {
+                $sect::<1>(plan.body_header, 0, elem, nregs, &mut regs, mem);
+                $looped(plan.body, plan.body_iters, plan.body_banked, elem, nregs, &mut regs, mem);
+            }
+            $sect::<1>(plan.epilogue, 0, elem, nregs, &mut regs, mem);
+        }
+    };
+}
+
+tier!(
+    run_sse2,
+    sect_sse2,
+    looped_sse2,
+    "sse2",
+    shift_sse2,
+    splice_sse2,
+    perm_sse2,
+    bin_sse2,
+    un_sse2
+);
+tier!(
+    run_avx2,
+    sect_avx2,
+    looped_avx2,
+    "ssse3,sse4.1,avx2",
+    shift_avx2,
+    splice_avx2,
+    perm_avx2,
+    bin_avx2,
+    un_avx2
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdize_prng::SplitMix64;
+
+    fn random_reg(rng: &mut SplitMix64) -> Reg {
+        let mut r = [0u8; 16];
+        for chunk in r.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        r
+    }
+
+    /// Every per-op helper against its scalar reference, on both tiers,
+    /// across all shift amounts, splice points, ops and element types.
+    #[test]
+    fn tier_helpers_match_scalar_reference() {
+        let mut rng = SplitMix64::seed_from_u64(0x51D);
+        let wide = IsaLevel::Avx2.available();
+        for _ in 0..64 {
+            let ar = random_reg(&mut rng);
+            let br = random_reg(&mut rng);
+            // SAFETY: SSE2 is architecturally guaranteed on x86_64.
+            let (a, b) = unsafe { (from_bytes(&ar), from_bytes(&br)) };
+            for amt in 0..=16u8 {
+                let mut want = [0u8; 16];
+                want[..16 - amt as usize].copy_from_slice(&ar[amt as usize..]);
+                want[16 - amt as usize..].copy_from_slice(&br[..amt as usize]);
+                // SAFETY: as above; avx2 side gated on the runtime probe.
+                unsafe {
+                    assert_eq!(to_bytes(shift_sse2(a, b, amt)), want, "sse2 shift {amt}");
+                    if wide {
+                        assert_eq!(to_bytes(shift_avx2(a, b, amt)), want, "avx2 shift {amt}");
+                    }
+                }
+            }
+            for point in 0..=16usize {
+                let mut mask = [0u8; 16];
+                mask[..point].fill(0xFF);
+                let mut want = br;
+                want[..point].copy_from_slice(&ar[..point]);
+                // SAFETY: as above.
+                unsafe {
+                    assert_eq!(to_bytes(splice_sse2(a, b, &mask)), want, "sse2 splice");
+                    if wide {
+                        assert_eq!(to_bytes(splice_avx2(a, b, &mask)), want, "avx2 splice");
+                    }
+                }
+            }
+            for ty in simdize_ir::ScalarType::ALL {
+                for op in [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Min,
+                    BinOp::Max,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                ] {
+                    let want = lanes::bin(op, ty, &ar, &br);
+                    // SAFETY: as above.
+                    unsafe {
+                        assert_eq!(to_bytes(bin_sse2(op, ty, a, b)), want, "sse2 {op:?} {ty}");
+                        if wide {
+                            assert_eq!(to_bytes(bin_avx2(op, ty, a, b)), want, "avx2 {op:?} {ty}");
+                        }
+                    }
+                }
+                for op in [UnOp::Neg, UnOp::Not, UnOp::Abs] {
+                    let want = lanes::un(op, ty, &ar);
+                    // SAFETY: as above.
+                    unsafe {
+                        assert_eq!(to_bytes(un_sse2(op, ty, a)), want, "sse2 {op:?} {ty}");
+                        if wide {
+                            assert_eq!(to_bytes(un_avx2(op, ty, a)), want, "avx2 {op:?} {ty}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_gathers_from_both_halves() {
+        let mut rng = SplitMix64::seed_from_u64(0x9E47);
+        let ar = random_reg(&mut rng);
+        let br = random_reg(&mut rng);
+        let mut pattern = [0u8; 16];
+        let mut lo = [0x80u8; 16];
+        let mut hi = [0x80u8; 16];
+        for t in 0..16 {
+            let sel = ((t * 7 + 3) % 32) as u8;
+            pattern[t] = sel;
+            if sel < 16 {
+                lo[t] = sel;
+            } else {
+                hi[t] = sel - 16;
+            }
+        }
+        let mut pair = [0u8; 32];
+        pair[..16].copy_from_slice(&ar);
+        pair[16..].copy_from_slice(&br);
+        let mut want = [0u8; 16];
+        for t in 0..16 {
+            want[t] = pair[pattern[t] as usize];
+        }
+        // SAFETY: SSE2 statically guaranteed; avx2 behind the probe.
+        unsafe {
+            let (a, b) = (from_bytes(&ar), from_bytes(&br));
+            assert_eq!(to_bytes(perm_sse2(a, b, &pattern, &lo, &hi)), want);
+            if IsaLevel::Avx2.available() {
+                assert_eq!(to_bytes(perm_avx2(a, b, &pattern, &lo, &hi)), want);
+            }
+        }
+    }
+}

@@ -28,7 +28,11 @@
 //! `run`, `sweep`, `explain` and `verify` carry an inline loop
 //! `source` and are executed on the worker pool. Optional fields:
 //! `policy` (`zero|eager|lazy|dominant`), `seed`, `ub`, `params`
-//! (array of integers) and, for `sweep`, `count`. `verify` runs the
+//! (array of integers), `engine` (`native|simd` — `simd` executes
+//! `run`/`sweep` through the `std::arch` intrinsics backend at the
+//! host's dispatched ISA; kernel-cache keys carry the ISA level so
+//! entries never collide across backends) and, for `sweep`, `count`.
+//! `verify` runs the
 //! bounded-equivalence prover over its quick domain and returns the
 //! `simdize-verify/v1` report (with `wall_ms` zeroed so responses stay
 //! deterministic).
@@ -109,6 +113,17 @@ impl Command {
     }
 }
 
+/// Per-request executor selection for `run`/`sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireEngine {
+    /// The trace-fused compiled-kernel engine (wire name `native`).
+    #[default]
+    Native,
+    /// The `std::arch` intrinsics backend at the host's dispatched ISA
+    /// (wire name `simd`).
+    Simd,
+}
+
 /// Payload of the pipeline-executing commands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecRequest {
@@ -124,6 +139,8 @@ pub struct ExecRequest {
     pub params: Vec<i64>,
     /// Seeds to cover (`sweep` only).
     pub count: usize,
+    /// Executor for `run`/`sweep` (default: the fused engine).
+    pub engine: WireEngine,
 }
 
 /// A request that could not be parsed. Carries the id when one could
@@ -225,6 +242,16 @@ fn parse_exec(doc: &Json, id: u64) -> Result<ExecRequest, WireError> {
             params.push(v as i64);
         }
     }
+    let engine = match doc.get("engine").and_then(Json::as_str) {
+        None | Some("native") => WireEngine::Native,
+        Some("simd") => WireEngine::Simd,
+        Some(other) => {
+            return Err(WireError::new(
+                Some(id),
+                format!("unknown engine `{other}` (expected native|simd)"),
+            ))
+        }
+    };
     Ok(ExecRequest {
         source,
         policy,
@@ -232,6 +259,7 @@ fn parse_exec(doc: &Json, id: u64) -> Result<ExecRequest, WireError> {
         ub: get_u64(doc, "ub").unwrap_or(DEFAULT_UB),
         params,
         count: get_u64(doc, "count").map_or(DEFAULT_COUNT, |c| c as usize),
+        engine,
     })
 }
 
@@ -280,6 +308,14 @@ mod tests {
         assert_eq!(exec.policy, Some(Policy::Lazy));
         assert_eq!((exec.seed, exec.ub, exec.count), (5, 64, 12));
         assert_eq!(exec.params, vec![3, -1]);
+        assert_eq!(exec.engine, WireEngine::Native);
+
+        let r = parse_request(r#"{"v":1,"id":2,"cmd":"run","source":"x","engine":"simd"}"#)
+            .unwrap();
+        let Command::Run(exec) = r.cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(exec.engine, WireEngine::Simd);
     }
 
     #[test]
@@ -325,6 +361,10 @@ mod tests {
         let e = parse_request(r#"{"v":1,"id":7,"cmd":"run","source":"s","params":"no"}"#)
             .unwrap_err();
         assert!(e.message.contains("`params` must be an array"));
+
+        let e = parse_request(r#"{"v":1,"id":7,"cmd":"run","source":"s","engine":"jit"}"#)
+            .unwrap_err();
+        assert!(e.message.contains("unknown engine"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::protocol::{
     busy_response, error_response, ok_response, parse_request, Command, WireError, WIRE_SCHEMA,
 };
 use crate::signal;
-use simdize::KernelCache;
+use simdize::{IsaLevel, KernelCache};
 use simdize_telemetry as telemetry;
 use simdize_telemetry::Histogram;
 use std::collections::VecDeque;
@@ -226,7 +226,8 @@ impl Shared {
         let cache = self.cache.stats();
         let occupancy: Vec<String> = cache.occupancy.iter().map(usize::to_string).collect();
         format!(
-            "{{\"schema\":\"{WIRE_SCHEMA}\",\"uptime_ms\":{},\"requests\":{requests},\
+            "{{\"schema\":\"{WIRE_SCHEMA}\",\"isa\":\"{}\",\
+             \"uptime_ms\":{},\"requests\":{requests},\
              \"busy\":{},\"errors\":{},\"connections\":{},\
              \"requests_per_sec\":{:.2},\
              \"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},\"p95_us\":{},\"max_us\":{}}},\
@@ -234,6 +235,7 @@ impl Shared {
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4},\
              \"occupied\":{},\"capacity_per_shard\":{},\"occupancy\":[{}]}},\
              \"queue\":{{\"depth\":{},\"capacity\":{}}},\"workers\":{}}}",
+            IsaLevel::detect(),
             uptime.as_millis(),
             self.busy.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),

@@ -249,6 +249,7 @@ fn orientation(metric: &str) -> Option<bool> {
         || name.ends_with("_hit_rate")
         || name.starts_with("speedup")
         || name == "fused_vs_unfused"
+        || name == "native_vs_fused"
         || name == "cache_speedup"
         || name == "shared_vs_slot"
     {
@@ -453,6 +454,39 @@ mod tests {
         assert!(ms.gain > 1.0, "lower cached_ms must read as a gain");
         assert_eq!(report.regressions, 1);
         assert!(report.render_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn native_columns_participate_in_regression_gating() {
+        // The intrinsics-backend columns emitted by the engine bench:
+        // `native_vs_fused` is higher-is-better and must gate like a
+        // speedup; `native_ns` is a timing and gets the 2× allowance.
+        let doc = |vs_fused: f64, ns: f64| {
+            parse(&format!(
+                r#"{{ "schema": "simdize-bench-engine/v1",
+                     "kernels": [ {{ "name": "fig1",
+                       "native_vs_fused": {vs_fused},
+                       "native_ops_per_sec": 2.0e8,
+                       "native_ns": {ns} }} ] }}"#
+            ))
+            .unwrap()
+        };
+        let old = doc(2.0, 1000.0);
+        // Ratio halves (regression at 25%); timing worsens 10% (inside
+        // the 2×25% allowance).
+        let new = doc(1.0, 1100.0);
+        let report = diff(&old, &new, 0.25);
+        let by_name = |n: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.metric == n)
+                .unwrap_or_else(|| panic!("missing row {n}"))
+        };
+        assert!(by_name("kernel.fig1.native_vs_fused").regressed);
+        assert!(!by_name("kernel.fig1.native_ns").regressed);
+        assert!(!by_name("kernel.fig1.native_ops_per_sec").regressed);
+        assert_eq!(report.regressions, 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! * a small structured value domain (seeded fills, lane-index ramps,
 //!   single-hot bytes, boundary sentinels).
 //!
-//! Three Kani-style named harnesses run through one shared enumeration
+//! Four Kani-style named harnesses run through one shared enumeration
 //! driver with a work budget and parallel workers:
 //!
 //! * [`prover::HARNESS_NAMES`]`[0]` — `harness_codegen_equiv`: the
@@ -26,6 +26,10 @@
 //!   *and* reports the interpreter's exact `RunStats`.
 //! * `harness_cache_coherence`: a kernel-cache hit is byte-identical
 //!   to a fresh bake for the same `(program, input, layout)` key.
+//! * `harness_native_equiv`: the `std::arch` intrinsics backend,
+//!   dispatched at the host's detected ISA level, matches the oracle's
+//!   bytes and the interpreter's exact `RunStats` (its counterexamples
+//!   replay as `simdize run --engine simd`).
 //!
 //! Counterexamples are shrunk to the minimal `(alignment, trip, seed)`
 //! triple and printed as a replayable `simdize run` command line. The

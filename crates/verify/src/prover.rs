@@ -1,4 +1,4 @@
-//! The shared enumeration driver and the three named harnesses.
+//! The shared enumeration driver and the four named harnesses.
 //!
 //! One *unit* is a `(configuration, alignment-vector)` pair; the driver
 //! compiles each unit's program once and sweeps it over every trip
@@ -18,7 +18,7 @@ use crate::shrink;
 use simdize_analysis::{analyze_program, AnalyzeOptions};
 use simdize_codegen::{generate, generate_strided, CodegenOptions, ReuseMode, SimdProgram};
 use simdize_engine::{
-    program_fingerprint, CompiledKernel, KernelCache, KernelOptions, PredecodedKernel,
+    program_fingerprint, CompiledKernel, KernelCache, KernelOptions, PredecodedKernel, SimdKernel,
 };
 use simdize_ir::{LoopProgram, TripCount, VectorShape};
 use simdize_reorg::{Policy, ReorgGraph};
@@ -28,15 +28,20 @@ use std::thread;
 use std::time::Instant;
 
 /// The Kani-style property names, indexed by harness id.
-pub const HARNESS_NAMES: [&str; 3] = [
+pub const HARNESS_NAMES: [&str; 4] = [
     "harness_codegen_equiv",
     "harness_fusion_equiv",
     "harness_cache_coherence",
+    "harness_native_equiv",
 ];
 
 pub(crate) const H_CODEGEN: usize = 0;
 pub(crate) const H_FUSION: usize = 1;
 pub(crate) const H_CACHE: usize = 2;
+pub(crate) const H_NATIVE: usize = 3;
+
+/// Number of harnesses, for sizing per-harness accounting arrays.
+pub(crate) const NH: usize = HARNESS_NAMES.len();
 
 /// The verdict of one harness execution.
 pub(crate) enum Verdict {
@@ -154,6 +159,49 @@ pub(crate) fn harness_fusion_equiv(
     }
 }
 
+/// `harness_native_equiv`: the intrinsics-lowered kernel, dispatched at
+/// the host's detected ISA level (SSE2/AVX2/NEON or the portable scalar
+/// tier — `SIMDIZE_ISA` can force a lower tier), produces the oracle's
+/// bytes and (when the interpreter also ran) its exact [`RunStats`].
+/// Stats are computed before lowering, so any divergence here is a
+/// lowering or intrinsics bug, not an accounting one.
+pub(crate) fn harness_native_equiv(
+    prog: &SimdProgram,
+    img: &MemoryImage,
+    oracle: &MemoryImage,
+    input: &RunInput,
+    interp_stats: Option<RunStats>,
+) -> Verdict {
+    let mut mem = img.clone();
+    let kernel = match CompiledKernel::compile(prog, &mem, input) {
+        Ok(k) => k,
+        Err(e) => return Verdict::Violation(format!("bake fault: {e}")),
+    };
+    let lowered = SimdKernel::lower_detected(&kernel);
+    match lowered.run(&mut mem) {
+        Ok(stats) => {
+            if let Some(off) = mem.first_difference(oracle) {
+                return Verdict::Violation(format!(
+                    "simd backend ({}) output differs from the scalar oracle at byte {off}",
+                    lowered.isa()
+                ));
+            }
+            if let Some(is) = interp_stats {
+                if is != stats {
+                    return Verdict::Violation(format!(
+                        "simd backend ({}) RunStats diverge from the interpreter ({} vs {} total ops)",
+                        lowered.isa(),
+                        stats.total(),
+                        is.total()
+                    ));
+                }
+            }
+            Verdict::Pass
+        }
+        Err(e) => Verdict::Violation(format!("simd backend ({}) fault: {e}", lowered.isa())),
+    }
+}
+
 /// `harness_cache_coherence`: for one `(program, input, layout)` key, a
 /// [`KernelCache`] hit runs byte-identically to a fresh bake, and the
 /// second lookup of the key actually hits.
@@ -224,8 +272,8 @@ struct UnitOutcome {
     mutated: bool,
     points: u64,
     points_skipped: u64,
-    harness_runs: [u64; 3],
-    harness_viol: [u64; 3],
+    harness_runs: [u64; NH],
+    harness_viol: [u64; NH],
     lint_deny: usize,
     violations: Vec<RawCe>,
     exhausted: bool,
@@ -254,7 +302,7 @@ fn run_unit(
     let cache = KernelCache::new(1, 4);
     // One violation per harness per unit is recorded; the rest of the
     // unit's sweep for that harness is redundant evidence.
-    let mut found = [false; 3];
+    let mut found = [false; NH];
     let mut lint_done = false;
     // The reuse-discipline lint only applies to the stream generator;
     // the §7 strided generator does not pipeline chunks.
@@ -348,6 +396,28 @@ fn run_unit(
                     });
                 }
             }
+            if !found[H_NATIVE] {
+                if !take(spent, opts.budget) {
+                    out.exhausted = true;
+                    break 'sweep;
+                }
+                out.harness_runs[H_NATIVE] += 1;
+                if let Verdict::Violation(detail) =
+                    harness_native_equiv(&prog, &img, &oracle, &input, interp_stats)
+                {
+                    found[H_NATIVE] = true;
+                    out.harness_viol[H_NATIVE] += 1;
+                    out.violations.push(RawCe {
+                        cfg,
+                        aligns: aligns.to_vec(),
+                        trip,
+                        style: TripStyle::RuntimeUb,
+                        probe,
+                        harness: H_NATIVE,
+                        detail,
+                    });
+                }
+            }
             if pi == 0 && !found[H_CACHE] {
                 if let Some(pre) = &pre {
                     if !take(spent, opts.budget) {
@@ -389,7 +459,11 @@ fn run_unit(
     // also takes over the cache-coherence harness.
     if !out.exhausted {
         'known: for &trip in trips_known {
-            if found[H_CODEGEN] && found[H_FUSION] && (cache_proved_here || found[H_CACHE]) {
+            if found[H_CODEGEN]
+                && found[H_FUSION]
+                && found[H_NATIVE]
+                && (cache_proved_here || found[H_CACHE])
+            {
                 break;
             }
             let Some((kprog, kmutated)) = compile_variant(
@@ -468,6 +542,28 @@ fn run_unit(
                             style: TripStyle::KnownTrip,
                             probe,
                             harness: H_FUSION,
+                            detail,
+                        });
+                    }
+                }
+                if !found[H_NATIVE] {
+                    if !take(spent, opts.budget) {
+                        out.exhausted = true;
+                        break 'known;
+                    }
+                    out.harness_runs[H_NATIVE] += 1;
+                    if let Verdict::Violation(detail) =
+                        harness_native_equiv(&kprog, &img, &oracle, &input, interp_stats)
+                    {
+                        found[H_NATIVE] = true;
+                        out.harness_viol[H_NATIVE] += 1;
+                        out.violations.push(RawCe {
+                            cfg,
+                            aligns: aligns.to_vec(),
+                            trip,
+                            style: TripStyle::KnownTrip,
+                            probe,
+                            harness: H_NATIVE,
                             detail,
                         });
                     }
@@ -625,7 +721,7 @@ pub fn prove_loop(name: &str, base: &LoopProgram, opts: &VerifyOptions) -> Verif
         report.points += u.points;
         report.points_skipped += u.points_skipped;
         report.budget_exhausted |= u.exhausted;
-        for h in 0..3 {
+        for h in 0..NH {
             report.harnesses[h].runs += u.harness_runs[h];
             report.harnesses[h].violations += u.harness_viol[h];
             report.runs += u.harness_runs[h];
@@ -664,7 +760,7 @@ pub fn prove_loop(name: &str, base: &LoopProgram, opts: &VerifyOptions) -> Verif
 
     // Shrink the first counterexample of each harness to its minimal
     // (alignment, trip, seed) triple with a replayable command line.
-    for h in 0..3 {
+    for h in 0..NH {
         if let Some(raw) = raw_ces.iter().find(|c| c.harness == h) {
             report
                 .violations

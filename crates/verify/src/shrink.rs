@@ -9,8 +9,8 @@
 
 use crate::domain::{params_for, rebuild, reuse_name, Config, Mode, Probe, TripStyle, VerifyOptions};
 use crate::prover::{
-    compile_variant, harness_cache_coherence, harness_codegen_equiv, harness_fusion_equiv, RawCe,
-    Verdict, H_CACHE, H_CODEGEN, HARNESS_NAMES,
+    compile_variant, harness_cache_coherence, harness_codegen_equiv, harness_fusion_equiv,
+    harness_native_equiv, RawCe, Verdict, H_CACHE, H_CODEGEN, H_NATIVE, HARNESS_NAMES, NH,
 };
 use crate::report::Counterexample;
 use simdize_engine::{program_fingerprint, KernelCache, KernelOptions, PredecodedKernel};
@@ -70,6 +70,15 @@ fn fails(
                     &input,
                     &kopts,
                 ),
+                Verdict::Violation(_)
+            )
+        }
+        H_NATIVE => {
+            // Like fusion: the interpreter runs first so the RunStats
+            // cross check still applies during shrinking.
+            let (_, stats) = harness_codegen_equiv(&prog, &img, &oracle, &input);
+            matches!(
+                harness_native_equiv(&prog, &img, &oracle, &input, stats),
                 Verdict::Violation(_)
             )
         }
@@ -200,8 +209,13 @@ pub(crate) fn shrink_and_replay(
     if let Probe::Seeded(s) = probe {
         let _ = write!(cmd, " --seed {s}");
     }
-    if raw.harness != H_CODEGEN {
-        cmd.push_str(" --engine native");
+    // Replay through the engine the harness actually exercised: the
+    // interpreter for codegen, the intrinsics backend for native, the
+    // fused engine otherwise.
+    match raw.harness {
+        H_CODEGEN => {}
+        H_NATIVE => cmd.push_str(" --engine simd"),
+        _ => cmd.push_str(" --engine native"),
     }
     if let Some(kind) = opts.mutation {
         let _ = write!(cmd, "  # with --mutate {} injected", kind.name());
@@ -218,7 +232,7 @@ pub(crate) fn shrink_and_replay(
     }
 
     Counterexample {
-        harness: HARNESS_NAMES[raw.harness.min(2)],
+        harness: HARNESS_NAMES[raw.harness.min(NH - 1)],
         policy: cfg.policy.name().to_string(),
         reuse: reuse_name(cfg.reuse).to_string(),
         unroll: cfg.unroll,

@@ -7,7 +7,8 @@
 # script widens it to the full workspace (bench + cli are not in the
 # root package's dependency graph), lints with clippy at -D warnings,
 # builds rustdoc with warnings denied (every crate warns on
-# missing_docs), runs the doctests, builds the examples, checks that
+# missing_docs), re-runs the simd-backend differential matrix forced to
+# the SSE2 tier, runs the doctests, builds the examples, checks that
 # the generated worked-example docs are current,
 # and finishes with an end-to-end smoke sweep through the CLI binary:
 # eight seeds of Figure 1 compiled by the native engine and verified
@@ -32,6 +33,14 @@ cargo test -q --offline
 
 echo "== test (release, workspace) =="
 cargo test -q --release --offline --workspace
+
+echo "== simd backend differential matrix, forced to the SSE2 tier =="
+# The host probably dispatches AVX2, so the plain test runs above cover
+# that tier; forcing SIMDIZE_ISA=sse2 re-runs the full policy x
+# alignment x trip matrix through the baseline tier's synthesized
+# shift/splice/perm sequences. (The override can only lower the tier,
+# so this is safe on any x86_64 host.)
+SIMDIZE_ISA=sse2 cargo test -q --release --offline --test simd_native
 
 echo "== clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -133,10 +142,15 @@ target/release/simdize explain loops/runtime.loop --policy eager --markdown > /d
 echo "== bounded verification (quick proofs over every sample loop) =="
 # The --quick domain still crosses alignments x policies x trip
 # regimes; a non-PROVED verdict (violation or 0 compiled units) means
-# the prover or the pipeline regressed.
+# the prover or the pipeline regressed. Every proof must include the
+# intrinsics backend (harness_native_equiv with a non-zero run count),
+# so a silently skipped native harness also fails CI.
 for loop in loops/*.loop; do
-    target/release/simdize verify "$loop" --quick | grep -q '^PROVED:' \
+    report=$(target/release/simdize verify "$loop" --quick)
+    echo "$report" | grep -q '^PROVED:' \
         || { echo "verify: $loop did not prove" >&2; exit 1; }
+    echo "$report" | grep -q 'harness_native_equiv: [1-9][0-9]* runs' \
+        || { echo "verify: $loop proof skipped the intrinsics backend" >&2; exit 1; }
 done
 target/release/simdize verify loops/figure1.loop --quick --json \
     | grep -q '"schema":"simdize-verify/v1"'

@@ -15,6 +15,7 @@ fn all_samples_verify() {
         "runtime.loop",
         "dot_product.loop",
         "deinterleave.loop",
+        "halfword.loop",
     ] {
         let program = parse_program(&sample(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
         let report = Simdizer::new()
@@ -27,7 +28,12 @@ fn all_samples_verify() {
 
 #[test]
 fn samples_roundtrip_through_the_printer() {
-    for name in ["figure1.loop", "dot_product.loop", "deinterleave.loop"] {
+    for name in [
+        "figure1.loop",
+        "dot_product.loop",
+        "deinterleave.loop",
+        "halfword.loop",
+    ] {
         let program = parse_program(&sample(name)).unwrap();
         let reparsed = parse_program(&program.to_source()).unwrap();
         assert_eq!(program, reparsed, "{name}");

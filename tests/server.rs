@@ -95,6 +95,14 @@ fn golden_corpus() -> Vec<String> {
         format!(r#"{{"v":1,"id":11,"cmd":"run","source":"{fig1}","policy":"unknown"}}"#),
         r#"{"v":1,"id":12,"cmd":"run","source":"arrays { broken"}"#.to_string(),
         format!(r#"{{"v":1,"id":13,"cmd":"verify","source":"{fig1}"}}"#),
+        // The simd backend reports identical stats by construction, so
+        // these responses match their fused-engine twins byte for byte
+        // on every host — which is exactly what the golden pins.
+        format!(r#"{{"v":1,"id":14,"cmd":"run","source":"{fig1}","seed":7,"engine":"simd"}}"#),
+        format!(
+            r#"{{"v":1,"id":15,"cmd":"sweep","source":"{runtime}","seed":1,"ub":300,"count":6,"engine":"simd"}}"#
+        ),
+        format!(r#"{{"v":1,"id":16,"cmd":"run","source":"{fig1}","engine":"jit"}}"#),
     ]
 }
 
@@ -184,6 +192,13 @@ fn stats_report_latency_and_cache_counters() {
         result.get("schema").and_then(Json::as_str),
         Some("simdize-wire/v1")
     );
+    // The dispatched ISA is reported so bench rows and cache-occupancy
+    // numbers are interpretable across hosts.
+    assert_eq!(
+        result.get("isa").and_then(Json::as_str),
+        Some(simdize::IsaLevel::detect().name()),
+        "{stats}"
+    );
     let latency = result.get("latency").unwrap();
     assert_eq!(latency.get("count").and_then(Json::as_f64), Some(5.0));
     assert!(latency.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0);
@@ -203,6 +218,42 @@ fn stats_report_latency_and_cache_counters() {
     assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
     assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(4.0));
     assert_eq!(cache.get("occupied").and_then(Json::as_f64), Some(1.0));
+    harness.shutdown();
+}
+
+/// The same program executed through both backends must occupy two
+/// distinct kernel-cache entries — the backend (and, for simd, the
+/// dispatched ISA level) is part of the cache key, so fused and
+/// intrinsic bakes never collide across server requests — while the
+/// response payloads stay byte-identical.
+#[test]
+fn backends_occupy_distinct_cache_entries_across_requests() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    let src = inline(&sample("figure1"));
+    let baked = format!(r#"{{"v":1,"id":1,"cmd":"run","source":"{src}","seed":5}}"#);
+    let simd =
+        format!(r#"{{"v":1,"id":1,"cmd":"run","source":"{src}","seed":5,"engine":"simd"}}"#);
+    let first = client.roundtrip(&baked);
+    assert!(first.contains("\"verified\":true"), "{first}");
+    assert_eq!(
+        client.roundtrip(&simd),
+        first,
+        "stats are computed pre-lowering, so the payloads must agree"
+    );
+    let stats = client.roundtrip(r#"{"v":1,"id":2,"cmd":"stats"}"#);
+    let doc = json::parse(&stats).unwrap();
+    let cache = doc.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(2.0), "{stats}");
+    assert_eq!(cache.get("occupied").and_then(Json::as_f64), Some(2.0), "{stats}");
+    // Replaying both verbs now hits both entries.
+    client.roundtrip(&baked);
+    client.roundtrip(&simd);
+    let stats = client.roundtrip(r#"{"v":1,"id":3,"cmd":"stats"}"#);
+    let doc = json::parse(&stats).unwrap();
+    let cache = doc.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(2.0), "{stats}");
+    assert_eq!(cache.get("occupied").and_then(Json::as_f64), Some(2.0), "{stats}");
     harness.shutdown();
 }
 

@@ -1,0 +1,142 @@
+//! Differential tests for the `std::arch` intrinsics backend: every
+//! available ISA tier of `SimdKernel` must be byte-for-byte and
+//! stat-for-stat identical to the `simdize-vm` interpreter (the
+//! reference semantics) and to the fused `CompiledKernel` engine,
+//! across the full policy × alignment × trip matrix and every shipped
+//! sample loop — including the 16-bit `halfword.loop`.
+
+use simdize::{
+    run_simd, CompiledKernel, IsaLevel, MemoryImage, Policy, ReuseMode, RunInput, SimdKernel,
+    SimdizeError, Simdizer, VectorShape,
+};
+
+/// Every ISA tier the host can actually execute. On x86_64 this always
+/// contains at least `Scalar` and `Sse2` (the baseline is unconditional),
+/// plus `Avx2` when the CPU has it; elsewhere it degrades gracefully.
+fn host_tiers() -> Vec<IsaLevel> {
+    let tiers: Vec<IsaLevel> = IsaLevel::ALL.into_iter().filter(|t| t.available()).collect();
+    assert!(tiers.contains(&IsaLevel::Scalar));
+    #[cfg(target_arch = "x86_64")]
+    assert!(tiers.contains(&IsaLevel::Sse2), "SSE2 is baseline on x86_64");
+    tiers
+}
+
+const REUSES: [ReuseMode; 3] = [
+    ReuseMode::None,
+    ReuseMode::SoftwarePipeline,
+    ReuseMode::PredictiveCommoning,
+];
+
+/// Compile-time misaligned and runtime-aligned regimes (paper §4.1 and
+/// §4.4), mirroring `tests/engine.rs` so the two engines face the same
+/// matrix.
+const MISALIGNED: &str = "arrays { a: i32[256] @ 12; b: i32[256] @ 4; c: i32[256] @ 8; }
+                          for i in 0..200 { a[i+1] = b[i+3] + c[i+2]; }";
+const RUNTIME: &str = "arrays { a: i32[256] @ ?; b: i32[256] @ ?; c: i32[256] @ ?; }
+                       for i in 0..ub { a[i+1] = b[i+3] + c[i+2]; }";
+
+fn check_all_tiers(
+    program: &simdize::LoopProgram,
+    compiled: &simdize::SimdProgram,
+    ub: u64,
+    seed: u64,
+    label: &str,
+) {
+    let input = RunInput::with_ub(ub);
+    let mut interp_img = MemoryImage::with_seed(program, VectorShape::V16, seed);
+    let mut fused_img = interp_img.clone();
+    let want = run_simd(compiled, &mut interp_img, &input).unwrap();
+    let kernel = CompiledKernel::compile(compiled, &fused_img, &input).unwrap();
+    let fused = kernel.run(&mut fused_img).unwrap();
+    assert_eq!(fused, want, "{label}: fused engine diverged from interpreter");
+    assert_eq!(fused_img.first_difference(&interp_img), None, "{label}");
+    for tier in host_tiers() {
+        let lowered = SimdKernel::lower(&kernel, tier);
+        assert_eq!(lowered.isa(), tier);
+        let mut simd_img = MemoryImage::with_seed(program, VectorShape::V16, seed);
+        let got = lowered.run(&mut simd_img).unwrap();
+        assert_eq!(got, want, "{label}/{tier}: stats diverged");
+        assert_eq!(
+            simd_img.first_difference(&interp_img),
+            None,
+            "{label}/{tier}: memory diverged"
+        );
+    }
+}
+
+#[test]
+fn simd_backend_matches_interpreter_across_policy_reuse_alignment_matrix() {
+    let mut combos = 0;
+    for (src, ubs) in [
+        (MISALIGNED, &[200u64][..]),
+        (RUNTIME, &[1u64, 9, 197, 256][..]),
+    ] {
+        let program = simdize::parse_program(src).unwrap();
+        for policy in Policy::ALL {
+            for reuse in REUSES {
+                let compiled = match Simdizer::new()
+                    .policy(policy)
+                    .reuse(reuse)
+                    .compile(&program)
+                {
+                    Ok(c) => c,
+                    Err(SimdizeError::Policy(_)) => continue,
+                    Err(e) => panic!("{policy}/{reuse:?}: {e}"),
+                };
+                for &ub in ubs {
+                    check_all_tiers(
+                        &program,
+                        &compiled,
+                        ub,
+                        2004,
+                        &format!("{policy}/{reuse:?}/ub={ub}"),
+                    );
+                    combos += 1;
+                }
+            }
+        }
+    }
+    assert!(combos >= 20, "matrix too sparse: only {combos} combinations ran");
+}
+
+#[test]
+fn simd_backend_matches_on_every_sample_loop() {
+    for (name, ub) in [
+        ("figure1.loop", 1000u64),
+        ("runtime.loop", 777),
+        ("dot_product.loop", 1000),
+        ("deinterleave.loop", 500),
+        ("halfword.loop", 1800),
+    ] {
+        let path = format!("{}/loops/{name}", env!("CARGO_MANIFEST_DIR"));
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program = simdize::parse_program(&src).unwrap();
+        for policy in Policy::ALL {
+            let compiled = match Simdizer::new().policy(policy).compile(&program) {
+                Ok(c) => c,
+                Err(SimdizeError::Policy(_)) => continue,
+                Err(e) => panic!("{name}/{policy}: {e}"),
+            };
+            check_all_tiers(&program, &compiled, ub, 7, &format!("{name}/{policy}"));
+        }
+    }
+}
+
+/// The 16-bit sample must actually exercise the halfword domain: eight
+/// realizable byte offsets per stream and i16 lane products that wrap
+/// mod 2^16 (the paths the intrinsics tiers lower to pmullw/vmulq.i16).
+#[test]
+fn halfword_sample_covers_the_i16_offset_domain() {
+    let path = format!("{}/loops/halfword.loop", env!("CARGO_MANIFEST_DIR"));
+    let program = simdize::parse_program(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let graph = simdize::ReorgGraph::build(&program, VectorShape::V16).unwrap();
+    // B = V/elem = 8 halfword lanes ⇒ 8 realizable byte offsets per stream.
+    assert_eq!(graph.blocking_factor(), 8, "i16 ⇒ 8 lanes per V16 chunk");
+    check_all_tiers(
+        &program,
+        &Simdizer::new().compile(&program).unwrap(),
+        1800,
+        13,
+        "halfword",
+    );
+}

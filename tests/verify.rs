@@ -31,11 +31,15 @@ fn figure1_quick_proof_holds() {
     // The quick domain still crosses policies, modes and alignments.
     assert!(report.units_compiled >= 10, "{}", report.units_compiled);
     assert!(report.points > 100, "{}", report.points);
-    assert_eq!(report.harnesses.len(), 3);
+    assert_eq!(report.harnesses.len(), 4);
     for h in &report.harnesses {
         assert!(h.runs > 0, "harness {} never ran", h.name);
         assert_eq!(h.violations, 0);
     }
+    assert!(
+        report.harnesses.iter().any(|h| h.name == "harness_native_equiv"),
+        "the intrinsics backend must be part of the quick proof"
+    );
 }
 
 #[test]
