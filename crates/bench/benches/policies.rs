@@ -9,8 +9,8 @@ use simdize::{synthesize, Policy, ReorgGraph, TripSpec, VectorShape, WorkloadSpe
 fn main() {
     println!("E7 — mean shifts per statement, S1*L6, by policy and alignment bias");
     println!(
-        "{:<6} {:>7} {:>7} {:>7} {:>9} {:>13}",
-        "bias", "zero", "eager", "lazy", "dominant", "lazy+reassoc"
+        "{:<6} {:>7} {:>7} {:>7} {:>9} {:>9} {:>13}",
+        "bias", "zero", "eager", "lazy", "dominant", "optimal", "lazy+reassoc"
     );
     for bias10 in [0, 3, 6, 10] {
         let bias = bias10 as f64 / 10.0;
@@ -34,12 +34,13 @@ fn main() {
                 .shift_count()
         };
         println!(
-            "{:<6.1} {:>7.2} {:>7.2} {:>7.2} {:>9.2} {:>13.2}",
+            "{:<6.1} {:>7.2} {:>7.2} {:>7.2} {:>9.2} {:>9.2} {:>13.2}",
             bias,
             mean(&|p| shifts(p, Policy::Zero, false)),
             mean(&|p| shifts(p, Policy::Eager, false)),
             mean(&|p| shifts(p, Policy::Lazy, false)),
             mean(&|p| shifts(p, Policy::Dominant, false)),
+            mean(&|p| shifts(p, Policy::Optimal, false)),
             mean(&|p| shifts(p, Policy::Lazy, true)),
         );
     }
@@ -51,6 +52,9 @@ fn main() {
     let mut c = Harness::new().sample_size(50);
     c.bench_function("policies/dominant placement", |b| {
         b.iter(|| black_box(&graph).with_policy(Policy::Dominant).unwrap())
+    });
+    c.bench_function("policies/optimal placement", |b| {
+        b.iter(|| black_box(&graph).with_policy(Policy::Optimal).unwrap())
     });
     c.final_summary();
 }

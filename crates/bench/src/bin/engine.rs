@@ -356,6 +356,7 @@ fn render_json(
     sweeps: &[SweepRow],
     mixed: &MixedRow,
     verify: &VerifyRow,
+    study: &[simdize_bench::study::StudyCell],
 ) -> String {
     let ops_per_sec = |total: u64, ns: f64| total as f64 / (ns * 1e-9);
     let mut out = String::new();
@@ -479,7 +480,8 @@ fn render_json(
         "    \"runs_per_sec\": {:.0}",
         verify.runs as f64 / (verify.wall_ms * 1e-3)
     );
-    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "{}", simdize_bench::study::render_study_json(study));
     let _ = writeln!(out, "}}");
     out
 }
@@ -555,6 +557,9 @@ fn main() {
     ];
     let mixed = bench_mixed(quick, threads);
     let verify = bench_verify(threads);
+    // The optimality study: pure graph placement, no execution, so even
+    // the full matrix is cheap — quick mode just trims the suites.
+    let study = simdize_bench::study::study_matrix(if quick { 10 } else { 25 }, 2004);
     c.final_summary();
 
     println!();
@@ -599,6 +604,24 @@ fn main() {
         verify.wall_ms,
         verify.runs as f64 / (verify.wall_ms * 1e-3)
     );
+    let overall = simdize_bench::study::study_overall(&study);
+    let rates: Vec<String> = overall
+        .gaps
+        .iter()
+        .map(|g| {
+            format!(
+                "{} {:.0}%",
+                g.policy.name(),
+                100.0 * g.matched as f64 / overall.loops as f64
+            )
+        })
+        .collect();
+    println!(
+        "optimality study: {} loops, {} proven-minimum shifts; greedy match rates: {}",
+        overall.loops,
+        overall.optimal_total,
+        rates.join(", ")
+    );
 
     let json = render_json(
         if quick { "quick" } else { "full" },
@@ -607,6 +630,7 @@ fn main() {
         &sweeps,
         &mixed,
         &verify,
+        &study,
     );
     std::fs::write(&out_path, &json).expect("write JSON report");
     println!("\nwrote {out_path}");

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod study;
 pub mod timing;
 
 use simdize_prng::SplitMix64;
@@ -324,7 +325,7 @@ mod tests {
         // A tiny figure run: 50 loops but short trip counts keep it fast.
         let spec = WorkloadSpec::new(1, 4).trip(TripSpec::Known(200));
         let rows = figure_opd(&spec, false, 5);
-        assert_eq!(rows.len(), 1 + 12 + 2);
+        assert_eq!(rows.len(), 1 + 15 + 2);
         assert_eq!(rows[0].label, "SEQ");
         assert!((rows[0].total - 8.0).abs() < 1e-9); // 2l = 8 for l=4
         for r in &rows[1..] {

@@ -40,7 +40,7 @@
 //! searched upward from the current directory.
 //!
 //! options:
-//!   --policy zero|eager|lazy|dominant   force a placement policy
+//!   --policy zero|eager|lazy|dominant|optimal   force a placement policy
 //!   --reuse none|sp|pc                  reuse scheme (default sp)
 //!   --reassoc                           enable common-offset reassociation
 //!   --no-memnorm / --no-unroll          disable those passes
@@ -255,6 +255,7 @@ pub fn parse_args(
                     "eager" => Policy::Eager,
                     "lazy" => Policy::Lazy,
                     "dominant" => Policy::Dominant,
+                    "optimal" => Policy::Optimal,
                     other => return Err(format!("unknown policy `{other}`").into()),
                 })
             }
@@ -1005,7 +1006,8 @@ mod tests {
         let out = run(&opts(&["policies", "x.loop", "--reassoc"])).unwrap();
         assert!(out.contains("zero"));
         assert!(out.contains("dominant"));
-        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("optimal"));
+        assert_eq!(out.lines().count(), 6);
     }
 
     #[test]

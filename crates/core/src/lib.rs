@@ -90,9 +90,10 @@ pub use simdize_ir::{
     Value, VectorShape,
 };
 pub use simdize_reorg::{
-    distinct_alignments, reassociate, simdizable_aligned_only, simdizable_by_peeling, to_dot,
-    BuildGraphError, Constraint, GraphStats, Offset, PlacementEvent, PlacementTrace, Policy,
-    PolicyError, ReorgGraph, ValidateGraphError,
+    branch_and_bound_shift_counts, distinct_alignments, optimal_shift_counts, reassociate,
+    simdizable_aligned_only, simdizable_by_peeling, to_dot, BuildGraphError, Constraint,
+    GraphStats, Offset, OptimalStmt, PlacementEvent, PlacementTrace, Policy, PolicyError,
+    ReorgGraph, ValidateGraphError,
 };
 pub use simdize_engine::{
     program_fingerprint, run_sweep, run_sweep_collect, run_sweep_shared, run_sweep_with, CacheMode,

@@ -42,6 +42,7 @@ impl Scheme {
             Policy::Eager => "EAGER",
             Policy::Lazy => "LAZY",
             Policy::Dominant => "DOM",
+            Policy::Optimal => "OPT",
         };
         match self.reuse {
             ReuseMode::None => policy.to_string(),
@@ -50,7 +51,7 @@ impl Scheme {
         }
     }
 
-    /// All 12 policy × reuse combinations, in figure order.
+    /// All 15 policy × reuse combinations, in figure order.
     pub fn all() -> Vec<Scheme> {
         let mut out = Vec::new();
         for policy in Policy::ALL {
@@ -120,8 +121,12 @@ mod tests {
 
     #[test]
     fn enumerations() {
-        assert_eq!(Scheme::all().len(), 12);
-        assert_eq!(Scheme::contenders().len(), 8);
+        assert_eq!(Scheme::all().len(), 15);
+        assert_eq!(Scheme::contenders().len(), 10);
         assert_eq!(Scheme::runtime_contenders().len(), 2);
+        assert_eq!(
+            Scheme::new(Policy::Optimal, ReuseMode::SoftwarePipeline).label(),
+            "OPT-sp"
+        );
     }
 }

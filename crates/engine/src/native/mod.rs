@@ -493,7 +493,7 @@ mod tests {
 
     #[test]
     fn every_available_tier_matches_the_fused_engine() {
-        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant] {
+        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant, Policy::Optimal] {
             let (kernel, image) = compile_at(FIG1, policy, 100);
             let mut reference = image.clone();
             let want_stats = kernel.run(&mut reference).unwrap();
@@ -607,7 +607,7 @@ mod tests {
     fn banked_and_sequential_schedules_agree_on_long_trips() {
         // Long enough for banked windows plus a non-empty remainder on
         // every policy's body count.
-        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant] {
+        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant, Policy::Optimal] {
             let (kernel, image) = compile_at(FIG1, policy, 100);
             let mut reference = image.clone();
             kernel.run(&mut reference).unwrap();

@@ -238,7 +238,8 @@ impl<'a> Linker<'a> {
                     RNode::Store { .. } => push_to(&mut l.store_links, *stmt, id),
                     _ => {}
                 },
-                PlacementEvent::DominantChosen { stmt, .. } => {
+                PlacementEvent::DominantChosen { stmt, .. }
+                | PlacementEvent::OptimalChosen { stmt, .. } => {
                     push_to(&mut l.store_links, *stmt, id);
                 }
                 PlacementEvent::ConstraintChecked {

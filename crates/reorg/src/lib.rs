@@ -15,10 +15,13 @@
 //! architecture-independent) reorganization phase and the SIMD code
 //! generation phase in `simdize-codegen`.
 //!
-//! Four [`Policy`] choices control where shifts are placed (§3.4):
-//! [`Policy::Zero`], [`Policy::Eager`], [`Policy::Lazy`] and
-//! [`Policy::Dominant`]. Zero-shift is the only policy applicable when
-//! alignments are unknown until run time (§4.4).
+//! Five [`Policy`] choices control where shifts are placed: the
+//! paper's four greedy rules (§3.4) — [`Policy::Zero`],
+//! [`Policy::Eager`], [`Policy::Lazy`] and [`Policy::Dominant`] — plus
+//! [`Policy::Optimal`], which proves the per-statement minimum by
+//! exact search (tree DP cross-checked by branch-and-bound; see
+//! [`optimal_shift_counts`]). Zero-shift is the only policy applicable
+//! when alignments are unknown until run time (§4.4).
 //!
 //! [`reassociate`] implements the *common offset reassociation*
 //! optimization of §5.5, regrouping associative chains by stream offset
@@ -54,6 +57,7 @@ mod dot;
 mod error;
 mod graph;
 mod offset;
+mod optimal;
 mod policy;
 mod reassoc;
 mod stats;
@@ -64,6 +68,7 @@ pub use dot::to_dot;
 pub use error::{BuildGraphError, PolicyError, ValidateGraphError};
 pub use graph::{NodeId, RNode, ReorgGraph, VOpKind};
 pub use offset::{shift_amount, Offset, ShiftDir};
+pub use optimal::{branch_and_bound_shift_counts, optimal_shift_counts, OptimalStmt};
 pub use policy::Policy;
 pub use reassoc::reassociate;
 pub use stats::{distinct_alignments, GraphStats};

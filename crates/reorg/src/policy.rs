@@ -17,11 +17,16 @@ use std::fmt;
 /// | [`Policy::Eager`] | 2 | no |
 /// | [`Policy::Lazy`] | 2 | no |
 /// | [`Policy::Dominant`] | 2 | no |
+/// | [`Policy::Optimal`] | 2 | no |
 ///
 /// Lazy and dominant pay off on larger statements: lazy keeps relatively
 /// aligned subexpressions unshifted (Figure 6a needs 1 shift instead of
 /// 3), and dominant shifts minority streams toward the statement's most
-/// common offset (Figure 6b needs 2 instead of 4).
+/// common offset (Figure 6b needs 2 instead of 4). Optimal is not a
+/// greedy rule at all: it proves the minimum per statement by exact
+/// search (see the `optimal` module) and can beat every greedy policy
+/// on deep expressions where the best reconciliation target differs
+/// per subtree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Shift every misaligned load stream to offset 0 right after the
@@ -41,11 +46,24 @@ pub enum Policy {
     /// (most frequent) stream offset, further reducing shifts when the
     /// store alignment is in the minority.
     Dominant,
+    /// The provably minimum-shift placement, found per statement by
+    /// exact search: tree dynamic programming over candidate natural
+    /// offsets, cross-checkable by branch-and-bound seeded with the
+    /// lazy incumbent and pruned by the §5.3 analytic bound. Requires
+    /// compile-time alignments.
+    Optimal,
 }
 
 impl Policy {
-    /// All policies, in the paper's presentation order.
-    pub const ALL: [Policy; 4] = [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant];
+    /// All policies: the paper's four greedy rules in presentation
+    /// order, then the exact-search extension.
+    pub const ALL: [Policy; 5] = [
+        Policy::Zero,
+        Policy::Eager,
+        Policy::Lazy,
+        Policy::Dominant,
+        Policy::Optimal,
+    ];
 
     /// Short lowercase name used in reports (`"zero"`, `"eager"`, ...).
     pub fn name(self) -> &'static str {
@@ -54,6 +72,7 @@ impl Policy {
             Policy::Eager => "eager",
             Policy::Lazy => "lazy",
             Policy::Dominant => "dominant",
+            Policy::Optimal => "optimal",
         }
     }
 
@@ -163,6 +182,10 @@ impl ReorgGraph {
                     });
                     placer.rebuild(&mut out, src_old, ReconcileTo(d), trace)
                 }
+                Policy::Optimal => {
+                    let search = crate::optimal::Search::for_stmt(self, idx);
+                    search.rebuild(&mut out, trace)
+                }
             };
 
             let satisfied = src_off.matches(store_off);
@@ -246,7 +269,7 @@ enum Strategy {
 
 /// The nearest natural (element-aligned) reconciliation target at or
 /// below `offset`. Runtime offsets are natural by construction.
-fn natural_target(offset: Offset, elem_size: u32) -> Offset {
+pub(crate) fn natural_target(offset: Offset, elem_size: u32) -> Offset {
     match offset {
         Offset::Byte(b) => Offset::Byte(b - b % elem_size),
         other => other,
@@ -595,7 +618,7 @@ mod tests {
         let z = g.with_policy(Policy::Zero).unwrap();
         z.validate().unwrap();
         assert_eq!(z.shift_count(), 2); // load shift (b misaligned) + runtime store shift
-        for policy in [Policy::Eager, Policy::Lazy, Policy::Dominant] {
+        for policy in [Policy::Eager, Policy::Lazy, Policy::Dominant, Policy::Optimal] {
             assert!(matches!(
                 g.with_policy(policy),
                 Err(PolicyError::NeedsCompileTimeAlignment { .. })
@@ -650,9 +673,125 @@ mod tests {
     #[test]
     fn policy_metadata() {
         assert_eq!(Policy::Zero.name(), "zero");
+        assert_eq!(Policy::Optimal.name(), "optimal");
         assert!(Policy::Zero.supports_runtime_alignment());
         assert!(!Policy::Dominant.supports_runtime_alignment());
-        assert_eq!(Policy::ALL.len(), 4);
+        assert!(!Policy::Optimal.supports_runtime_alignment());
+        assert_eq!(Policy::ALL.len(), 5);
+    }
+
+    #[test]
+    fn optimal_matches_best_greedy_on_paper_figures() {
+        // Figure 1: 3 distinct alignments → the §5.3 bound of 2 is met.
+        let o = graph(FIG1).with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        assert_eq!(o.shift_count(), 2);
+        // Figure 6a: relative alignment → 1 shift, same as lazy.
+        let o = graph(FIG6A).with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        assert_eq!(o.shift_count(), 1);
+        // Figure 6b: 2 shifts, same as dominant (lazy needs 3).
+        let o = graph(FIG6B).with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        assert_eq!(o.shift_count(), 2);
+    }
+
+    #[test]
+    fn optimal_beats_every_greedy_policy_on_deep_trees() {
+        // ((b@4 + c@4) * d@8) + e@8, store @12: the cheapest plan
+        // computes the product at offset 8 (one shift for the add's
+        // result) and pays one final store shift — 2 total. Greedy:
+        // zero 5, eager 4, lazy 3, dominant 3.
+        let src = "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 0;
+                            d: i32[128] @ 0; e: i32[128] @ 0; }
+                   for i in 0..100 { a[i+3] = (b[i+1] + c[i+1]) * d[i+2] + e[i+2]; }";
+        let g = graph(src);
+        let o = g.with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        assert_eq!(o.shift_count(), 2);
+        for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant] {
+            assert!(
+                g.with_policy(policy).unwrap().shift_count() > 2,
+                "{policy} unexpectedly matched the optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_never_exceeds_any_greedy_policy() {
+        for src in [
+            FIG1,
+            FIG6A,
+            FIG6B,
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; c: i32[128] @ 4; d: i32[128] @ 8; }
+             for i in 0..100 { a[i] = b[i+1] * c[i+2] + d[i+3] * b[i]; }",
+            "arrays { a: i16[128] @ 2; b: i16[128] @ 6; c: i16[128] @ 10; }
+             for i in 0..100 { a[i] = b[i] + c[i] * 3; }",
+        ] {
+            let g = graph(src);
+            let best = g.with_policy(Policy::Optimal).unwrap().shift_count();
+            for policy in [Policy::Zero, Policy::Eager, Policy::Lazy, Policy::Dominant] {
+                assert!(
+                    best <= g.with_policy(policy).unwrap().shift_count(),
+                    "{policy} beat optimal on {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_handles_leaf_and_reduction_statements() {
+        // Bare-load statement: offsets match → 0 shifts.
+        let g = graph(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; }
+             for i in 0..100 { a[i+1] = b[i+1]; }",
+        );
+        let o = g.with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        assert_eq!(o.shift_count(), 0);
+        // Misaligned bare load: exactly the one (C.2) shift.
+        let g = graph(
+            "arrays { a: i32[128] @ 0; b: i32[128] @ 0; }
+             for i in 0..100 { a[i+1] = b[i+2]; }",
+        );
+        let o = g.with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        assert_eq!(o.shift_count(), 1);
+        // Reduction: the accumulator pins the store side to offset 0.
+        let g = graph(
+            "arrays { s: i32[4] @ 0; b: i32[128] @ 0; c: i32[128] @ 0; }
+             for i in 0..100 { s[i] += b[i+1] * c[i+1]; }",
+        );
+        let o = g.with_policy(Policy::Optimal).unwrap();
+        o.validate().unwrap();
+        let l = g.with_policy(Policy::Lazy).unwrap();
+        assert!(o.shift_count() <= l.shift_count());
+    }
+
+    #[test]
+    fn optimal_trace_records_the_proof() {
+        let mut trace = PlacementTrace::new();
+        let o = graph(FIG1)
+            .with_policy_traced(Policy::Optimal, &mut trace)
+            .unwrap();
+        assert_eq!(trace.shifts_inserted(), o.shift_count());
+        let chosen: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                PlacementEvent::OptimalChosen {
+                    shifts,
+                    lower_bound,
+                    candidates,
+                    ..
+                } => Some((*shifts, *lower_bound, candidates.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chosen, vec![(2, 2, vec![4, 8, 12])]);
+        assert!(trace.events.iter().any(|e| e
+            .to_string()
+            .contains("optimal placement proved minimal")));
     }
 }
 

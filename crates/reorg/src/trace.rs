@@ -65,6 +65,23 @@ pub enum PlacementEvent {
         /// The statement's store offset (tie-break preference).
         store: Offset,
     },
+    /// The optimal policy proved a statement's minimum shift count by
+    /// exact search (tree DP over candidate natural offsets,
+    /// cross-checkable by branch-and-bound; see `crate::optimal`).
+    OptimalChosen {
+        /// Statement index.
+        stmt: usize,
+        /// The shift count the search proved minimal for the statement
+        /// (including any final store shift).
+        shifts: usize,
+        /// The §5.3 analytic per-statement lower bound (`n − 1` for `n`
+        /// distinct alignments).
+        lower_bound: usize,
+        /// The candidate natural offsets the search ranged over.
+        candidates: Vec<u32>,
+        /// The statement's store offset.
+        store: Offset,
+    },
     /// A validity constraint was instantiated and checked.
     ConstraintChecked {
         /// Statement index.
@@ -115,6 +132,7 @@ impl PlacementEvent {
         match self {
             PlacementEvent::OffsetComputed { stmt, .. }
             | PlacementEvent::DominantChosen { stmt, .. }
+            | PlacementEvent::OptimalChosen { stmt, .. }
             | PlacementEvent::ConstraintChecked { stmt, .. }
             | PlacementEvent::ShiftInserted { stmt, .. }
             | PlacementEvent::ShiftElided { stmt, .. } => *stmt,
@@ -128,7 +146,7 @@ impl PlacementEvent {
             | PlacementEvent::ConstraintChecked { node, .. }
             | PlacementEvent::ShiftInserted { node, .. }
             | PlacementEvent::ShiftElided { node, .. } => Some(*node),
-            PlacementEvent::DominantChosen { .. } => None,
+            PlacementEvent::DominantChosen { .. } | PlacementEvent::OptimalChosen { .. } => None,
         }
     }
 }
@@ -156,6 +174,21 @@ impl fmt::Display for PlacementEvent {
                     f,
                     "stmt {stmt}: dominant offset {target} chosen from {{{}}} (store @{store})",
                     hist.join(", ")
+                )
+            }
+            PlacementEvent::OptimalChosen {
+                stmt,
+                shifts,
+                lower_bound,
+                candidates,
+                store,
+            } => {
+                let cands: Vec<String> = candidates.iter().map(u32::to_string).collect();
+                write!(
+                    f,
+                    "stmt {stmt}: optimal placement proved minimal: {shifts} shift(s) over \
+                     candidate offsets {{{}}} (\u{a7}5.3 bound {lower_bound}, store @{store})",
+                    cands.join(", ")
                 )
             }
             PlacementEvent::ConstraintChecked {

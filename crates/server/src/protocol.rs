@@ -223,10 +223,11 @@ fn parse_exec(doc: &Json, id: u64) -> Result<ExecRequest, WireError> {
         Some("eager") => Some(Policy::Eager),
         Some("lazy") => Some(Policy::Lazy),
         Some("dominant") => Some(Policy::Dominant),
+        Some("optimal") => Some(Policy::Optimal),
         Some(other) => {
             return Err(WireError::new(
                 Some(id),
-                format!("unknown policy `{other}` (expected zero|eager|lazy|dominant)"),
+                format!("unknown policy `{other}` (expected zero|eager|lazy|dominant|optimal)"),
             ))
         }
     };

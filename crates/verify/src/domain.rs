@@ -537,6 +537,6 @@ mod tests {
         assert!(cfgs
             .iter()
             .all(|c| c.mode == Mode::Declared || c.policy == Policy::Zero));
-        assert_eq!(cfgs.len(), 4 * 6 + 6);
+        assert_eq!(cfgs.len(), 5 * 6 + 6);
     }
 }

@@ -57,7 +57,25 @@ cargo build -q --release --offline --examples
 echo "== worked-example docs are current =="
 # Regenerates docs/worked-examples/ into a temp dir and diffs against
 # the checked-in pages; any drift fails CI (see scripts/gen-docs.sh).
+# The matrix includes the optimal-policy pages, so a placement change
+# that shifts a proven minimum fails here.
 scripts/gen-docs.sh --check
+
+echo "== optimality study table is current =="
+# Re-runs the full greedy-vs-optimal study (deterministic, placement
+# only — no execution) and diffs the summary table embedded in
+# docs/POLICIES.md; drift fails CI (see crates/bench/src/bin/study.rs).
+target/release/study --check-docs
+
+echo "== optimal placement proves on every sample loop =="
+# The full verify matrix below already includes optimal among its
+# policies; this focused pass pins the domain to the exact search so a
+# regression in it cannot hide behind the greedy configs.
+for loop in loops/*.loop; do
+    target/release/simdize verify "$loop" --quick --policy optimal \
+        | grep -q '^PROVED:' \
+        || { echo "verify --policy optimal: $loop did not prove" >&2; exit 1; }
+done
 
 echo "== smoke sweep (native engine, 8 seeds, telemetry on) =="
 target/release/simdize sweep loops/figure1.loop --smoke --jobs 4 --telemetry

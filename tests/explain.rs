@@ -7,11 +7,12 @@
 use simdize::{parse_program, Policy};
 use simdize_explain::{render_json, render_markdown, ExplainReport, Explainer};
 
-const POLICIES: [(Policy, &str); 4] = [
+const POLICIES: [(Policy, &str); 5] = [
     (Policy::Zero, "zero"),
     (Policy::Eager, "eager"),
     (Policy::Lazy, "lazy"),
     (Policy::Dominant, "dominant"),
+    (Policy::Optimal, "optimal"),
 ];
 
 const LOOPS: [&str; 4] = ["figure1", "runtime", "dot_product", "deinterleave"];
@@ -34,7 +35,7 @@ fn explain(name: &str, policy: Policy) -> ExplainReport {
 }
 
 /// Pins the `simdize-explain/v1` JSON documents for Figure 1 under all
-/// four policies, byte for byte. If an intentional pipeline change
+/// five policies, byte for byte. If an intentional pipeline change
 /// shifts a decision or a count, re-verify and regenerate with
 /// `UPDATE_GOLDEN=1 cargo test --test explain`.
 #[test]
