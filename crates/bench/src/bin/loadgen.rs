@@ -61,6 +61,21 @@ struct ClientOutcome {
     latency_us: Histogram,
     ok: u64,
     busy_retries: u64,
+    /// Every trace id observed on this connection, busy responses
+    /// included — the bench asserts global uniqueness at the end.
+    trace_ids: Vec<String>,
+}
+
+/// Pulls the `"trace":"..."` field out of a response envelope; every
+/// response — ok, error or busy — must carry one.
+fn extract_trace_id(line: &str) -> String {
+    let start = line
+        .find("\"trace\":\"")
+        .unwrap_or_else(|| panic!("response carries no trace id: {}", line.trim_end()))
+        + "\"trace\":\"".len();
+    let rest = &line[start..];
+    let end = rest.find('"').expect("unterminated trace id");
+    rest[..end].to_string()
 }
 
 fn connect_with_retry(addr: SocketAddr) -> TcpStream {
@@ -125,6 +140,7 @@ fn client(
         latency_us: Histogram::new(),
         ok: 0,
         busy_retries: 0,
+        trace_ids: Vec::new(),
     };
     barrier.wait();
     for i in 0..requests {
@@ -136,6 +152,7 @@ fn client(
             line.clear();
             reader.read_line(&mut line).expect("read response");
             let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            outcome.trace_ids.push(extract_trace_id(&line));
             if line.contains("\"busy\":true") {
                 outcome.busy_retries += 1;
                 std::thread::sleep(backoff);
@@ -276,11 +293,20 @@ fn main() {
     let mut latency = Histogram::new();
     let mut ok_total = 0u64;
     let mut busy_retries = 0u64;
+    let mut trace_ids = std::collections::HashSet::new();
+    let mut responses_total = 0u64;
     for handle in clients {
         let outcome = handle.join().expect("client thread panicked");
         latency.merge(&outcome.latency_us);
         ok_total += outcome.ok;
         busy_retries += outcome.busy_retries;
+        responses_total += outcome.trace_ids.len() as u64;
+        for id in outcome.trace_ids {
+            assert!(
+                trace_ids.insert(id.clone()),
+                "duplicate trace id across connections: {id}"
+            );
+        }
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
 
@@ -311,6 +337,15 @@ fn main() {
     );
     assert_eq!(summary.errors, 0, "server reported request errors");
     assert_eq!(ok_total, (connections * requests) as u64);
+    assert_eq!(
+        trace_ids.len() as u64,
+        responses_total,
+        "every response must carry a globally unique trace id"
+    );
+    println!(
+        "trace ids: {} observed, all unique across {connections} connection(s)",
+        trace_ids.len()
+    );
     assert!(
         summary.connections >= connections as u64,
         "server saw fewer connections than the loadgen opened"

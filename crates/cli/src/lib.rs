@@ -27,6 +27,11 @@
 //!   profile    instrumented end-to-end pass: span tree over every
 //!              pipeline phase plus engine metrics (--json for the
 //!              versioned simdize-telemetry/v1 document)
+//!   trace      request-scoped end-to-end trace: one pass collected
+//!              under a fresh trace id, printed as a span timeline
+//!              with pipeline attributes (--json for the versioned
+//!              simdize-trace/v1 document, --chrome-out FILE for a
+//!              chrome://tracing / Perfetto trace-event file)
 //!   serve <addr>   long-running simdization server speaking the
 //!              simdize-wire/v1 JSONL-over-TCP protocol; prints
 //!              `listening on ADDR` (with the resolved port) before
@@ -71,6 +76,14 @@
 //!   --shards N / --cache-cap N          serve: kernel-cache shard count
 //!                                       (default 8) and per-shard LRU
 //!                                       capacity (default 32)
+//!   --flight-cap N                      serve: flight-recorder ring
+//!                                       capacity in requests (default 128)
+//!   --metrics-addr ADDR                 serve: also bind a plain-HTTP
+//!                                       GET /metrics endpoint with
+//!                                       Prometheus text exposition;
+//!                                       prints `metrics on ADDR`
+//!   --chrome-out FILE                   trace: also write the Chrome
+//!                                       trace-event JSON to FILE
 //!   --threshold F                       allowed relative loss before a
 //!                                       metric counts as regressed
 //!                                       (default 0.25; timings get 2x)
@@ -143,6 +156,9 @@ pub struct Options {
     trip_bound: Option<u64>,
     budget: Option<u64>,
     mutate: Option<MutationKind>,
+    chrome_out: Option<String>,
+    flight_cap: usize,
+    metrics_addr: Option<String>,
 }
 
 /// Parses argv-style arguments (`args` excludes the program name) and
@@ -170,6 +186,7 @@ pub fn parse_args(
             | "policies"
             | "sweep"
             | "profile"
+            | "trace"
             | "serve"
             | "bench"
     ) {
@@ -241,6 +258,9 @@ pub fn parse_args(
         trip_bound: None,
         budget: None,
         mutate: None,
+        chrome_out: None,
+        flight_cap: 128,
+        metrics_addr: None,
     };
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, Box<dyn Error>> {
@@ -356,6 +376,14 @@ pub fn parse_args(
                 }
                 opts.budget = Some(budget);
             }
+            "--chrome-out" => opts.chrome_out = Some(value("--chrome-out")?),
+            "--flight-cap" => {
+                opts.flight_cap = value("--flight-cap")?.parse()?;
+                if opts.flight_cap == 0 {
+                    return Err("--flight-cap must be at least 1".into());
+                }
+            }
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
             "--mutate" => {
                 let name = value("--mutate")?;
                 opts.mutate = Some(MutationKind::from_name(&name).ok_or_else(|| {
@@ -378,8 +406,8 @@ pub fn parse_args(
 }
 
 const USAGE: &str =
-    "usage: simdize <check|graph|compile|analyze|run|verify|explain|policies|sweep|profile> <file.loop|-> [options]
-       simdize serve <addr> [--workers N] [--queue N] [--shards N] [--cache-cap N]
+    "usage: simdize <check|graph|compile|analyze|run|verify|explain|policies|sweep|profile|trace> <file.loop|-> [options]
+       simdize serve <addr> [--workers N] [--queue N] [--shards N] [--cache-cap N] [--flight-cap N] [--metrics-addr ADDR]
        simdize bench diff [old.json new.json] [--dir DIR] [--threshold F]
 run `simdize` with no arguments for the full option list";
 
@@ -685,6 +713,37 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
                 return Err("profiled run diverged from the scalar oracle".into());
             }
         }
+        "trace" => {
+            let outcome = simdize::trace_source(&opts.source)?;
+            if let Some(path) = &opts.chrome_out {
+                std::fs::write(path, outcome.trace.render_chrome())
+                    .map_err(|e| format!("--chrome-out {path}: {e}"))?;
+            }
+            if opts.json {
+                out.push_str(&outcome.trace.render_json(false));
+                out.push('\n');
+            } else {
+                writeln!(
+                    out,
+                    "traced {}: verified={} sweep {}/{} verified, {:.2}x speedup, \
+                     opd {:.3} (bound {:.3})",
+                    outcome.trace.trace_id,
+                    outcome.verified,
+                    outcome.sweep_verified,
+                    outcome.sweep_jobs,
+                    outcome.speedup,
+                    outcome.opd,
+                    outcome.opd_bound
+                )?;
+                out.push_str(&outcome.trace.render_text());
+            }
+            if let Some(path) = &opts.chrome_out {
+                writeln!(out, "chrome trace written to {path}")?;
+            }
+            if !outcome.verified || outcome.sweep_verified != outcome.sweep_jobs {
+                return Err("traced run diverged from the scalar oracle".into());
+            }
+        }
         "sweep" => {
             let compiled = driver.compile(&program)?;
             let count = if opts.smoke { 8 } else { opts.count };
@@ -806,6 +865,14 @@ pub fn run(opts: &Options) -> Result<String, Box<dyn Error>> {
 /// the server has drained.
 fn run_serve(opts: &Options) -> Result<String, Box<dyn Error>> {
     use simdize_server::{Server, ServerConfig};
+    let metrics_addr = opts
+        .metrics_addr
+        .as_deref()
+        .map(|a| {
+            a.parse()
+                .map_err(|e| format!("--metrics-addr {a}: {e}"))
+        })
+        .transpose()?;
     let config = ServerConfig {
         workers: opts.workers,
         queue_depth: opts.queue,
@@ -813,11 +880,16 @@ fn run_serve(opts: &Options) -> Result<String, Box<dyn Error>> {
         cache_capacity: opts.cache_cap,
         sweep_threads: opts.threads.max(1),
         handle_sigint: true,
+        flight_capacity: opts.flight_cap,
+        metrics_addr,
     };
     let server = Server::bind(&opts.addr, config)?;
-    // Printed (and flushed) before blocking: this line is the contract
-    // scripts use to learn an ephemeral port.
+    // Printed (and flushed) before blocking: these lines are the
+    // contract scripts use to learn ephemeral ports.
     println!("listening on {}", server.local_addr());
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on {addr}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush()?;
     let summary = server.serve()?;
@@ -845,10 +917,30 @@ fn run_bench_diff(opts: &Options) -> Result<String, Box<dyn Error>> {
                 )
                 .into());
             }
-            (
-                entries[entries.len() - 2].clone(),
-                entries[entries.len() - 1].clone(),
-            )
+            // The history interleaves engine and server entries, so the
+            // baseline is the newest *older* entry sharing the newest
+            // entry's bench schema — not simply the second-newest file.
+            let newest = entries[entries.len() - 1].clone();
+            let schema = history::entry_schema(&history::load_entry(&newest)?)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{}: entry has no bench schema", newest.display()))?;
+            let baseline = entries[..entries.len() - 1]
+                .iter()
+                .rev()
+                .find(|p| {
+                    history::load_entry(p)
+                        .is_ok_and(|doc| history::entry_schema(&doc) == Some(schema.as_str()))
+                })
+                .cloned()
+                .ok_or_else(|| {
+                    format!(
+                        "bench diff: no older entry in {} shares schema {schema} \
+                         with {}; pass two entry paths explicitly",
+                        dir.display(),
+                        newest.display()
+                    )
+                })?;
+            (baseline, newest)
         }
         _ => return Err("bench diff takes zero or two entry paths, not one".into()),
     };
@@ -1098,6 +1190,38 @@ mod tests {
     }
 
     #[test]
+    fn trace_text_json_and_chrome_out() {
+        let out = run(&opts(&["trace", "x.loop"])).unwrap();
+        assert!(out.contains("traced c"), "{out}");
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("policy"), "{out}");
+        let json = run(&opts(&["trace", "x.loop", "--json"])).unwrap();
+        assert!(json.starts_with("{\"schema\":\"simdize-trace/v1\""), "{json}");
+        assert!(json.contains("\"verb\":\"trace\""), "{json}");
+        assert!(json.contains("\"policy\":\"dominant\""), "{json}");
+        // --chrome-out writes a loadable trace-event file alongside.
+        let path = std::env::temp_dir().join(format!(
+            "simdize-cli-chrome-{}.json",
+            std::process::id()
+        ));
+        let out = run(&opts(&[
+            "trace",
+            "x.loop",
+            "--chrome-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("chrome trace written to"), "{out}");
+        let chrome = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            chrome.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+            "{chrome}"
+        );
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn telemetry_flag_appends_report() {
         let out = run(&opts(&[
             "sweep", "x.loop", "--smoke", "--threads", "1", "--telemetry",
@@ -1153,6 +1277,10 @@ mod tests {
         let out = run(&opts(&["bench", "diff", "--dir", dir.to_str().unwrap()])).unwrap();
         assert!(out.contains("kernel.fig1.speedup_vs_interp"), "{out}");
         assert!(out.contains("1 metric(s) compared, 0 regression(s)"), "{out}");
+        // The pair of entry filenames compared is printed up front.
+        assert!(out.starts_with("old: "), "{out}");
+        assert!(out.lines().nth(1).is_some_and(|l| l.starts_with("new: ")), "{out}");
+        assert!(out.contains(dir.to_str().unwrap()), "{out}");
 
         // A large drop regresses and the command fails.
         append_entry(&dir, &meta(3), &bench_doc(5.0)).unwrap();
@@ -1162,6 +1290,44 @@ mod tests {
         assert!(err.contains("REGRESSED"), "{err}");
         assert!(err.contains("regressed past the 25% threshold"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// With engine and server entries interleaved in one history, the
+    /// default pair is the newest entry plus the newest *older* entry
+    /// of the same bench schema — a server entry recorded in between
+    /// must not become the engine baseline.
+    #[test]
+    fn bench_diff_pairs_default_entries_by_schema() {
+        use simdize_telemetry::history::{append_entry, HistoryMeta, HostFingerprint};
+        let dir = history_dir("schema");
+        let meta = |ms| HistoryMeta {
+            recorded_at_unix_ms: ms,
+            git_sha: "test".into(),
+            host: HostFingerprint::gather(),
+        };
+        let server_doc = r#"{ "schema": "simdize-bench-server/v1",
+  "server": [ { "name": "loadgen", "requests_per_sec": 5000.0 } ] }"#;
+        let engine_old = append_entry(&dir, &meta(1), &bench_doc(20.0)).unwrap();
+        append_entry(&dir, &meta(2), server_doc).unwrap();
+        append_entry(&dir, &meta(3), &bench_doc(21.0)).unwrap();
+        let out = run(&opts(&["bench", "diff", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains(engine_old.file_name().unwrap().to_str().unwrap()),
+            "{out}"
+        );
+        assert!(out.contains("kernel.fig1.speedup_vs_interp"), "{out}");
+        assert!(out.contains("0 regression(s)"), "{out}");
+
+        // A lone newest-schema entry has no baseline to pair with.
+        let lone = history_dir("schema-lone");
+        append_entry(&lone, &meta(1), &bench_doc(20.0)).unwrap();
+        append_entry(&lone, &meta(2), server_doc).unwrap();
+        let err = run(&opts(&["bench", "diff", "--dir", lone.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("shares schema simdize-bench-server/v1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&lone);
     }
 
     #[test]
@@ -1212,15 +1378,34 @@ mod tests {
         let args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         let read = |_: &str| -> Result<String, Box<dyn Error>> { unreachable!("serve reads no loop") };
         let parsed = parse_args(
-            &args(&["serve", "127.0.0.1:0", "--workers", "3", "--queue", "7"]),
+            &args(&[
+                "serve",
+                "127.0.0.1:0",
+                "--workers",
+                "3",
+                "--queue",
+                "7",
+                "--flight-cap",
+                "9",
+                "--metrics-addr",
+                "127.0.0.1:0",
+            ]),
             &read,
         )
         .unwrap();
         assert_eq!(parsed.addr, "127.0.0.1:0");
         assert_eq!((parsed.workers, parsed.queue), (3, 7));
+        assert_eq!(parsed.flight_cap, 9);
+        assert_eq!(parsed.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert!(parse_args(&args(&["serve"]), &read).is_err());
         assert!(parse_args(&args(&["serve", "a:1", "--workers", "0"]), &read).is_err());
         assert!(parse_args(&args(&["serve", "a:1", "--queue", "0"]), &read).is_err());
+        assert!(parse_args(&args(&["serve", "a:1", "--flight-cap", "0"]), &read).is_err());
+        // A malformed metrics address fails at run time with context.
+        let bad = parse_args(&args(&["serve", "127.0.0.1:0", "--metrics-addr", "bogus"]), &read)
+            .unwrap();
+        let err = run(&bad).unwrap_err().to_string();
+        assert!(err.contains("--metrics-addr bogus"), "{err}");
     }
 
     #[test]

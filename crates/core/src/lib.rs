@@ -67,12 +67,14 @@ pub mod profile;
 mod report;
 mod scheme;
 mod simdizer;
+pub mod trace;
 
 pub use error::SimdizeError;
 pub use profile::{profile_source, ProfileOutcome, PROFILE_SWEEP_SEEDS};
 pub use report::Report;
 pub use scheme::Scheme;
 pub use simdizer::{Simdizer, Target};
+pub use trace::{trace_source, trace_source_with, TraceOutcome};
 
 // The full pipeline surface, re-exported for one-stop use.
 pub use simdize_analysis::{
@@ -101,7 +103,7 @@ pub use simdize_engine::{
     KernelBackend, KernelCache, KernelOptions, NativeEngine, PredecodedKernel, SimdEngine,
     SimdKernel, SweepBackend, SweepJob, SweepOptions, SweepOutcome, SweepStats,
 };
-pub use simdize_telemetry::{TelemetryReport, TELEMETRY_SCHEMA};
+pub use simdize_telemetry::{RequestTrace, TelemetryReport, TraceId, TELEMETRY_SCHEMA, TRACE_SCHEMA};
 pub use simdize_verify::{
     apply_mutation, prove_loop, prove_source, Counterexample, HarnessSummary, Mode as VerifyMode,
     MutationKind, Probe, ProveError, TripStyle, VerifyOptions, VerifyReport, HARNESS_NAMES,

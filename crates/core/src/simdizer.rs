@@ -170,6 +170,7 @@ impl Simdizer {
             generate_unaligned(&graph)?
         } else {
             let policy = self.policy_for(program);
+            telemetry::tag("policy", policy);
             let graph = {
                 let _span = telemetry::span("reorg");
                 let program = if self.reassoc {

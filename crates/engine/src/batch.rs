@@ -360,10 +360,16 @@ fn sweep_inner(
     let isa = IsaLevel::detect();
 
     let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    // If the sweep runs on behalf of a request scope, credit the
+    // worker threads' spans to that request, not the global collector.
+    let trace_ctx = telemetry::current_context();
     let partials: Vec<WorkerPartial> = thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    s.spawn(|| {
+                    let trace_ctx = trace_ctx.clone();
+                    s.spawn(move || {
+                        let _adopted = trace_ctx.map(telemetry::adopt_context);
                         let mut scratch = Scratch::default();
                         let mut tally = WorkerTally::default();
                         let mut mine = Vec::new();
@@ -427,6 +433,8 @@ fn sweep_inner(
         telemetry::counter("sweep.scratch.reseed").add(stats.scratch_reseeds);
         telemetry::gauge("sweep.workers").set(stats.workers as u64);
         telemetry::gauge("sweep.kernel_cache.occupied").set(stats.cache_occupied() as u64);
+        telemetry::tag("cache.hits", stats.cache_hits);
+        telemetry::tag("cache.misses", stats.cache_misses);
         let jobs_hist = telemetry::histogram("sweep.worker.jobs");
         for &n in &stats.jobs_per_worker {
             jobs_hist.observe(n);

@@ -323,6 +323,7 @@ impl SimdKernel {
     pub fn lower(kernel: &CompiledKernel, isa: IsaLevel) -> SimdKernel {
         let _span = telemetry::span("lower");
         let isa = if isa.available() { isa } else { IsaLevel::Scalar };
+        telemetry::tag("isa", isa);
         let pair = lower_section(&kernel.pair);
         let body = lower_section(&kernel.body);
         let pair_banked = body_is_bankable(&pair);

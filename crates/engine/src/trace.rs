@@ -206,6 +206,10 @@ pub(crate) fn optimize(s: Sections) -> (Vec<Op>, Vec<Op>, FusionStats, Vec<Fusio
         telemetry::counter("fuse.splat_ops").add(st.splat_ops as u64);
         telemetry::counter("fuse.hoisted").add(st.hoisted as u64);
         telemetry::counter("fuse.eliminated").add(st.eliminated as u64);
+        telemetry::tag(
+            "fusion.rewrites",
+            (st.fused_loads + st.splat_ops + st.hoisted + st.eliminated) as u64,
+        );
     }
     (pair_header, body_header, st, ev)
 }

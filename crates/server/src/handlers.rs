@@ -1,25 +1,32 @@
 //! Executes pipeline requests against the simdize toolchain.
 //!
-//! Every handler is deterministic for a given request: responses carry
-//! no timestamps, wall-clock numbers or cache-hit markers, so a reply
-//! served from the kernel cache is byte-identical to one that baked
-//! from scratch (the stress tests assert exactly this). Observability
-//! lives in the `stats` verb instead.
+//! Every handler's `result` body is deterministic for a given request
+//! on a fixed host: pipeline results carry no timestamps or cache-hit
+//! markers, so a reply served from the kernel cache is byte-identical
+//! to one that baked from scratch (the stress tests assert exactly
+//! this, after normalizing the envelope's trace id). Wall-clock
+//! observability lives in the `stats` verb, the trace export and the
+//! flight recorder; the golden transcript test normalizes the timing
+//! fields (`wall_ms`, `wall_us`, span durations) rather than the
+//! handlers zeroing them at the source.
 
 use crate::protocol::{Command, ExecRequest, WireEngine};
 use crate::server::ServerConfig;
 use simdize::{
-    analyze_program, parse_program, run_sweep_shared, AnalyzeOptions, KernelCache, ReuseMode,
-    RunInput, Simdizer, SweepBackend, SweepJob, SweepOptions, Target, VectorShape,
+    analyze_program, parse_program, run_sweep_shared, trace_source_with, AnalyzeOptions,
+    KernelCache, ReuseMode, RunInput, Simdizer, SweepBackend, SweepJob, SweepOptions, Target,
+    TraceId, VectorShape,
 };
 use simdize_explain::{render_json, Explainer};
 use simdize_telemetry::json;
 
 /// Runs one pipeline command to completion, using `cache` for baked
-/// kernels. Returns the rendered `result` JSON on success, a readable
-/// message on failure.
+/// kernels. `trace` is the request's wire trace id (the `trace` verb
+/// stamps it into the exported document). Returns the rendered
+/// `result` JSON on success, a readable message on failure.
 pub fn execute(
     cmd: &Command,
+    trace_id: TraceId,
     cache: &KernelCache,
     config: &ServerConfig,
 ) -> Result<String, String> {
@@ -30,8 +37,9 @@ pub fn execute(
         Command::Sweep(req) => sweep(req, cache, config),
         Command::Explain(req) => explain(req),
         Command::Verify(req) => verify(req, config),
+        Command::Trace(req) => trace(req, trace_id),
         // Control-plane verbs never reach the worker pool.
-        Command::Ping | Command::Stats | Command::Shutdown => {
+        Command::Ping | Command::Stats | Command::Dump | Command::Shutdown => {
             Err("internal: control command on worker pool".to_string())
         }
     }
@@ -166,10 +174,19 @@ fn verify(req: &ExecRequest, config: &ServerConfig) -> Result<String, String> {
     if let Some(p) = req.policy {
         vopts.policies = vec![p];
     }
-    let mut report = simdize::prove_loop("wire", &program, &vopts);
-    // Deterministic responses: no wall-clock numbers on the wire.
-    report.wall_ms = 0;
+    let report = simdize::prove_loop("wire", &program, &vopts);
+    // wall_ms stays real (every verb reports true wall time); the
+    // golden transcript normalizes it instead.
     Ok(format!("{{\"verify\":{}}}", report.render_json()))
+}
+
+fn trace(req: &ExecRequest, id: TraceId) -> Result<String, String> {
+    // The traced pipeline chooses its own (deterministic) driver
+    // configuration; the request's policy/seed knobs do not apply —
+    // what matters is that the exported document carries the wire
+    // request's trace id, so response envelope and timeline agree.
+    let outcome = trace_source_with(&req.source, id).map_err(err)?;
+    Ok(outcome.trace.render_json(false))
 }
 
 fn explain(req: &ExecRequest) -> Result<String, String> {

@@ -9,33 +9,44 @@
 //! and every request gets exactly one response line, either
 //!
 //! ```json
-//! {"v":1,"id":7,"ok":true,"result":{...}}
+//! {"v":1,"id":7,"trace":"c3-41","ok":true,"result":{...}}
 //! ```
 //!
 //! or an error envelope:
 //!
 //! ```json
-//! {"v":1,"id":7,"ok":false,"error":"..."}
+//! {"v":1,"id":7,"trace":"c3-41","ok":false,"error":"..."}
 //! ```
 //!
+//! Every response carries `trace`: the server-assigned request trace
+//! id (`c<connection>-<sequence>`, deterministic — no clock, no
+//! randomness), the same id the flight recorder and the `trace` verb's
+//! exported documents use, so one slow response correlates directly
+//! with its span timeline and its postmortem entry.
+//!
 //! A server whose bounded job queue is full rejects with the
-//! 503-flavoured `{"v":1,"id":7,"ok":false,"busy":true,"error":"..."}`
+//! 503-flavoured
+//! `{"v":1,"id":7,"trace":"...","ok":false,"busy":true,"error":"..."}`
 //! instead of blocking the connection — clients are expected to back
 //! off and retry.
 //!
-//! Commands: `ping`, `stats` and `shutdown` are control-plane and are
-//! answered inline by the connection thread; `compile`, `analyze`,
-//! `run`, `sweep`, `explain` and `verify` carry an inline loop
-//! `source` and are executed on the worker pool. Optional fields:
-//! `policy` (`zero|eager|lazy|dominant`), `seed`, `ub`, `params`
+//! Commands: `ping`, `stats`, `dump` (the flight-recorder dump) and
+//! `shutdown` are control-plane and are answered inline by the
+//! connection thread; `compile`, `analyze`, `run`, `sweep`, `explain`,
+//! `verify` and `trace` carry an inline loop `source` and are executed
+//! on the worker pool. Optional fields: `policy`
+//! (`zero|eager|lazy|dominant`), `seed`, `ub`, `params`
 //! (array of integers), `engine` (`native|simd` — `simd` executes
 //! `run`/`sweep` through the `std::arch` intrinsics backend at the
 //! host's dispatched ISA; kernel-cache keys carry the ISA level so
 //! entries never collide across backends) and, for `sweep`, `count`.
 //! `verify` runs the
 //! bounded-equivalence prover over its quick domain and returns the
-//! `simdize-verify/v1` report (with `wall_ms` zeroed so responses stay
-//! deterministic).
+//! `simdize-verify/v1` report. `trace` runs the request-scoped tracing
+//! pipeline and returns the `simdize-trace/v1` document. Responses
+//! report real wall time everywhere; the golden transcript test keeps
+//! determinism by normalizing timing fields, not by zeroing them at
+//! the source.
 
 use simdize::Policy;
 use simdize_telemetry::json::{self, Json};
@@ -72,6 +83,9 @@ pub enum Command {
     Ping,
     /// Server metrics snapshot; answered inline.
     Stats,
+    /// Flight-recorder dump (the last N request summaries); answered
+    /// inline.
+    Dump,
     /// Graceful shutdown; answered inline, then the server drains.
     Shutdown,
     /// Generate vector code for the loop.
@@ -88,13 +102,19 @@ pub enum Command {
     /// Quick bounded-equivalence proof of the loop (the
     /// `simdize-verify/v1` prover over its smoke-sized domain).
     Verify(ExecRequest),
+    /// Request-scoped end-to-end trace of the loop, returning the
+    /// `simdize-trace/v1` document under the request's own trace id.
+    Trace(ExecRequest),
 }
 
 impl Command {
     /// Whether this command executes on the worker pool (as opposed to
     /// being answered inline by the connection thread).
     pub fn is_exec(&self) -> bool {
-        !matches!(self, Command::Ping | Command::Stats | Command::Shutdown)
+        !matches!(
+            self,
+            Command::Ping | Command::Stats | Command::Dump | Command::Shutdown
+        )
     }
 
     /// The wire name of the verb.
@@ -102,6 +122,7 @@ impl Command {
         match self {
             Command::Ping => "ping",
             Command::Stats => "stats",
+            Command::Dump => "dump",
             Command::Shutdown => "shutdown",
             Command::Compile(_) => "compile",
             Command::Analyze(_) => "analyze",
@@ -109,6 +130,7 @@ impl Command {
             Command::Sweep(_) => "sweep",
             Command::Explain(_) => "explain",
             Command::Verify(_) => "verify",
+            Command::Trace(_) => "trace",
         }
     }
 }
@@ -192,6 +214,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let cmd = match cmd {
         "ping" => Command::Ping,
         "stats" => Command::Stats,
+        "dump" => Command::Dump,
         "shutdown" => Command::Shutdown,
         "compile" => Command::Compile(parse_exec(&doc, id)?),
         "analyze" => Command::Analyze(parse_exec(&doc, id)?),
@@ -199,11 +222,12 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         "sweep" => Command::Sweep(parse_exec(&doc, id)?),
         "explain" => Command::Explain(parse_exec(&doc, id)?),
         "verify" => Command::Verify(parse_exec(&doc, id)?),
+        "trace" => Command::Trace(parse_exec(&doc, id)?),
         other => {
             return Err(WireError::new(
                 Some(id),
                 format!(
-                    "unknown cmd `{other}` (expected ping|stats|shutdown|compile|analyze|run|sweep|explain|verify)"
+                    "unknown cmd `{other}` (expected ping|stats|dump|shutdown|compile|analyze|run|sweep|explain|verify|trace)"
                 ),
             ))
         }
@@ -264,26 +288,31 @@ fn parse_exec(doc: &Json, id: u64) -> Result<ExecRequest, WireError> {
     })
 }
 
-/// A success envelope. `result` must already be rendered JSON — it is
-/// embedded verbatim.
-pub fn ok_response(id: u64, result: &str) -> String {
-    format!("{{\"v\":{WIRE_VERSION},\"id\":{id},\"ok\":true,\"result\":{result}}}")
+/// A success envelope carrying the server-assigned trace id. `result`
+/// must already be rendered JSON — it is embedded verbatim.
+pub fn ok_response(id: u64, trace: &str, result: &str) -> String {
+    format!(
+        "{{\"v\":{WIRE_VERSION},\"id\":{id},\"trace\":\"{}\",\"ok\":true,\"result\":{result}}}",
+        json::escape(trace)
+    )
 }
 
 /// A failure envelope with a readable message.
-pub fn error_response(id: u64, message: &str) -> String {
+pub fn error_response(id: u64, trace: &str, message: &str) -> String {
     format!(
-        "{{\"v\":{WIRE_VERSION},\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+        "{{\"v\":{WIRE_VERSION},\"id\":{id},\"trace\":\"{}\",\"ok\":false,\"error\":\"{}\"}}",
+        json::escape(trace),
         json::escape(message)
     )
 }
 
 /// The backpressure envelope: the bounded job queue is full, try again
 /// later. Distinguished from other failures by `"busy":true`.
-pub fn busy_response(id: u64) -> String {
+pub fn busy_response(id: u64, trace: &str) -> String {
     format!(
-        "{{\"v\":{WIRE_VERSION},\"id\":{id},\"ok\":false,\"busy\":true,\
-         \"error\":\"busy: job queue full, retry later\"}}"
+        "{{\"v\":{WIRE_VERSION},\"id\":{id},\"trace\":\"{}\",\"ok\":false,\"busy\":true,\
+         \"error\":\"busy: job queue full, retry later\"}}",
+        json::escape(trace)
     )
 }
 
@@ -369,19 +398,35 @@ mod tests {
     }
 
     #[test]
-    fn envelopes_are_single_line_json() {
+    fn envelopes_are_single_line_json_and_echo_the_trace_id() {
         for line in [
-            ok_response(5, r#"{"pong":true}"#),
-            error_response(5, "oh \"no\"\nbad"),
-            busy_response(5),
+            ok_response(5, "c1-7", r#"{"pong":true}"#),
+            error_response(5, "c1-7", "oh \"no\"\nbad"),
+            busy_response(5, "c1-7"),
         ] {
             assert!(!line.contains('\n'));
             let doc = json::parse(&line).unwrap();
             assert_eq!(doc.get("v").and_then(Json::as_f64), Some(1.0));
             assert_eq!(doc.get("id").and_then(Json::as_f64), Some(5.0));
+            assert_eq!(doc.get("trace").and_then(Json::as_str), Some("c1-7"));
         }
-        let busy = json::parse(&busy_response(1)).unwrap();
+        let busy = json::parse(&busy_response(1, "c2-9")).unwrap();
         assert_eq!(busy.get("busy"), Some(&Json::Bool(true)));
         assert_eq!(busy.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn trace_and_dump_verbs_parse() {
+        let r = parse_request(r#"{"v":1,"id":11,"cmd":"trace","source":"x"}"#).unwrap();
+        let Command::Trace(exec) = r.cmd else {
+            panic!("expected trace");
+        };
+        assert_eq!(exec.source, "x");
+        assert_eq!(r.id, 11);
+
+        let r = parse_request(r#"{"v":1,"id":12,"cmd":"dump"}"#).unwrap();
+        assert_eq!(r.cmd, Command::Dump);
+        assert!(!r.cmd.is_exec());
+        assert_eq!(r.cmd.name(), "dump");
     }
 }

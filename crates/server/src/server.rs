@@ -21,6 +21,19 @@
 //! Per-request latency lands in [`simdize_telemetry::Histogram`]s (one
 //! per verb plus an aggregate), which is what `stats` reports p50/p95
 //! and requests/sec from.
+//!
+//! Every request gets a deterministic [`TraceId`] (`c<conn>-<seq>`:
+//! the accepting connection's number plus a process-scoped request
+//! counter), echoed in its response envelope. Worker-pool requests run
+//! under a request scope ([`telemetry::begin_request`]) so their spans
+//! and pipeline attributes are collected per request; every request —
+//! including control verbs, parse errors and `busy` rejections — is
+//! summarized into the [`FlightRecorder`], whose JSON dump is returned
+//! by the `dump` verb, logged to stderr when a request errors, and
+//! drained on SIGINT shutdown. An optional side listener
+//! (`--metrics-addr`) answers plain HTTP `GET /metrics` with the
+//! Prometheus text exposition of the server counters and the
+//! telemetry registry.
 
 use crate::handlers;
 use crate::protocol::{
@@ -29,7 +42,7 @@ use crate::protocol::{
 use crate::signal;
 use simdize::{IsaLevel, KernelCache};
 use simdize_telemetry as telemetry;
-use simdize_telemetry::Histogram;
+use simdize_telemetry::{FlightEntry, FlightRecorder, Histogram, TraceId};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,6 +69,12 @@ pub struct ServerConfig {
     /// (process-global; off by default so embedding tests and benches
     /// don't hijack the signal).
     pub handle_sigint: bool,
+    /// Flight-recorder capacity: how many recent request summaries the
+    /// server retains for `dump` / error / SIGINT postmortems.
+    pub flight_capacity: usize,
+    /// When set, a side listener on this address answers plain HTTP
+    /// `GET /metrics` with the Prometheus text exposition.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +86,8 @@ impl Default for ServerConfig {
             cache_capacity: 32,
             sweep_threads: 2,
             handle_sigint: false,
+            flight_capacity: 128,
+            metrics_addr: None,
         }
     }
 }
@@ -75,6 +96,7 @@ impl Default for ServerConfig {
 /// rendered response line goes back on.
 struct Job {
     id: u64,
+    trace: TraceId,
     cmd: Command,
     accepted_at: Instant,
     reply: mpsc::Sender<String>,
@@ -179,6 +201,7 @@ struct Shared {
     cache: KernelCache,
     queue: JobQueue,
     metrics: Mutex<Metrics>,
+    flight: FlightRecorder,
     started: Instant,
     stop: AtomicBool,
     requests: AtomicU64,
@@ -204,6 +227,70 @@ impl Shared {
 
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || (self.config.handle_sigint && signal::sigint_received())
+    }
+
+    /// Summarizes one finished request into the flight recorder.
+    fn note_flight(
+        &self,
+        trace: TraceId,
+        verb: &str,
+        elapsed: Duration,
+        attrs: std::collections::BTreeMap<String, String>,
+        error: Option<String>,
+    ) {
+        self.flight.record(FlightEntry {
+            seq: 0,
+            trace_id: trace.to_string(),
+            verb: verb.to_string(),
+            latency_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+            ok: error.is_none(),
+            attrs,
+            error,
+        });
+    }
+
+    /// The Prometheus text exposition: server traffic counters and the
+    /// aggregate latency summary (always live — they come from the
+    /// server's own atomics), plus whatever the telemetry registry
+    /// currently holds.
+    fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in [
+            ("requests_total", self.requests.load(Ordering::Relaxed)),
+            ("busy_total", self.busy.load(Ordering::Relaxed)),
+            ("errors_total", self.errors.load(Ordering::Relaxed)),
+            ("connections_total", self.connections.load(Ordering::Relaxed)),
+            ("flight_recorded_total", self.flight.recorded()),
+        ] {
+            let _ = writeln!(out, "# TYPE simdize_server_{name} counter");
+            let _ = writeln!(out, "simdize_server_{name} {v}");
+        }
+        let _ = writeln!(out, "# TYPE simdize_server_uptime_ms gauge");
+        let _ = writeln!(
+            out,
+            "simdize_server_uptime_ms {}",
+            self.started.elapsed().as_millis()
+        );
+        {
+            let metrics = self.metrics.lock().expect("metrics poisoned");
+            let h = &metrics.all_us;
+            let _ = writeln!(out, "# TYPE simdize_server_latency_us summary");
+            let _ = writeln!(
+                out,
+                "simdize_server_latency_us{{quantile=\"0.5\"}} {}",
+                h.quantile(0.5)
+            );
+            let _ = writeln!(
+                out,
+                "simdize_server_latency_us{{quantile=\"0.95\"}} {}",
+                h.quantile(0.95)
+            );
+            let _ = writeln!(out, "simdize_server_latency_us_sum {}", h.sum());
+            let _ = writeln!(out, "simdize_server_latency_us_count {}", h.count());
+        }
+        out.push_str(&telemetry::render_prometheus(&telemetry::metrics_snapshot()));
+        out
     }
 
     /// The `stats` response body.
@@ -234,7 +321,8 @@ impl Shared {
              \"commands\":[{per_cmd}],\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4},\
              \"occupied\":{},\"capacity_per_shard\":{},\"occupancy\":[{}]}},\
-             \"queue\":{{\"depth\":{},\"capacity\":{}}},\"workers\":{}}}",
+             \"queue\":{{\"depth\":{},\"capacity\":{}}},\"workers\":{},\
+             \"flight\":{{\"recorded\":{},\"capacity\":{}}}}}",
             IsaLevel::detect(),
             uptime.as_millis(),
             self.busy.load(Ordering::Relaxed),
@@ -256,6 +344,8 @@ impl Shared {
             self.queue.len(),
             self.config.queue_depth,
             self.config.workers,
+            self.flight.recorded(),
+            self.flight.capacity(),
         )
     }
 }
@@ -277,11 +367,13 @@ pub struct ServeSummary {
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
+    metrics_listener: Option<(TcpListener, SocketAddr)>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), plus
+    /// the metrics side listener when the config asks for one.
     ///
     /// # Errors
     ///
@@ -289,10 +381,19 @@ impl Server {
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match config.metrics_addr {
+            Some(maddr) => {
+                let l = TcpListener::bind(maddr)?;
+                let bound = l.local_addr()?;
+                Some((l, bound))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: KernelCache::new(config.cache_shards, config.cache_capacity),
             queue: JobQueue::new(config.queue_depth),
             metrics: Mutex::new(Metrics::new()),
+            flight: FlightRecorder::new(config.flight_capacity, 8),
             started: Instant::now(),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
@@ -304,6 +405,7 @@ impl Server {
         Ok(Server {
             listener,
             addr,
+            metrics_listener,
             shared,
         })
     }
@@ -311,6 +413,12 @@ impl Server {
     /// The actually-bound address (resolves an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The actually-bound metrics address, when the config asked for
+    /// the `/metrics` side listener.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().map(|(_, a)| *a)
     }
 
     /// Serves until a `shutdown` request (or SIGINT, when configured)
@@ -325,6 +433,19 @@ impl Server {
             signal::install_sigint_handler();
         }
         self.listener.set_nonblocking(true)?;
+        let metrics_thread = match self.metrics_listener {
+            Some((listener, _)) => {
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(&self.shared);
+                Some(
+                    thread::Builder::new()
+                        .name("simdize-metrics".to_string())
+                        .spawn(move || metrics_loop(&listener, &shared))
+                        .expect("spawn metrics thread"),
+                )
+            }
+            None => None,
+        };
         let workers: Vec<thread::JoinHandle<()>> = (0..self.shared.config.workers.max(1))
             .map(|k| {
                 let shared = Arc::clone(&self.shared);
@@ -339,7 +460,7 @@ impl Server {
         while !self.shared.stopping() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn_id = self.shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
                     let shared = Arc::clone(&self.shared);
                     // Thousands of concurrent connections on small
                     // stacks: the connection loop only parses and
@@ -347,7 +468,7 @@ impl Server {
                     let handle = thread::Builder::new()
                         .name("simdize-conn".to_string())
                         .stack_size(256 * 1024)
-                        .spawn(move || connection_loop(stream, &shared))
+                        .spawn(move || connection_loop(stream, &shared, conn_id))
                         .expect("spawn connection thread");
                     conns.push(handle);
                     // Opportunistically reap finished connections so
@@ -373,13 +494,28 @@ impl Server {
         // connection thread has returned.
         loop {
             for job in self.shared.queue.drain() {
-                let _ = job.reply.send(error_response(job.id, "server shutting down"));
+                let _ = job.reply.send(error_response(
+                    job.id,
+                    &job.trace.to_string(),
+                    "server shutting down",
+                ));
             }
             conns.retain(|c| !c.is_finished());
             if conns.is_empty() {
                 break;
             }
             thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(m) = metrics_thread {
+            let _ = m.join();
+        }
+        // SIGINT drain: leave the postmortem on stderr before the
+        // process goes away.
+        if self.shared.config.handle_sigint && signal::sigint_received() {
+            eprintln!(
+                "simdize serve: SIGINT flight dump {}",
+                self.shared.flight.render_json(false)
+            );
         }
         Ok(ServeSummary {
             requests: self.shared.requests.load(Ordering::Relaxed),
@@ -393,20 +529,86 @@ impl Server {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop(&shared.stop) {
         let cmd_name = job.cmd.name();
-        let line = match handlers::execute(&job.cmd, &shared.cache, &shared.config) {
-            Ok(result) => ok_response(job.id, &result),
+        // The request scope collects this request's spans and pipeline
+        // attributes (policy, isa, cache hit/miss, …) — per request,
+        // even with many workers executing concurrently.
+        let scope = telemetry::begin_request(job.trace, cmd_name);
+        let outcome = handlers::execute(&job.cmd, job.trace, &shared.cache, &shared.config);
+        let trace = scope.finish(outcome.as_ref().err().cloned());
+        let line = match outcome {
+            Ok(result) => ok_response(job.id, &trace.trace_id, &result),
             Err(message) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
-                error_response(job.id, &message)
+                error_response(job.id, &trace.trace_id, &message)
             }
         };
-        shared.record(cmd_name, job.accepted_at.elapsed());
+        let elapsed = job.accepted_at.elapsed();
+        let failed = trace.error.is_some();
+        shared.note_flight(job.trace, cmd_name, elapsed, trace.attrs, trace.error);
+        if failed {
+            // Error postmortem: the dump (which includes this request)
+            // goes to the server log.
+            eprintln!(
+                "simdize serve: request {} ({cmd_name}) failed; flight dump {}",
+                job.trace,
+                shared.flight.render_json(false)
+            );
+        }
+        shared.record(cmd_name, elapsed);
         // A send error means the client hung up; nothing to do.
         let _ = job.reply.send(line);
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: &Shared) {
+/// Answers plain HTTP on the metrics side listener until the server
+/// stops. Only `GET /metrics` exists; everything else is 404.
+fn metrics_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => serve_metrics_conn(stream, shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_metrics_conn(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block so the peer sees a clean half-close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header.trim().is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut stream = stream;
+    let (status, body) = if request_line.starts_with("GET /metrics") {
+        ("200 OK", shared.metrics_text())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared, conn_id: u64) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
@@ -444,7 +646,7 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
         if trimmed.is_empty() {
             continue;
         }
-        let response = handle_line(trimmed, shared);
+        let response = handle_line(trimmed, shared, conn_id);
         if writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -459,54 +661,78 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
 }
 
 /// Parses and answers one request line (inline for control-plane
-/// verbs, via the worker pool for pipeline verbs).
-fn handle_line(line: &str, shared: &Shared) -> String {
+/// verbs, via the worker pool for pipeline verbs). Every line —
+/// including malformed ones — gets a trace id and a flight entry.
+fn handle_line(line: &str, shared: &Shared, conn_id: u64) -> String {
     let started = Instant::now();
+    let trace = TraceId::next(conn_id);
+    let trace_str = trace.to_string();
+    let no_attrs = std::collections::BTreeMap::new;
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(WireError { id, message }) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.note_flight(trace, "error", started.elapsed(), no_attrs(), Some(message.clone()));
             shared.record("error", started.elapsed());
-            return error_response(id.unwrap_or(0), &message);
+            return error_response(id.unwrap_or(0), &trace_str, &message);
         }
     };
     match &request.cmd {
         Command::Ping => {
             let out = ok_response(
                 request.id,
+                &trace_str,
                 &format!("{{\"pong\":true,\"schema\":\"{WIRE_SCHEMA}\"}}"),
             );
+            shared.note_flight(trace, "ping", started.elapsed(), no_attrs(), None);
             shared.record("ping", started.elapsed());
             out
         }
         Command::Stats => {
-            let out = ok_response(request.id, &shared.stats_json());
+            let out = ok_response(request.id, &trace_str, &shared.stats_json());
+            shared.note_flight(trace, "stats", started.elapsed(), no_attrs(), None);
             shared.record("stats", started.elapsed());
+            out
+        }
+        Command::Dump => {
+            let out = ok_response(request.id, &trace_str, &shared.flight.render_json(false));
+            shared.note_flight(trace, "dump", started.elapsed(), no_attrs(), None);
+            shared.record("dump", started.elapsed());
             out
         }
         Command::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
+            shared.note_flight(trace, "shutdown", started.elapsed(), no_attrs(), None);
             shared.record("shutdown", started.elapsed());
-            ok_response(request.id, "{\"stopping\":true}")
+            ok_response(request.id, &trace_str, "{\"stopping\":true}")
         }
         _ => {
             let (tx, rx) = mpsc::channel();
             let job = Job {
                 id: request.id,
+                trace,
                 cmd: request.cmd,
                 accepted_at: started,
                 reply: tx,
             };
             if shared.queue.try_push(job) {
-                rx.recv()
-                    .unwrap_or_else(|_| error_response(request.id, "server shutting down"))
+                rx.recv().unwrap_or_else(|_| {
+                    error_response(request.id, &trace_str, "server shutting down")
+                })
             } else {
                 shared.busy.fetch_add(1, Ordering::Relaxed);
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 if telemetry::enabled() {
                     telemetry::counter("server.busy").add(1);
                 }
-                busy_response(request.id)
+                shared.note_flight(
+                    trace,
+                    "busy",
+                    started.elapsed(),
+                    no_attrs(),
+                    Some("busy: job queue full".to_string()),
+                );
+                busy_response(request.id, &trace_str)
             }
         }
     }

@@ -357,6 +357,15 @@ pub fn diff(old: &Json, new: &Json, threshold: f64) -> DiffReport {
     }
 }
 
+/// The bench document's own schema (e.g. `simdize-bench-engine/v1`),
+/// whether `doc` is a bare bench document or a history wrapper. The
+/// history now interleaves engine and server entries, so default
+/// baseline selection must pair entries by this, not by recency alone.
+pub fn entry_schema(doc: &Json) -> Option<&str> {
+    let bench = doc.get("bench").unwrap_or(doc);
+    bench.get("schema").and_then(Json::as_str)
+}
+
 /// Parses an entry file (either schema).
 ///
 /// # Errors

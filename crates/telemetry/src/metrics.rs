@@ -215,6 +215,7 @@ mod tests {
 
     #[test]
     fn disabled_updates_are_dropped_and_zeroes_omitted() {
+        let _flags = crate::flag_guard();
         // Outside a session: enabled() is false, nothing records.
         counter("test.ghost").add(100);
         gauge("test.ghost_gauge").set(9);

@@ -1,0 +1,88 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! Hand-rolled (the workspace is offline by policy): counters and
+//! gauges render as their native types, histograms as Prometheus
+//! summaries (`quantile` labels plus `_sum`/`_count` series). Metric
+//! names are the registry's dotted names with every character outside
+//! `[a-zA-Z0-9_]` replaced by `_` and a `simdize_` prefix, so
+//! `sweep.kernel_cache.hit` scrapes as
+//! `simdize_sweep_kernel_cache_hit`.
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("simdize_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snap` in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`).
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
+        let _ = writeln!(out, "{n}{{quantile=\"0.95\"}} {}", h.p95);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSummary;
+
+    #[test]
+    fn renders_all_metric_kinds_with_sanitized_names() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("sweep.kernel_cache.hit".into(), 15);
+        snap.gauges.insert("sweep.workers".into(), 2);
+        snap.histograms.insert(
+            "server.latency-us".into(),
+            HistogramSummary {
+                count: 4,
+                min: 1,
+                max: 9,
+                sum: 20,
+                p50: 4,
+                p95: 9,
+            },
+        );
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE simdize_sweep_kernel_cache_hit counter"));
+        assert!(text.contains("simdize_sweep_kernel_cache_hit 15\n"));
+        assert!(text.contains("# TYPE simdize_sweep_workers gauge"));
+        assert!(text.contains("simdize_sweep_workers 2\n"));
+        assert!(text.contains("# TYPE simdize_server_latency_us summary"));
+        assert!(text.contains("simdize_server_latency_us{quantile=\"0.5\"} 4"));
+        assert!(text.contains("simdize_server_latency_us_sum 20"));
+        assert!(text.contains("simdize_server_latency_us_count 4"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&MetricsSnapshot::default()), "");
+    }
+}

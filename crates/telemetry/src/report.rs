@@ -32,7 +32,7 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
-fn render_span_text(out: &mut String, node: &SpanNode, depth: usize) {
+pub(crate) fn render_span_text(out: &mut String, node: &SpanNode, depth: usize) {
     let indent = "  ".repeat(depth);
     let _ = writeln!(
         out,
@@ -136,7 +136,7 @@ impl TelemetryReport {
     }
 }
 
-fn render_span_json(out: &mut String, node: &SpanNode, normalize: bool) {
+pub(crate) fn render_span_json(out: &mut String, node: &SpanNode, normalize: bool) {
     let ns = |v: u64| if normalize { 0 } else { v };
     let _ = write!(
         out,

@@ -5,37 +5,91 @@
 //! returned guard; nesting is tracked per thread with a name stack, so
 //! a span's identity is its *path* (`"bake/fuse/rewrite"`), not just
 //! its name. Completed spans accumulate in a thread-local buffer that
-//! is flushed to the global collector whenever the thread's span stack
-//! empties — one mutex acquisition per top-level span, none per nested
-//! span. When telemetry is disabled (the default), [`span`] is a single
-//! relaxed atomic load and returns an inert guard: no clock read, no
-//! TLS access, no allocation.
+//! is flushed whenever the thread's span stack empties — one mutex
+//! acquisition per top-level span, none per nested span. The flush
+//! destination depends on what is collecting: a thread running under a
+//! request scope (see [`crate::trace`]) delivers into that request's
+//! private buffer; otherwise records land in the process-wide collector
+//! that [`crate::Session`] drains. When telemetry is disabled (the
+//! default), [`span`] is a single relaxed atomic load and returns an
+//! inert guard: no clock read, no TLS access, no allocation.
+//!
+//! Every record also carries a start offset against a process-scoped
+//! epoch and a small per-thread id, which is what lets a request trace
+//! be exported as a Chrome trace-event timeline (`ts`/`dur` per event,
+//! one track per thread) and not just an aggregated tree.
 
 use crate::enabled;
 use std::cell::RefCell;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// One completed span: its slash-joined path and duration.
+/// One completed span: its slash-joined path, when it started
+/// (process-epoch offset), how long it ran, and which thread ran it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Slash-joined ancestry, e.g. `"bake/fuse/rewrite"`.
     pub path: String,
     /// Wall-clock nanoseconds the span was open.
     pub ns: u64,
+    /// Nanoseconds from the process telemetry epoch to the span's
+    /// open. Request scopes rebase this to the scope's own start.
+    pub start_ns: u64,
+    /// Small dense id of the recording thread (first-use order), for
+    /// per-track timeline export. Not an OS thread id.
+    pub tid: u64,
 }
 
 static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 
+/// The process-scoped instant all span start offsets are measured
+/// from (first telemetry use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process telemetry epoch.
+pub(crate) fn epoch_ns_now() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
     static THREAD: RefCell<ThreadSpans> = const {
-        RefCell::new(ThreadSpans { stack: Vec::new(), buf: Vec::new() })
+        RefCell::new(ThreadSpans { stack: Vec::new(), buf: Vec::new(), tid: 0 })
     };
 }
 
 struct ThreadSpans {
     stack: Vec<&'static str>,
     buf: Vec<SpanRecord>,
+    tid: u64,
+}
+
+impl ThreadSpans {
+    fn tid(&mut self) -> u64 {
+        if self.tid == 0 {
+            self.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tid
+    }
+}
+
+/// Routes one flushed batch: to the thread's active request context
+/// if there is one, else to the global collector.
+fn flush(records: Vec<SpanRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    if let Some(records) = crate::trace::sink_spans(records) {
+        COLLECTOR
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(records);
+    }
 }
 
 /// An open profiling scope; records its duration on drop.
@@ -46,17 +100,23 @@ struct ThreadSpans {
 #[must_use = "a span measures the scope that holds it"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    start_ns: u64,
 }
 
 /// Opens a span named `name` under the thread's current span path.
 /// Near-zero cost when telemetry is disabled.
 pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { start: None };
+        return SpanGuard {
+            start: None,
+            start_ns: 0,
+        };
     }
     THREAD.with(|t| t.borrow_mut().stack.push(name));
+    let start_ns = epoch_ns_now();
     SpanGuard {
         start: Some(Instant::now()),
+        start_ns,
     }
 }
 
@@ -68,30 +128,33 @@ impl Drop for SpanGuard {
             let mut t = t.borrow_mut();
             let path = t.stack.join("/");
             t.stack.pop();
-            t.buf.push(SpanRecord { path, ns });
+            let tid = t.tid();
+            t.buf.push(SpanRecord {
+                path,
+                ns,
+                start_ns: self.start_ns,
+                tid,
+            });
             if t.stack.is_empty() {
                 let drained: Vec<SpanRecord> = t.buf.drain(..).collect();
-                COLLECTOR
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .extend(drained);
+                drop(t);
+                flush(drained);
             }
         });
     }
 }
 
-/// Removes and returns every span completed since the last drain (from
-/// every thread that has flushed; the calling thread's buffer is
-/// flushed first so its completed spans are never stranded).
+/// Removes and returns every span in the global collector (from every
+/// thread that has flushed; the calling thread's buffer is flushed
+/// first so its completed spans are never stranded). Spans captured by
+/// request scopes never pass through here.
 pub fn drain_spans() -> Vec<SpanRecord> {
     THREAD.with(|t| {
         let mut t = t.borrow_mut();
         if !t.buf.is_empty() {
             let drained: Vec<SpanRecord> = t.buf.drain(..).collect();
-            COLLECTOR
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .extend(drained);
+            drop(t);
+            flush(drained);
         }
     });
     std::mem::take(&mut *COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()))
@@ -208,6 +271,7 @@ mod tests {
 
     #[test]
     fn disabled_spans_record_nothing() {
+        let _flags = crate::flag_guard();
         // No session: telemetry is off, the guard must be inert.
         {
             let _g = span("ghost");
@@ -240,5 +304,31 @@ mod tests {
         assert_eq!(worker.count, 4);
         assert_eq!(worker.children.len(), 1);
         assert_eq!(worker.children[0].count, 4);
+    }
+
+    #[test]
+    fn records_carry_timeline_fields() {
+        let _s = session();
+        {
+            let _a = span("timeline");
+            std::hint::black_box(1 + 1);
+        }
+        let records = drain_spans();
+        let rec = records
+            .iter()
+            .find(|r| r.path == "timeline")
+            .expect("timeline span recorded");
+        assert!(rec.tid > 0, "thread id assigned");
+        // A nested span starts at or after its parent.
+        let _b = span("outer2");
+        let inner_start = {
+            let _c = span("inner2");
+            std::hint::black_box(0);
+            epoch_ns_now()
+        };
+        drop(_b);
+        let records = drain_spans();
+        let outer = records.iter().find(|r| r.path == "outer2").unwrap();
+        assert!(outer.start_ns <= inner_start);
     }
 }

@@ -1,0 +1,586 @@
+//! Request-scoped trace collection: per-request span trees, pipeline
+//! attributes, deterministic trace ids, and the `simdize-trace/v1` +
+//! Chrome trace-event encoders.
+//!
+//! A [`Session`](crate::Session) collects process-wide; a server
+//! handling concurrent requests needs one collection *per request*.
+//! [`begin_request`] opens a [`RequestScope`]: it installs a
+//! thread-local [`TraceContext`] so every span completed on the thread
+//! is delivered to the request's private buffer, bumps the global
+//! enabled flag (so instrumentation fires without a session), and
+//! records wall time. Pipeline code annotates the trace with [`tag`]
+//! (policy, dispatched ISA, cache hits, …) — a no-op on threads with no
+//! active context. Worker threads doing work on behalf of the request
+//! call [`adopt_context`] with a handle obtained from
+//! [`current_context`] on the requesting thread, so a multi-threaded
+//! sweep still lands all its spans in the right request.
+//!
+//! [`RequestScope::finish`] returns the [`RequestTrace`]: the raw
+//! timeline events (start offset, duration, thread track), the
+//! aggregated span tree, the attribute map and the error, renderable
+//! as versioned JSON ([`TRACE_SCHEMA`]) or as the Chrome trace-event
+//! format that `chrome://tracing` and Perfetto load directly.
+
+use crate::json::escape;
+use crate::report::render_span_json;
+use crate::span::{build_tree, SpanNode, SpanRecord};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The versioned schema identifier of a rendered [`RequestTrace`].
+pub const TRACE_SCHEMA: &str = "simdize-trace/v1";
+
+/// A request's identity on the wire: the connection that carried it
+/// plus a process-scoped sequence number, rendered `c<conn>-<seq>`.
+/// Deterministic — no randomness, no clock — so a single-connection
+/// exchange against a fresh server always sees the same ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// Id of the connection (or 0 for CLI-local traces).
+    pub conn: u64,
+    /// Process-scoped request sequence number (from [`TraceId::next`]).
+    pub seq: u64,
+}
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+impl TraceId {
+    /// The next trace id for connection `conn`: the process-scoped
+    /// request counter ticks once per call.
+    pub fn next(conn: u64) -> TraceId {
+        TraceId {
+            conn,
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}-{}", self.conn, self.seq)
+    }
+}
+
+struct CtxInner {
+    spans: Mutex<Vec<SpanRecord>>,
+    attrs: Mutex<BTreeMap<String, String>>,
+    start_ns: u64,
+}
+
+/// A cloneable handle to one request's collection buffers. Obtain with
+/// [`current_context`] on the requesting thread, install on a worker
+/// thread with [`adopt_context`].
+#[derive(Clone)]
+pub struct TraceContext {
+    inner: Arc<CtxInner>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+}
+
+/// Offers one flushed span batch to the thread's active context.
+/// Returns the batch back when there is none (the caller sends it to
+/// the global collector instead).
+pub(crate) fn sink_spans(records: Vec<SpanRecord>) -> Option<Vec<SpanRecord>> {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(ctx) => {
+            ctx.inner
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(records);
+            None
+        }
+        None => Some(records),
+    })
+}
+
+/// Records a request attribute (`policy`, `isa`, `cache.hits`, …) on
+/// the thread's active trace context. Last write per key wins. A no-op
+/// when telemetry is disabled or the thread has no active context, so
+/// pipeline code tags unconditionally.
+pub fn tag(key: &str, value: impl fmt::Display) {
+    if !crate::enabled() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(ctx) = &*c.borrow() {
+            ctx.inner
+                .attrs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key.to_string(), value.to_string());
+        }
+    });
+}
+
+/// The thread's active trace context, if a request scope is live on
+/// it (or was adopted). Clone-cheap handle for handing to workers.
+pub fn current_context() -> Option<TraceContext> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Restores the previously-installed context on drop (see
+/// [`adopt_context`]).
+#[must_use = "dropping the guard immediately un-adopts the context"]
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+    restore: bool,
+}
+
+/// Installs `ctx` as the calling thread's active context until the
+/// returned guard drops. Worker threads call this so their spans and
+/// tags are credited to the request that spawned them.
+pub fn adopt_context(ctx: TraceContext) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+    ContextGuard {
+        prev,
+        restore: true,
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.restore {
+            let prev = self.prev.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// An in-flight request collection, returned by [`begin_request`].
+/// Call [`finish`](RequestScope::finish) to obtain the
+/// [`RequestTrace`]; dropping the scope without finishing discards the
+/// collection but still restores the thread and the global flag.
+pub struct RequestScope {
+    ctx: TraceContext,
+    prev: Option<TraceContext>,
+    trace_id: String,
+    verb: String,
+    started: Instant,
+    active: bool,
+}
+
+/// Opens a request scope for `id` on the calling thread: enables
+/// collection globally (if it was not already), installs a fresh
+/// [`TraceContext`] thread-locally, and starts the request clock.
+/// Scopes may nest — the inner scope shadows the outer until finished.
+pub fn begin_request(id: TraceId, verb: &str) -> RequestScope {
+    crate::scope_begin();
+    let ctx = TraceContext {
+        inner: Arc::new(CtxInner {
+            spans: Mutex::new(Vec::new()),
+            attrs: Mutex::new(BTreeMap::new()),
+            start_ns: crate::span::epoch_ns_now(),
+        }),
+    };
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx.clone()));
+    RequestScope {
+        ctx,
+        prev,
+        trace_id: id.to_string(),
+        verb: verb.to_string(),
+        started: Instant::now(),
+        active: true,
+    }
+}
+
+impl RequestScope {
+    fn deactivate(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+        crate::scope_end();
+    }
+
+    /// Ends collection and returns everything the request recorded.
+    /// Span start offsets are rebased to the scope's begin, so the
+    /// first event of the request starts near 0.
+    pub fn finish(mut self, error: Option<String>) -> RequestTrace {
+        self.deactivate();
+        let wall_us = self.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let base = self.ctx.inner.start_ns;
+        let mut events = std::mem::take(
+            &mut *self
+                .ctx
+                .inner
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for ev in &mut events {
+            ev.start_ns = ev.start_ns.saturating_sub(base);
+        }
+        let attrs = std::mem::take(
+            &mut *self
+                .ctx
+                .inner
+                .attrs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        RequestTrace {
+            trace_id: std::mem::take(&mut self.trace_id),
+            verb: std::mem::take(&mut self.verb),
+            wall_us,
+            attrs,
+            spans: build_tree(&events),
+            events,
+            error,
+        }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        self.deactivate();
+    }
+}
+
+/// Everything one request-scoped collection produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// The request's wire identity (`c<conn>-<seq>`).
+    pub trace_id: String,
+    /// The verb that ran (`run`, `sweep`, `trace`, …).
+    pub verb: String,
+    /// Wall-clock microseconds from scope begin to finish.
+    pub wall_us: u64,
+    /// Pipeline attributes recorded via [`tag`], sorted by key.
+    pub attrs: BTreeMap<String, String>,
+    /// The aggregated span tree (same node shape as a session report).
+    pub spans: Vec<SpanNode>,
+    /// The raw timeline: every completed span with its start offset
+    /// (ns from scope begin), duration and thread track.
+    pub events: Vec<SpanRecord>,
+    /// The error message, when the request failed.
+    pub error: Option<String>,
+}
+
+impl RequestTrace {
+    /// The versioned JSON rendering ([`TRACE_SCHEMA`]). With
+    /// `normalize_timings`, every wall-clock field (and the run-order
+    /// dependent `trace_id` / thread tracks) is written as a fixed
+    /// value so the document is byte-stable across runs — golden tests
+    /// pin the normalized form; verbs, attributes, counts and tree
+    /// shape stay exact.
+    pub fn render_json(&self, normalize_timings: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(TRACE_SCHEMA);
+        let _ = write!(
+            out,
+            "\",\"trace_id\":\"{}\",\"verb\":\"{}\",\"wall_us\":{},",
+            if normalize_timings {
+                "c0-0".to_string()
+            } else {
+                escape(&self.trace_id)
+            },
+            escape(&self.verb),
+            if normalize_timings { 0 } else { self.wall_us },
+        );
+        match &self.error {
+            Some(e) => {
+                let _ = write!(out, "\"error\":\"{}\",", escape(e));
+            }
+            None => out.push_str("\"error\":null,"),
+        }
+        out.push_str("\"attrs\":{");
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("},\"spans\":[");
+        for (i, node) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_span_json(&mut out, node, normalize_timings);
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let z = |v: u64| if normalize_timings { 0 } else { v };
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                escape(&ev.path),
+                z(ev.tid),
+                z(ev.start_ns),
+                z(ev.ns)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The Chrome trace-event rendering: one complete (`"ph":"X"`)
+    /// event per recorded span with microsecond `ts`/`dur` relative to
+    /// the request start, one track per recording thread, plus a root
+    /// event spanning the whole request that carries the trace id and
+    /// attributes. Load the output in `chrome://tracing` or Perfetto.
+    pub fn render_chrome(&self) -> String {
+        let us = |ns: u64| format!("{:.3}", ns as f64 / 1000.0);
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+             \"args\":{\"name\":\"simdize\"}}",
+        );
+        let _ = write!(
+            out,
+            ",{{\"name\":\"request:{}\",\"cat\":\"request\",\"ph\":\"X\",\
+             \"ts\":0,\"dur\":{},\"pid\":1,\"tid\":0,\"args\":{{\"trace_id\":\"{}\"",
+            escape(&self.verb),
+            self.wall_us,
+            escape(&self.trace_id),
+        );
+        for (k, v) in &self.attrs {
+            let _ = write!(out, ",\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}}");
+        for ev in &self.events {
+            let name = ev.path.rsplit('/').next().unwrap_or(&ev.path);
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\
+                 \"dur\":{},\"pid\":1,\"tid\":{}}}",
+                escape(name),
+                escape(&ev.path),
+                us(ev.start_ns),
+                us(ev.ns),
+                ev.tid
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// A human-readable rendering: the id/verb/latency header, the
+    /// attribute list, and the indented span tree.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {}  verb={}  wall {:.3} ms{}",
+            self.trace_id,
+            self.verb,
+            self.wall_us as f64 / 1000.0,
+            match &self.error {
+                Some(e) => format!("  ERROR: {e}"),
+                None => String::new(),
+            }
+        );
+        let _ = writeln!(out, "== attributes ==");
+        if self.attrs.is_empty() {
+            let _ = writeln!(out, "(none tagged)");
+        }
+        for (k, v) in &self.attrs {
+            let _ = writeln!(out, "{k:<24} {v}");
+        }
+        let _ = writeln!(out, "== spans ==");
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "(none recorded)");
+        }
+        for node in &self.spans {
+            crate::report::render_span_text(&mut out, node, 0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, span};
+
+    #[test]
+    fn trace_ids_are_sequential_and_render_conn() {
+        let a = TraceId::next(3);
+        let b = TraceId::next(3);
+        assert_eq!(a.conn, 3);
+        assert!(b.seq > a.seq);
+        assert_eq!(a.to_string(), format!("c3-{}", a.seq));
+    }
+
+    #[test]
+    fn request_scope_collects_spans_tags_and_error() {
+        let _flags = crate::flag_guard();
+        let scope = begin_request(TraceId::next(1), "run");
+        assert!(crate::enabled());
+        {
+            let _outer = span("req_outer");
+            let _inner = span("req_inner");
+            tag("policy", "lazy");
+            tag("cache.hits", 7);
+        }
+        let trace = scope.finish(Some("boom".to_string()));
+        assert!(!crate::enabled());
+        assert_eq!(trace.verb, "run");
+        assert_eq!(trace.error.as_deref(), Some("boom"));
+        assert_eq!(trace.attrs["policy"], "lazy");
+        assert_eq!(trace.attrs["cache.hits"], "7");
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "req_outer");
+        assert_eq!(trace.spans[0].children[0].name, "req_inner");
+        assert_eq!(trace.events.len(), 2);
+        // The events never reached the global collector.
+        assert!(span::drain_spans()
+            .iter()
+            .all(|r| !r.path.starts_with("req_")));
+    }
+
+    #[test]
+    fn adopted_context_credits_worker_spans() {
+        let _flags = crate::flag_guard();
+        let scope = begin_request(TraceId::next(2), "sweep");
+        let ctx = current_context().expect("scope installs a context");
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _adopt = adopt_context(ctx);
+                    let _g = span("adopted_job");
+                    tag("worker", "yes");
+                });
+            }
+        });
+        let trace = scope.finish(None);
+        let job = trace
+            .spans
+            .iter()
+            .find(|n| n.name == "adopted_job")
+            .expect("worker spans in request tree");
+        assert_eq!(job.count, 3);
+        assert_eq!(trace.attrs["worker"], "yes");
+        // Three distinct worker tracks.
+        let tids: std::collections::BTreeSet<u64> =
+            trace.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3);
+    }
+
+    #[test]
+    fn nested_scopes_shadow_and_restore() {
+        let _flags = crate::flag_guard();
+        let outer = begin_request(TraceId::next(4), "outer");
+        {
+            let _a = span("outer_side");
+        }
+        let inner = begin_request(TraceId::next(4), "inner");
+        {
+            let _b = span("inner_only");
+        }
+        let inner = inner.finish(None);
+        {
+            let _c = span("outer_side");
+        }
+        let outer = outer.finish(None);
+        assert_eq!(inner.spans.len(), 1);
+        assert_eq!(inner.spans[0].name, "inner_only");
+        assert_eq!(outer.spans.len(), 1);
+        assert_eq!(outer.spans[0].name, "outer_side");
+        assert_eq!(outer.spans[0].count, 2);
+    }
+
+    #[test]
+    fn rendered_json_is_versioned_and_normalizes() {
+        let _flags = crate::flag_guard();
+        let scope = begin_request(TraceId::next(5), "trace");
+        {
+            let _a = span("phase_a");
+            tag("opd", "2.250");
+        }
+        let trace = scope.finish(None);
+        let doc = json::parse(&trace.render_json(false)).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(TRACE_SCHEMA));
+        assert_eq!(doc.get("verb").unwrap().as_str(), Some("trace"));
+        assert_eq!(
+            doc.get("attrs").unwrap().get("opd").unwrap().as_str(),
+            Some("2.250")
+        );
+        let norm = trace.render_json(true);
+        let doc = json::parse(&norm).unwrap();
+        assert_eq!(doc.get("trace_id").unwrap().as_str(), Some("c0-0"));
+        assert_eq!(doc.get("wall_us").unwrap().as_f64(), Some(0.0));
+        let ev = &doc.get("events").unwrap().as_arr().unwrap()[0];
+        assert_eq!(ev.get("start_ns").unwrap().as_f64(), Some(0.0));
+        assert_eq!(ev.get("dur_ns").unwrap().as_f64(), Some(0.0));
+        // Normalizing twice is stable.
+        assert_eq!(norm, trace.render_json(true));
+    }
+
+    #[test]
+    fn chrome_rendering_is_loadable_json_with_one_event_per_span() {
+        let _flags = crate::flag_guard();
+        let scope = begin_request(TraceId::next(6), "run");
+        {
+            let _a = span("chrome_outer");
+            let _b = span("chrome_inner");
+        }
+        let trace = scope.finish(None);
+        let doc = json::parse(&trace.render_chrome()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // metadata + request root + 2 spans
+        assert_eq!(events.len(), 4);
+        let root = events
+            .iter()
+            .find(|e| e.get("name").and_then(json::Json::as_str) == Some("request:run"))
+            .unwrap();
+        assert_eq!(
+            root.get("dur").and_then(json::Json::as_f64),
+            Some(trace.wall_us as f64)
+        );
+        let inner = events
+            .iter()
+            .find(|e| e.get("name").and_then(json::Json::as_str) == Some("chrome_inner"))
+            .unwrap();
+        assert_eq!(
+            inner.get("cat").and_then(json::Json::as_str),
+            Some("chrome_outer/chrome_inner")
+        );
+        assert_eq!(inner.get("ph").and_then(json::Json::as_str), Some("X"));
+    }
+
+    #[test]
+    fn dropping_a_scope_discards_cleanly() {
+        let _flags = crate::flag_guard();
+        {
+            let _scope = begin_request(TraceId::next(7), "dropped");
+            let _a = span("discarded");
+        }
+        assert!(!crate::enabled());
+        assert!(current_context().is_none());
+        // Nothing leaked to the global collector.
+        assert!(span::drain_spans()
+            .iter()
+            .all(|r| r.path != "discarded"));
+    }
+
+    #[test]
+    fn text_rendering_lists_header_attrs_and_tree() {
+        let _flags = crate::flag_guard();
+        let scope = begin_request(TraceId::next(8), "run");
+        {
+            let _a = span("text_phase");
+            tag("policy", "zero");
+        }
+        let trace = scope.finish(None);
+        let text = trace.render_text();
+        assert!(text.contains("verb=run"));
+        assert!(text.contains("policy"));
+        assert!(text.contains("text_phase"));
+    }
+}

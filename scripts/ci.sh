@@ -13,7 +13,11 @@
 # and finishes with an end-to-end smoke sweep through the CLI binary:
 # eight seeds of Figure 1 compiled by the native engine and verified
 # against the scalar oracle on four worker threads (with telemetry
-# collection on), an instrumented `simdize profile` pass, the engine
+# collection on), an instrumented `simdize profile` pass, a
+# request-scoped `simdize trace` export (JSON + Chrome trace events),
+# the disabled-instrumentation overhead gate, a server smoke that
+# checks trace-id echoing, the flight recorder's dump verb and the
+# Prometheus /metrics endpoint, the engine
 # bench harness in quick mode (floors: engine >= 5x the interpreter,
 # fused >= 1.3x unfused on reorg-dominated kernels), a
 # `simdize bench diff` of that quick run against the checked-in
@@ -24,6 +28,11 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Scratch space for smoke artifacts (bench history entries, serve logs,
+# chrome traces); CI never dirties the checked-in bench_history/.
+BENCH_TMP=$(mktemp -d)
+trap 'rm -rf "$BENCH_TMP"' EXIT
 
 echo "== build (release, workspace) =="
 cargo build --release --offline --workspace
@@ -85,15 +94,35 @@ target/release/simdize profile loops/figure1.loop > /dev/null
 target/release/simdize profile loops/figure1.loop --json \
     | grep -q '"schema":"simdize-telemetry/v1"'
 
+echo "== trace smoke (request-scoped export + chrome trace events) =="
+# The byte-exact normalized form is pinned by the tier-1 golden
+# (tests/trace.rs, regenerate with UPDATE_GOLDEN=1); this smoke drives
+# the release binary: schema-versioned JSON on stdout and a loadable
+# chrome://tracing file via --chrome-out.
+target/release/simdize trace loops/figure1.loop > /dev/null
+target/release/simdize trace loops/figure1.loop --json \
+    | grep -q '"schema":"simdize-trace/v1"'
+target/release/simdize trace loops/figure1.loop \
+    --chrome-out "$BENCH_TMP/chrome-trace.json" > /dev/null
+grep -q '"traceEvents":\[' "$BENCH_TMP/chrome-trace.json"
+grep -q '"ph":"X"' "$BENCH_TMP/chrome-trace.json"
+
+echo "== telemetry disabled-overhead gate (<2% of a kernel run) =="
+# Run the timing-sensitive gate alone (--exact): the concurrent
+# request-scope stress test in the same binary would otherwise enable
+# collection mid-measurement.
+TELEMETRY_OVERHEAD=1 cargo test -q --release --offline --test telemetry \
+    -- --exact disabled_instrumentation_overhead_under_two_percent
+
 echo "== bench smoke (engine telemetry, quick mode) =="
 # Re-measures engine-vs-interpreter and fused-vs-unfused on reduced
-# trip counts and rewrites BENCH_engine.json; exits non-zero if the
-# fused engine is under 5x the interpreter or a gated kernel loses
-# its fusion gain. The history entry goes to a temp dir so CI never
-# dirties the checked-in bench_history/.
-BENCH_TMP=$(mktemp -d)
-trap 'rm -rf "$BENCH_TMP"' EXIT
-target/release/engine --quick --floor 5 --out BENCH_engine.json --history-dir "$BENCH_TMP"
+# trip counts; exits non-zero if the fused engine is under 5x the
+# interpreter or a gated kernel loses its fusion gain. Both the bench
+# document and the history entry go to scratch — the checked-in
+# BENCH_engine.json stays the full-mode baseline — and the history
+# entry gets its own subdir so other smoke artifacts (e.g. the chrome
+# trace) can't shadow it.
+target/release/engine --quick --floor 5 --out "$BENCH_TMP/BENCH_engine.json" --history-dir "$BENCH_TMP/engine_hist"
 
 echo "== bench history diff (fresh quick run vs checked-in baseline) =="
 # Generous threshold: quick-mode numbers on a loaded CI machine wobble;
@@ -102,36 +131,64 @@ echo "== bench history diff (fresh quick run vs checked-in baseline) =="
 # schemas (engine and server), so each diff picks its baseline by
 # schema, not just recency.
 baseline=$(grep -l '"schema": "simdize-bench-engine/v1"' bench_history/*.json | tail -1)
-fresh=$(ls "$BENCH_TMP"/*.json | tail -1)
+fresh=$(ls "$BENCH_TMP"/engine_hist/*.json | tail -1)
 target/release/simdize bench diff "$baseline" "$fresh" --threshold 0.9
 
-echo "== server smoke (serve round-trip on an ephemeral port) =="
-# Boots `simdize serve` on port 0, drives one compile/run/sweep/stats
-# round-trip over /dev/tcp, then requests shutdown and insists on a
-# clean exit. The loop source is quote-free so it embeds in the JSON
-# request lines without escaping.
-target/release/simdize serve 127.0.0.1:0 > "$BENCH_TMP/serve.log" &
+echo "== server smoke (serve round-trip, trace ids, dump, /metrics) =="
+# Boots `simdize serve` on port 0 with the metrics endpoint on a second
+# ephemeral port, drives a compile/run/sweep/stats/trace/dump round-trip
+# over /dev/tcp (every response must echo a trace id), scrapes the
+# Prometheus exposition, then requests shutdown and insists on a clean
+# exit. The loop source is quote-free so it embeds in the JSON request
+# lines without escaping.
+target/release/simdize serve 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
+    > "$BENCH_TMP/serve.log" &
 serve_pid=$!
 for _ in $(seq 1 200); do
-    grep -q '^listening on ' "$BENCH_TMP/serve.log" && break
+    grep -q '^metrics on ' "$BENCH_TMP/serve.log" && break
     sleep 0.05
 done
 addr=$(sed -n 's/^listening on //p' "$BENCH_TMP/serve.log")
 port=${addr##*:}
+maddr=$(sed -n 's/^metrics on //p' "$BENCH_TMP/serve.log")
+mport=${maddr##*:}
 src='arrays { a: i32[64] @ 0; b: i32[64] @ 4; } for i in 0..40 { a[i+1] = b[i]; }'
 exec 3<>"/dev/tcp/127.0.0.1/$port"
 {
     printf '{"v":1,"id":1,"cmd":"compile","source":"%s"}\n' "$src"
     printf '{"v":1,"id":2,"cmd":"run","source":"%s","seed":7}\n' "$src"
     printf '{"v":1,"id":3,"cmd":"sweep","source":"%s","count":4}\n' "$src"
-    printf '{"v":1,"id":4,"cmd":"stats"}\n'
-    printf '{"v":1,"id":5,"cmd":"shutdown"}\n'
+    printf '{"v":1,"id":4,"cmd":"trace","source":"%s"}\n' "$src"
+    printf '{"v":1,"id":5,"cmd":"stats"}\n'
+    printf '{"v":1,"id":6,"cmd":"dump"}\n'
 } >&3
-for id in 1 2 3 4 5; do
+for id in 1 2 3 4 5 6; do
     IFS= read -r line <&3
-    echo "$line" | grep -q "\"id\":$id,\"ok\":true" \
+    echo "$line" | grep -q "\"id\":$id,\"trace\":\"c" \
+        || { echo "server smoke: request $id carries no trace id: $line" >&2; exit 1; }
+    echo "$line" | grep -q '"ok":true' \
         || { echo "server smoke: request $id failed: $line" >&2; exit 1; }
+    case $id in
+        4) echo "$line" | grep -q '"schema":"simdize-trace/v1"' \
+            || { echo "server smoke: trace verb missing schema: $line" >&2; exit 1; } ;;
+        6) echo "$line" | grep -q '"schema":"simdize-flight/v1"' \
+            || { echo "server smoke: dump verb missing schema: $line" >&2; exit 1; } ;;
+    esac
 done
+# Prometheus scrape over /dev/tcp (no curl in the CI image): at least
+# one known counter must expose with a live value.
+exec 4<>"/dev/tcp/127.0.0.1/$mport"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+metrics=$(cat <&4)
+exec 4<&- 4>&-
+echo "$metrics" | grep -q '# TYPE simdize_server_requests_total counter' \
+    || { echo "server smoke: /metrics missing requests counter" >&2; exit 1; }
+echo "$metrics" | grep -Eq 'simdize_server_requests_total [1-9][0-9]*' \
+    || { echo "server smoke: /metrics requests counter not live" >&2; exit 1; }
+printf '{"v":1,"id":7,"cmd":"shutdown"}\n' >&3
+IFS= read -r line <&3
+echo "$line" | grep -q '"stopping":true' \
+    || { echo "server smoke: shutdown failed: $line" >&2; exit 1; }
 exec 3<&- 3>&-
 wait "$serve_pid"
 grep -Eq 'served [0-9]+ request' "$BENCH_TMP/serve.log" \

@@ -1,8 +1,10 @@
 //! Wire-protocol contract tests for `simdize serve`: golden-pinned
-//! request/response round-trips over a real TCP connection (timing
-//! fields normalized), malformed-request error paths, backpressure,
-//! and a concurrent-client stress test asserting that responses served
-//! from the kernel cache are byte-identical to cold ones.
+//! request/response round-trips over a real TCP connection (trace ids
+//! and timing fields normalized), malformed-request error paths,
+//! backpressure, trace-id uniqueness, the flight recorder's ring and
+//! dump verb, the Prometheus `/metrics` endpoint, and a
+//! concurrent-client stress test asserting that responses served from
+//! the kernel cache are byte-identical to cold ones.
 
 use simdize_server::{Server, ServerConfig};
 use simdize_telemetry::json::{self, Json};
@@ -75,6 +77,56 @@ fn inline(source: &str) -> String {
     json::escape(source)
 }
 
+/// Replaces every `"<key>":<integer>` value with 0 (hand-rolled — the
+/// workspace carries no regex dependency).
+fn zero_int_field(line: &mut String, key: &str) {
+    let needle = format!("\"{key}\":");
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(&needle) {
+        let start = from + pos + needle.len();
+        let end = line[start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .map_or(line.len(), |n| start + n);
+        if end > start {
+            line.replace_range(start..end, "0");
+        }
+        from = start + 1;
+    }
+}
+
+/// Replaces every `"<key>":"<value>"` value with `fixed`.
+fn fix_str_field(line: &mut String, key: &str, fixed: &str) {
+    let needle = format!("\"{key}\":\"");
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(&needle) {
+        let start = from + pos + needle.len();
+        let Some(len) = line[start..].find('"') else {
+            break;
+        };
+        line.replace_range(start..start + len, fixed);
+        from = start + fixed.len() + 1;
+    }
+}
+
+/// Normalizes the run-order- and clock-dependent fields of a response:
+/// trace ids (a process-scoped counter), thread tracks, flight sequence
+/// numbers, the dispatched ISA name, and every wall-clock field. Verbs,
+/// attributes, counts and payload shape stay exact — this is the form
+/// the golden transcript pins.
+fn normalize(line: &str) -> String {
+    let mut out = line.to_string();
+    for key in [
+        "wall_ms", "wall_us", "latency_us", "seq", "tid", "start_ns", "dur_ns", "total_ns",
+        "p50_ns", "p95_ns", "max_ns",
+    ] {
+        zero_int_field(&mut out, key);
+    }
+    for (key, fixed) in [("trace", "c0-0"), ("trace_id", "c0-0"), ("isa", "host")] {
+        fix_str_field(&mut out, key, fixed);
+    }
+    out
+}
+
 /// The golden round-trip corpus: deterministic request/response pairs
 /// (everything except `stats`, whose latency numbers necessarily
 /// differ run to run).
@@ -90,6 +142,11 @@ fn golden_corpus() -> Vec<String> {
         format!(r#"{{"v":1,"id":6,"cmd":"sweep","source":"{runtime}","seed":1,"ub":300,"count":6}}"#),
         format!(r#"{{"v":1,"id":7,"cmd":"explain","source":"{fig1}","policy":"zero"}}"#),
         format!(r#"{{"v":1,"id":8,"cmd":"compile","source":"{runtime}","policy":"eager"}}"#),
+        // The request-scoped trace export and the flight recorder's
+        // dump, pinned right after the deterministic exec prefix (the
+        // dump replays every entry recorded so far on this server).
+        format!(r#"{{"v":1,"id":17,"cmd":"trace","source":"{fig1}"}}"#),
+        r#"{"v":1,"id":18,"cmd":"dump"}"#.to_string(),
         r#"{"v":1,"id":9,"cmd":"frobnicate"}"#.to_string(),
         r#"{"v":2,"id":10,"cmd":"ping"}"#.to_string(),
         format!(r#"{{"v":1,"id":11,"cmd":"run","source":"{fig1}","policy":"unknown"}}"#),
@@ -118,9 +175,13 @@ fn wire_round_trips_golden() {
     let mut transcript = String::new();
     for request in golden_corpus() {
         let response = client.roundtrip(&request);
+        assert!(
+            response.contains("\"trace\":\"c"),
+            "response carries no trace id: {response}"
+        );
         transcript.push_str(&request);
         transcript.push('\n');
-        transcript.push_str(&response);
+        transcript.push_str(&normalize(&response));
         transcript.push('\n');
     }
     harness.shutdown();
@@ -183,7 +244,13 @@ fn stats_report_latency_and_cache_counters() {
     let first = client.roundtrip(&run);
     assert!(first.contains("\"verified\":true"), "{first}");
     for _ in 0..4 {
-        assert_eq!(client.roundtrip(&run), first, "responses must not drift");
+        // Each response carries its own trace id; normalized, the
+        // payloads must not drift.
+        assert_eq!(
+            normalize(&client.roundtrip(&run)),
+            normalize(&first),
+            "responses must not drift"
+        );
     }
     let stats = client.roundtrip(r#"{"v":1,"id":2,"cmd":"stats"}"#);
     let doc = json::parse(&stats).unwrap();
@@ -237,8 +304,8 @@ fn backends_occupy_distinct_cache_entries_across_requests() {
     let first = client.roundtrip(&baked);
     assert!(first.contains("\"verified\":true"), "{first}");
     assert_eq!(
-        client.roundtrip(&simd),
-        first,
+        normalize(&client.roundtrip(&simd)),
+        normalize(&first),
         "stats are computed pre-lowering, so the payloads must agree"
     );
     let stats = client.roundtrip(r#"{"v":1,"id":2,"cmd":"stats"}"#);
@@ -339,7 +406,10 @@ fn concurrent_clients_get_byte_identical_cached_responses() {
     let reference: Vec<String> = {
         let cold = Harness::start(ServerConfig::default());
         let mut client = cold.client();
-        let out = requests.iter().map(|r| client.roundtrip(r)).collect();
+        let out = requests
+            .iter()
+            .map(|r| normalize(&client.roundtrip(r)))
+            .collect();
         cold.shutdown();
         out
     };
@@ -360,7 +430,8 @@ fn concurrent_clients_get_byte_identical_cached_responses() {
                     for (request, expected) in requests.iter().zip(&reference) {
                         let response = client.roundtrip(request);
                         assert_eq!(
-                            &response, expected,
+                            &normalize(&response),
+                            expected,
                             "cached response differs from cache-cold response"
                         );
                     }
@@ -386,4 +457,197 @@ fn concurrent_clients_get_byte_identical_cached_responses() {
         "expected warm cache, got {hits} hits / {misses} misses"
     );
     harness.shutdown();
+}
+
+/// Pulls the envelope's `"trace":"..."` field out of a response line.
+fn trace_id_of(line: &str) -> String {
+    let start = line
+        .find("\"trace\":\"")
+        .unwrap_or_else(|| panic!("no trace id in {line}"))
+        + "\"trace\":\"".len();
+    let end = start + line[start..].find('"').unwrap();
+    line[start..end].to_string()
+}
+
+/// Every response — success, error and control alike — echoes a trace
+/// id; ids are unique across requests, and the connection component
+/// distinguishes clients.
+#[test]
+fn every_response_echoes_a_unique_trace_id() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut a = harness.client();
+    let mut b = harness.client();
+    let mut seen = std::collections::HashSet::new();
+    let mut conns = std::collections::HashSet::new();
+    for client in [&mut a, &mut b] {
+        for request in [
+            r#"{"v":1,"id":1,"cmd":"ping"}"#,
+            r#"{"v":1,"id":2,"cmd":"run","source":"arrays { broken"}"#,
+            r#"{"v":1,"id":3,"cmd":"stats"}"#,
+            "not json at all",
+        ] {
+            let response = client.roundtrip(request);
+            let id = trace_id_of(&response);
+            let (conn, seq) = id[1..].split_once('-').unwrap_or_else(|| panic!("{id}"));
+            conn.parse::<u64>().unwrap();
+            seq.parse::<u64>().unwrap();
+            assert!(seen.insert(id.clone()), "duplicate trace id {id}");
+            conns.insert(conn.to_string());
+        }
+    }
+    assert_eq!(conns.len(), 2, "each connection gets its own id component");
+    harness.shutdown();
+}
+
+/// A failed request lands in the flight recorder: the `dump` verb's
+/// ring replay carries that request's trace id, verb and error.
+#[test]
+fn flight_dump_captures_forced_errors() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    let bad = client.roundtrip(r#"{"v":1,"id":1,"cmd":"run","source":"arrays { broken"}"#);
+    assert!(bad.contains("\"ok\":false"), "{bad}");
+    let failed_id = trace_id_of(&bad);
+    let dump = client.roundtrip(r#"{"v":1,"id":2,"cmd":"dump"}"#);
+    assert!(dump.contains("\"schema\":\"simdize-flight/v1\""), "{dump}");
+    assert!(dump.contains(&format!("\"trace_id\":\"{failed_id}\"")), "{dump}");
+    assert!(dump.contains("\"ok\":false"), "{dump}");
+    assert!(dump.contains("expected"), "error text retained: {dump}");
+    // The stats verb reports the recorder's fill level.
+    let stats = client.roundtrip(r#"{"v":1,"id":3,"cmd":"stats"}"#);
+    let doc = json::parse(&stats).unwrap();
+    let flight = doc.get("result").unwrap().get("flight").unwrap();
+    assert!(flight.get("recorded").and_then(Json::as_f64).unwrap() >= 2.0);
+    assert_eq!(
+        flight.get("capacity").and_then(Json::as_f64),
+        Some(ServerConfig::default().flight_capacity as f64)
+    );
+    harness.shutdown();
+}
+
+/// The ring is bounded: with a tiny capacity only the newest entries
+/// survive, oldest evicted first.
+#[test]
+fn flight_ring_retains_only_the_newest_entries() {
+    // The recorder rounds its capacity up to a stripe multiple (the
+    // server uses 8 stripes), so ask for exactly one entry per stripe.
+    let harness = Harness::start(ServerConfig {
+        flight_capacity: 8,
+        ..ServerConfig::default()
+    });
+    let mut client = harness.client();
+    for i in 0..12 {
+        client.roundtrip(&format!(r#"{{"v":1,"id":{i},"cmd":"ping"}}"#));
+    }
+    let dump = client.roundtrip(r#"{"v":1,"id":99,"cmd":"dump"}"#);
+    let doc = json::parse(&dump).unwrap();
+    let result = doc.get("result").unwrap();
+    assert_eq!(result.get("capacity").and_then(Json::as_f64), Some(8.0));
+    let entries = match result.get("entries").unwrap() {
+        Json::Arr(a) => a,
+        other => panic!("entries not an array: {other:?}"),
+    };
+    assert_eq!(entries.len(), 8, "{dump}");
+    // Strictly increasing seq — the newest four of the ten pings.
+    let seqs: Vec<f64> = entries
+        .iter()
+        .map(|e| e.get("seq").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    harness.shutdown();
+}
+
+/// S2 regression: `verify` (like every verb) reports real wall time —
+/// the response's `wall_ms` is live, and the latency histogram records
+/// a nonzero observation for the request.
+#[test]
+fn verify_reports_real_wall_time() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    let verify = format!(
+        r#"{{"v":1,"id":1,"cmd":"verify","source":"{}"}}"#,
+        inline(&sample("figure1"))
+    );
+    let response = client.roundtrip(&verify);
+    assert!(response.contains("\"proved\":true"), "{response}");
+    let doc = json::parse(&response).unwrap();
+    let wall_ms = doc
+        .get("result")
+        .and_then(|r| r.get("verify"))
+        .and_then(|v| v.get("wall_ms"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(wall_ms > 0.0, "verify wall_ms zeroed: {response}");
+    let stats = client.roundtrip(r#"{"v":1,"id":2,"cmd":"stats"}"#);
+    let doc = json::parse(&stats).unwrap();
+    let latency = doc.get("result").unwrap().get("latency").unwrap();
+    assert!(latency.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0, "{stats}");
+    harness.shutdown();
+}
+
+/// The `trace` wire verb returns the versioned trace document stamped
+/// with the envelope's own trace id.
+#[test]
+fn trace_verb_exports_the_request_scoped_timeline() {
+    let harness = Harness::start(ServerConfig::default());
+    let mut client = harness.client();
+    let request = format!(
+        r#"{{"v":1,"id":1,"cmd":"trace","source":"{}"}}"#,
+        inline(&sample("figure1"))
+    );
+    let response = client.roundtrip(&request);
+    let envelope_id = trace_id_of(&response);
+    let doc = json::parse(&response).unwrap();
+    let result = doc.get("result").unwrap();
+    assert_eq!(
+        result.get("schema").and_then(Json::as_str),
+        Some("simdize-trace/v1")
+    );
+    assert_eq!(
+        result.get("trace_id").and_then(Json::as_str),
+        Some(envelope_id.as_str()),
+        "envelope and document must agree: {response}"
+    );
+    assert_eq!(result.get("verb").and_then(Json::as_str), Some("trace"));
+    let attrs = result.get("attrs").unwrap();
+    assert!(attrs.get("policy").is_some(), "{response}");
+    assert!(attrs.get("opd").is_some(), "{response}");
+    assert!(result.get("wall_us").and_then(Json::as_f64).unwrap() > 0.0);
+    harness.shutdown();
+}
+
+/// `--metrics-addr`: the side HTTP listener answers GET /metrics with
+/// Prometheus text exposition and 404s everything else.
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let config = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("metrics listener bound");
+    let handle = std::thread::spawn(move || server.serve());
+    let mut client = Client::connect(addr);
+    client.roundtrip(r#"{"v":1,"id":1,"cmd":"ping"}"#);
+
+    let scrape = |path: &str| -> String {
+        use std::io::Read as _;
+        let mut conn = TcpStream::connect(metrics_addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        body
+    };
+    let response = scrape("/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    assert!(response.contains("# TYPE simdize_server_requests_total counter"), "{response}");
+    assert!(response.contains("simdize_server_requests_total 1"), "{response}");
+    assert!(response.contains("simdize_server_flight_recorded_total"), "{response}");
+    assert!(scrape("/nope").starts_with("HTTP/1.1 404"), "no 404 for unknown path");
+
+    let resp = client.roundtrip(r#"{"v":1,"id":2,"cmd":"shutdown"}"#);
+    assert!(resp.contains("\"stopping\":true"), "{resp}");
+    handle.join().unwrap().unwrap();
 }

@@ -1,0 +1,73 @@
+//! Golden-pinned `simdize trace` export: the normalized
+//! `simdize-trace/v1` document for the paper's Figure 1 loop must stay
+//! byte-stable (`tests/golden/trace-figure1.json`), and the Chrome
+//! trace-event export must agree with the span timeline it was derived
+//! from. Regenerate after an intentional schema change with
+//! `UPDATE_GOLDEN=1 cargo test --test trace`.
+
+use simdize::trace_source;
+
+fn repo(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn figure1() -> String {
+    let path = repo("loops/figure1.loop");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"))
+}
+
+/// Pins the `isa` attribute host-independently: `IsaLevel::detect()`
+/// re-reads the override on every call, and `scalar` is a valid tier
+/// on every host. Both tests in this binary set the same value, so the
+/// parallel writes are idempotent.
+fn force_scalar_isa() {
+    std::env::set_var("SIMDIZE_ISA", "scalar");
+}
+
+#[test]
+fn normalized_trace_json_matches_golden() {
+    force_scalar_isa();
+    let outcome = trace_source(&figure1()).unwrap();
+    assert!(outcome.verified);
+    let mut rendered = outcome.trace.render_json(true);
+    rendered.push('\n');
+
+    let path = repo("tests/golden/trace-figure1.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with UPDATE_GOLDEN=1)"));
+    assert_eq!(
+        expected, rendered,
+        "trace schema drift; if intended, UPDATE_GOLDEN=1 and re-review"
+    );
+}
+
+#[test]
+fn chrome_export_agrees_with_the_span_timeline() {
+    force_scalar_isa();
+    let outcome = trace_source(&figure1()).unwrap();
+    let chrome = outcome.trace.render_chrome();
+    // One complete event per recorded span, plus the request root.
+    let events = chrome.matches("\"ph\":\"X\"").count();
+    assert_eq!(events, outcome.trace.events.len() + 1, "{chrome}");
+    // The root request event's duration is the request wall time, and
+    // every span's microsecond duration appears with its name.
+    assert!(
+        chrome.contains(&format!(
+            "\"name\":\"request:trace\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":0,\"dur\":{}",
+            outcome.trace.wall_us
+        )),
+        "{chrome}"
+    );
+    for ev in &outcome.trace.events {
+        let name = ev.path.rsplit('/').next().unwrap();
+        assert!(chrome.contains(&format!("\"name\":\"{name}\"")), "{name} missing");
+    }
+    // The document is parseable JSON with the trace id in the root args.
+    let doc = simdize_telemetry::json::parse(&chrome).unwrap();
+    assert!(doc.get("traceEvents").is_some());
+    assert!(chrome.contains(&format!("\"trace_id\":\"{}\"", outcome.trace.trace_id)));
+}
